@@ -1,0 +1,72 @@
+"""Ablation: plain vs Aitken-extrapolated power iteration.
+
+Measures both regimes the design doc calls out: fast-mixing graphs (where
+the trial overhead makes extrapolation a wash) and slow-mixing barbell
+graphs at large alpha (where it saves sweeps).  The safeguard guarantees
+identical fixed points in all cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, barabasi_albert
+from repro.linalg import (
+    extrapolated_power_iteration,
+    power_iteration,
+    uniform_transition,
+)
+
+
+def _barbell() -> Graph:
+    g = Graph()
+    for off in (0, 1000):
+        for i in range(25):
+            for j in range(i + 1, 25):
+                g.add_edge(off + i, off + j)
+    path = [24] + [2000 + k for k in range(50)] + [1000]
+    for a, b in zip(path, path[1:]):
+        g.add_edge(a, b)
+    return g
+
+
+@pytest.fixture(scope="module")
+def fast_mixing():
+    return uniform_transition(barabasi_albert(300, 3, seed=3).to_csr(weighted=False))
+
+
+@pytest.fixture(scope="module")
+def slow_mixing():
+    return uniform_transition(_barbell().to_csr(weighted=False))
+
+
+def test_plain_power_fast_mixing(benchmark, fast_mixing):
+    result = benchmark(lambda: power_iteration(fast_mixing, alpha=0.9, tol=1e-11))
+    assert result.converged
+
+
+def test_extrapolated_fast_mixing(benchmark, fast_mixing):
+    result = benchmark(
+        lambda: extrapolated_power_iteration(fast_mixing, alpha=0.9, tol=1e-11)
+    )
+    assert result.converged
+
+
+def test_plain_power_slow_mixing(benchmark, slow_mixing):
+    result = benchmark(
+        lambda: power_iteration(slow_mixing, alpha=0.97, tol=1e-11, max_iter=50_000)
+    )
+    assert result.converged
+
+
+def test_extrapolated_slow_mixing(benchmark, slow_mixing):
+    plain = power_iteration(slow_mixing, alpha=0.97, tol=1e-11, max_iter=50_000)
+    result = benchmark(
+        lambda: extrapolated_power_iteration(
+            slow_mixing, alpha=0.97, tol=1e-11, max_iter=50_000
+        )
+    )
+    assert result.converged
+    assert result.iterations <= plain.iterations
+    assert np.allclose(result.scores, plain.scores, atol=1e-8)

@@ -1,0 +1,48 @@
+"""Ablation: solver choice (DESIGN.md §4).
+
+Power iteration is the production solver; Gauss–Seidel and sparse LU are
+verification paths.  This bench measures their relative cost on a real
+data graph and asserts they agree on the fixed point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import d2pr
+from repro.experiments import get_data_graph
+
+SCALE = 0.25
+P = 1.0
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return get_data_graph("imdb/movie-movie", SCALE).graph
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    return d2pr(graph, P, solver="direct").values
+
+
+def test_solver_power(benchmark, graph, reference):
+    scores = benchmark(lambda: d2pr(graph, P, solver="power", tol=1e-12))
+    assert np.allclose(scores.values, reference, atol=1e-8)
+
+
+def test_solver_gauss_seidel(benchmark, graph, reference):
+    scores = benchmark.pedantic(
+        lambda: d2pr(graph, P, solver="gauss_seidel", tol=1e-12),
+        rounds=1,
+        iterations=1,
+    )
+    assert np.allclose(scores.values, reference, atol=1e-8)
+
+
+def test_solver_direct(benchmark, graph, reference):
+    scores = benchmark.pedantic(
+        lambda: d2pr(graph, P, solver="direct"), rounds=1, iterations=1
+    )
+    assert np.allclose(scores.values, reference, atol=1e-12)

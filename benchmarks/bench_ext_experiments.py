@@ -1,0 +1,67 @@
+"""Benchmarks for the extension experiments (DESIGN.md §4, ablation rows).
+
+Each also asserts its experiment's headline finding, so a benchmark run
+re-validates the extensions end to end.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.extensions import (
+    ext_centrality,
+    ext_covertime,
+    ext_robustness,
+    ext_spam,
+)
+
+EXT_SCALE = 0.4
+
+
+def test_ext_centrality(benchmark):
+    result = run_once(benchmark, ext_centrality, EXT_SCALE)
+    for name, entry in result.data.items():
+        d2pr_key = next(k for k in entry if k.startswith("D2PR"))
+        assert entry[d2pr_key] > 0.3, name
+    # Group A: tuned D2PR wins outright over every fixed measure
+    entry = result.data["imdb/actor-actor"]
+    d2pr_key = next(k for k in entry if k.startswith("D2PR"))
+    assert entry[d2pr_key] == max(entry.values())
+
+
+def test_ext_covertime(benchmark):
+    result = run_once(benchmark, ext_covertime, EXT_SCALE)
+    # degree boosting slows full coverage (hub-revisit effect)
+    assert result.data["p=-2"] > result.data["p=0"]
+
+
+def test_ext_spam(benchmark):
+    result = run_once(benchmark, ext_spam, EXT_SCALE)
+    assert result.data["p=0"]["boost"] > 0  # vanilla PR is gameable
+    assert result.data["p=2"]["boost"] < result.data["p=0"]["boost"]
+
+
+def test_ext_robustness(benchmark):
+    result = run_once(benchmark, ext_robustness, EXT_SCALE)
+    signs = {
+        "imdb/actor-actor": 1,
+        "dblp/author-author": 0,
+        "lastfm/listener-listener": -1,
+    }
+    for name, entry in result.data.items():
+        for scenario, values in entry.items():
+            peak = values["peak_p"]
+            if signs[name] > 0:
+                assert peak > 0, (name, scenario)
+            elif signs[name] < 0:
+                assert peak < 0, (name, scenario)
+            else:
+                assert abs(peak) <= 0.5, (name, scenario)
+
+
+def test_ext_directed(benchmark):
+    from repro.experiments.extensions import ext_directed
+
+    result = run_once(benchmark, ext_directed, EXT_SCALE)
+    assert result.data["peak_p"] > 0
+    assert result.data["out_degree_coupling"] < 0

@@ -1,0 +1,22 @@
+"""Benchmark + reproduction check for the paper's Figure 1.
+
+Figure 1: transition probabilities from node A on the 6-node sample graph
+for p ∈ {0, 2, -2} — must match the paper's printed values.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark):
+    result = run_once(benchmark, figure1)
+    data = result.data
+    assert data["p=0"]["B"] == pytest.approx(1 / 3)
+    assert data["p=2"]["B"] == pytest.approx(0.18, abs=0.01)
+    assert data["p=2"]["C"] == pytest.approx(0.08, abs=0.01)
+    assert data["p=2"]["D"] == pytest.approx(0.74, abs=0.01)
+    assert data["p=-2"]["C"] == pytest.approx(0.64, abs=0.01)

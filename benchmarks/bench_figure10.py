@@ -1,0 +1,21 @@
+"""Benchmark + reproduction check for the paper's Figure 10.
+
+Figure 10: Group B on weighted graphs, β sweep — low β with p ≈ 0
+performs well; β = 1 is flat in p.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure10
+
+
+def test_figure10_beta_sweep_group_b(benchmark, bench_scale):
+    result = run_once(benchmark, figure10, bench_scale)
+    for name, entry in result.data.items():
+        strength = np.asarray(entry["beta=1"]["correlations"])
+        assert np.allclose(strength, strength[0], atol=1e-9), name
+        assert -1.0 <= entry["beta=0"]["peak_p"] <= 0.5, name
+        assert max(entry["beta=0"]["correlations"]) > 0, name

@@ -1,0 +1,24 @@
+"""Benchmark + reproduction check for the paper's Figure 2 (Group A).
+
+Group A (actor-actor, commenter-commenter, product-product): degree
+penalisation (p > 0) is optimal; product-product is negative at p = 0 and
+stays stable when over-penalised.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure2
+
+
+def test_figure2_group_a(benchmark, bench_scale):
+    result = run_once(benchmark, figure2, bench_scale)
+    for name, entry in result.data.items():
+        assert entry["peak_p"] > 0, name
+    assert result.data["epinions/product-product"]["correlation_at_zero"] < 0
+    # stability plateau for product-product at large p (Figure 2c)
+    entry = result.data["epinions/product-product"]
+    corr = dict(zip(entry["ps"], entry["correlations"]))
+    plateau = [corr[p] for p in (2.0, 3.0, 4.0)]
+    assert max(plateau) - min(plateau) < 0.1

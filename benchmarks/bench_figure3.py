@@ -1,0 +1,25 @@
+"""Benchmark + reproduction check for the paper's Figure 3 (Group B).
+
+Group B (author-author, movie-movie): conventional PageRank (p = 0) is
+(near-)optimal — the curve peaks in a tight band around zero and collapses
+once degrees are penalised.  The exact argmax sits at 0.0 at the library's
+full scale (asserted by the test-suite); at benchmark scale we allow the
+half-step band the paper's own plots stay within.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure3
+
+
+def test_figure3_group_b(benchmark, bench_scale):
+    result = run_once(benchmark, figure3, bench_scale)
+    for name, entry in result.data.items():
+        assert -0.5 <= entry["peak_p"] <= 0.5, name
+        assert entry["correlation_at_zero"] > 0, name
+        # p = 0 within a hair of the best achievable correlation
+        assert entry["correlation_at_zero"] >= max(entry["correlations"]) - 0.02
+        corr = dict(zip(entry["ps"], entry["correlations"]))
+        assert corr[2.0] < 0, name  # penalisation flips the sign

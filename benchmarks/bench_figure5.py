@@ -1,0 +1,20 @@
+"""Benchmark + reproduction check for the paper's Figure 5.
+
+Figure 5: degree–significance correlations per graph explain the
+grouping — negative for Group A, positive for B and C.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5_degree_significance(benchmark, bench_scale):
+    result = run_once(benchmark, figure5, bench_scale)
+    for name, entry in result.data.items():
+        if entry["group"] == "A":
+            assert entry["degree_significance"] < 0, name
+        else:
+            assert entry["degree_significance"] > 0, name

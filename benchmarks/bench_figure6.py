@@ -1,0 +1,20 @@
+"""Benchmark + reproduction check for the paper's Figure 6.
+
+Figure 6: Group A under α ∈ {0.5, 0.7, 0.75, 0.9} — the grouping (p > 0
+optimal) is preserved for every residual probability.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure6
+
+
+def test_figure6_alpha_sweep_group_a(benchmark, bench_scale):
+    result = run_once(benchmark, figure6, bench_scale)
+    for name, entry in result.data.items():
+        for key, sweep in entry.items():
+            if key == "ps":
+                continue
+            assert sweep["peak_p"] > 0, (name, key)

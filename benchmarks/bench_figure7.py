@@ -1,0 +1,20 @@
+"""Benchmark + reproduction check for the paper's Figure 7.
+
+Figure 7: Group B under α ∈ {0.5, 0.7, 0.75, 0.9} — the peak stays in a
+tight band around p = 0 for every residual probability.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure7
+
+
+def test_figure7_alpha_sweep_group_b(benchmark, bench_scale):
+    result = run_once(benchmark, figure7, bench_scale)
+    for name, entry in result.data.items():
+        for key, sweep in entry.items():
+            if key == "ps":
+                continue
+            assert -1.0 <= sweep["peak_p"] <= 0.5, (name, key)

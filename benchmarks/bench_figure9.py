@@ -1,0 +1,27 @@
+"""Benchmark + reproduction check for the paper's Figure 9.
+
+Figure 9: Group A on weighted graphs, β sweep — degree de-coupling
+(β < 1) beats pure connection strength (β = 1), and the optimal p grows
+as connection strength gets more weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import figure9
+
+
+def test_figure9_beta_sweep_group_a(benchmark, bench_scale):
+    result = run_once(benchmark, figure9, bench_scale)
+    for name, entry in result.data.items():
+        # beta = 1 ignores p entirely (flat curve)
+        strength = np.asarray(entry["beta=1"]["correlations"])
+        assert np.allclose(strength, strength[0], atol=1e-9), name
+        # de-coupling reaches strictly higher correlation
+        assert max(entry["beta=0"]["correlations"]) > strength.max(), name
+    # optimal p grows with beta (paper §4.5)
+    for name in ("imdb/actor-actor", "epinions/commenter-commenter"):
+        entry = result.data[name]
+        assert entry["beta=0.75"]["peak_p"] >= entry["beta=0"]["peak_p"], name

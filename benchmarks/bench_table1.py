@@ -1,0 +1,23 @@
+"""Benchmark + reproduction check for the paper's Table 1.
+
+Table 1: Spearman correlation between PageRank score ranks and degree
+ranks on the listener, article and movie graphs (paper: 0.988 / 0.997 /
+0.848).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, bench_scale):
+    result = run_once(benchmark, table1, bench_scale)
+    assert len(result.data) == 3
+    # the premise of the paper: tight coupling on every graph
+    for name, entry in result.data.items():
+        assert entry["measured"] > 0.8, name
+    # listener and article graphs: near-perfect coupling as in the paper
+    assert result.data["lastfm/listener-listener"]["measured"] > 0.95
+    assert result.data["dblp/article-article"]["measured"] > 0.95

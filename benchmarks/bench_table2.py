@@ -1,0 +1,22 @@
+"""Benchmark + reproduction check for the paper's Table 2.
+
+Table 2: ranks of extreme-degree nodes across p ∈ {-4, -2, 0, 2, 4} —
+high-degree nodes are pulled up for p < 0 and pushed down for p > 0.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, bench_scale):
+    result = run_once(benchmark, table2, bench_scale)
+    entries = sorted(result.data.values(), key=lambda e: -e["degree"])
+    hubs, leaves = entries[:2], entries[-2:]
+    for hub in hubs:
+        assert hub["rank@p=-4"] <= hub["rank@p=0"] <= hub["rank@p=4"]
+        assert hub["rank@p=-4"] < hub["rank@p=4"]
+    for leaf in leaves:
+        assert leaf["rank@p=-4"] > leaf["rank@p=4"]

@@ -1,0 +1,39 @@
+"""Benchmark + reproduction check for the paper's Table 3.
+
+Table 3: data-graph statistics.  At laptop scale the *within-family
+orderings* are the reproduction target (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, bench_scale):
+    result = run_once(benchmark, table3, bench_scale)
+    d = result.data
+    assert len(d) == 8
+    # density orderings within each dataset family, as in the paper
+    assert (
+        d["imdb/actor-actor"]["average_degree"]
+        > d["imdb/movie-movie"]["average_degree"]
+    )
+    assert (
+        d["dblp/article-article"]["average_degree"]
+        > d["dblp/author-author"]["average_degree"]
+    )
+    assert (
+        d["lastfm/artist-artist"]["average_degree"]
+        > d["lastfm/listener-listener"]["average_degree"]
+    )
+    # Group C graphs: hub-dominated neighbourhoods (relative spread)
+    def spread_ratio(name):
+        return d[name]["median_neighbor_degree_std"] / max(
+            d[name]["average_degree"], 1.0
+        )
+
+    assert spread_ratio("lastfm/artist-artist") > spread_ratio(
+        "dblp/author-author"
+    )

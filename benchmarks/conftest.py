@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at
+``BENCH_SCALE`` (reduced from the library default so the full harness
+finishes in minutes) and asserts the reproduction's shape claims, so a
+benchmark run doubles as an end-to-end reproduction check.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Dataset scale used by all experiment benchmarks.
+BENCH_SCALE = 0.5
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single measured round (experiments are heavy)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Citation analysis on the DBLP-style data graphs.
+
+The two DBLP projections sit in *different* application groups:
+
+* **author-author** (Group B) — expert authors collaborate widely, so the
+  conventional random walk already matches average-citation significance;
+* **article-article** (Group C) — visibility compounds through prolific
+  co-authors, so *boosting* high-degree transitions (p < 0) tracks
+  citation counts best, and the hub-dominated topology makes the p < 0
+  region stable (the paper's plateau).
+
+The example also reproduces the α–p interaction of the paper's §4.4: for
+Group C graphs, longer walks (larger α) help while p < 0.
+
+Run with::
+
+    python examples/citation_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load
+from repro.experiments import alpha_sweep, correlation_curve
+from repro.graph import graph_statistics
+
+SCALE = 0.5
+P_GRID = tuple(x / 2 for x in range(-8, 9))  # -4.0 .. 4.0 step 0.5
+
+
+def describe(name: str) -> None:
+    dg = load(name, scale=SCALE)
+    stats = graph_statistics(dg.graph, name)
+    print(f"--- {name} (group {dg.group}) ---")
+    print(
+        f"    {stats.nodes} nodes, {stats.edges} edges, "
+        f"avg degree {stats.average_degree:.1f}, "
+        f"median neighbour-degree spread {stats.median_neighbor_degree_std:.1f}"
+    )
+
+    curve = correlation_curve(dg, ps=P_GRID)
+    peak_p = curve.peak_p
+    print(
+        f"    best de-coupling weight: p = {peak_p:+.1f} "
+        f"(corr {curve.peak_correlation:+.4f}); "
+        f"conventional PageRank: {curve.at(0.0):+.4f}"
+    )
+
+    bar_scale = 40
+    print("    correlation curve (p from -4 to +4):")
+    for p, corr in zip(curve.ps, curve.correlations):
+        bar = "#" * int(round(abs(corr) * bar_scale))
+        sign = "-" if corr < 0 else "+"
+        print(f"      p {p:+.1f}: {sign} {bar}")
+    print()
+
+
+def alpha_interaction(name: str) -> None:
+    dg = load(name, scale=SCALE)
+    print(f"--- alpha sweep on {name} (paper §4.4) ---")
+    curves = alpha_sweep(dg, ps=(-2.0, -1.0, 0.0, 1.0), alphas=(0.5, 0.9))
+    print("      p:        -2.0     -1.0      0.0     +1.0")
+    for alpha, curve in curves.items():
+        row = "  ".join(f"{c:+.4f}" for c in curve.correlations)
+        print(f"      alpha={alpha}: {row}")
+    low, high = curves[0.5], curves[0.9]
+    if high.at(-1.0) > low.at(-1.0):
+        print(
+            "      -> longer walks (alpha = 0.9) help while degrees are "
+            "boosted, as the paper reports for Group C.\n"
+        )
+    else:
+        print("      -> see EXPERIMENTS.md for the measured deviation.\n")
+
+
+def main() -> None:
+    print("Citation analysis with degree de-coupled PageRank\n")
+    describe("dblp/author-author")
+    describe("dblp/article-article")
+    alpha_interaction("dblp/article-article")
+    print(
+        "Takeaway: same dataset, two projections, two different optimal\n"
+        "degree policies — authors need p = 0, articles prefer p < 0."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Movie and actor recommendation on the IMDB-style data graphs.
+
+Demonstrates the paper's central claim on the two IMDB projections:
+
+* **movie-movie** (Group B) — movie ratings correlate positively with
+  connectivity, so conventional PageRank (p = 0) already ranks movies well;
+* **actor-actor** (Group A) — the budget effect makes prolific actors
+  *less* significant, so moderate degree penalisation (p ≈ +1) produces
+  visibly better actor rankings than conventional PageRank.
+
+Run with::
+
+    python examples/movie_recommendation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import pagerank, spearman
+from repro.datasets import load
+from repro.recsys import D2PRRecommender, RecommenderConfig, evaluate_scores
+
+SCALE = 0.5
+
+
+def show_graph_story(name: str, p_grid: tuple[float, ...]) -> None:
+    dg = load(name, scale=SCALE)
+    sig = dg.significance_vector()
+    print(f"--- {name} (application group {dg.group}) ---")
+    print(f"    significance: {dg.significance_label}")
+    print(
+        f"    {dg.graph.number_of_nodes} nodes, "
+        f"{dg.graph.number_of_edges} edges"
+    )
+
+    rec = D2PRRecommender(config=RecommenderConfig()).fit(dg.graph)
+    best_p, curve = rec.tune_p(sig, p_grid=p_grid)
+    print("    correlation of D2PR ranks vs significance:")
+    for p in p_grid:
+        marker = "  <-- best" if p == best_p else ""
+        print(f"      p = {p:+.1f}: {curve[p]:+.4f}{marker}")
+
+    conventional = pagerank(dg.graph)
+    print(
+        f"    conventional PageRank correlation: "
+        f"{spearman(conventional.values, sig):+.4f}"
+    )
+
+    tuned = rec.with_p(best_p)
+    quality = evaluate_scores(tuned.scores, sig)
+    print(
+        f"    tuned D2PR (p = {best_p:+.1f}): "
+        f"spearman {quality.spearman:+.3f}, "
+        f"precision@10 {quality.precision_at_10:.2f}, "
+        f"NDCG@10 {quality.ndcg_at_10:.3f}"
+    )
+
+    print("    top 5 recommendations (tuned):")
+    for node, score in tuned.recommend(k=5):
+        significance = dg.graph.node_attr(node, "significance")
+        print(f"      {node}: score {score:.5f}, significance {significance:.2f}")
+    print()
+
+
+def main() -> None:
+    np.set_printoptions(precision=4)
+    print("Degree de-coupled PageRank for movie/actor recommendation\n")
+    show_graph_story("imdb/movie-movie", (-2.0, -1.0, 0.0, 1.0, 2.0))
+    show_graph_story("imdb/actor-actor", (-1.0, 0.0, 0.5, 1.0, 1.5, 2.0))
+
+    print(
+        "Takeaway: the two projections of the same dataset need opposite\n"
+        "treatments of node degree — exactly the paper's argument for\n"
+        "making the degree contribution a tunable parameter."
+    )
+
+
+if __name__ == "__main__":
+    main()

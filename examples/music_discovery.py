@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Music discovery on the Last.fm-style data graphs (weighted variant).
+
+Shows the weighted-graph machinery of the paper's §3.2.3/§4.5: edge
+weights (shared listeners / shared friends) can be blended with degree
+de-coupling through the ``beta`` parameter, and for these Group C graphs
+the best results come from degree *boosting* with low beta — pure
+connection strength (beta = 1) is good but not optimal.
+
+Also demonstrates seeded ("more like this artist") recommendations with
+personalised D2PR.
+
+Run with::
+
+    python examples/music_discovery.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load
+from repro.experiments import beta_sweep
+from repro.recsys import D2PRRecommender, RecommenderConfig
+
+SCALE = 0.5
+
+
+def weighted_story(name: str) -> None:
+    dg = load(name, scale=SCALE)
+    print(f"--- {name} (weighted; edge weight = {dg.edge_weight_label}) ---")
+    curves = beta_sweep(dg, ps=(-2.0, -1.0, 0.0, 1.0), betas=(0.0, 0.5, 1.0))
+    print("      p:       -2.0     -1.0      0.0     +1.0")
+    best = (None, -2.0)
+    for beta, curve in curves.items():
+        row = "  ".join(f"{c:+.4f}" for c in curve.correlations)
+        print(f"      beta={beta}: {row}")
+        if curve.peak_correlation > best[1]:
+            best = ((beta, curve.peak_p), curve.peak_correlation)
+    (beta, peak_p), corr = best
+    print(
+        f"      -> best setting: beta = {beta}, p = {peak_p:+.1f} "
+        f"(corr {corr:+.4f}); beta = 1 (pure connection strength) "
+        "is not the winner.\n"
+    )
+
+
+def discovery_demo() -> None:
+    dg = load("lastfm/artist-artist", scale=SCALE)
+    rec = D2PRRecommender(
+        config=RecommenderConfig(p=-1.0, weighted=True, beta=0.25)
+    ).fit(dg.graph)
+
+    print("--- 'More like this' discovery (personalised D2PR) ---")
+    top_artist = rec.recommend(k=1)[0][0]
+    listens = dg.graph.node_attr(top_artist, "significance")
+    print(f"    seed: {top_artist} (listen count {listens:.0f})")
+    print("    artists sharing its audience:")
+    for artist, score in rec.recommend_for([top_artist], k=5):
+        listens = dg.graph.node_attr(artist, "significance")
+        print(f"      {artist}: score {score:.5f}, listens {listens:.0f}")
+    print()
+
+
+def main() -> None:
+    print("Music discovery with weighted degree de-coupled PageRank\n")
+    weighted_story("lastfm/listener-listener")
+    weighted_story("lastfm/artist-artist")
+    discovery_demo()
+    print(
+        "Takeaway: connection strength alone (beta = 1) is a good signal,\n"
+        "but blending in degree boosting finds popular-adjacent artists\n"
+        "that pure strength misses — Figure 11 of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

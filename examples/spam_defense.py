@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Link-farm attacks and the built-in spam resistance of D2PR.
+
+The paper's related work (§2.2) surveys PageRank optimisation: colluding
+nodes add edges to inflate a target's rank.  Degree de-coupling has an
+inherent defence — every artificial edge raises the target's degree, and
+under ``p > 0`` a higher degree *weakens* all transitions into the target.
+
+The example also exercises the directed formulation (§3.2.2) on a
+synthetic who-trusts-whom network, where out-degree is a signal of
+non-discernment.
+
+Run with::
+
+    python examples/spam_defense.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import d2pr, spearman
+from repro.core import rank_boost_from_farm
+from repro.datasets import build_trust_network
+from repro.graph import barabasi_albert
+
+
+def farm_attack_demo() -> None:
+    print("--- Link-farm attack on a 200-node social graph ---")
+    graph = barabasi_albert(200, 2, seed=99)
+    baseline = d2pr(graph, 0.0)
+    target = baseline.ranking()[100]  # a thoroughly mediocre node
+    farm_size = 20
+    print(f"    target: {target}, farm size: {farm_size}")
+    print("    p      rank before   rank after   boost")
+    for p in (-1.0, 0.0, 0.5, 1.0, 2.0):
+        attack = rank_boost_from_farm(graph, target, farm_size, p=p)
+        print(
+            f"    {p:+.1f}   {attack.rank_before:11d}   "
+            f"{attack.rank_after:10d}   {attack.boost:+5d}"
+        )
+    print(
+        "    -> under conventional PageRank the farm catapults the target "
+        "up the ranking;\n"
+        "       with degree penalisation the inflated degree works "
+        "against it.\n"
+    )
+
+
+def directed_trust_demo() -> None:
+    print("--- Directed trust network (paper §3.2.2) ---")
+    graph = build_trust_network(400)
+    sig = graph.node_attr_array("significance")
+    out_corr = spearman(graph.out_degree_vector(), sig)
+    in_corr = spearman(graph.in_degree_vector(), sig)
+    print(f"    out-degree vs trustworthiness: {out_corr:+.3f}  (negative!)")
+    print(f"    in-degree  vs trustworthiness: {in_corr:+.3f}")
+    print("    correlation of D2PR ranks with audited trustworthiness:")
+    best = (None, -np.inf)
+    for p in (-2.0, -1.0, 0.0, 0.5, 1.0, 2.0):
+        corr = spearman(d2pr(graph, p).values, sig)
+        marker = ""
+        if corr > best[1]:
+            best = (p, corr)
+        print(f"      p = {p:+.1f}: {corr:+.4f}{marker}")
+    print(
+        f"    -> best p = {best[0]:+.1f}: penalising users who spray "
+        "trust statements\n"
+        "       (high out-degree destinations) finds the genuinely "
+        "trustworthy ones.\n"
+    )
+
+
+def main() -> None:
+    print("Spam resistance and directed degree de-coupling\n")
+    farm_attack_demo()
+    directed_trust_demo()
+    print(
+        "Takeaway: the same parameter that matches application semantics\n"
+        "also prices in manipulation — inflating your degree only helps\n"
+        "while the application rewards high degrees."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Trust and product-quality analysis on the Epinions-style graphs.
+
+The paper's most striking finding lives here: on the product-product
+graph, conventional PageRank is *negatively* correlated with product
+quality — heavily-commented products attract pile-ons and low ratings —
+so a recommender that ranks products by vanilla PageRank actively
+promotes the wrong products.  Degree penalisation (p > 0) flips the
+correlation positive and, uniquely for this graph, over-penalisation
+never hurts (Figure 2c).
+
+Also demonstrates the held-out tuning protocol from ``repro.recsys``:
+``p`` is selected on half the catalogue and evaluated on the other half.
+
+Run with::
+
+    python examples/trust_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import pagerank, spearman
+from repro.datasets import load
+from repro.recsys import holdout_tune
+
+SCALE = 0.5
+
+
+def negative_correlation_demo() -> None:
+    dg = load("epinions/product-product", scale=SCALE)
+    sig = dg.significance_vector()
+    conventional = pagerank(dg.graph)
+    corr = spearman(conventional.values, sig)
+    print("--- The conventional-PageRank failure mode (Figure 2c) ---")
+    print(f"    graph: {dg.name}, significance: {dg.significance_label}")
+    print(f"    Spearman(PageRank, avg rating) = {corr:+.4f}  (negative!)")
+
+    ranking = conventional.ranking()
+    print("    top-5 products by conventional PageRank (their ratings):")
+    for node in ranking[:5]:
+        print(f"      {node}: rating {dg.graph.node_attr(node, 'significance'):.2f}")
+    print("    bottom-5 products by conventional PageRank (their ratings):")
+    for node in ranking[-5:]:
+        print(f"      {node}: rating {dg.graph.node_attr(node, 'significance'):.2f}")
+    print()
+
+
+def holdout_demo(name: str) -> None:
+    dg = load(name, scale=SCALE)
+    result = holdout_tune(dg, train_fraction=0.5, seed=7)
+    print(f"--- Held-out tuning on {name} ---")
+    print(f"    selected p on training half: {result.best_p:+.1f}")
+    print(
+        f"    held-out Spearman: tuned D2PR {result.test_spearman_best:+.4f} "
+        f"vs conventional {result.test_spearman_conventional:+.4f} "
+        f"(gain {result.improvement:+.4f})"
+    )
+    print()
+
+
+def main() -> None:
+    print("Trust and product-quality analysis with D2PR\n")
+    negative_correlation_demo()
+    holdout_demo("epinions/product-product")
+    holdout_demo("epinions/commenter-commenter")
+    print(
+        "Takeaway: when edge acquisition is cheap and noisy (comment\n"
+        "pile-ons), degree is a negative quality signal; D2PR turns that\n"
+        "knowledge into a one-parameter fix."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works on environments whose setuptools
+predates self-contained PEP 660 editable builds (no ``wheel`` package
+available offline).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — degree de-coupled PageRank (D2PR) and its evaluation substrate.
+
+A production-quality reproduction of
+
+    Kim, Candan & Sapino: "PageRank Revisited: On the Relationship between
+    Node Degrees and Node Significances in Different Applications",
+    EDBT/ICDT 2016 workshops.
+
+Quickstart
+----------
+>>> from repro import Graph, d2pr, pagerank, spearman
+>>> g = Graph.from_edges([("a", "b"), ("a", "c"), ("c", "d"), ("c", "e")])
+>>> conventional = pagerank(g)          # p = 0
+>>> penalised = d2pr(g, p=1.0)          # high-degree neighbours penalised
+>>> boosted = d2pr(g, p=-1.0)           # high-degree neighbours boosted
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    NodeScores,
+    commute_time,
+    d2pr,
+    d2pr_transition,
+    degree_scores,
+    hitting_times,
+    pagerank,
+    personalized_d2pr,
+    personalized_pagerank,
+    robust_personalized_d2pr,
+    teleport_adjusted_pagerank,
+    transition_probabilities,
+    weighted_pagerank,
+)
+from repro.errors import (
+    ConvergenceError,
+    DatasetError,
+    EdgeError,
+    EmptyGraphError,
+    ExperimentError,
+    GraphError,
+    NodeNotFoundError,
+    ParameterError,
+    ReproError,
+)
+from repro.graph import BipartiteGraph, DiGraph, Graph, graph_statistics, project
+from repro.metrics import kendall, pearson, rank_data, spearman
+
+__all__ = [
+    "__version__",
+    # algorithms
+    "pagerank",
+    "d2pr",
+    "d2pr_transition",
+    "transition_probabilities",
+    "personalized_pagerank",
+    "personalized_d2pr",
+    "robust_personalized_d2pr",
+    "degree_scores",
+    "teleport_adjusted_pagerank",
+    "weighted_pagerank",
+    "hitting_times",
+    "commute_time",
+    "NodeScores",
+    # graphs
+    "Graph",
+    "DiGraph",
+    "BipartiteGraph",
+    "project",
+    "graph_statistics",
+    # metrics
+    "spearman",
+    "pearson",
+    "kendall",
+    "rank_data",
+    # errors
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeError",
+    "EmptyGraphError",
+    "ConvergenceError",
+    "ParameterError",
+    "DatasetError",
+    "ExperimentError",
+]

@@ -1,0 +1,55 @@
+"""Core algorithms: PageRank, degree de-coupled PageRank, personalisation,
+baselines and hitting times."""
+
+from repro.core.baselines import (
+    degree_scores,
+    teleport_adjusted_pagerank,
+    weighted_pagerank,
+)
+from repro.core.d2pr import d2pr, d2pr_transition, transition_probabilities
+from repro.core.engine import SOLVERS, adjacency_and_theta, build_teleport
+from repro.core.hits import HitsResult, hits
+from repro.core.hitting import commute_time, hitting_times
+from repro.core.manipulation import (
+    FarmAttackResult,
+    plant_link_farm,
+    rank_boost_from_farm,
+)
+from repro.core.pagerank import pagerank
+from repro.core.personalized import (
+    personalized_d2pr,
+    personalized_pagerank,
+    robust_personalized_d2pr,
+)
+from repro.core.results import NodeScores
+from repro.core.topics import Topic, TopicSensitiveD2PR
+from repro.core.walkers import WalkResult, estimate_cover_time, simulate_walk
+
+__all__ = [
+    "pagerank",
+    "d2pr",
+    "d2pr_transition",
+    "transition_probabilities",
+    "personalized_pagerank",
+    "personalized_d2pr",
+    "robust_personalized_d2pr",
+    "degree_scores",
+    "teleport_adjusted_pagerank",
+    "weighted_pagerank",
+    "hitting_times",
+    "commute_time",
+    "hits",
+    "HitsResult",
+    "Topic",
+    "TopicSensitiveD2PR",
+    "simulate_walk",
+    "estimate_cover_time",
+    "WalkResult",
+    "plant_link_farm",
+    "rank_boost_from_farm",
+    "FarmAttackResult",
+    "NodeScores",
+    "SOLVERS",
+    "adjacency_and_theta",
+    "build_teleport",
+]

@@ -1,0 +1,137 @@
+"""Shared plumbing between the score functions in :mod:`repro.core`.
+
+Handles teleport-vector construction from node-keyed inputs, solver
+dispatch, and extraction of the adjacency/theta pair that parameterises the
+degree de-coupled transition for each graph flavour (undirected / directed /
+weighted).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ParameterError
+from repro.graph.base import BaseGraph, DiGraph, Node
+from repro.linalg.solvers import (
+    PageRankResult,
+    direct_solve,
+    gauss_seidel,
+    power_iteration,
+)
+
+__all__ = [
+    "SOLVERS",
+    "build_teleport",
+    "solve_transition",
+    "adjacency_and_theta",
+]
+
+SOLVERS = ("power", "gauss_seidel", "direct")
+
+
+def build_teleport(
+    graph: BaseGraph,
+    teleport: Mapping[Node, float] | Sequence[Node] | np.ndarray | None,
+) -> np.ndarray | None:
+    """Normalise the caller's teleport specification into a dense vector.
+
+    Accepts:
+
+    * ``None`` — uniform teleportation (the solvers' default);
+    * a numpy array already aligned with node indices;
+    * a mapping ``{node: weight}`` (personalised PageRank seeds);
+    * a sequence of nodes — each listed node gets equal weight (the common
+      "seed set" form of personalisation).
+    """
+    if teleport is None:
+        return None
+    n = graph.number_of_nodes
+    if isinstance(teleport, np.ndarray):
+        if teleport.shape != (n,):
+            raise ParameterError(
+                f"teleport array must have shape ({n},), got {teleport.shape}"
+            )
+        return teleport.astype(np.float64)
+    vec = np.zeros(n, dtype=np.float64)
+    if isinstance(teleport, Mapping):
+        for node, weight in teleport.items():
+            weight = float(weight)
+            if weight < 0:
+                raise ParameterError(
+                    f"teleport weight for {node!r} must be >= 0, got {weight}"
+                )
+            vec[graph.index_of(node)] += weight
+    else:
+        for node in teleport:
+            vec[graph.index_of(node)] += 1.0
+    if vec.sum() <= 0.0:
+        raise ParameterError("teleport specification has no positive mass")
+    return vec
+
+
+def solve_transition(
+    transition: sparse.spmatrix,
+    *,
+    solver: str = "power",
+    alpha: float = 0.85,
+    teleport: np.ndarray | None = None,
+    dangling: str = "teleport",
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+    **extra: Any,
+) -> PageRankResult:
+    """Dispatch to one of the three solvers by name."""
+    if solver == "power":
+        return power_iteration(
+            transition,
+            alpha=alpha,
+            teleport=teleport,
+            tol=tol,
+            max_iter=max_iter,
+            dangling=dangling,
+            **extra,
+        )
+    if solver == "gauss_seidel":
+        return gauss_seidel(
+            transition,
+            alpha=alpha,
+            teleport=teleport,
+            tol=tol,
+            max_iter=max(max_iter, 1),
+            dangling=dangling,
+            **extra,
+        )
+    if solver == "direct":
+        return direct_solve(
+            transition, alpha=alpha, teleport=teleport, dangling=dangling
+        )
+    raise ParameterError(
+        f"unknown solver {solver!r}; expected one of {SOLVERS}"
+    )
+
+
+def adjacency_and_theta(
+    graph: BaseGraph, *, weighted: bool
+) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Return the adjacency matrix and the paper's ``theta`` vector.
+
+    ``theta`` is the per-node quantity whose power ``-p`` weights incoming
+    transitions (Equation 1 and §3.2.2–3.2.3 of the paper):
+
+    * undirected unweighted — node degree;
+    * directed unweighted   — node out-degree;
+    * weighted (either)     — total out-weight ``Θ(v) = Σ_h w(v→h)``.
+    """
+    graph.require_nonempty()
+    adjacency = graph.to_csr(weighted=weighted)
+    if weighted:
+        theta = np.asarray(adjacency.sum(axis=1)).ravel()
+    elif isinstance(graph, DiGraph):
+        theta = graph.out_degree_vector()
+    else:
+        theta = graph.out_degree_vector()
+    return adjacency, theta

@@ -1,0 +1,162 @@
+"""Personalised (seeded) PageRank variants on top of D2PR.
+
+The paper positions D2PR inside the context-aware recommendation literature
+(§2.1): personalised PageRank (PPR) contextualises scores by concentrating
+the teleportation vector on seed nodes.  Degree de-coupling composes
+orthogonally with personalisation — the transition matrix changes, the
+teleport vector changes independently — so this module provides:
+
+* :func:`personalized_pagerank` — classic PPR (uniform transition, seeded
+  teleport);
+* :func:`personalized_d2pr` — seeded D2PR ("D2PPR");
+* :func:`robust_personalized_d2pr` — a seed-noise-robust variant in the
+  spirit of Huang et al. [14]: each seed is scored by a leave-one-out pass
+  and seeds whose removal barely changes the result (likely noise) are
+  down-weighted before the final pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.d2pr import d2pr
+from repro.core.results import NodeScores
+from repro.errors import ParameterError
+from repro.graph.base import BaseGraph, Node
+
+__all__ = [
+    "personalized_pagerank",
+    "personalized_d2pr",
+    "robust_personalized_d2pr",
+]
+
+
+def _seed_weights(
+    seeds: Mapping[Node, float] | Sequence[Node],
+) -> dict[Node, float]:
+    if isinstance(seeds, Mapping):
+        weights = {node: float(w) for node, w in seeds.items()}
+    else:
+        weights = {node: 1.0 for node in seeds}
+    if not weights:
+        raise ParameterError("at least one seed node is required")
+    if any(w < 0 for w in weights.values()):
+        raise ParameterError("seed weights must be non-negative")
+    if sum(weights.values()) <= 0:
+        raise ParameterError("seed weights must have positive total mass")
+    return weights
+
+
+def personalized_pagerank(
+    graph: BaseGraph,
+    seeds: Mapping[Node, float] | Sequence[Node],
+    *,
+    alpha: float = 0.85,
+    weighted: bool = False,
+    **kwargs,
+) -> NodeScores:
+    """Classic personalised PageRank: teleportation restricted to ``seeds``.
+
+    ``seeds`` may be a sequence of nodes (equal weights) or a
+    ``{node: weight}`` mapping.  Remaining keyword arguments are forwarded
+    to :func:`repro.core.d2pr.d2pr` (with ``p = 0``).
+    """
+    weights = _seed_weights(seeds)
+    return d2pr(
+        graph, 0.0, alpha=alpha, weighted=weighted, teleport=weights, **kwargs
+    )
+
+
+def personalized_d2pr(
+    graph: BaseGraph,
+    seeds: Mapping[Node, float] | Sequence[Node],
+    p: float,
+    *,
+    alpha: float = 0.85,
+    beta: float = 0.0,
+    weighted: bool = False,
+    **kwargs,
+) -> NodeScores:
+    """Seeded degree de-coupled PageRank (D2PPR).
+
+    Combines the paper's transition-matrix modification with
+    teleport-vector personalisation: the random surfer walks a degree
+    de-coupled graph but restarts only at the seed nodes.
+    """
+    weights = _seed_weights(seeds)
+    return d2pr(
+        graph,
+        p,
+        alpha=alpha,
+        beta=beta,
+        weighted=weighted,
+        teleport=weights,
+        **kwargs,
+    )
+
+
+def robust_personalized_d2pr(
+    graph: BaseGraph,
+    seeds: Mapping[Node, float] | Sequence[Node],
+    p: float,
+    *,
+    alpha: float = 0.85,
+    beta: float = 0.0,
+    weighted: bool = False,
+    noise_discount: float = 0.5,
+    **kwargs,
+) -> NodeScores:
+    """Seed-noise-robust D2PPR (related-work [14], adapted).
+
+    Strategy: compute the full seeded result once, then for every seed a
+    leave-one-out result.  A seed whose removal leaves the ranking nearly
+    unchanged is *redundant or noisy*; a seed whose removal changes the
+    result a lot is *load-bearing*.  Each seed is re-weighted by the L1
+    distance its removal causes (raised by ``noise_discount`` smoothing) and
+    the final pass runs with the re-weighted teleport vector.
+
+    With a single seed the function reduces to :func:`personalized_d2pr`.
+
+    Parameters
+    ----------
+    noise_discount:
+        Floor (relative to the largest influence) below which a seed's
+        weight is scaled down; 0 disables down-weighting entirely.
+    """
+    if not 0.0 <= noise_discount <= 1.0:
+        raise ParameterError(
+            f"noise_discount must be in [0, 1], got {noise_discount}"
+        )
+    weights = _seed_weights(seeds)
+    if len(weights) == 1:
+        return personalized_d2pr(
+            graph, weights, p, alpha=alpha, beta=beta, weighted=weighted, **kwargs
+        )
+
+    full = personalized_d2pr(
+        graph, weights, p, alpha=alpha, beta=beta, weighted=weighted, **kwargs
+    )
+    influences: dict[Node, float] = {}
+    for seed in weights:
+        reduced = {s: w for s, w in weights.items() if s != seed}
+        loo = personalized_d2pr(
+            graph, reduced, p, alpha=alpha, beta=beta, weighted=weighted, **kwargs
+        )
+        influences[seed] = float(np.abs(full.values - loo.values).sum())
+
+    max_influence = max(influences.values())
+    if max_influence <= 0.0:
+        # All seeds equivalent: nothing to re-weight.
+        return full
+    adjusted: dict[Node, float] = {}
+    for seed, base_weight in weights.items():
+        relative = influences[seed] / max_influence
+        # Seeds below the discount floor are treated as suspected noise and
+        # scaled by their relative influence; others keep full weight.
+        factor = relative if relative < noise_discount else 1.0
+        adjusted[seed] = base_weight * max(factor, 1e-12)
+    return personalized_d2pr(
+        graph, adjusted, p, alpha=alpha, beta=beta, weighted=weighted, **kwargs
+    )

@@ -1,0 +1,139 @@
+"""Topic-sensitive degree de-coupled PageRank.
+
+Haveliwala's topic-sensitive PageRank ([13] in the paper) precomputes one
+score vector per topic (teleportation restricted to the topic's pages) and
+blends them at query time with topic weights.  Degree de-coupling composes
+orthogonally: each topic vector can carry its *own* de-coupling weight,
+reflecting the paper's core message that degree semantics are
+application-specific — a "blockbuster movies" topic may want ``p = 0``
+while a "hidden gems" topic wants ``p > 0``.
+
+Because the fixed-point equation is linear in the teleport vector, the
+blend of topic vectors *with a shared p* equals the vector computed with
+the blended teleport; the test-suite checks this identity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.d2pr import d2pr
+from repro.core.results import NodeScores
+from repro.errors import ParameterError, ReproError
+from repro.graph.base import BaseGraph, Node
+
+__all__ = ["Topic", "TopicSensitiveD2PR"]
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A named teleport set with its own de-coupling weight.
+
+    Attributes
+    ----------
+    name:
+        Topic identifier.
+    seeds:
+        Nodes belonging to the topic (sequence, or ``{node: weight}``).
+    p:
+        Degree de-coupling weight used for this topic's walk.
+    """
+
+    name: str
+    seeds: Mapping[Node, float] | Sequence[Node]
+    p: float = 0.0
+
+
+@dataclass
+class TopicSensitiveD2PR:
+    """Precompute per-topic D2PR vectors; blend them at query time.
+
+    Examples
+    --------
+    >>> from repro.graph import Graph
+    >>> g = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+    >>> ts = TopicSensitiveD2PR(alpha=0.85)
+    >>> ts.add_topic(Topic("left", ["a"], p=0.0))
+    >>> ts.add_topic(Topic("right", ["d"], p=0.0))
+    >>> _ = ts.fit(g)
+    >>> blended = ts.query({"left": 0.8, "right": 0.2})
+    >>> blended["a"] > blended["d"]
+    True
+    """
+
+    alpha: float = 0.85
+    weighted: bool = False
+    beta: float = 0.0
+    _topics: dict[str, Topic] = field(default_factory=dict)
+    _vectors: dict[str, NodeScores] = field(default_factory=dict)
+    _graph: BaseGraph | None = None
+
+    def add_topic(self, topic: Topic) -> None:
+        """Register a topic (before or after :meth:`fit`; refits lazily)."""
+        if topic.name in self._topics:
+            raise ParameterError(f"duplicate topic name {topic.name!r}")
+        self._topics[topic.name] = topic
+        if self._graph is not None:
+            self._vectors[topic.name] = self._compute(topic)
+
+    def _compute(self, topic: Topic) -> NodeScores:
+        assert self._graph is not None
+        return d2pr(
+            self._graph,
+            topic.p,
+            alpha=self.alpha,
+            beta=self.beta if self.weighted else 0.0,
+            weighted=self.weighted,
+            teleport=topic.seeds,
+        )
+
+    def fit(self, graph: BaseGraph) -> "TopicSensitiveD2PR":
+        """Precompute the score vector of every registered topic."""
+        if not self._topics:
+            raise ParameterError("register at least one topic before fit()")
+        graph.require_nonempty()
+        self._graph = graph
+        self._vectors = {
+            name: self._compute(topic) for name, topic in self._topics.items()
+        }
+        return self
+
+    @property
+    def topic_names(self) -> list[str]:
+        """Registered topic names."""
+        return list(self._topics)
+
+    def vector(self, name: str) -> NodeScores:
+        """The precomputed score vector of one topic."""
+        try:
+            return self._vectors[name]
+        except KeyError:
+            raise ParameterError(f"unknown or unfitted topic {name!r}") from None
+
+    def query(self, topic_weights: Mapping[str, float]) -> NodeScores:
+        """Blend topic vectors with the query's topic distribution.
+
+        ``topic_weights`` maps topic names to non-negative weights (they
+        are normalised internally).  Unknown topics raise.
+        """
+        if self._graph is None:
+            raise ReproError("call fit(graph) before query()")
+        if not topic_weights:
+            raise ParameterError("topic_weights must not be empty")
+        total = 0.0
+        blended = np.zeros(self._graph.number_of_nodes)
+        for name, weight in topic_weights.items():
+            weight = float(weight)
+            if weight < 0:
+                raise ParameterError(
+                    f"topic weight for {name!r} must be >= 0, got {weight}"
+                )
+            vec = self.vector(name)
+            blended += weight * vec.values
+            total += weight
+        if total <= 0:
+            raise ParameterError("topic weights must have positive mass")
+        return NodeScores(self._graph, blended / total)

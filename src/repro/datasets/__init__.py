@@ -1,0 +1,85 @@
+"""Synthetic dataset substrate: the paper's eight data graphs.
+
+See DESIGN.md §2 for the substitution rationale (paper datasets → synthetic
+generative equivalents).
+"""
+
+from repro.datasets.affiliation import (
+    AffiliationConfig,
+    AffiliationSample,
+    generate_affiliation,
+)
+from repro.datasets.base import SIGNIFICANCE_ATTR, DataGraph
+from repro.datasets.dblp import build_article_article, build_author_author, build_dblp
+from repro.datasets.epinions import (
+    build_commenter_commenter,
+    build_epinions,
+    build_product_product,
+)
+from repro.datasets.imdb import build_actor_actor, build_imdb, build_movie_movie
+from repro.datasets.lastfm import (
+    build_artist_artist,
+    build_lastfm,
+    build_listener_listener,
+)
+from repro.datasets.reference import (
+    GRAPH_NAMES,
+    PAPER_GROUPS,
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    PaperTable3Row,
+)
+from repro.datasets.perturb import (
+    add_random_edges,
+    drop_edges,
+    noisy_significance,
+    perturbed_copy,
+    rewire_edges,
+)
+from repro.datasets.registry import graph_names, groups, load, load_all
+from repro.datasets.trust_network import build_trust_network
+from repro.datasets.significance import (
+    blend,
+    counts_from_scores,
+    ratings_from_scores,
+    zscore,
+)
+
+__all__ = [
+    "DataGraph",
+    "SIGNIFICANCE_ATTR",
+    "AffiliationConfig",
+    "AffiliationSample",
+    "generate_affiliation",
+    "load",
+    "load_all",
+    "graph_names",
+    "groups",
+    "build_imdb",
+    "build_movie_movie",
+    "build_actor_actor",
+    "build_dblp",
+    "build_article_article",
+    "build_author_author",
+    "build_lastfm",
+    "build_listener_listener",
+    "build_artist_artist",
+    "build_epinions",
+    "build_commenter_commenter",
+    "build_product_product",
+    "GRAPH_NAMES",
+    "PAPER_GROUPS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE3",
+    "PaperTable3Row",
+    "zscore",
+    "blend",
+    "ratings_from_scores",
+    "counts_from_scores",
+    "drop_edges",
+    "add_random_edges",
+    "rewire_edges",
+    "noisy_significance",
+    "perturbed_copy",
+    "build_trust_network",
+]

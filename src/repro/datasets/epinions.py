@@ -1,0 +1,153 @@
+"""Synthetic Epinions / mTrust substitute.
+
+The paper builds
+
+* a **commenter-commenter** graph (edge = both commented on a product,
+  weight = # of shared products) whose significance is the number of trust
+  statements the commenter received — application *Group A*, and
+* a **product-product** graph (edge = shared commenter, weight = # of
+  shared commenters) whose significance is the product's average rating —
+  the paper's most extreme *Group A* case: conventional PageRank is
+  *negatively* correlated with significance, and over-penalisation never
+  hurts (Figure 2(c)).
+
+Mechanisms encoded:
+
+* Commenters have a fixed attention budget: careful reviewers write few,
+  deep reviews and earn trust (``member_degree_coupling < 0``, trust driven
+  by quality with heavy noise so moderate penalisation beats extreme
+  penalisation).
+* "The larger the number of comments a product has, the more likely it is
+  that the comments are negative" (§4.3.1, Figure 5): the product's rating
+  *decreases monotonically* in comment volume with comparatively little
+  noise — that tight monotone inversion is exactly what keeps the
+  correlation from deteriorating when degrees are over-penalised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.affiliation import AffiliationConfig, generate_affiliation
+from repro.datasets.base import SIGNIFICANCE_ATTR, DataGraph
+from repro.datasets.significance import blend, counts_from_scores, ratings_from_scores
+from repro.errors import ParameterError
+from repro.graph.generators import as_rng
+
+__all__ = [
+    "build_epinions",
+    "build_commenter_commenter",
+    "build_product_product",
+]
+
+
+def _scaled(n: int, scale: float) -> int:
+    if scale <= 0:
+        raise ParameterError(f"scale must be > 0, got {scale}")
+    return max(int(round(n * scale)), 8)
+
+
+def build_commenter_commenter(
+    scale: float = 1.0, seed: int | np.random.Generator | None = 7401
+) -> DataGraph:
+    """Commenter-commenter graph: edge weight = # of shared products.
+
+    Significance: # of trust statements the commenter received.
+    Application Group A (degree penalisation helps, peak at p ≈ 0.5).
+    """
+    rng = as_rng(seed)
+    config = AffiliationConfig(
+        n_members=_scaled(600, scale),
+        n_venues=_scaled(700, scale),
+        mean_memberships=11.0,
+        member_degree_coupling=-0.4,  # attention budget
+        venue_popularity_sigma=0.8,
+        quality_match=0.7,  # careful reviewers pick related, decent products
+        venue_quality_popularity_corr=-0.2,
+        membership_dispersion=0.55,
+        member_prefix="commenter",
+        venue_prefix="product",
+    )
+    sample = generate_affiliation(config, rng)
+    trust_score = blend(
+        (1.0, sample.member_quality),
+        (0.5, sample.mean_venue_quality_per_member()),
+    )
+    trust = counts_from_scores(
+        trust_score, rng, base=15.0, spread=0.85, noise_sigma=1.0
+    )
+    graph = sample.member_projection()
+    for name, count in zip(sample.member_names, trust):
+        if graph.has_node(name):
+            graph.set_node_attr(name, SIGNIFICANCE_ATTR, float(count))
+    return DataGraph(
+        name="epinions/commenter-commenter",
+        graph=graph,
+        group="A",
+        significance_label="# of trust statements the commenter received",
+        edge_weight_label="# of shared products",
+        dataset="epinions",
+        notes=(
+            "Synthetic substitute for Epinions/mTrust; the attention-budget "
+            "mechanism anti-correlates commenting volume and earned trust."
+        ),
+    )
+
+
+def build_product_product(
+    scale: float = 1.0, seed: int | np.random.Generator | None = 7402
+) -> DataGraph:
+    """Product-product graph: edge weight = # of shared commenters.
+
+    Significance: the product's average rating.  The paper's strongest
+    Group A case — correlation at ``p = 0`` is negative and stays high once
+    degrees are penalised, without deteriorating for large ``p``.
+    """
+    rng = as_rng(seed)
+    config = AffiliationConfig(
+        n_members=_scaled(600, scale),
+        n_venues=_scaled(700, scale),
+        mean_memberships=11.0,
+        member_degree_coupling=-0.3,
+        venue_popularity_sigma=0.9,  # pile-on products
+        quality_match=0.2,
+        venue_quality_popularity_corr=-0.4,  # pile-ons tend worse
+        membership_dispersion=0.5,
+        member_prefix="commenter",
+        venue_prefix="product",
+    )
+    sample = generate_affiliation(config, rng)
+    comment_counts = sample.venue_sizes
+    rating_score = blend(
+        (-1.1, np.log1p(comment_counts)),  # pile-ons are bad news
+        (0.5, sample.venue_quality),
+    )
+    ratings = ratings_from_scores(rating_score, rng, noise_sigma=0.7)
+    graph = sample.venue_projection()
+    for name, rating in zip(sample.venue_names, ratings):
+        if graph.has_node(name):
+            graph.set_node_attr(name, SIGNIFICANCE_ATTR, float(rating))
+    return DataGraph(
+        name="epinions/product-product",
+        graph=graph,
+        group="A",
+        significance_label="average rating of the product",
+        edge_weight_label="# of shared commenters",
+        dataset="epinions",
+        notes=(
+            "Synthetic substitute for Epinions/mTrust; monotone negative "
+            "comment-volume/rating coupling reproduces the negative "
+            "correlation of conventional PageRank at p = 0."
+        ),
+    )
+
+
+def build_epinions(
+    scale: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[DataGraph, DataGraph]:
+    """Both Epinions projections (commenter-commenter, product-product)."""
+    if seed is None:
+        return build_commenter_commenter(scale), build_product_product(scale)
+    rng = as_rng(seed)
+    return build_commenter_commenter(scale, rng), build_product_product(scale, rng)

@@ -1,0 +1,156 @@
+"""Synthetic IMDB ∪ MovieLens substitute.
+
+The paper merges IMDB contributor data with MovieLens ratings and builds
+
+* a **movie-movie** graph (edge = shared contributor, weight = # of common
+  contributors) whose significance is the movie's average user rating —
+  application *Group B* (conventional PageRank ideal), and
+* an **actor-actor** graph (edge = shared movie, weight = # of common
+  movies) whose significance is the average rating of the actor's movies —
+  application *Group A* (degree penalisation helps, peak near p ≈ 0.5).
+
+Each projection is generated from its own affiliation sample calibrated to
+that application's semantics.  This mirrors the paper's data reality: its
+movie graph (191,602 nodes) and actor graph (32,208 nodes) are different
+extractions of IMDB, not two views of one bipartite snapshot.
+
+Causal stories encoded:
+
+* actor-actor — ``member_degree_coupling < 0``: discriminating ("A movie")
+  actors make fewer movies (the §1.2.1 budget argument), so degree carries
+  a weak *negative* signal, while ``quality_match > 0`` lets significance
+  still propagate through co-star neighbourhoods (why moderate
+  penalisation beats extreme penalisation);
+* movie-movie — big-budget productions attract large casts *and* earn
+  higher ratings (``venue_quality_popularity_corr`` high), so degree is a
+  genuine positive signal and ``p = 0`` stays optimal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.affiliation import AffiliationConfig, generate_affiliation
+from repro.datasets.base import SIGNIFICANCE_ATTR, DataGraph
+from repro.datasets.significance import blend, ratings_from_scores
+from repro.errors import ParameterError
+from repro.graph.generators import as_rng
+
+__all__ = ["build_imdb", "build_movie_movie", "build_actor_actor"]
+
+
+def _scaled(n: int, scale: float) -> int:
+    if scale <= 0:
+        raise ParameterError(f"scale must be > 0, got {scale}")
+    return max(int(round(n * scale)), 8)
+
+
+def build_actor_actor(
+    scale: float = 1.0, seed: int | np.random.Generator | None = 7101
+) -> DataGraph:
+    """Actor-actor graph: edge weight = # of common movies.
+
+    Significance: average user rating of the movies the actor played in.
+    Application Group A.
+    """
+    rng = as_rng(seed)
+    config = AffiliationConfig(
+        n_members=_scaled(900, scale),
+        n_venues=_scaled(520, scale),
+        mean_memberships=3.6,
+        member_degree_coupling=-0.35,  # budget effect: good actors act less
+        venue_popularity_sigma=0.5,
+        quality_match=0.75,  # good actors cluster in good movies
+        venue_quality_popularity_corr=0.0,
+        membership_dispersion=0.5,
+        member_prefix="actor",
+        venue_prefix="movie",
+    )
+    sample = generate_affiliation(config, rng)
+    movie_score = blend(
+        (1.0, sample.venue_quality),
+        (0.8, sample.mean_member_quality_per_venue()),
+    )
+    movie_rating = ratings_from_scores(movie_score, rng, noise_sigma=1.0)
+    graph = sample.member_projection()
+    for i, name in enumerate(sample.member_names):
+        if not graph.has_node(name):
+            continue
+        joined = sample.memberships[i]
+        significance = float(movie_rating[joined].mean()) if joined.size else 0.0
+        graph.set_node_attr(name, SIGNIFICANCE_ATTR, significance)
+    return DataGraph(
+        name="imdb/actor-actor",
+        graph=graph,
+        group="A",
+        significance_label="average user rating of the actor's movies",
+        edge_weight_label="# of common movies",
+        dataset="imdb",
+        notes=(
+            "Synthetic substitute for IMDB+MovieLens 10M; the limited-budget "
+            "mechanism of §1.2.1 drives the negative degree-significance "
+            "coupling."
+        ),
+    )
+
+
+def build_movie_movie(
+    scale: float = 1.0, seed: int | np.random.Generator | None = 7102
+) -> DataGraph:
+    """Movie-movie graph: edge weight = # of common contributors.
+
+    Significance: the movie's average user rating.  Application Group B.
+
+    Modelled with movies on the *member* side of the affiliation (each
+    movie "selects" its cast from a pool of contributors): good movies have
+    slightly larger, better casts (``member_degree_coupling > 0`` and
+    ``quality_match``), cast sizes and contributor availability are
+    homogeneous — the low neighbour-degree spread that, per §4.3.2, makes
+    the graph react sharply to ``p < 0`` and keeps ``p = 0`` optimal.
+    """
+    rng = as_rng(seed)
+    config = AffiliationConfig(
+        n_members=_scaled(620, scale),  # movies
+        n_venues=_scaled(2400, scale),  # contributor pool
+        mean_memberships=3.5,  # credited principal contributors
+        member_degree_coupling=0.2,  # bigger budget ⇒ slightly larger cast
+        venue_popularity_sigma=0.15,  # homogeneous contributor availability
+        quality_match=0.8,  # good movies hire good contributors
+        venue_quality_popularity_corr=0.0,
+        membership_dispersion=0.2,
+        member_prefix="movie",
+        venue_prefix="contrib",
+    )
+    sample = generate_affiliation(config, rng)
+    movie_score = blend(
+        (1.0, sample.member_quality),
+        (0.7, sample.mean_venue_quality_per_member()),
+    )
+    movie_rating = ratings_from_scores(movie_score, rng, noise_sigma=1.0)
+    graph = sample.member_projection()
+    for name, rating in zip(sample.member_names, movie_rating):
+        if graph.has_node(name):
+            graph.set_node_attr(name, SIGNIFICANCE_ATTR, float(rating))
+    return DataGraph(
+        name="imdb/movie-movie",
+        graph=graph,
+        group="B",
+        significance_label="average user rating of the movie",
+        edge_weight_label="# of common actors",
+        dataset="imdb",
+        notes=(
+            "Synthetic substitute for IMDB+MovieLens 10M; positive "
+            "budget-rating coupling makes conventional PageRank optimal."
+        ),
+    )
+
+
+def build_imdb(
+    scale: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[DataGraph, DataGraph]:
+    """Both IMDB projections (movie-movie, actor-actor)."""
+    if seed is None:
+        return build_movie_movie(scale), build_actor_actor(scale)
+    rng = as_rng(seed)
+    return build_movie_movie(scale, rng), build_actor_actor(scale, rng)

@@ -1,0 +1,156 @@
+"""Synthetic Last.fm (hetrec2011) substitute.
+
+The paper builds
+
+* a **listener-listener** graph from the explicit friendship relation
+  (weight = # of shared friends) whose significance is the listener's total
+  listening activity — application *Group C*, and
+* an **artist-artist** graph (edge = shared listener, weight = # of shared
+  listeners) whose significance is the number of times the artist was
+  listened to — also *Group C*.
+
+Both graphs reward connectivity *and hub proximity*: social listeners near
+well-connected friends discover and play more music; artists sharing
+audiences with superstars get discovered through them.  The hub-proximity
+component is what makes degree boosting (``p < 0``) outperform conventional
+PageRank, and the heavy popularity tails create the dominant high-degree
+neighbours behind the paper's flat ``p < 0`` plateau (Table 3: artist-artist
+has the largest median neighbour-degree spread, 998.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.affiliation import AffiliationConfig, generate_affiliation
+from repro.datasets.base import SIGNIFICANCE_ATTR, DataGraph
+from repro.datasets.significance import blend, counts_from_scores
+from repro.datasets.structure import degree_feature, mean_neighbor_degree
+from repro.errors import ParameterError
+from repro.graph.base import Graph
+from repro.graph.generators import as_rng, barabasi_albert
+
+__all__ = ["build_lastfm", "build_listener_listener", "build_artist_artist"]
+
+
+def _scaled(n: int, scale: float) -> int:
+    if scale <= 0:
+        raise ParameterError(f"scale must be > 0, got {scale}")
+    return max(int(round(n * scale)), 10)
+
+
+def _shared_friend_weights(friendship: Graph) -> Graph:
+    """Re-weight friendship edges by the number of shared friends + 1.
+
+    The paper's weighted listener-listener experiments use "# of shared
+    friends" as the edge weight; the +1 keeps edges between friends with
+    no common friends at positive weight.
+    """
+    weighted = Graph()
+    weighted.add_nodes_from(friendship.nodes())
+    neighbor_sets = {
+        node: set(friendship.neighbors(node)) for node in friendship.nodes()
+    }
+    for u, v, _w in friendship.edges():
+        shared = len(neighbor_sets[u] & neighbor_sets[v])
+        weighted.add_edge(u, v, weight=float(shared + 1))
+    return weighted
+
+
+def build_listener_listener(
+    scale: float = 1.0, seed: int | np.random.Generator | None = 7301
+) -> DataGraph:
+    """Listener friendship graph; significance = total listening activity.
+
+    Application Group C: social hubs (and their friends) listen more, so
+    degree boosting helps.
+    """
+    rng = as_rng(seed)
+    n = _scaled(700, scale)
+    friendship = barabasi_albert(n, 6, seed=rng, prefix="listener")
+    graph = _shared_friend_weights(friendship)
+    activity_score = blend(
+        (1.1, degree_feature(graph)),
+        (0.9, mean_neighbor_degree(graph)),  # hub proximity drives discovery
+        (0.8, rng.normal(0.0, 1.0, size=n)),  # taste intensity
+    )
+    activity = counts_from_scores(
+        activity_score, rng, base=800.0, spread=1.0, noise_sigma=0.35
+    )
+    for idx, node in enumerate(graph.nodes()):
+        graph.set_node_attr(node, SIGNIFICANCE_ATTR, float(activity[idx]))
+    return DataGraph(
+        name="lastfm/listener-listener",
+        graph=graph,
+        group="C",
+        significance_label="total listening activity of the listener",
+        edge_weight_label="# of shared friends",
+        dataset="lastfm",
+        notes=(
+            "Synthetic substitute for hetrec2011 Last.fm friendships; "
+            "preferential attachment plus social-discovery coupling."
+        ),
+    )
+
+
+def build_artist_artist(
+    scale: float = 1.0, seed: int | np.random.Generator | None = 7302
+) -> DataGraph:
+    """Artist-artist graph: edge weight = # of shared listeners.
+
+    Significance: number of times the artist has been listened to.
+    Application Group C.
+    """
+    rng = as_rng(seed)
+    config = AffiliationConfig(
+        n_members=_scaled(700, scale),
+        n_venues=_scaled(750, scale),
+        mean_memberships=9.0,
+        member_degree_coupling=0.3,  # eclectic listeners follow more artists
+        venue_popularity_sigma=1.4,  # superstar economy: huge popularity tail
+        quality_match=0.3,
+        venue_quality_popularity_corr=0.6,  # popular artists well-regarded
+        membership_dispersion=0.5,
+        member_prefix="listener",
+        venue_prefix="artist",
+    )
+    sample = generate_affiliation(config, rng)
+    graph = sample.venue_projection()
+
+    hub_proximity = mean_neighbor_degree(graph)
+    order = np.array(
+        [graph.index_of(name) for name in sample.venue_names], dtype=int
+    )
+    listen_score = blend(
+        (1.2, np.log1p(sample.venue_sizes)),  # audience size
+        (1.4, hub_proximity[order]),  # shared audiences with superstars
+        (0.5, sample.venue_quality),
+    )
+    listens = counts_from_scores(
+        listen_score, rng, base=5000.0, spread=1.2, noise_sigma=0.4
+    )
+    for name, count in zip(sample.venue_names, listens):
+        graph.set_node_attr(name, SIGNIFICANCE_ATTR, float(count))
+    return DataGraph(
+        name="lastfm/artist-artist",
+        graph=graph,
+        group="C",
+        significance_label="# of times the artist has been listened",
+        edge_weight_label="# of shared listeners",
+        dataset="lastfm",
+        notes=(
+            "Synthetic substitute for hetrec2011 Last.fm listening data; "
+            "superstar popularity tail creates the hub-dominated structure."
+        ),
+    )
+
+
+def build_lastfm(
+    scale: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[DataGraph, DataGraph]:
+    """Both Last.fm graphs (friendship + artist projection)."""
+    if seed is None:
+        return build_listener_listener(scale), build_artist_artist(scale)
+    rng = as_rng(seed)
+    return build_listener_listener(scale, rng), build_artist_artist(scale, rng)

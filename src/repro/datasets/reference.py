@@ -1,0 +1,81 @@
+"""Reference numbers quoted from the paper, for comparison and testing.
+
+Two tables are transcribed:
+
+* :data:`PAPER_TABLE3` — the dataset statistics of Table 3 (we reproduce
+  the *orderings* of these columns at laptop scale, not the absolute
+  values; see DESIGN.md §2).
+* :data:`PAPER_GROUPS` — the application-group assignment of every data
+  graph, i.e. the sign of the optimal de-coupling weight reported in
+  Figures 2–4.
+* :data:`PAPER_TABLE1` — Spearman correlations between PageRank ranks and
+  degree ranks quoted in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PaperTable3Row",
+    "PAPER_TABLE3",
+    "PAPER_GROUPS",
+    "PAPER_TABLE1",
+    "GRAPH_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class PaperTable3Row:
+    """One row of the paper's Table 3."""
+
+    name: str
+    nodes: int
+    edges: int
+    average_degree: float
+    degree_std: float
+    median_neighbor_degree_std: float
+
+
+#: Table 3 of the paper, verbatim.
+PAPER_TABLE3: dict[str, PaperTable3Row] = {
+    row.name: row
+    for row in (
+        PaperTable3Row("imdb/movie-movie", 191_602, 4_465_272, 23.30, 51.86, 2.89),
+        PaperTable3Row("imdb/actor-actor", 32_208, 2_493_574, 77.42, 67.15, 114.41),
+        PaperTable3Row("dblp/article-article", 8_808, 951_798, 108.06, 171.25, 309.92),
+        PaperTable3Row("dblp/author-author", 47_252, 310_250, 6.57, 8.89, 6.39),
+        PaperTable3Row("lastfm/listener-listener", 1_892, 25_434, 13.44, 17.31, 22.37),
+        PaperTable3Row("lastfm/artist-artist", 17_626, 2_640_150, 149.79, 299.66, 998.53),
+        PaperTable3Row(
+            "epinions/commenter-commenter", 6_703, 2_395_176, 425.05, 438.97, 609.39
+        ),
+        PaperTable3Row(
+            "epinions/product-product", 13_384, 2_355_460, 175.99, 224.12, 202.78
+        ),
+    )
+}
+
+#: Application groups from §4.3 (sign of the optimal de-coupling weight).
+PAPER_GROUPS: dict[str, str] = {
+    "imdb/actor-actor": "A",
+    "epinions/commenter-commenter": "A",
+    "epinions/product-product": "A",
+    "imdb/movie-movie": "B",
+    "dblp/author-author": "B",
+    "dblp/article-article": "C",
+    "lastfm/listener-listener": "C",
+    "lastfm/artist-artist": "C",
+}
+
+#: Table 1: Spearman correlation between PageRank ranks and degree ranks.
+#: (The paper's table header mislabels the movie graph's source as DBLP;
+#: the text makes clear it is the IMDB co-contributor graph.)
+PAPER_TABLE1: dict[str, float] = {
+    "lastfm/listener-listener": 0.988,
+    "dblp/article-article": 0.997,
+    "imdb/movie-movie": 0.848,
+}
+
+#: Canonical ordering of the eight data graphs.
+GRAPH_NAMES: tuple[str, ...] = tuple(PAPER_GROUPS)

@@ -1,0 +1,108 @@
+"""Dataset registry: build any of the paper's eight data graphs by name.
+
+The registry is the single entry point the experiment harness, examples and
+tests use::
+
+    from repro.datasets import load
+    dg = load("imdb/actor-actor", scale=0.5, seed=42)
+
+``scale`` multiplies node counts (1.0 = the library's default laptop-scale
+sizes); ``seed`` pins the generator.  :func:`load_all` materialises all
+eight graphs, optionally restricted to an application group.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import numpy as np
+
+from repro.datasets.base import DataGraph
+from repro.datasets.dblp import build_article_article, build_author_author
+from repro.datasets.epinions import (
+    build_commenter_commenter,
+    build_product_product,
+)
+from repro.datasets.imdb import build_actor_actor, build_movie_movie
+from repro.datasets.lastfm import build_artist_artist, build_listener_listener
+from repro.datasets.reference import GRAPH_NAMES, PAPER_GROUPS
+from repro.errors import DatasetError
+
+__all__ = ["load", "load_all", "graph_names", "groups"]
+
+_BUILDERS: dict[str, Callable[..., DataGraph]] = {
+    "imdb/movie-movie": build_movie_movie,
+    "imdb/actor-actor": build_actor_actor,
+    "dblp/article-article": build_article_article,
+    "dblp/author-author": build_author_author,
+    "lastfm/listener-listener": build_listener_listener,
+    "lastfm/artist-artist": build_artist_artist,
+    "epinions/commenter-commenter": build_commenter_commenter,
+    "epinions/product-product": build_product_product,
+}
+
+# The registry and the reference table must agree; fail at import time if a
+# builder was added without reference metadata or vice versa.
+assert set(_BUILDERS) == set(GRAPH_NAMES), "registry out of sync with reference"
+
+
+def graph_names() -> tuple[str, ...]:
+    """Canonical names of the eight data graphs."""
+    return GRAPH_NAMES
+
+
+def groups() -> dict[str, str]:
+    """Application-group assignment (paper §4.3) per graph name."""
+    return dict(PAPER_GROUPS)
+
+
+def load(
+    name: str,
+    *,
+    scale: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> DataGraph:
+    """Build the data graph ``name`` at the given scale.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`graph_names`, e.g. ``"epinions/product-product"``.
+    scale:
+        Node-count multiplier; 1.0 is the library default size, values in
+        (0, 1) give faster test-scale graphs.
+    seed:
+        RNG seed; ``None`` uses each dataset's fixed default so that plain
+        ``load(name)`` is deterministic.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS))
+        raise DatasetError(f"unknown data graph {name!r}; known: {known}") from None
+    if seed is None:
+        return builder(scale)
+    return builder(scale, seed)
+
+
+def load_all(
+    *,
+    scale: float = 1.0,
+    seed_offset: int = 0,
+    group: str | None = None,
+) -> Iterator[DataGraph]:
+    """Yield all data graphs (optionally one application group).
+
+    ``seed_offset`` shifts every dataset's default seed, giving independent
+    replicates for robustness experiments while staying deterministic.
+    """
+    if group is not None and group not in ("A", "B", "C"):
+        raise DatasetError(f"group must be 'A', 'B' or 'C', got {group!r}")
+    for name in GRAPH_NAMES:
+        if group is not None and PAPER_GROUPS[name] != group:
+            continue
+        if seed_offset:
+            base_seed = abs(hash((name, seed_offset))) % (2**31)
+            yield load(name, scale=scale, seed=base_seed)
+        else:
+            yield load(name, scale=scale)

@@ -1,0 +1,127 @@
+"""Synthetic *directed* trust network (paper §3.2.2).
+
+The paper's directed D2PR weights transitions by the destination's
+**out-degree**: incoming edges are free signals of authority, but outgoing
+edges cost effort, so "a vertex with a large number of outgoing edges may
+either indicate a potential hub or simply a non-discerning connection
+maker".  The eight replication graphs are undirected projections, so this
+extra dataset exercises the directed formulation end-to-end.
+
+Generative story (who-trusts-whom, Epinions-style):
+
+* every user has a latent **discernment** ``d`` (how carefully they hand
+  out trust) and a latent **trustworthiness** ``q``, positively correlated
+  — careful people tend to be reliable;
+* the number of trust statements a user *issues* is log-linear in
+  ``−d``: non-discerning users spray trust everywhere (the §3.2.2 "poor
+  participant with a large number of weak linkages");
+* trust statements target trustworthy users, more sharply so when the
+  issuer is discerning;
+* observed significance = trustworthiness + noise (e.g. an offline audit).
+
+Because low out-degree marks discerning (and hence trustworthy) users,
+penalising high out-degree destinations (``p > 0``) aligns the walk with
+significance — the directed analogue of application Group A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import SIGNIFICANCE_ATTR
+from repro.datasets.significance import counts_from_scores, zscore
+from repro.errors import ParameterError
+from repro.graph.base import DiGraph
+from repro.graph.generators import as_rng
+
+__all__ = ["build_trust_network"]
+
+
+def build_trust_network(
+    n_users: int = 500,
+    *,
+    mean_trusts: float = 8.0,
+    discernment_out_coupling: float = -0.8,
+    trust_quality_corr: float = 0.6,
+    selectivity: float = 0.8,
+    noise_sigma: float = 0.6,
+    seed: int | np.random.Generator | None = 7500,
+) -> DiGraph:
+    """Sample a directed trust network with per-user significances.
+
+    Parameters
+    ----------
+    n_users:
+        Number of users.
+    mean_trusts:
+        Average number of trust statements issued per user.
+    discernment_out_coupling:
+        Log-linear coupling between discernment and out-degree; negative
+        means careful users issue fewer statements (the §3.2.2 mechanism).
+    trust_quality_corr:
+        Correlation between discernment and trustworthiness.
+    selectivity:
+        How sharply trust targets concentrate on trustworthy users, scaled
+        by the issuer's discernment.
+    noise_sigma:
+        Observation noise on the significance attribute.
+    seed:
+        RNG seed (fixed default for reproducibility).
+
+    Returns
+    -------
+    DiGraph
+        Nodes carry ``significance`` (audited trustworthiness) and
+        ``discernment`` attributes; edges point from truster to trustee.
+    """
+    if n_users < 3:
+        raise ParameterError(f"n_users must be >= 3, got {n_users}")
+    if mean_trusts <= 0:
+        raise ParameterError(f"mean_trusts must be > 0, got {mean_trusts}")
+    if not -1.0 <= trust_quality_corr <= 1.0:
+        raise ParameterError(
+            f"trust_quality_corr must be in [-1, 1], got {trust_quality_corr}"
+        )
+    rng = as_rng(seed)
+
+    discernment = rng.normal(0.0, 1.0, size=n_users)
+    independent = rng.normal(0.0, 1.0, size=n_users)
+    rho = trust_quality_corr
+    quality = rho * discernment + np.sqrt(max(0.0, 1 - rho * rho)) * independent
+
+    # Out-degree: non-discerning users issue many statements.
+    log_mean = discernment_out_coupling * zscore(discernment)
+    log_mean -= np.log(np.exp(log_mean).mean())
+    raw = mean_trusts * np.exp(log_mean + rng.normal(0.0, 0.25, size=n_users))
+    out_counts = np.clip(np.round(raw).astype(int), 1, n_users - 1)
+
+    width = len(str(n_users - 1))
+    names = [f"user{i:0{width}d}" for i in range(n_users)]
+    graph = DiGraph()
+    audited = counts_from_scores(
+        quality, rng, base=20.0, spread=0.9, noise_sigma=noise_sigma
+    )
+    for i, name in enumerate(names):
+        graph.add_node(
+            name,
+            **{
+                SIGNIFICANCE_ATTR: float(audited[i]),
+                "discernment": float(discernment[i]),
+            },
+        )
+
+    base_quality = zscore(quality)
+    for i in range(n_users):
+        # Issuer-specific targeting: discerning users weight quality more.
+        sharpness = selectivity * (1.0 + np.tanh(discernment[i]))
+        logits = sharpness * base_quality
+        logits[i] = -np.inf  # no self-trust
+        logits -= logits.max()
+        weights = np.exp(logits)
+        weights /= weights.sum()
+        targets = rng.choice(
+            n_users, size=int(out_counts[i]), replace=False, p=weights
+        )
+        for j in targets:
+            graph.add_edge(names[i], names[int(j)])
+    return graph

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends raised by plain
+misuse) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Structural graph problems (unknown nodes, illegal edges, ...)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node referenced by the caller is not part of the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeError(GraphError):
+    """An edge is malformed (negative weight, self-loop where banned, ...)."""
+
+
+class EmptyGraphError(GraphError):
+    """An operation that needs at least one node/edge got an empty graph."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its tolerance within its budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations actually performed.
+    residual:
+        The final residual when the solver gave up.
+    """
+
+    def __init__(self, message: str, *, iterations: int, residual: float) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class ParameterError(ReproError, ValueError):
+    """A numeric/algorithmic parameter is outside its documented domain."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset could not be generated or validated."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failure (unknown experiment id, bad config)."""

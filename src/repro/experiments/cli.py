@@ -1,0 +1,99 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Examples
+--------
+List the available experiments::
+
+    repro-experiments list
+
+Run one experiment and print its report::
+
+    repro-experiments run figure2
+
+Run everything at reduced scale into a results directory::
+
+    repro-experiments run-all --scale 0.5 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import experiment_ids, run_all, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the D2PR paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment and print it")
+    run.add_argument("experiment", help="experiment id, e.g. figure2")
+    run.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset scale multiplier (default 1.0)",
+    )
+
+    run_all_p = sub.add_parser("run-all", help="run all experiments")
+    run_all_p.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale multiplier"
+    )
+    run_all_p.add_argument(
+        "--out", default=None, help="directory for per-experiment .txt reports"
+    )
+    run_all_p.add_argument(
+        "--ids",
+        nargs="*",
+        default=None,
+        help="subset of experiment ids (default: all)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+
+    try:
+        if args.command == "run":
+            start = time.perf_counter()
+            result = run_experiment(args.experiment, scale=args.scale)
+            print(result.to_text())
+            print(f"[{time.perf_counter() - start:.1f}s]", file=sys.stderr)
+            return 0
+        if args.command == "run-all":
+            start = time.perf_counter()
+            results = run_all(scale=args.scale, out_dir=args.out, ids=args.ids)
+            for experiment_id, result in results.items():
+                if args.out is None:
+                    print(result.to_text())
+                else:
+                    print(f"wrote {experiment_id} ({len(result.sections)} sections)")
+            print(f"[{time.perf_counter() - start:.1f}s]", file=sys.stderr)
+            return 0
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Four studies the paper motivates but does not run:
+
+* ``ext-centrality`` — how do classical significance measures (degree,
+  betweenness, closeness, clustering/cohesion, HITS) compare against tuned
+  D2PR on the paper's applications?  (§1 of the paper lists them as the
+  alternatives.)
+* ``ext-covertime`` — related work [11] uses degree-biased walks to cover
+  graphs quickly; measures cover time as a function of ``p``.
+* ``ext-spam`` — related work §2.2 discusses rank manipulation; measures
+  how much a link farm boosts a target under different ``p``.
+* ``ext-robustness`` — how stable are the correlation curve and its peak
+  when edges are dropped/rewired and significances re-measured with noise?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.d2pr import d2pr
+from repro.core.hits import hits
+from repro.core.manipulation import rank_boost_from_farm
+from repro.core.walkers import estimate_cover_time
+from repro.datasets.perturb import perturbed_copy
+from repro.datasets.trust_network import build_trust_network
+from repro.experiments.results import ExperimentResult, Section
+from repro.experiments.sweep import correlation_curve, get_data_graph
+from repro.graph.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    clustering_coefficient,
+)
+from repro.graph.generators import barabasi_albert
+from repro.metrics.correlation import spearman
+from repro.recsys.recommender import D2PRRecommender, RecommenderConfig
+
+__all__ = [
+    "ext_centrality",
+    "ext_covertime",
+    "ext_spam",
+    "ext_robustness",
+    "ext_directed",
+]
+
+#: One representative graph per application group.
+_REPRESENTATIVES = (
+    "imdb/actor-actor",
+    "dblp/author-author",
+    "lastfm/listener-listener",
+)
+
+
+def ext_centrality(scale: float = 0.5) -> ExperimentResult:
+    """Classical centralities vs tuned D2PR on one graph per group."""
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for name in _REPRESENTATIVES:
+        dg = get_data_graph(name, scale)
+        graph = dg.graph
+        sig = dg.significance_vector()
+        measures = {
+            "degree": graph.degree_vector(),
+            "betweenness": betweenness_centrality(graph),
+            "closeness": closeness_centrality(graph),
+            "clustering": clustering_coefficient(graph),
+            "eigen (HITS)": hits(graph).authorities.values,
+        }
+        correlations = {
+            label: spearman(values, sig) for label, values in measures.items()
+        }
+        rec = D2PRRecommender(config=RecommenderConfig()).fit(graph)
+        best_p, curve = rec.tune_p(sig)
+        correlations[f"D2PR (p={best_p:+.1f})"] = max(curve.values())
+
+        entry = dict(correlations)
+        data[name] = entry
+        for label, corr in correlations.items():
+            rows.append([name, dg.group, label, f"{corr:+.4f}"])
+
+    section = Section(
+        title="Spearman correlation with application significance",
+        headers=["data graph", "group", "measure", "correlation"],
+        rows=rows,
+    )
+    return ExperimentResult(
+        experiment_id="ext-centrality",
+        title="Classical centrality measures vs tuned D2PR",
+        sections=[section],
+        data=data,
+        notes=(
+            "Tuned D2PR is the only measure that stays strongly positive "
+            "on every application group: each fixed measure fails at least "
+            "one group (degree/HITS/closeness are *negatively* correlated "
+            "on Group A).  Individual geometric measures can win on a "
+            "single graph, but none adapts across groups — the paper's "
+            "argument for making the degree contribution a parameter."
+        ),
+    )
+
+
+def ext_covertime(scale: float = 0.5) -> ExperimentResult:
+    """Cover time of the pure D2PR walk as a function of p.
+
+    Related work [11] uses degree-*boosted* walks (p = −1) to locate
+    high-degree vertices quickly.  For *covering the whole graph* the
+    trade-off inverts: boosted walks keep revisiting hubs and reach leaves
+    slowly, while moderate penalisation flattens the visit distribution
+    and covers fastest (a Metropolis-like effect).
+    """
+    n = max(int(120 * scale), 40)
+    graph = barabasi_albert(n, 3, seed=160315)
+    ps = (-2.0, -1.0, 0.0, 1.0, 2.0)
+    rows = []
+    data: dict[str, float] = {}
+    for p in ps:
+        cover = estimate_cover_time(
+            graph, p, trials=5, max_steps=400_000, seed=7
+        )
+        rows.append([f"{p:+.1f}", f"{cover:,.0f}"])
+        data[f"p={p:g}"] = cover
+    section = Section(
+        title=f"Mean cover time on a {n}-node Barabási–Albert graph",
+        headers=["p", "mean steps to visit all nodes"],
+        rows=rows,
+    )
+    return ExperimentResult(
+        experiment_id="ext-covertime",
+        title="Cover time of the degree de-coupled walk",
+        sections=[section],
+        data=data,
+        notes=(
+            "Degree boosting (p < 0) slows full coverage dramatically — "
+            "the walk keeps revisiting hubs — while moderate penalisation "
+            "flattens the visit distribution and covers fastest.  Related "
+            "work [11] uses the boosted regime for the *opposite* goal: "
+            "finding high-degree vertices quickly."
+        ),
+    )
+
+
+def ext_spam(scale: float = 0.5) -> ExperimentResult:
+    """Link-farm rank boost as a function of p (related work §2.2)."""
+    dg = get_data_graph("imdb/movie-movie", scale)
+    graph = dg.graph.largest_connected_component()
+    # attack a mid-ranked node
+    baseline = d2pr(graph, 0.0)
+    target = baseline.ranking()[len(graph) // 2]
+    farm_size = max(len(graph) // 20, 5)
+
+    ps = (-1.0, 0.0, 0.5, 1.0, 2.0)
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for p in ps:
+        attack = rank_boost_from_farm(graph, target, farm_size, p=p)
+        rows.append(
+            [
+                f"{p:+.1f}",
+                str(attack.rank_before),
+                str(attack.rank_after),
+                f"{attack.boost:+d}",
+            ]
+        )
+        data[f"p={p:g}"] = {
+            "rank_before": attack.rank_before,
+            "rank_after": attack.rank_after,
+            "boost": attack.boost,
+        }
+    section = Section(
+        title=(
+            f"Link farm of {farm_size} nodes attacking a mid-ranked node "
+            f"({len(graph)}-node graph)"
+        ),
+        headers=["p", "rank before", "rank after", "boost"],
+        rows=rows,
+    )
+    return ExperimentResult(
+        experiment_id="ext-spam",
+        title="Spam resistance: link-farm boost under degree de-coupling",
+        sections=[section],
+        data=data,
+        notes=(
+            "Under p > 0 every farm edge raises the target's degree and "
+            "therefore *lowers* the weight of transitions into it — the "
+            "attack is self-defeating, unlike at p <= 0."
+        ),
+    )
+
+
+def ext_robustness(scale: float = 0.5) -> ExperimentResult:
+    """Stability of the correlation curve under data perturbations."""
+    ps = tuple(np.arange(-2.0, 2.01, 0.5))
+    scenarios = {
+        "clean": {},
+        "drop 10% edges": {"drop_fraction": 0.10},
+        "rewire 10% edges": {"rewire_fraction": 0.10},
+        "significance noise 0.2": {"significance_sigma": 0.2},
+    }
+    sections = []
+    data: dict[str, dict[str, object]] = {}
+    for name in _REPRESENTATIVES:
+        base = get_data_graph(name, scale)
+        rows = []
+        entry: dict[str, object] = {}
+        for label, kwargs in scenarios.items():
+            dg = perturbed_copy(base, seed=11, **kwargs) if kwargs else base
+            curve = correlation_curve(dg, ps=ps)
+            rows.append(
+                [
+                    label,
+                    f"{curve.peak_p:+.1f}",
+                    f"{curve.peak_correlation:+.4f}",
+                    f"{curve.at(0.0):+.4f}",
+                ]
+            )
+            entry[label] = {
+                "peak_p": curve.peak_p,
+                "peak_correlation": curve.peak_correlation,
+            }
+        sections.append(
+            Section(
+                title=f"{name} (group {base.group})",
+                headers=["scenario", "peak p", "peak corr", "corr @ p=0"],
+                rows=rows,
+            )
+        )
+        data[name] = entry
+    return ExperimentResult(
+        experiment_id="ext-robustness",
+        title="Robustness of the optimal de-coupling weight",
+        sections=sections,
+        data=data,
+        notes=(
+            "The optimal p's *sign* — the paper's application grouping — "
+            "survives 10% structural noise and multiplicative significance "
+            "noise on every representative graph."
+        ),
+    )
+
+
+def ext_directed(scale: float = 0.5) -> ExperimentResult:
+    """Directed D2PR on a synthetic trust network (paper §3.2.2).
+
+    Out-degree anti-correlates with trustworthiness (non-discerning users
+    spray trust statements), so penalising high out-degree destinations
+    improves the ranking — the directed analogue of Group A.
+    """
+    n_users = max(int(500 * scale), 100)
+    graph = build_trust_network(n_users)
+    sig = graph.node_attr_array("significance")
+    ps = tuple(np.arange(-4.0, 4.01, 0.5))
+    correlations = []
+    for p in ps:
+        scores = d2pr(graph, float(p), tol=1e-9)
+        correlations.append(spearman(scores.values, sig))
+
+    out_corr = spearman(graph.out_degree_vector(), sig)
+    in_corr = spearman(graph.in_degree_vector(), sig)
+    peak_idx = int(np.argmax(correlations))
+    rows = [
+        [f"{p:+.1f}", f"{c:+.4f}"] for p, c in zip(ps, correlations)
+    ]
+    sections = [
+        Section(
+            title=(
+                f"Directed trust network, {n_users} users: correlation of "
+                "D2PR ranks with audited trustworthiness"
+            ),
+            headers=["p", "spearman"],
+            rows=rows,
+        ),
+        Section(
+            title="Degree couplings",
+            headers=["signal", "spearman with significance"],
+            rows=[
+                ["out-degree (trusts issued)", f"{out_corr:+.4f}"],
+                ["in-degree (trusts received)", f"{in_corr:+.4f}"],
+            ],
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="ext-directed",
+        title="Directed degree de-coupling on a trust network",
+        sections=sections,
+        data={
+            "ps": list(ps),
+            "correlations": correlations,
+            "peak_p": float(ps[peak_idx]),
+            "correlation_at_zero": correlations[ps.index(0.0)],
+            "out_degree_coupling": out_corr,
+            "in_degree_coupling": in_corr,
+        },
+        notes=(
+            "Out-degree is a negative signal (§3.2.2's non-discerning "
+            "connection makers), so the directed walk peaks at p > 0 — "
+            "Group A semantics transfer to the directed formulation."
+        ),
+    )

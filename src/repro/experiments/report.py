@@ -1,0 +1,316 @@
+"""Generator for EXPERIMENTS.md — the paper-vs-measured record.
+
+Runs every table and figure experiment, extracts the paper's headline
+claim for each, evaluates the measured counterpart, and writes a markdown
+report.  Regenerate after any dataset or algorithm change with::
+
+    python -m repro.experiments.report [scale] [output-path]
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.runner import run_experiment
+
+__all__ = ["generate_report", "CLAIM_CHECKS", "ClaimCheck"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One paper claim and how to verify it against measured data."""
+
+    experiment_id: str
+    paper_claim: str
+    measured: str  # template filled by the checker
+    holds: bool
+
+
+def _fmt(value: float) -> str:
+    return f"{value:+.3f}"
+
+
+def _check_table1(data) -> list[ClaimCheck]:
+    checks = []
+    for name, entry in data.items():
+        checks.append(
+            ClaimCheck(
+                "table1",
+                f"{name}: Spearman(PR, degree) = {entry['paper']:.3f}",
+                f"measured {entry['measured']:.3f}",
+                entry["measured"] > 0.8,
+            )
+        )
+    return checks
+
+
+def _check_table2(data) -> list[ClaimCheck]:
+    entries = sorted(data.values(), key=lambda e: -e["degree"])
+    hub, leaf = entries[0], entries[-1]
+    return [
+        ClaimCheck(
+            "table2",
+            "highest-degree node: rank 1 at p=-4, pushed far down at p=+4",
+            f"degree {hub['degree']:.0f}: rank {hub['rank@p=-4']} at p=-4 "
+            f"→ rank {hub['rank@p=4']} at p=+4",
+            hub["rank@p=-4"] < hub["rank@p=4"],
+        ),
+        ClaimCheck(
+            "table2",
+            "degree-1 nodes: bottom ranks at p=-4, rise sharply at p=+4",
+            f"degree {leaf['degree']:.0f}: rank {leaf['rank@p=-4']} at p=-4 "
+            f"→ rank {leaf['rank@p=4']} at p=+4",
+            leaf["rank@p=-4"] > leaf["rank@p=4"],
+        ),
+    ]
+
+
+def _check_table3(data) -> list[ClaimCheck]:
+    pairs = [
+        ("imdb/actor-actor", "imdb/movie-movie"),
+        ("dblp/article-article", "dblp/author-author"),
+        ("lastfm/artist-artist", "lastfm/listener-listener"),
+    ]
+    checks = []
+    for denser, sparser in pairs:
+        holds = data[denser]["average_degree"] > data[sparser]["average_degree"]
+        checks.append(
+            ClaimCheck(
+                "table3",
+                f"{denser} denser than {sparser} "
+                f"(paper: {data[denser]['paper_average_degree']:.1f} vs "
+                f"{data[sparser]['paper_average_degree']:.1f} avg degree)",
+                f"measured {data[denser]['average_degree']:.1f} vs "
+                f"{data[sparser]['average_degree']:.1f}",
+                holds,
+            )
+        )
+    return checks
+
+
+def _check_figure1(data) -> list[ClaimCheck]:
+    got = data["p=2"]
+    holds = (
+        abs(got["B"] - 0.18) < 0.01
+        and abs(got["C"] - 0.08) < 0.01
+        and abs(got["D"] - 0.735) < 0.01
+    )
+    return [
+        ClaimCheck(
+            "figure1",
+            "transition probabilities from A at p=2: (0.18, 0.08, 0.74)",
+            f"measured ({got['B']:.2f}, {got['C']:.2f}, {got['D']:.2f})",
+            holds,
+        )
+    ]
+
+
+def _peak(entry) -> float:
+    return float(entry["peak_p"])
+
+
+def _check_figure2(data) -> list[ClaimCheck]:
+    checks = [
+        ClaimCheck(
+            "figure2",
+            f"{name}: optimal p > 0 (paper: peak at p ≈ 0.5)",
+            f"measured peak at p = {_peak(entry):+.1f} "
+            f"(corr {max(entry['correlations']):+.3f})",
+            _peak(entry) > 0,
+        )
+        for name, entry in data.items()
+    ]
+    pp = data["epinions/product-product"]
+    checks.append(
+        ClaimCheck(
+            "figure2",
+            "product-product: negative correlation at p = 0 "
+            "(the only graph where conventional PR is negatively correlated)",
+            f"measured corr@0 = {_fmt(pp['correlation_at_zero'])}",
+            pp["correlation_at_zero"] < 0,
+        )
+    )
+    return checks
+
+
+def _check_figure3(data) -> list[ClaimCheck]:
+    return [
+        ClaimCheck(
+            "figure3",
+            f"{name}: peak at p = 0 (conventional PageRank ideal)",
+            f"measured peak at p = {_peak(entry):+.1f} "
+            f"(corr@0 {_fmt(entry['correlation_at_zero'])})",
+            _peak(entry) == 0.0,
+        )
+        for name, entry in data.items()
+    ]
+
+
+def _check_figure4(data) -> list[ClaimCheck]:
+    # The flat-plateau claim is strongest for the two hub-dominated
+    # projections; the paper's own Figure 4(b) shows a visible left-side
+    # slope for the friendship graph, so it only gets the peak-sign claim.
+    flat_plateau_graphs = {"dblp/article-article", "lastfm/artist-artist"}
+    checks = []
+    for name, entry in data.items():
+        corr = dict(zip(entry["ps"], entry["correlations"]))
+        plateau = [corr[p] for p in (-4.0, -3.0, -2.0, -1.0)]
+        spread = max(plateau) - min(plateau)
+        if name in flat_plateau_graphs:
+            claim = f"{name}: peak near p ≈ -1 with stable plateau for p < 0"
+            holds = _peak(entry) < 0 and spread < 0.07
+        else:
+            claim = f"{name}: peak at negative p (degree boosting helps)"
+            holds = _peak(entry) < 0
+        checks.append(
+            ClaimCheck(
+                "figure4",
+                claim,
+                f"measured peak at p = {_peak(entry):+.1f}, plateau spread "
+                f"{spread:.3f}",
+                holds,
+            )
+        )
+    return checks
+
+
+def _check_figure5(data) -> list[ClaimCheck]:
+    checks = []
+    for name, entry in data.items():
+        coupling = entry["degree_significance"]
+        expected_sign = -1 if entry["group"] == "A" else 1
+        checks.append(
+            ClaimCheck(
+                "figure5",
+                f"{name} (group {entry['group']}): degree–significance "
+                f"correlation {'negative' if expected_sign < 0 else 'positive'}",
+                f"measured {_fmt(coupling)}",
+                np.sign(coupling) == expected_sign,
+            )
+        )
+    return checks
+
+
+def _sweep_peaks(entry) -> dict[str, float]:
+    return {k: v["peak_p"] for k, v in entry.items() if k != "ps"}
+
+
+def _check_alpha_figure(fig_id, data, predicate, claim_suffix) -> list[ClaimCheck]:
+    checks = []
+    for name, entry in data.items():
+        peaks = _sweep_peaks(entry)
+        holds = all(predicate(p) for p in peaks.values())
+        summary = ", ".join(f"{k}→{v:+.1f}" for k, v in peaks.items())
+        checks.append(
+            ClaimCheck(
+                fig_id,
+                f"{name}: grouping preserved across alpha ({claim_suffix})",
+                f"peaks: {summary}",
+                holds,
+            )
+        )
+    return checks
+
+
+def _check_beta_figure(fig_id, data) -> list[ClaimCheck]:
+    checks = []
+    for name, entry in data.items():
+        strength = np.asarray(entry["beta=1"]["correlations"])
+        flat = bool(np.allclose(strength, strength[0], atol=1e-9))
+        decoupled_best = max(
+            max(entry["beta=0"]["correlations"]),
+            max(entry["beta=0.25"]["correlations"]),
+        )
+        checks.append(
+            ClaimCheck(
+                fig_id,
+                f"{name}: pure connection strength (beta=1) is p-invariant "
+                "and not better than de-coupling-heavy settings",
+                f"beta=1 flat: {flat}; best(beta≤0.25) "
+                f"{decoupled_best:+.3f} vs beta=1 {strength.max():+.3f}",
+                flat and decoupled_best >= strength.max() - 0.002,
+            )
+        )
+    return checks
+
+
+#: experiment id -> checker over the experiment's `.data`
+CLAIM_CHECKS = {
+    "table1": _check_table1,
+    "table2": _check_table2,
+    "table3": _check_table3,
+    "figure1": _check_figure1,
+    "figure2": _check_figure2,
+    "figure3": _check_figure3,
+    "figure4": _check_figure4,
+    "figure5": _check_figure5,
+    "figure6": lambda d: _check_alpha_figure(
+        "figure6", d, lambda p: p > 0, "p > 0 optimal for every alpha"
+    ),
+    "figure7": lambda d: _check_alpha_figure(
+        "figure7", d, lambda p: -1.0 <= p <= 0.5, "peak stays near p = 0"
+    ),
+    "figure8": lambda d: _check_alpha_figure(
+        "figure8", d, lambda p: p <= 0.5, "boosted regime optimal"
+    ),
+    "figure9": lambda d: _check_beta_figure("figure9", d),
+    "figure10": lambda d: _check_beta_figure("figure10", d),
+    "figure11": lambda d: _check_beta_figure("figure11", d),
+}
+
+_HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+Auto-generated by `python -m repro.experiments.report` (scale = {scale}).
+Regenerate after touching datasets or algorithms.
+
+The synthetic data substrate replaces the paper's proprietary datasets
+(see DESIGN.md §2), so the reproduction targets are the paper's *shape
+claims* — who wins, where peaks and crossovers sit, which curves plateau —
+not absolute correlation values.  Every row below is one such claim.
+
+| # | Experiment | Paper claim | Measured | Holds |
+|---|------------|-------------|----------|-------|
+"""
+
+
+def generate_report(
+    scale: float = 1.0, output: str | Path = "EXPERIMENTS.md"
+) -> tuple[int, int]:
+    """Run all experiments, check every claim, write the markdown report.
+
+    Returns ``(claims_checked, claims_holding)``.
+    """
+    rows: list[str] = []
+    total = 0
+    holding = 0
+    for experiment_id, checker in CLAIM_CHECKS.items():
+        result = run_experiment(experiment_id, scale=scale)
+        for check in checker(result.data):
+            total += 1
+            if check.holds:
+                holding += 1
+            verdict = "✅" if check.holds else "❌"
+            rows.append(
+                f"| {total} | {check.experiment_id} | {check.paper_claim} "
+                f"| {check.measured} | {verdict} |"
+            )
+    footer = (
+        f"\n**{holding} / {total} claims reproduced.**\n\n"
+        "Full per-experiment reports (tables and ASCII charts) can be "
+        "regenerated with `repro-experiments run-all --out results/`.\n"
+    )
+    text = _HEADER.format(scale=scale) + "\n".join(rows) + "\n" + footer
+    Path(output).write_text(text, encoding="utf-8")
+    return total, holding
+
+
+if __name__ == "__main__":  # pragma: no cover
+    scale_arg = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    out_arg = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    checked, held = generate_report(scale_arg, out_arg)
+    print(f"{held}/{checked} claims hold -> {out_arg}")

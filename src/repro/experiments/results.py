@@ -1,0 +1,149 @@
+"""Result containers and text rendering for the experiment harness.
+
+Every experiment (table or figure of the paper) produces an
+:class:`ExperimentResult`: machine-readable data for tests and benchmarks
+plus pre-formatted sections that :func:`ExperimentResult.to_text` renders as
+aligned ASCII tables and, for the figure experiments, simple line charts —
+the repository's stand-in for the paper's Excel charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["Section", "ExperimentResult", "render_table", "ascii_chart"]
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned, pipe-separated text table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ParameterError("all rows must match the header length")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+#: Symbols used to distinguish chart series.
+_SERIES_MARKS = "ox*+#@%&"
+
+
+def ascii_chart(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    *,
+    height: int = 12,
+    x_label: str = "p",
+    y_label: str = "corr",
+) -> str:
+    """Render one or more series as a fixed-height ASCII line chart.
+
+    Each series gets a distinct mark; the legend maps marks to labels.
+    Values are scaled to the common min/max across all series so the
+    relative geometry (peaks, crossovers) matches the paper's figures.
+    """
+    if height < 3:
+        raise ParameterError(f"height must be >= 3, got {height}")
+    if not series:
+        raise ParameterError("at least one series is required")
+    x = np.asarray(x, dtype=float)
+    arrays = {}
+    for label, values in series.items():
+        values = np.asarray(values, dtype=float)
+        if values.shape != x.shape:
+            raise ParameterError(
+                f"series {label!r} length {values.shape} != x {x.shape}"
+            )
+        arrays[label] = values
+
+    all_values = np.concatenate(list(arrays.values()))
+    lo, hi = float(all_values.min()), float(all_values.max())
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * x.shape[0] for _ in range(height)]
+    for series_idx, (label, values) in enumerate(arrays.items()):
+        mark = _SERIES_MARKS[series_idx % len(_SERIES_MARKS)]
+        for col, value in enumerate(values):
+            row = int(round((hi - value) / (hi - lo) * (height - 1)))
+            grid[row][col] = mark
+
+    lines = []
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = f"{hi:+.2f} "
+        elif row_idx == height - 1:
+            prefix = f"{lo:+.2f} "
+        else:
+            prefix = " " * 6
+        lines.append(prefix + "|" + " ".join(row))
+    axis_ticks = "  ".join(f"{v:+.1f}" for v in x[:: max(len(x) // 6, 1)])
+    lines.append(" " * 6 + "+" + "-" * (2 * x.shape[0] - 1) + f"  ({x_label})")
+    lines.append(" " * 7 + axis_ticks)
+    legend = "   ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]} = {label}"
+        for i, label in enumerate(arrays)
+    )
+    lines.append(f"      legend ({y_label}): {legend}")
+    return "\n".join(lines)
+
+
+@dataclass
+class Section:
+    """One titled block of an experiment's output."""
+
+    title: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[list[str]] = field(default_factory=list)
+    chart: str = ""
+
+    def to_text(self) -> str:
+        """Render the section (table first, chart underneath)."""
+        parts = [f"## {self.title}"]
+        if self.headers:
+            parts.append(render_table(self.headers, self.rows))
+        if self.chart:
+            parts.append(self.chart)
+        return "\n\n".join(parts)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction.
+
+    Attributes
+    ----------
+    experiment_id:
+        Canonical id, e.g. ``"table1"`` or ``"figure2"``.
+    title:
+        Human title, mirroring the paper's caption.
+    sections:
+        Rendered blocks (tables and charts).
+    data:
+        Machine-readable results — what the tests and benchmarks assert on.
+    notes:
+        Free-text commentary (e.g. paper-vs-measured caveats).
+    """
+
+    experiment_id: str
+    title: str
+    sections: list[Section]
+    data: dict[str, Any]
+    notes: str = ""
+
+    def to_text(self) -> str:
+        """Render the full experiment as a text report."""
+        parts = [f"# {self.experiment_id}: {self.title}"]
+        parts.extend(section.to_text() for section in self.sections)
+        if self.notes:
+            parts.append(f"Notes: {self.notes}")
+        return "\n\n".join(parts) + "\n"

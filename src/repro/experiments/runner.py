@@ -1,0 +1,108 @@
+"""Experiment registry and runner.
+
+Maps experiment ids (``table1`` … ``table3``, ``figure1`` … ``figure11``)
+to the functions reproducing them, runs them at a chosen scale, and writes
+text reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.extensions import (
+    ext_centrality,
+    ext_covertime,
+    ext_directed,
+    ext_robustness,
+    ext_spam,
+)
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+from repro.experiments.results import ExperimentResult
+from repro.experiments.tables import table1, table2, table3
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "experiment_ids"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    # extension experiments (beyond the paper's evaluation; DESIGN.md §4)
+    "ext-centrality": ext_centrality,
+    "ext-covertime": ext_covertime,
+    "ext-spam": ext_spam,
+    "ext-robustness": ext_robustness,
+    "ext-directed": ext_directed,
+}
+
+
+def experiment_ids() -> list[str]:
+    """All known experiment ids, tables first."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, *, scale: float = 1.0) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Raises
+    ------
+    ExperimentError
+        If the id is unknown.
+    """
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return fn(scale)
+
+
+def run_all(
+    *,
+    scale: float = 1.0,
+    out_dir: str | Path | None = None,
+    ids: list[str] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run several (default: all) experiments, optionally writing reports.
+
+    Returns ``{experiment_id: result}``; when ``out_dir`` is given, each
+    result is also written to ``<out_dir>/<id>.txt``.
+    """
+    results: dict[str, ExperimentResult] = {}
+    selected = ids if ids is not None else experiment_ids()
+    for experiment_id in selected:
+        results[experiment_id] = run_experiment(experiment_id, scale=scale)
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        for experiment_id, result in results.items():
+            (out_path / f"{experiment_id}.txt").write_text(
+                result.to_text(), encoding="utf-8"
+            )
+    return results

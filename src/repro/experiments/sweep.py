@@ -1,0 +1,143 @@
+"""Parameter sweeps shared by the figure experiments.
+
+The paper's evaluation protocol (§4.1): sweep the de-coupling weight
+``p ∈ [−4, 4]`` in steps of 0.5; vary the residual probability
+``α ∈ {0.5, 0.7, 0.75, 0.9}`` (default 0.85); vary the weighted-graph blend
+``β ∈ {0, 0.25, 0.5, 0.75, 1}`` (default 0).  Every sweep point computes
+D2PR scores and their Spearman correlation with the application
+significance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.d2pr import d2pr
+from repro.datasets.base import DataGraph
+from repro.datasets.registry import load
+from repro.metrics.correlation import spearman
+
+__all__ = [
+    "P_GRID",
+    "ALPHA_GRID",
+    "BETA_GRID",
+    "DEFAULT_ALPHA",
+    "CorrelationCurve",
+    "correlation_curve",
+    "alpha_sweep",
+    "beta_sweep",
+    "get_data_graph",
+]
+
+#: The paper's p grid (§4.1): −4 to 4 in steps of 0.5.
+P_GRID: tuple[float, ...] = tuple(np.arange(-4.0, 4.01, 0.5))
+
+#: Residual probabilities studied in Figures 6–8.
+ALPHA_GRID: tuple[float, ...] = (0.5, 0.7, 0.75, 0.9)
+
+#: Connection-strength blends studied in Figures 9–11.
+BETA_GRID: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: The paper's default residual probability.
+DEFAULT_ALPHA: float = 0.85
+
+#: Solver tolerance for experiment runs: loose enough to be fast, far below
+#: the correlation differences the experiments measure.
+_TOL = 1e-9
+
+
+@lru_cache(maxsize=32)
+def get_data_graph(name: str, scale: float) -> DataGraph:
+    """Memoised dataset loader (datasets are deterministic per scale)."""
+    return load(name, scale=scale)
+
+
+@dataclass(frozen=True)
+class CorrelationCurve:
+    """Spearman correlation of D2PR ranks vs significance along a p grid."""
+
+    ps: tuple[float, ...]
+    correlations: tuple[float, ...]
+
+    @property
+    def peak_p(self) -> float:
+        """The p with the highest correlation."""
+        return self.ps[int(np.argmax(self.correlations))]
+
+    @property
+    def peak_correlation(self) -> float:
+        """The highest correlation along the grid."""
+        return float(np.max(self.correlations))
+
+    def at(self, p: float) -> float:
+        """Correlation at grid point ``p``.
+
+        Raises
+        ------
+        KeyError
+            If ``p`` is not on the grid.
+        """
+        for grid_p, corr in zip(self.ps, self.correlations):
+            if grid_p == p:
+                return corr
+        raise KeyError(f"p={p} not on the sweep grid")
+
+
+def correlation_curve(
+    data_graph: DataGraph,
+    *,
+    ps: tuple[float, ...] = P_GRID,
+    alpha: float = DEFAULT_ALPHA,
+    beta: float = 0.0,
+    weighted: bool = False,
+) -> CorrelationCurve:
+    """Sweep ``p`` and correlate D2PR scores with node significance."""
+    significance = data_graph.significance_vector()
+    correlations = []
+    for p in ps:
+        scores = d2pr(
+            data_graph.graph,
+            float(p),
+            alpha=alpha,
+            beta=beta if weighted else 0.0,
+            weighted=weighted,
+            tol=_TOL,
+        )
+        correlations.append(spearman(scores.values, significance))
+    return CorrelationCurve(ps=tuple(ps), correlations=tuple(correlations))
+
+
+def alpha_sweep(
+    data_graph: DataGraph,
+    *,
+    ps: tuple[float, ...] = P_GRID,
+    alphas: tuple[float, ...] = ALPHA_GRID,
+    weighted: bool = False,
+    beta: float = 0.0,
+) -> dict[float, CorrelationCurve]:
+    """Correlation curves for several residual probabilities (Figs 6–8)."""
+    return {
+        alpha: correlation_curve(
+            data_graph, ps=ps, alpha=alpha, beta=beta, weighted=weighted
+        )
+        for alpha in alphas
+    }
+
+
+def beta_sweep(
+    data_graph: DataGraph,
+    *,
+    ps: tuple[float, ...] = P_GRID,
+    betas: tuple[float, ...] = BETA_GRID,
+    alpha: float = DEFAULT_ALPHA,
+) -> dict[float, CorrelationCurve]:
+    """Correlation curves for several blends on weighted graphs (Figs 9–11)."""
+    return {
+        beta: correlation_curve(
+            data_graph, ps=ps, alpha=alpha, beta=beta, weighted=True
+        )
+        for beta in betas
+    }

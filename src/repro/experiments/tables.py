@@ -1,0 +1,173 @@
+"""Reproductions of the paper's Tables 1–3."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.d2pr import d2pr
+from repro.core.pagerank import pagerank
+from repro.datasets.reference import GRAPH_NAMES, PAPER_TABLE1, PAPER_TABLE3
+from repro.experiments.results import ExperimentResult, Section
+from repro.experiments.sweep import DEFAULT_ALPHA, get_data_graph
+from repro.metrics.correlation import spearman
+
+__all__ = ["table1", "table2", "table3"]
+
+#: p values shown in the paper's Table 2.
+_TABLE2_PS = (-4.0, -2.0, 0.0, 2.0, 4.0)
+
+
+def table1(scale: float = 1.0) -> ExperimentResult:
+    """Table 1: Spearman correlation between PageRank ranks and degrees.
+
+    The paper reports 0.988 / 0.997 / 0.848 for the listener, article and
+    movie graphs — evidence of the tight coupling that motivates D2PR.
+    """
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for name in PAPER_TABLE1:
+        dg = get_data_graph(name, scale)
+        scores = pagerank(dg.graph, alpha=DEFAULT_ALPHA, tol=1e-9)
+        degrees = dg.graph.degree_vector()
+        measured = spearman(scores.values, degrees)
+        paper = PAPER_TABLE1[name]
+        rows.append([name, f"{paper:.3f}", f"{measured:.3f}"])
+        data[name] = {"paper": paper, "measured": measured}
+    section = Section(
+        title="Spearman correlation between PageRank score ranks and degree ranks",
+        headers=["data graph", "paper", "measured"],
+        rows=rows,
+    )
+    return ExperimentResult(
+        experiment_id="table1",
+        title=(
+            "Correlation between node degree ranks and PageRank score ranks"
+        ),
+        sections=[section],
+        data=data,
+        notes=(
+            "High positive correlations confirm the paper's premise: "
+            "conventional PageRank on undirected graphs is nearly a degree "
+            "ranking."
+        ),
+    )
+
+
+def table2(scale: float = 1.0, graph_name: str = "lastfm/artist-artist") -> ExperimentResult:
+    """Table 2: node ranks across de-coupling weights.
+
+    Reproduces the paper's phenomenon on a hub-dominated sample graph: the
+    highest-degree nodes rank first when ``p < 0`` and fall to the bottom
+    when ``p > 0``; degree-1 nodes do the opposite.
+    """
+    dg = get_data_graph(graph_name, scale)
+    graph = dg.graph
+    degrees = graph.degree_vector()
+    n = graph.number_of_nodes
+    nodes = graph.nodes()
+
+    # Two highest-degree and two lowest-degree *connected* nodes, as in the
+    # paper (its sample rows are degree-883/739 hubs and degree-1 leaves;
+    # isolated nodes carry no walk signal and are skipped).
+    by_degree = np.argsort(-degrees, kind="stable")
+    connected = [int(i) for i in by_degree if degrees[i] > 0]
+    picks = [connected[0], connected[1], connected[-2], connected[-1]]
+
+    ranks_per_p: dict[float, np.ndarray] = {}
+    for p in _TABLE2_PS:
+        scores = d2pr(graph, p, alpha=DEFAULT_ALPHA, tol=1e-9)
+        order = np.argsort(-scores.values, kind="stable")
+        ranks = np.empty(n, dtype=int)
+        ranks[order] = np.arange(1, n + 1)
+        ranks_per_p[p] = ranks
+
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for idx in picks:
+        row = [str(nodes[idx]), str(int(degrees[idx]))]
+        entry: dict[str, float] = {"degree": float(degrees[idx])}
+        for p in _TABLE2_PS:
+            rank = int(ranks_per_p[p][idx])
+            row.append(str(rank))
+            entry[f"rank@p={p:g}"] = rank
+        rows.append(row)
+        data[str(nodes[idx])] = entry
+
+    section = Section(
+        title=f"Ranks of extreme-degree nodes on {graph_name} (n={n})",
+        headers=["node", "degree"] + [f"rank@p={p:g}" for p in _TABLE2_PS],
+        rows=rows,
+    )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Ranks of graph nodes of different degrees for different p",
+        sections=[section],
+        data=data,
+        notes=(
+            "p > 0 pushes high-degree nodes down the ranking; p < 0 pulls "
+            "them up — the paper's Table 2 pattern."
+        ),
+    )
+
+
+def table3(scale: float = 1.0) -> ExperimentResult:
+    """Table 3: data-set statistics, measured vs paper.
+
+    Absolute sizes are scaled to laptop scale; the experiment reports both
+    so the preserved *orderings* (which graph is densest, which has the
+    most heterogeneous neighbourhoods) can be verified at a glance.
+    """
+    headers = [
+        "data graph",
+        "nodes",
+        "edges",
+        "avg degree",
+        "degree std",
+        "median nbr-degree std",
+        "paper avg degree",
+        "paper median nbr-degree std",
+    ]
+    rows = []
+    data: dict[str, dict[str, float]] = {}
+    for name in GRAPH_NAMES:
+        dg = get_data_graph(name, scale)
+        stats = dg.statistics()
+        paper = PAPER_TABLE3[name]
+        rows.append(
+            [
+                name,
+                f"{stats.nodes:,}",
+                f"{stats.edges:,}",
+                f"{stats.average_degree:.2f}",
+                f"{stats.degree_std:.2f}",
+                f"{stats.median_neighbor_degree_std:.2f}",
+                f"{paper.average_degree:.2f}",
+                f"{paper.median_neighbor_degree_std:.2f}",
+            ]
+        )
+        data[name] = {
+            "nodes": stats.nodes,
+            "edges": stats.edges,
+            "average_degree": stats.average_degree,
+            "degree_std": stats.degree_std,
+            "median_neighbor_degree_std": stats.median_neighbor_degree_std,
+            "paper_average_degree": paper.average_degree,
+            "paper_median_neighbor_degree_std": paper.median_neighbor_degree_std,
+        }
+    section = Section(
+        title="Data sets and data graphs (measured vs paper)",
+        headers=headers,
+        rows=rows,
+    )
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Data sets and data graphs",
+        sections=[section],
+        data=data,
+        notes=(
+            "Synthetic graphs are laptop-scale; the paper's column "
+            "orderings (e.g. Group C graphs having the largest median "
+            "neighbour-degree spread within their projection family) are "
+            "the reproduction target, not absolute counts."
+        ),
+    )

@@ -1,0 +1,89 @@
+"""Graph substrate: data structures, generators, projections, statistics.
+
+Public surface:
+
+* :class:`~repro.graph.base.Graph`, :class:`~repro.graph.base.DiGraph` —
+  the core (optionally weighted) graph types.
+* :class:`~repro.graph.bipartite.BipartiteGraph` and
+  :func:`~repro.graph.bipartite.project` — two-mode graphs and the
+  co-membership projections that every data graph in the paper is built on.
+* Generators (:func:`~repro.graph.generators.erdos_renyi`, ...) used by the
+  synthetic dataset substrate.
+* :func:`~repro.graph.stats.graph_statistics` — the paper's Table 3 row.
+* Edge-list and JSON IO.
+"""
+
+from repro.graph.base import DiGraph, Graph, Node
+from repro.graph.bipartite import BipartiteGraph, project
+from repro.graph.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    clustering_coefficient,
+    harmonic_centrality,
+)
+from repro.graph.generators import (
+    as_rng,
+    barabasi_albert,
+    configuration_model,
+    erdos_renyi,
+    powerlaw_degree_sequence,
+    random_regular,
+)
+from repro.graph.io import (
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+from repro.graph.paths import (
+    all_pairs_distances,
+    bfs_distances,
+    diameter,
+    eccentricities,
+    effective_diameter,
+    neighborhood_function,
+    path_length_relatedness,
+)
+from repro.graph.stats import (
+    GraphStatistics,
+    degree_assortativity,
+    degree_histogram,
+    graph_statistics,
+    median_neighbor_degree_std,
+    neighbor_degree_stds,
+)
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "Node",
+    "BipartiteGraph",
+    "project",
+    "betweenness_centrality",
+    "closeness_centrality",
+    "harmonic_centrality",
+    "clustering_coefficient",
+    "erdos_renyi",
+    "barabasi_albert",
+    "configuration_model",
+    "powerlaw_degree_sequence",
+    "random_regular",
+    "as_rng",
+    "read_edge_list",
+    "write_edge_list",
+    "read_json_graph",
+    "write_json_graph",
+    "bfs_distances",
+    "all_pairs_distances",
+    "neighborhood_function",
+    "effective_diameter",
+    "path_length_relatedness",
+    "eccentricities",
+    "diameter",
+    "GraphStatistics",
+    "graph_statistics",
+    "degree_histogram",
+    "degree_assortativity",
+    "median_neighbor_degree_std",
+    "neighbor_degree_stds",
+]

@@ -1,0 +1,565 @@
+"""Core graph data structures used across the library.
+
+The library deliberately ships its own small graph substrate instead of
+depending on :mod:`networkx`: the algorithms in :mod:`repro.core` only need
+adjacency with weights, stable integer indexing and fast export to
+``scipy.sparse`` matrices, and owning the data structure keeps the transition
+matrix construction (the heart of the paper) self-contained and auditable.
+
+Two classes are provided:
+
+* :class:`Graph` — undirected, optionally weighted.
+* :class:`DiGraph` — directed, optionally weighted.
+
+Both map arbitrary hashable node objects to dense integer indices
+(``0 .. n-1`` in insertion order).  All numeric kernels operate on those
+indices; the mapping is exposed through :meth:`BaseGraph.index_of` and
+:meth:`BaseGraph.node_at`.
+
+Design notes
+------------
+Adjacency is a ``list[dict[int, float]]`` keyed by integer index.  Dicts give
+O(1) edge lookup and weight updates while staying cheap to iterate for CSR
+export.  Node attributes live in per-name arrays (``dict[str, list]``) so
+that attribute vectors align with node indices and can be handed directly to
+numpy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Any
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import EdgeError, EmptyGraphError, NodeNotFoundError
+
+Node = Hashable
+
+__all__ = ["Graph", "DiGraph", "Node"]
+
+
+class BaseGraph:
+    """Shared machinery for :class:`Graph` and :class:`DiGraph`.
+
+    Not part of the public API; use the concrete subclasses.
+    """
+
+    #: Whether edges are directed.  Set by subclasses.
+    directed: bool = False
+
+    def __init__(self) -> None:
+        self._index: dict[Node, int] = {}
+        self._nodes: list[Node] = []
+        # _succ[i][j] = weight of edge i -> j.  For undirected graphs the
+        # structure is symmetric (both directions stored).
+        self._succ: list[dict[int, float]] = []
+        self._node_attrs: dict[str, dict[int, Any]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # node handling
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, **attrs: Any) -> int:
+        """Add ``node`` (a hashable) and return its integer index.
+
+        Adding an existing node is a no-op apart from merging ``attrs``.
+        """
+        idx = self._index.get(node)
+        if idx is None:
+            idx = len(self._nodes)
+            self._index[node] = idx
+            self._nodes.append(node)
+            self._succ.append({})
+        for name, value in attrs.items():
+            self._node_attrs.setdefault(name, {})[idx] = value
+        return idx
+
+    def add_nodes_from(self, nodes: Iterable[Node]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def has_node(self, node: Node) -> bool:
+        """Return ``True`` when ``node`` is part of the graph."""
+        return node in self._index
+
+    def index_of(self, node: Node) -> int:
+        """Return the dense integer index of ``node``.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If the node has never been added.
+        """
+        try:
+            return self._index[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def node_at(self, index: int) -> Node:
+        """Return the node object stored at integer ``index``."""
+        try:
+            return self._nodes[index]
+        except IndexError:
+            raise NodeNotFoundError(index) from None
+
+    def nodes(self) -> list[Node]:
+        """Return all node objects in index order (a fresh list)."""
+        return list(self._nodes)
+
+    @property
+    def number_of_nodes(self) -> int:
+        """Number of nodes currently in the graph."""
+        return len(self._nodes)
+
+    @property
+    def number_of_edges(self) -> int:
+        """Number of edges (each undirected edge counted once)."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._index
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    # ------------------------------------------------------------------
+    # node attributes
+    # ------------------------------------------------------------------
+    def set_node_attr(self, node: Node, name: str, value: Any) -> None:
+        """Attach attribute ``name=value`` to ``node``."""
+        idx = self.index_of(node)
+        self._node_attrs.setdefault(name, {})[idx] = value
+
+    def node_attr(self, node: Node, name: str, default: Any = None) -> Any:
+        """Return attribute ``name`` of ``node`` (or ``default``)."""
+        idx = self.index_of(node)
+        return self._node_attrs.get(name, {}).get(idx, default)
+
+    def node_attr_array(self, name: str, default: float = np.nan) -> np.ndarray:
+        """Return attribute ``name`` for every node as a float array.
+
+        Missing values are filled with ``default``.  The array is aligned
+        with node indices, which makes it directly comparable with score
+        vectors returned by :mod:`repro.core`.
+        """
+        values = self._node_attrs.get(name, {})
+        out = np.full(self.number_of_nodes, default, dtype=float)
+        for idx, value in values.items():
+            out[idx] = value
+        return out
+
+    def attribute_names(self) -> list[str]:
+        """Names of all node attributes ever set on this graph."""
+        return sorted(self._node_attrs)
+
+    # ------------------------------------------------------------------
+    # edge handling
+    # ------------------------------------------------------------------
+    def _require_weight(self, weight: float) -> float:
+        weight = float(weight)
+        if not np.isfinite(weight):
+            raise EdgeError(f"edge weight must be finite, got {weight!r}")
+        if weight <= 0.0:
+            raise EdgeError(f"edge weight must be positive, got {weight!r}")
+        return weight
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return ``True`` when the edge ``u -> v`` (or ``u -- v``) exists."""
+        if u not in self._index or v not in self._index:
+            return False
+        return self._index[v] in self._succ[self._index[u]]
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        """Return the weight of edge ``u -> v``.
+
+        Raises
+        ------
+        EdgeError
+            If the edge does not exist.
+        """
+        ui, vi = self.index_of(u), self.index_of(v)
+        try:
+            return self._succ[ui][vi]
+        except KeyError:
+            raise EdgeError(f"no edge {u!r} -> {v!r}") from None
+
+    def neighbors(self, node: Node) -> list[Node]:
+        """Return the (out-)neighbours of ``node`` as node objects."""
+        idx = self.index_of(node)
+        return [self._nodes[j] for j in self._succ[idx]]
+
+    def neighbor_indices(self, index: int) -> list[int]:
+        """Return (out-)neighbour integer indices of node ``index``."""
+        if not 0 <= index < len(self._succ):
+            raise NodeNotFoundError(index)
+        return list(self._succ[index])
+
+    # ------------------------------------------------------------------
+    # numpy / scipy export
+    # ------------------------------------------------------------------
+    def to_coo_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(rows, cols, weights)`` arrays of the adjacency.
+
+        For undirected graphs both orientations of every edge are present,
+        mirroring the symmetric adjacency matrix.
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        for i, nbrs in enumerate(self._succ):
+            for j, w in nbrs.items():
+                rows.append(i)
+                cols.append(j)
+                data.append(w)
+        return (
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(data, dtype=np.float64),
+        )
+
+    def to_csr(self, *, weighted: bool = True) -> sparse.csr_matrix:
+        """Return the adjacency matrix as ``scipy.sparse.csr_matrix``.
+
+        Row ``i`` holds the out-edges of node ``i`` (for undirected graphs
+        the matrix is symmetric).  With ``weighted=False`` all stored
+        weights are replaced by ``1.0``.
+        """
+        n = self.number_of_nodes
+        rows, cols, data = self.to_coo_arrays()
+        if not weighted:
+            data = np.ones_like(data)
+        return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+    # ------------------------------------------------------------------
+    # degrees
+    # ------------------------------------------------------------------
+    def out_degree_vector(self, *, weighted: bool = False) -> np.ndarray:
+        """Out-degree (or total out-weight) per node index.
+
+        For undirected graphs this equals the ordinary degree vector.
+        """
+        n = self.number_of_nodes
+        out = np.zeros(n, dtype=float)
+        for i, nbrs in enumerate(self._succ):
+            out[i] = sum(nbrs.values()) if weighted else len(nbrs)
+        return out
+
+    def degree(self, node: Node) -> int:
+        """Number of (out-)edges incident on ``node``."""
+        return len(self._succ[self.index_of(node)])
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def require_nonempty(self) -> None:
+        """Raise :class:`EmptyGraphError` when the graph has no nodes."""
+        if self.number_of_nodes == 0:
+            raise EmptyGraphError("operation requires a non-empty graph")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "DiGraph" if self.directed else "Graph"
+        return (
+            f"<{kind} nodes={self.number_of_nodes} "
+            f"edges={self.number_of_edges}>"
+        )
+
+
+class Graph(BaseGraph):
+    """An undirected, optionally weighted graph.
+
+    Examples
+    --------
+    >>> g = Graph()
+    >>> g.add_edge("a", "b", weight=2.0)
+    >>> g.degree("a")
+    1
+    >>> g.edge_weight("b", "a")
+    2.0
+    """
+
+    directed = False
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add (or re-weight) the undirected edge ``u -- v``.
+
+        Self-loops are rejected: none of the graphs studied by the paper
+        contain them and they would silently distort degree statistics.
+        """
+        if u == v:
+            raise EdgeError(f"self-loop on {u!r} is not allowed")
+        weight = self._require_weight(weight)
+        ui = self.add_node(u)
+        vi = self.add_node(v)
+        is_new = vi not in self._succ[ui]
+        self._succ[ui][vi] = weight
+        self._succ[vi][ui] = weight
+        if is_new:
+            self._num_edges += 1
+
+    def increment_edge(self, u: Node, v: Node, delta: float = 1.0) -> None:
+        """Add ``delta`` to the weight of ``u -- v``, creating it if absent.
+
+        This is the operation used by bipartite projections, where the edge
+        weight counts shared affiliations.
+        """
+        if u == v:
+            raise EdgeError(f"self-loop on {u!r} is not allowed")
+        ui = self.add_node(u)
+        vi = self.add_node(v)
+        current = self._succ[ui].get(vi)
+        if current is None:
+            self._num_edges += 1
+            current = 0.0
+        new_weight = self._require_weight(current + delta)
+        self._succ[ui][vi] = new_weight
+        self._succ[vi][ui] = new_weight
+
+    def add_edges_from(
+        self, edges: Iterable[tuple[Node, Node] | tuple[Node, Node, float]]
+    ) -> None:
+        """Add edges from ``(u, v)`` or ``(u, v, weight)`` tuples."""
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                self.add_edge(u, v)
+            else:
+                u, v, w = edge  # type: ignore[misc]
+                self.add_edge(u, v, weight=w)
+
+    def edges(self) -> Iterator[tuple[Node, Node, float]]:
+        """Iterate over edges once each as ``(u, v, weight)`` with u-index < v-index."""
+        for i, nbrs in enumerate(self._succ):
+            for j, w in nbrs.items():
+                if i < j:
+                    yield self._nodes[i], self._nodes[j], w
+
+    def degree_vector(self, *, weighted: bool = False) -> np.ndarray:
+        """Degree (or strength when ``weighted``) of every node, by index."""
+        return self.out_degree_vector(weighted=weighted)
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def connected_components(self) -> list[list[Node]]:
+        """Return connected components as lists of node objects.
+
+        Components are sorted by decreasing size (ties broken by smallest
+        member index) so ``components[0]`` is the giant component.
+        """
+        n = self.number_of_nodes
+        seen = np.zeros(n, dtype=bool)
+        components: list[list[int]] = []
+        for start in range(n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            members = []
+            while stack:
+                i = stack.pop()
+                members.append(i)
+                for j in self._succ[i]:
+                    if not seen[j]:
+                        seen[j] = True
+                        stack.append(j)
+            components.append(members)
+        components.sort(key=lambda m: (-len(m), m[0]))
+        return [[self._nodes[i] for i in sorted(m)] for m in components]
+
+    def largest_connected_component(self) -> "Graph":
+        """Return the subgraph induced by the largest connected component."""
+        self.require_nonempty()
+        return self.subgraph(self.connected_components()[0])
+
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the subgraph induced by ``nodes`` (attributes preserved)."""
+        keep = {self.index_of(node) for node in nodes}
+        sub = Graph()
+        for i in sorted(keep):
+            attrs = {
+                name: values[i]
+                for name, values in self._node_attrs.items()
+                if i in values
+            }
+            sub.add_node(self._nodes[i], **attrs)
+        for i in sorted(keep):
+            for j, w in self._succ[i].items():
+                if j in keep and i < j:
+                    sub.add_edge(self._nodes[i], self._nodes[j], weight=w)
+        return sub
+
+    def copy(self) -> "Graph":
+        """Return a deep structural copy of the graph."""
+        return self.subgraph(self._nodes)
+
+    def to_directed(self) -> "DiGraph":
+        """Return a :class:`DiGraph` with both orientations of every edge."""
+        d = DiGraph()
+        for i, node in enumerate(self._nodes):
+            attrs = {
+                name: values[i]
+                for name, values in self._node_attrs.items()
+                if i in values
+            }
+            d.add_node(node, **attrs)
+        for u, v, w in self.edges():
+            d.add_edge(u, v, weight=w)
+            d.add_edge(v, u, weight=w)
+        return d
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Node, Node] | tuple[Node, Node, float]],
+        *,
+        nodes: Iterable[Node] | None = None,
+    ) -> "Graph":
+        """Build a graph from an edge iterable (and optional isolated nodes)."""
+        g = cls()
+        if nodes is not None:
+            g.add_nodes_from(nodes)
+        g.add_edges_from(edges)
+        return g
+
+
+class DiGraph(BaseGraph):
+    """A directed, optionally weighted graph.
+
+    Examples
+    --------
+    >>> g = DiGraph()
+    >>> g.add_edge("a", "b")
+    >>> g.out_degree("a"), g.in_degree("b")
+    (1, 1)
+    """
+
+    directed = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pred: list[dict[int, float]] = []
+
+    def add_node(self, node: Node, **attrs: Any) -> int:
+        idx = super().add_node(node, **attrs)
+        while len(self._pred) < len(self._nodes):
+            self._pred.append({})
+        return idx
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add (or re-weight) the directed edge ``u -> v``.
+
+        Self-loops are rejected (see :class:`Graph`).
+        """
+        if u == v:
+            raise EdgeError(f"self-loop on {u!r} is not allowed")
+        weight = self._require_weight(weight)
+        ui = self.add_node(u)
+        vi = self.add_node(v)
+        is_new = vi not in self._succ[ui]
+        self._succ[ui][vi] = weight
+        self._pred[vi][ui] = weight
+        if is_new:
+            self._num_edges += 1
+
+    def add_edges_from(
+        self, edges: Iterable[tuple[Node, Node] | tuple[Node, Node, float]]
+    ) -> None:
+        """Add directed edges from ``(u, v)`` or ``(u, v, weight)`` tuples."""
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                self.add_edge(u, v)
+            else:
+                u, v, w = edge  # type: ignore[misc]
+                self.add_edge(u, v, weight=w)
+
+    def edges(self) -> Iterator[tuple[Node, Node, float]]:
+        """Iterate over directed edges as ``(u, v, weight)``."""
+        for i, nbrs in enumerate(self._succ):
+            for j, w in nbrs.items():
+                yield self._nodes[i], self._nodes[j], w
+
+    def out_degree(self, node: Node) -> int:
+        """Number of edges leaving ``node``."""
+        return len(self._succ[self.index_of(node)])
+
+    def in_degree(self, node: Node) -> int:
+        """Number of edges entering ``node``."""
+        return len(self._pred[self.index_of(node)])
+
+    def in_degree_vector(self, *, weighted: bool = False) -> np.ndarray:
+        """In-degree (or total in-weight) per node index."""
+        n = self.number_of_nodes
+        out = np.zeros(n, dtype=float)
+        for i, preds in enumerate(self._pred):
+            out[i] = sum(preds.values()) if weighted else len(preds)
+        return out
+
+    def predecessors(self, node: Node) -> list[Node]:
+        """Return nodes with an edge into ``node``."""
+        idx = self.index_of(node)
+        return [self._nodes[j] for j in self._pred[idx]]
+
+    def dangling_mask(self) -> np.ndarray:
+        """Boolean array marking nodes without outgoing edges."""
+        return np.array([len(nbrs) == 0 for nbrs in self._succ], dtype=bool)
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """Return the subgraph induced by ``nodes`` (attributes preserved)."""
+        keep = {self.index_of(node) for node in nodes}
+        sub = DiGraph()
+        for i in sorted(keep):
+            attrs = {
+                name: values[i]
+                for name, values in self._node_attrs.items()
+                if i in values
+            }
+            sub.add_node(self._nodes[i], **attrs)
+        for i in sorted(keep):
+            for j, w in self._succ[i].items():
+                if j in keep:
+                    sub.add_edge(self._nodes[i], self._nodes[j], weight=w)
+        return sub
+
+    def copy(self) -> "DiGraph":
+        """Return a deep structural copy of the graph."""
+        return self.subgraph(self._nodes)
+
+    def to_undirected(self) -> Graph:
+        """Collapse directions; anti-parallel edge weights are summed."""
+        g = Graph()
+        for i, node in enumerate(self._nodes):
+            attrs = {
+                name: values[i]
+                for name, values in self._node_attrs.items()
+                if i in values
+            }
+            g.add_node(node, **attrs)
+        for u, v, w in self.edges():
+            g.increment_edge(u, v, delta=w)
+        return g
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Node, Node] | tuple[Node, Node, float]],
+        *,
+        nodes: Iterable[Node] | None = None,
+    ) -> "DiGraph":
+        """Build a digraph from an edge iterable (plus optional nodes)."""
+        g = cls()
+        if nodes is not None:
+            g.add_nodes_from(nodes)
+        g.add_edges_from(edges)
+        return g
+
+
+def as_mapping(graph: BaseGraph) -> Mapping[Node, list[Node]]:
+    """Return a read-only ``{node: neighbours}`` view (debugging helper)."""
+    return {node: graph.neighbors(node) for node in graph.nodes()}

@@ -1,0 +1,129 @@
+"""Reading and writing graphs.
+
+Supports the two formats used throughout the repository:
+
+* **Edge lists** (``.tsv`` / ``.txt``): one edge per line, whitespace
+  separated, optional third column with the weight, ``#`` comments.  This is
+  the format of the public SNAP / hetrec dumps the paper used, so users with
+  access to the original data can load it directly.
+* **JSON graphs**: a self-describing format that round-trips node
+  attributes, weights and directedness; used to cache generated datasets.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO
+
+from repro.errors import GraphError
+from repro.graph.base import BaseGraph, DiGraph, Graph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_json_graph",
+    "write_json_graph",
+]
+
+
+def _parse_edge_line(line: str, lineno: int) -> tuple[str, str, float] | None:
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    parts = stripped.split()
+    if len(parts) == 2:
+        return parts[0], parts[1], 1.0
+    if len(parts) == 3:
+        try:
+            weight = float(parts[2])
+        except ValueError:
+            raise GraphError(
+                f"line {lineno}: third column is not a number: {parts[2]!r}"
+            ) from None
+        return parts[0], parts[1], weight
+    raise GraphError(
+        f"line {lineno}: expected 2 or 3 columns, got {len(parts)}"
+    )
+
+
+def read_edge_list(
+    path: str | Path | TextIO,
+    *,
+    directed: bool = False,
+) -> Graph | DiGraph:
+    """Read a whitespace-separated edge list.
+
+    Lines are ``u v`` or ``u v weight``; ``#``-prefixed lines and blank
+    lines are skipped.  Node names are kept as strings.
+    """
+    graph: Graph | DiGraph = DiGraph() if directed else Graph()
+
+    def _consume(handle: TextIO) -> None:
+        for lineno, line in enumerate(handle, start=1):
+            parsed = _parse_edge_line(line, lineno)
+            if parsed is None:
+                continue
+            u, v, w = parsed
+            graph.add_edge(u, v, weight=w)
+
+    if isinstance(path, (str, Path)):
+        with open(path, "r", encoding="utf-8") as handle:
+            _consume(handle)
+    else:
+        _consume(path)
+    return graph
+
+
+def write_edge_list(graph: BaseGraph, path: str | Path) -> None:
+    """Write ``graph`` as ``u v weight`` lines (one per edge)."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.number_of_nodes} edges={graph.number_of_edges}\n")
+        handle.write(f"# directed={graph.directed}\n")
+        for u, v, w in graph.edges():  # type: ignore[attr-defined]
+            handle.write(f"{u}\t{v}\t{w:g}\n")
+
+
+def write_json_graph(graph: BaseGraph, path: str | Path) -> None:
+    """Serialise ``graph`` (structure + node attributes) to JSON."""
+    nodes = graph.nodes()
+    payload = {
+        "directed": graph.directed,
+        "nodes": [
+            {
+                "id": node,
+                "attrs": {
+                    name: graph.node_attr(node, name)
+                    for name in graph.attribute_names()
+                    if graph.node_attr(node, name) is not None
+                },
+            }
+            for node in nodes
+        ],
+        "edges": [
+            {"source": u, "target": v, "weight": w}
+            for u, v, w in graph.edges()  # type: ignore[attr-defined]
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def read_json_graph(path: str | Path) -> Graph | DiGraph:
+    """Load a graph written by :func:`write_json_graph`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    try:
+        directed = bool(payload["directed"])
+        node_records = payload["nodes"]
+        edge_records = payload["edges"]
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed JSON graph file {path}: {exc}") from exc
+
+    graph: Graph | DiGraph = DiGraph() if directed else Graph()
+    for record in node_records:
+        graph.add_node(record["id"], **record.get("attrs", {}))
+    for record in edge_records:
+        graph.add_edge(
+            record["source"], record["target"], weight=record.get("weight", 1.0)
+        )
+    return graph

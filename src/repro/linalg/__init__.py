@@ -1,0 +1,39 @@
+"""Numerical substrate: transition-matrix builders and stationary solvers."""
+
+from repro.linalg.solvers import (
+    DANGLING_STRATEGIES,
+    PageRankResult,
+    direct_solve,
+    extrapolated_power_iteration,
+    gauss_seidel,
+    patch_dangling,
+    power_iteration,
+    validate_stochastic_rows,
+)
+from repro.linalg.transition import (
+    blended_transition,
+    connection_strength_transition,
+    dangling_rows,
+    degree_decoupled_transition,
+    row_normalize,
+    segment_softmax_weights,
+    uniform_transition,
+)
+
+__all__ = [
+    "PageRankResult",
+    "power_iteration",
+    "extrapolated_power_iteration",
+    "gauss_seidel",
+    "direct_solve",
+    "patch_dangling",
+    "validate_stochastic_rows",
+    "DANGLING_STRATEGIES",
+    "row_normalize",
+    "uniform_transition",
+    "connection_strength_transition",
+    "degree_decoupled_transition",
+    "blended_transition",
+    "dangling_rows",
+    "segment_softmax_weights",
+]

@@ -1,0 +1,225 @@
+"""Transition-matrix builders.
+
+All builders return **row-stochastic** sparse matrices ``P`` where
+``P[i, j]`` is the probability of the random surfer stepping from node ``i``
+to node ``j``.  The paper writes its equations column-stochastically
+(``T_D(j, i)`` is the probability of moving *from* ``v_i`` *to* ``v_j``);
+the two conventions are transposes of each other and the solvers in
+:mod:`repro.linalg.solvers` multiply by ``P.T`` accordingly.
+
+The core builder is :func:`degree_decoupled_transition`, Equation (1) of the
+paper:
+
+.. math::
+
+    T_D(j, i) = \\frac{\\theta(v_j)^{-p}}
+                      {\\sum_{v_k \\in N(v_i)} \\theta(v_k)^{-p}}
+
+where ``theta`` is the degree (undirected), the out-degree (directed) or the
+total out-weight (weighted graphs).
+
+Numerical stability
+-------------------
+``theta^(-p)`` overflows float64 once ``|p| * log10(theta)`` exceeds ~308.
+With degrees in the hundreds and the desideratum asking for ``p → ±∞``
+behaviour, the naive formula is unusable.  All weights are therefore
+computed in log space with a per-source-row max-shift (the standard
+log-sum-exp trick), which is exact up to floating-point rounding for any
+real ``p``.  The ablation benchmark ``bench_ablation_logspace`` demonstrates
+where the naive formula breaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "row_normalize",
+    "uniform_transition",
+    "connection_strength_transition",
+    "degree_decoupled_transition",
+    "blended_transition",
+    "dangling_rows",
+    "segment_softmax_weights",
+]
+
+
+def _as_csr(adjacency: sparse.spmatrix) -> sparse.csr_matrix:
+    mat = sparse.csr_matrix(adjacency, dtype=np.float64)
+    if mat.shape[0] != mat.shape[1]:
+        raise ParameterError(
+            f"adjacency must be square, got shape {mat.shape}"
+        )
+    mat.sort_indices()
+    return mat
+
+
+def dangling_rows(adjacency: sparse.spmatrix) -> np.ndarray:
+    """Boolean mask of rows with no out-going entries (dangling nodes)."""
+    mat = _as_csr(adjacency)
+    return np.diff(mat.indptr) == 0
+
+
+def row_normalize(adjacency: sparse.spmatrix) -> sparse.csr_matrix:
+    """Scale every non-empty row to sum to 1 (empty rows stay empty)."""
+    mat = _as_csr(adjacency).copy()
+    if mat.nnz == 0:
+        return mat
+    # reduceat cannot handle empty segments (their start index duplicates
+    # the next row's, or equals nnz and falls out of bounds), so reduce
+    # over the non-empty rows only and scatter the sums back.
+    lengths = np.diff(mat.indptr)
+    nonempty = lengths > 0
+    row_sums = np.zeros(lengths.shape[0])
+    row_sums[nonempty] = np.add.reduceat(mat.data, mat.indptr[:-1][nonempty])
+    with np.errstate(invalid="ignore", divide="ignore"):
+        inv = np.where(row_sums > 0.0, 1.0 / row_sums, 0.0)
+    mat.data *= np.repeat(inv, lengths)
+    return mat
+
+
+def uniform_transition(adjacency: sparse.spmatrix) -> sparse.csr_matrix:
+    """Conventional unweighted PageRank transition.
+
+    Every existing edge from a node gets probability ``1 / out_degree``,
+    ignoring stored weights.  This is the paper's ``p = 0`` case.
+    """
+    mat = _as_csr(adjacency).copy()
+    mat.data = np.ones_like(mat.data)
+    return row_normalize(mat)
+
+
+def connection_strength_transition(
+    adjacency: sparse.spmatrix,
+) -> sparse.csr_matrix:
+    """Weighted conventional PageRank transition (paper's ``T_conn``).
+
+    Out-edges are normalised proportionally to their weights:
+    ``T_conn(j, i) = w(i→j) / Σ_h w(i→h)``.
+    """
+    return row_normalize(_as_csr(adjacency))
+
+
+def segment_softmax_weights(
+    log_theta_per_entry: np.ndarray,
+    indptr: np.ndarray,
+    p: float,
+) -> np.ndarray:
+    """Stabilised ``theta^(-p)`` weights normalised within each CSR row.
+
+    Given ``log(theta)`` of the *destination* of every stored entry and the
+    CSR ``indptr`` delimiting rows, return weights proportional to
+    ``exp(-p * log_theta)`` that sum to 1 within each non-empty row.
+
+    This is the log-sum-exp trick applied per CSR segment, so the result is
+    finite and correctly normalised for any real ``p`` — including the
+    desideratum limits where ``p → ±∞`` concentrates all mass on the
+    extreme-degree neighbour.
+    """
+    if log_theta_per_entry.shape[0] == 0:
+        return log_theta_per_entry.astype(np.float64)
+    scores = -p * log_theta_per_entry
+    lengths = np.diff(indptr)
+    nonempty = lengths > 0
+    starts = np.asarray(indptr[:-1])[nonempty]
+    # reduceat cannot handle empty segments; reduce over non-empty rows
+    # only and scatter back (empty rows contribute no entries anyway).
+    row_max = np.zeros(lengths.shape[0])
+    row_max[nonempty] = np.maximum.reduceat(scores, starts)
+    shifted = scores - np.repeat(row_max, lengths)
+    weights = np.exp(shifted)
+    row_sums = np.ones(lengths.shape[0])
+    row_sums[nonempty] = np.add.reduceat(weights, starts)
+    weights /= np.repeat(row_sums, lengths)
+    return weights
+
+
+def degree_decoupled_transition(
+    adjacency: sparse.spmatrix,
+    p: float,
+    *,
+    theta: np.ndarray | None = None,
+    clamp_min: float = 1.0,
+) -> sparse.csr_matrix:
+    """Degree de-coupled transition matrix — Equation (1) of the paper.
+
+    Parameters
+    ----------
+    adjacency:
+        Sparse adjacency with rows as sources.  Only the sparsity pattern is
+        used unless ``theta`` is derived from weights by the caller.
+    p:
+        The degree de-coupling weight.  ``p = 0`` reproduces the uniform
+        transition; ``p > 0`` penalises high-``theta`` destinations;
+        ``p < 0`` boosts them.
+    theta:
+        Per-node positive "size" used for weighting: degree for undirected
+        graphs, out-degree for directed graphs, total out-weight for
+        weighted graphs.  Defaults to the row-count of non-zeros
+        (out-degree) of ``adjacency``.
+    clamp_min:
+        Destinations with ``theta < clamp_min`` are clamped up to
+        ``clamp_min`` for weighting purposes.  The paper's formula is
+        undefined for ``outdeg = 0`` destinations (``0^-p``); clamping to 1
+        treats sinks as degree-1 nodes, which keeps them reachable without
+        letting them dominate (see DESIGN.md §5.3).
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        Row-stochastic matrix with the sparsity pattern of ``adjacency``.
+    """
+    if not np.isfinite(p):
+        raise ParameterError(f"p must be finite, got {p}")
+    if clamp_min <= 0.0:
+        raise ParameterError(f"clamp_min must be > 0, got {clamp_min}")
+    mat = _as_csr(adjacency).copy()
+    n = mat.shape[0]
+    if theta is None:
+        theta_vec = np.diff(mat.indptr).astype(np.float64)
+    else:
+        theta_vec = np.asarray(theta, dtype=np.float64)
+        if theta_vec.shape != (n,):
+            raise ParameterError(
+                f"theta must have shape ({n},), got {theta_vec.shape}"
+            )
+        if (theta_vec < 0).any():
+            raise ParameterError("theta entries must be non-negative")
+    log_theta = np.log(np.maximum(theta_vec, clamp_min))
+    mat.data = segment_softmax_weights(log_theta[mat.indices], mat.indptr, p)
+    return mat
+
+
+def blended_transition(
+    adjacency: sparse.spmatrix,
+    p: float,
+    beta: float,
+    *,
+    theta: np.ndarray | None = None,
+    clamp_min: float = 1.0,
+) -> sparse.csr_matrix:
+    """Weighted-graph transition: ``β·T_conn + (1-β)·T_D`` (paper §3.2.3).
+
+    ``beta = 1`` is the conventional weighted PageRank (connection strength
+    only); ``beta = 0`` is full degree de-coupling.  ``theta`` defaults to
+    the total out-weight of each node, the paper's ``Θ(v)``.
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise ParameterError(f"beta must be in [0, 1], got {beta}")
+    mat = _as_csr(adjacency)
+    if theta is None:
+        # Θ(v) = Σ w(v → ·): total out-weight.
+        theta = np.asarray(mat.sum(axis=1)).ravel()
+    decoupled = degree_decoupled_transition(
+        mat, p, theta=theta, clamp_min=clamp_min
+    )
+    if beta == 0.0:
+        return decoupled
+    strength = connection_strength_transition(mat)
+    if beta == 1.0:
+        return strength
+    blended = beta * strength + (1.0 - beta) * decoupled
+    return sparse.csr_matrix(blended)

@@ -1,0 +1,24 @@
+"""Correlation and ranking-quality metrics."""
+
+from repro.metrics.correlation import kendall, pearson, rank_data, spearman
+from repro.metrics.ranking import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+    top_k_overlap,
+)
+
+__all__ = [
+    "rank_data",
+    "pearson",
+    "spearman",
+    "kendall",
+    "precision_at_k",
+    "recall_at_k",
+    "ndcg_at_k",
+    "top_k_overlap",
+    "reciprocal_rank",
+    "average_precision",
+]

@@ -1,0 +1,119 @@
+"""Top-k ranking quality measures for the recommendation layer.
+
+The paper evaluates D2PR through rank correlations; a downstream
+recommender cares about the *top* of the ranking.  These metrics quantify
+that: precision@k / recall@k against a relevant set, NDCG@k against graded
+significances, top-k overlap between two rankings, and mean reciprocal
+rank.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence, Set
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "precision_at_k",
+    "recall_at_k",
+    "ndcg_at_k",
+    "top_k_overlap",
+    "reciprocal_rank",
+    "average_precision",
+]
+
+
+def _check_k(k: int) -> None:
+    if k <= 0:
+        raise ParameterError(f"k must be positive, got {k}")
+
+
+def precision_at_k(ranking: Sequence, relevant: Set, k: int) -> float:
+    """Fraction of the first ``k`` ranked items that are relevant."""
+    _check_k(k)
+    if not ranking:
+        return 0.0
+    top = ranking[:k]
+    hits = sum(1 for item in top if item in relevant)
+    return hits / min(k, len(ranking)) if len(ranking) < k else hits / k
+
+
+def recall_at_k(ranking: Sequence, relevant: Set, k: int) -> float:
+    """Fraction of the relevant set found in the first ``k`` items."""
+    _check_k(k)
+    if not relevant:
+        return 0.0
+    top = ranking[:k]
+    hits = sum(1 for item in top if item in relevant)
+    return hits / len(relevant)
+
+
+def ndcg_at_k(
+    ranking: Sequence,
+    gains: dict,
+    k: int,
+) -> float:
+    """Normalised discounted cumulative gain at ``k``.
+
+    ``gains`` maps items to non-negative graded relevances (e.g. average
+    ratings).  Items missing from ``gains`` contribute 0.  Uses the
+    ``gain / log2(position + 1)`` formulation; the ideal ordering is the
+    gains sorted descending.
+    """
+    _check_k(k)
+    if any(g < 0 for g in gains.values()):
+        raise ParameterError("gains must be non-negative")
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    actual = sum(
+        gains.get(item, 0.0) * discounts[pos]
+        for pos, item in enumerate(ranking[:k])
+    )
+    ideal_gains = sorted(gains.values(), reverse=True)[:k]
+    ideal = sum(g * discounts[pos] for pos, g in enumerate(ideal_gains))
+    if ideal == 0.0:
+        return 0.0
+    return float(actual / ideal)
+
+
+def top_k_overlap(ranking_a: Sequence, ranking_b: Sequence, k: int) -> float:
+    """Jaccard overlap of the top-``k`` prefixes of two rankings.
+
+    1.0 means identical top-k sets (order ignored); 0.0 means disjoint.
+    Useful for quantifying how strongly a change of ``p`` reshuffles the
+    head of the ranking (Table 2's phenomenon, summarised as one number).
+    """
+    _check_k(k)
+    a = set(ranking_a[:k])
+    b = set(ranking_b[:k])
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+def reciprocal_rank(ranking: Sequence, relevant: Set) -> float:
+    """1 / position of the first relevant item (0.0 when none appears)."""
+    for pos, item in enumerate(ranking, start=1):
+        if item in relevant:
+            return 1.0 / pos
+    return 0.0
+
+
+def average_precision(ranking: Sequence, relevant: Set) -> float:
+    """Mean of precision@k over the positions of relevant items.
+
+    The single-query building block of MAP; 0.0 when ``relevant`` is empty
+    or never retrieved.
+    """
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for pos, item in enumerate(ranking, start=1):
+        if item in relevant:
+            hits += 1
+            total += hits / pos
+    if hits == 0:
+        return 0.0
+    return total / len(relevant)

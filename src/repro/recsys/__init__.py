@@ -1,0 +1,18 @@
+"""Recommendation layer on top of degree de-coupled PageRank."""
+
+from repro.recsys.evaluation import (
+    HoldoutResult,
+    RankingEvaluation,
+    evaluate_scores,
+    holdout_tune,
+)
+from repro.recsys.recommender import D2PRRecommender, RecommenderConfig
+
+__all__ = [
+    "D2PRRecommender",
+    "RecommenderConfig",
+    "RankingEvaluation",
+    "evaluate_scores",
+    "HoldoutResult",
+    "holdout_tune",
+]

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.graph import DiGraph, Graph
+
+
+@pytest.fixture
+def figure1_graph() -> Graph:
+    """The paper's Figure 1 example: A–B, A–C, A–D, B–E, C–E, C–F."""
+    return Graph.from_edges(
+        [("A", "B"), ("A", "C"), ("A", "D"), ("B", "E"), ("C", "E"), ("C", "F")]
+    )
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """Undirected path a–b–c–d."""
+    return Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """Star with hub ``h`` and five leaves."""
+    return Graph.from_edges([("h", f"leaf{i}") for i in range(5)])
+
+
+@pytest.fixture
+def cycle_digraph() -> DiGraph:
+    """Directed 4-cycle."""
+    return DiGraph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]
+    )
+
+
+@pytest.fixture
+def dangling_digraph() -> DiGraph:
+    """Digraph with a dangling sink: a→b→c, a→c, c has no out-edges."""
+    return DiGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(20160315)  # the workshop date
+
+
+@pytest.fixture(scope="session")
+def tiny_scale() -> float:
+    """Dataset scale small enough for fast tests."""
+    return 0.15
+
+
+@pytest.fixture(scope="session")
+def actor_graph_tiny():
+    """imdb/actor-actor at test scale (session-cached)."""
+    return load("imdb/actor-actor", scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def movie_graph_tiny():
+    """imdb/movie-movie at test scale (session-cached)."""
+    return load("imdb/movie-movie", scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def listener_graph_tiny():
+    """lastfm/listener-listener at test scale (session-cached)."""
+    return load("lastfm/listener-listener", scale=0.15)

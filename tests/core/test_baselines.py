@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    degree_scores,
+    pagerank,
+    teleport_adjusted_pagerank,
+    weighted_pagerank,
+)
+from repro.errors import EmptyGraphError, ParameterError
+from repro.graph import Graph, barabasi_albert
+from repro.metrics import spearman
+
+
+class TestDegreeScores:
+    def test_proportional_to_degree(self, figure1_graph):
+        scores = degree_scores(figure1_graph)
+        degrees = figure1_graph.degree_vector()
+        expected = degrees / degrees.sum()
+        assert np.allclose(scores.values, expected)
+
+    def test_weighted_variant(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=3.0)
+        g.add_edge("b", "c", weight=1.0)
+        scores = degree_scores(g, weighted=True)
+        assert scores["b"] > scores["a"]
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            degree_scores(Graph())
+
+    def test_edgeless_graph_uniform(self):
+        g = Graph()
+        g.add_nodes_from(["a", "b"])
+        scores = degree_scores(g)
+        assert np.allclose(scores.values, 0.5)
+
+
+class TestTeleportAdjustedPageRank:
+    def test_exponent_zero_is_conventional(self, figure1_graph):
+        a = teleport_adjusted_pagerank(figure1_graph, 0.0).values
+        b = pagerank(figure1_graph).values
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_negative_exponent_boosts_low_degree(self):
+        g = barabasi_albert(100, 2, seed=4)
+        degrees = g.degree_vector()
+        leaf = g.nodes()[int(np.argmin(degrees))]
+        conventional = pagerank(g)
+        equal_opportunity = teleport_adjusted_pagerank(g, -1.0)
+        assert equal_opportunity[leaf] > conventional[leaf]
+
+    def test_positive_exponent_boosts_hubs(self):
+        g = barabasi_albert(100, 2, seed=4)
+        hub = g.nodes()[int(np.argmax(g.degree_vector()))]
+        conventional = pagerank(g)
+        hub_biased = teleport_adjusted_pagerank(g, 1.0)
+        assert hub_biased[hub] > conventional[hub]
+
+    def test_degree_correlation_weaker_than_conventional(self):
+        """The related-work [2] effect: low-degree nodes get a fair shot."""
+        g = barabasi_albert(200, 2, seed=9)
+        degrees = g.degree_vector()
+        conventional = spearman(pagerank(g).values, degrees)
+        adjusted = spearman(teleport_adjusted_pagerank(g, -1.0).values, degrees)
+        assert adjusted < conventional
+
+    def test_nonfinite_exponent_rejected(self, figure1_graph):
+        with pytest.raises(ParameterError):
+            teleport_adjusted_pagerank(figure1_graph, float("inf"))
+
+    def test_distribution_invariant(self, figure1_graph):
+        scores = teleport_adjusted_pagerank(figure1_graph, -2.0)
+        assert scores.values.sum() == pytest.approx(1.0)
+
+
+class TestWeightedPagerankAlias:
+    def test_matches_pagerank_weighted(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=5.0)
+        g.add_edge("b", "c", weight=1.0)
+        a = weighted_pagerank(g).values
+        b = pagerank(g, weighted=True).values
+        assert np.allclose(a, b, atol=1e-12)

@@ -1,0 +1,97 @@
+"""Unit tests for repro.core.engine (teleport construction, dispatch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import adjacency_and_theta, build_teleport, solve_transition
+from repro.errors import ParameterError
+from repro.graph import DiGraph, Graph
+from repro.linalg import uniform_transition
+
+
+class TestBuildTeleport:
+    def test_none_passthrough(self, figure1_graph):
+        assert build_teleport(figure1_graph, None) is None
+
+    def test_array_passthrough(self, figure1_graph):
+        vec = np.ones(6)
+        out = build_teleport(figure1_graph, vec)
+        assert np.array_equal(out, vec)
+
+    def test_array_wrong_shape_rejected(self, figure1_graph):
+        with pytest.raises(ParameterError):
+            build_teleport(figure1_graph, np.ones(3))
+
+    def test_mapping(self, figure1_graph):
+        out = build_teleport(figure1_graph, {"A": 2.0, "B": 1.0})
+        assert out[figure1_graph.index_of("A")] == 2.0
+        assert out[figure1_graph.index_of("B")] == 1.0
+        assert out.sum() == 3.0
+
+    def test_mapping_negative_weight_rejected(self, figure1_graph):
+        with pytest.raises(ParameterError):
+            build_teleport(figure1_graph, {"A": -1.0})
+
+    def test_sequence_counts_duplicates(self, figure1_graph):
+        out = build_teleport(figure1_graph, ["A", "A", "B"])
+        assert out[figure1_graph.index_of("A")] == 2.0
+        assert out[figure1_graph.index_of("B")] == 1.0
+
+    def test_empty_mass_rejected(self, figure1_graph):
+        with pytest.raises(ParameterError):
+            build_teleport(figure1_graph, {"A": 0.0})
+
+    def test_unknown_node_rejected(self, figure1_graph):
+        from repro.errors import NodeNotFoundError
+
+        with pytest.raises(NodeNotFoundError):
+            build_teleport(figure1_graph, ["ghost"])
+
+
+class TestAdjacencyAndTheta:
+    def test_undirected_theta_is_degree(self, figure1_graph):
+        _adj, theta = adjacency_and_theta(figure1_graph, weighted=False)
+        assert np.array_equal(theta, figure1_graph.degree_vector())
+
+    def test_directed_theta_is_out_degree(self, dangling_digraph):
+        _adj, theta = adjacency_and_theta(dangling_digraph, weighted=False)
+        assert np.array_equal(theta, dangling_digraph.out_degree_vector())
+
+    def test_weighted_theta_is_out_weight(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=2.0)
+        g.add_edge("a", "c", weight=3.0)
+        _adj, theta = adjacency_and_theta(g, weighted=True)
+        assert theta[g.index_of("a")] == 5.0
+
+    def test_empty_graph_rejected(self):
+        from repro.errors import EmptyGraphError
+
+        with pytest.raises(EmptyGraphError):
+            adjacency_and_theta(Graph(), weighted=False)
+
+
+class TestSolveTransition:
+    def test_unknown_solver_rejected(self, figure1_graph):
+        t = uniform_transition(figure1_graph.to_csr(weighted=False))
+        with pytest.raises(ParameterError):
+            solve_transition(t, solver="magic")
+
+    @pytest.mark.parametrize("solver", ["power", "gauss_seidel", "direct"])
+    def test_all_solvers_dispatch(self, figure1_graph, solver):
+        t = uniform_transition(figure1_graph.to_csr(weighted=False))
+        result = solve_transition(t, solver=solver, tol=1e-11)
+        assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_directed_dangling_dispatch(self, dangling_digraph):
+        t = uniform_transition(dangling_digraph.to_csr(weighted=False))
+        result = solve_transition(t, solver="power", dangling="self")
+        assert result.scores.sum() == pytest.approx(1.0)
+
+    def test_digraph_roundtrip(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a"), ("b", "c")])
+        t = uniform_transition(g.to_csr(weighted=False))
+        result = solve_transition(t, tol=1e-12)
+        assert result.converged

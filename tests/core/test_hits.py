@@ -1,0 +1,80 @@
+"""Unit tests for repro.core.hits, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import hits
+from repro.errors import EmptyGraphError, ParameterError
+from repro.graph import DiGraph, Graph, erdos_renyi
+
+
+class TestHitsBasics:
+    def test_scores_are_distributions(self, figure1_graph):
+        result = hits(figure1_graph)
+        assert result.hubs.values.sum() == pytest.approx(1.0)
+        assert result.authorities.values.sum() == pytest.approx(1.0)
+
+    def test_undirected_hubs_equal_authorities(self, figure1_graph):
+        result = hits(figure1_graph)
+        assert np.allclose(result.hubs.values, result.authorities.values, atol=1e-8)
+
+    def test_iterable_unpacking(self, figure1_graph):
+        hubs, authorities = hits(figure1_graph)
+        assert hubs.values.sum() == pytest.approx(1.0)
+        assert authorities.values.sum() == pytest.approx(1.0)
+
+    def test_star_hub_dominates(self, star_graph):
+        result = hits(star_graph)
+        assert result.authorities.ranking()[0] == "h"
+
+    def test_directed_hub_authority_split(self):
+        # a and b point at c: c is the authority, a/b are hubs
+        g = DiGraph.from_edges([("a", "c"), ("b", "c")])
+        result = hits(g)
+        assert result.authorities.ranking()[0] == "c"
+        assert result.hubs["a"] > result.hubs["c"]
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            hits(Graph())
+
+    def test_invalid_max_iter_rejected(self, figure1_graph):
+        with pytest.raises(ParameterError):
+            hits(figure1_graph, max_iter=0)
+
+    def test_edgeless_graph_uniform(self):
+        g = Graph()
+        g.add_nodes_from(["a", "b", "c"])
+        result = hits(g)
+        assert np.allclose(result.authorities.values, 1 / 3)
+
+
+class TestAgainstNetworkx:
+    def test_matches_networkx_undirected(self):
+        g = erdos_renyi(40, 0.15, seed=21)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(g.nodes())
+        for u, v, _w in g.edges():
+            nxg.add_edge(u, v)
+        nx_hubs, nx_auth = nx.hits(nxg, max_iter=1000, tol=1e-12)
+        theirs = np.array([nx_auth[n] for n in g.nodes()])
+        theirs /= theirs.sum()
+        ours = hits(g, tol=1e-12).authorities.values
+        assert np.allclose(ours, theirs, atol=1e-6)
+
+    def test_matches_networkx_directed(self):
+        g = DiGraph.from_edges(
+            [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c"), ("d", "c")]
+        )
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(g.nodes())
+        for u, v, _w in g.edges():
+            nxg.add_edge(u, v)
+        nx_hubs, nx_auth = nx.hits(nxg, max_iter=1000, tol=1e-12)
+        theirs_auth = np.array([nx_auth[n] for n in g.nodes()])
+        theirs_auth /= theirs_auth.sum()
+        result = hits(g, tol=1e-12)
+        assert np.allclose(result.authorities.values, theirs_auth, atol=1e-6)

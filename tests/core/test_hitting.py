@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.hitting (hitting/commute times)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import commute_time, hitting_times
+from repro.graph import DiGraph, Graph
+
+
+class TestHittingTimes:
+    def test_target_is_zero(self, path_graph):
+        times = hitting_times(path_graph, "a")
+        assert times["a"] == 0.0
+
+    def test_distance_ordering_on_path(self, path_graph):
+        times = hitting_times(path_graph, "a")
+        assert times["b"] < times["c"] < times["d"]
+
+    def test_unreachable_is_inf(self):
+        g = Graph.from_edges([("a", "b"), ("x", "y")])
+        times = hitting_times(g, "a")
+        assert times["x"] == float("inf")
+        assert times["y"] == float("inf")
+
+    def test_two_node_path_exact(self):
+        # On a--b the walk from b hits a in exactly one step.
+        g = Graph.from_edges([("a", "b")])
+        assert hitting_times(g, "a")["b"] == pytest.approx(1.0)
+
+    def test_path_graph_known_values(self):
+        """Path a-b-c: h(b→a) and h(c→a) solve a tiny linear system."""
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        times = hitting_times(g, "a")
+        # h(c) = 1 + h(b); h(b) = 1 + 0.5*h(c) => h(b)=4, h(c)=5... wait:
+        # from b the walk goes to a or c with prob 1/2:
+        #   h(b) = 1 + 0.5*0 + 0.5*h(c);  h(c) = 1 + h(b)
+        # => h(b) = 1 + 0.5 (1 + h(b)) => h(b) = 3, h(c) = 4.
+        assert times["b"] == pytest.approx(3.0)
+        assert times["c"] == pytest.approx(4.0)
+
+    def test_directed_respects_orientation(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        times = hitting_times(g, "c")
+        assert times["a"] == pytest.approx(2.0)
+        assert times["b"] == pytest.approx(1.0)
+        # c cannot reach a
+        assert hitting_times(g, "a")["c"] == float("inf")
+
+    def test_monte_carlo_agreement(self, rng):
+        """Exact solver vs simulated random walks on a small graph."""
+        g = Graph.from_edges(
+            [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("a", "c")]
+        )
+        exact = hitting_times(g, "a")["c"]
+        nodes = g.nodes()
+        neighbors = {n: g.neighbors(n) for n in nodes}
+        walks = []
+        for _ in range(4000):
+            current = "c"
+            steps = 0
+            while current != "a":
+                nbrs = neighbors[current]
+                current = nbrs[rng.integers(0, len(nbrs))]
+                steps += 1
+            walks.append(steps)
+        assert np.mean(walks) == pytest.approx(exact, rel=0.1)
+
+    def test_weighted_walk_prefers_heavy_edges(self):
+        g = Graph()
+        g.add_edge("s", "t", weight=10.0)
+        g.add_edge("s", "far", weight=0.1)
+        g.add_edge("far", "t", weight=1.0)
+        weighted = hitting_times(g, "t", weighted=True)
+        unweighted = hitting_times(g, "t", weighted=False)
+        # with weights, s almost always jumps straight to t
+        assert weighted["s"] < unweighted["s"]
+
+
+class TestCommuteTime:
+    def test_symmetry(self, path_graph):
+        assert commute_time(path_graph, "a", "d") == pytest.approx(
+            commute_time(path_graph, "d", "a")
+        )
+
+    def test_inf_when_disconnected(self):
+        g = Graph.from_edges([("a", "b"), ("x", "y")])
+        assert commute_time(g, "a", "x") == float("inf")
+
+    def test_closer_pairs_commute_faster(self, path_graph):
+        assert commute_time(path_graph, "a", "b") < commute_time(
+            path_graph, "a", "d"
+        )

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.manipulation (link farms, spam resistance)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import plant_link_farm, rank_boost_from_farm
+from repro.errors import NodeNotFoundError, ParameterError
+from repro.graph import DiGraph, barabasi_albert
+
+
+@pytest.fixture(scope="module")
+def social():
+    return barabasi_albert(80, 2, seed=31)
+
+
+class TestPlantLinkFarm:
+    def test_adds_farm_nodes_and_edges(self, social):
+        attacked = plant_link_farm(social, social.nodes()[10], 5)
+        assert attacked.number_of_nodes == social.number_of_nodes + 5
+        for i in range(5):
+            assert attacked.has_edge(f"farm{i}", social.nodes()[10])
+
+    def test_original_untouched(self, social):
+        n_before = social.number_of_nodes
+        plant_link_farm(social, social.nodes()[0], 3)
+        assert social.number_of_nodes == n_before
+
+    def test_interlink_chain(self, social):
+        attacked = plant_link_farm(social, social.nodes()[0], 4, interlink=True)
+        assert attacked.has_edge("farm0", "farm1")
+        assert attacked.has_edge("farm2", "farm3")
+
+    def test_no_interlink(self, social):
+        attacked = plant_link_farm(
+            social, social.nodes()[0], 4, interlink=False
+        )
+        assert not attacked.has_edge("farm0", "farm1")
+
+    def test_unknown_target_rejected(self, social):
+        with pytest.raises(NodeNotFoundError):
+            plant_link_farm(social, "ghost", 3)
+
+    def test_invalid_farm_size_rejected(self, social):
+        with pytest.raises(ParameterError):
+            plant_link_farm(social, social.nodes()[0], 0)
+
+    def test_name_collision_rejected(self, social):
+        attacked = plant_link_farm(social, social.nodes()[0], 2)
+        with pytest.raises(ParameterError):
+            plant_link_farm(attacked, social.nodes()[0], 2)
+
+    def test_directed_graph_farm_points_at_target(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        attacked = plant_link_farm(g, "b", 3)
+        assert attacked.has_edge("farm0", "b")
+        assert not attacked.has_edge("b", "farm0")
+
+
+class TestRankBoost:
+    def test_conventional_pagerank_is_gameable(self, social):
+        target = social.nodes()[40]
+        attack = rank_boost_from_farm(social, target, 15, p=0.0)
+        assert attack.boost > 0  # the farm works on vanilla PR
+
+    def test_penalisation_resists_spam(self, social):
+        """The headline property: boost shrinks as p grows."""
+        target = social.nodes()[40]
+        boost_pr = rank_boost_from_farm(social, target, 15, p=0.0).boost
+        boost_d2pr = rank_boost_from_farm(social, target, 15, p=2.0).boost
+        assert boost_d2pr < boost_pr
+
+    def test_boosting_amplifies_spam(self, social):
+        target = social.nodes()[40]
+        rank_boosted = rank_boost_from_farm(social, target, 15, p=-1.0)
+        rank_plain = rank_boost_from_farm(social, target, 15, p=0.0)
+        # with degree boosting, the inflated degree works *for* the target
+        assert rank_boosted.rank_after <= rank_plain.rank_after + 5
+
+    def test_result_fields_consistent(self, social):
+        target = social.nodes()[20]
+        attack = rank_boost_from_farm(social, target, 8, p=0.5)
+        assert attack.farm_size == 8
+        assert attack.boost == attack.rank_before - attack.rank_after
+        assert 1 <= attack.rank_after <= social.number_of_nodes
+        assert 1 <= attack.rank_before <= social.number_of_nodes

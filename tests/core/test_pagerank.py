@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.pagerank."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import pagerank
+from repro.errors import EmptyGraphError
+from repro.graph import DiGraph, Graph
+
+
+class TestPageRankBasics:
+    def test_uniform_on_regular_graph(self):
+        g = Graph.from_edges([(i, (i + 1) % 6) for i in range(6)])
+        scores = pagerank(g)
+        assert np.allclose(scores.values, 1 / 6, atol=1e-10)
+
+    def test_hub_scores_highest(self, star_graph):
+        scores = pagerank(star_graph)
+        assert scores.ranking()[0] == "h"
+
+    def test_higher_degree_higher_score_on_tree(self, figure1_graph):
+        scores = pagerank(figure1_graph)
+        assert scores["A"] > scores["D"]
+        assert scores["C"] > scores["F"]
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            pagerank(Graph())
+
+    def test_alpha_zero_uniform(self, figure1_graph):
+        scores = pagerank(figure1_graph, alpha=0.0)
+        assert np.allclose(scores.values, 1 / 6)
+
+    def test_teleport_seed_sequence(self, figure1_graph):
+        scores = pagerank(figure1_graph, teleport=["A"])
+        assert scores.ranking()[0] == "A"
+
+    def test_teleport_mapping_weights(self, figure1_graph):
+        scores = pagerank(figure1_graph, teleport={"D": 1.0, "F": 3.0})
+        assert scores["F"] > scores["D"]
+
+    def test_solver_result_attached(self, figure1_graph):
+        scores = pagerank(figure1_graph)
+        assert scores.solver_result is not None
+        assert scores.solver_result.converged
+
+
+class TestWeightedPageRank:
+    def test_weights_shift_mass(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=100.0)
+        g.add_edge("a", "c", weight=1.0)
+        unweighted = pagerank(g, weighted=False)
+        weighted = pagerank(g, weighted=True)
+        # b attracts nearly all of a's mass only in the weighted variant
+        assert weighted["b"] - weighted["c"] > unweighted["b"] - unweighted["c"]
+
+    def test_uniform_weights_match_unweighted(self, figure1_graph):
+        a = pagerank(figure1_graph, weighted=False).values
+        b = pagerank(figure1_graph, weighted=True).values  # all weights 1.0
+        assert np.allclose(a, b, atol=1e-12)
+
+
+class TestDirectedPageRank:
+    def test_cycle_uniform(self, cycle_digraph):
+        scores = pagerank(cycle_digraph)
+        assert np.allclose(scores.values, 0.25, atol=1e-10)
+
+    def test_sink_accumulates_with_self_dangling(self, dangling_digraph):
+        spread = pagerank(dangling_digraph, dangling="teleport")
+        kept = pagerank(dangling_digraph, dangling="self")
+        assert kept["c"] > spread["c"]
+
+    def test_authority_flows_downstream(self):
+        g = DiGraph.from_edges([("a", "c"), ("b", "c")])
+        scores = pagerank(g)
+        assert scores["c"] > scores["a"]

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.personalized (PPR / D2PPR / robust variant)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    d2pr,
+    personalized_d2pr,
+    personalized_pagerank,
+    robust_personalized_d2pr,
+)
+from repro.errors import ParameterError
+from repro.graph import Graph, barabasi_albert
+
+
+@pytest.fixture
+def two_cluster_graph() -> Graph:
+    """Two triangles joined by one bridge edge."""
+    g = Graph.from_edges(
+        [
+            ("a1", "a2"),
+            ("a2", "a3"),
+            ("a1", "a3"),
+            ("b1", "b2"),
+            ("b2", "b3"),
+            ("b1", "b3"),
+            ("a1", "b1"),
+        ]
+    )
+    return g
+
+
+class TestPersonalizedPageRank:
+    def test_seed_scores_highest(self, two_cluster_graph):
+        scores = personalized_pagerank(two_cluster_graph, ["a2"])
+        assert scores.ranking()[0] == "a2"
+
+    def test_mass_concentrates_near_seed(self, two_cluster_graph):
+        scores = personalized_pagerank(two_cluster_graph, ["a2"])
+        a_mass = scores["a1"] + scores["a2"] + scores["a3"]
+        b_mass = scores["b1"] + scores["b2"] + scores["b3"]
+        assert a_mass > b_mass
+
+    def test_weighted_seed_mapping(self, two_cluster_graph):
+        scores = personalized_pagerank(
+            two_cluster_graph, {"a2": 3.0, "b2": 1.0}
+        )
+        assert scores["a2"] > scores["b2"]
+
+    def test_empty_seeds_rejected(self, two_cluster_graph):
+        with pytest.raises(ParameterError):
+            personalized_pagerank(two_cluster_graph, [])
+
+    def test_negative_seed_weight_rejected(self, two_cluster_graph):
+        with pytest.raises(ParameterError):
+            personalized_pagerank(two_cluster_graph, {"a2": -1.0})
+
+    def test_zero_total_mass_rejected(self, two_cluster_graph):
+        with pytest.raises(ParameterError):
+            personalized_pagerank(two_cluster_graph, {"a2": 0.0})
+
+
+class TestPersonalizedD2PR:
+    def test_equals_d2pr_with_teleport(self, two_cluster_graph):
+        a = personalized_d2pr(two_cluster_graph, ["a1"], 1.5).values
+        b = d2pr(two_cluster_graph, 1.5, teleport={"a1": 1.0}).values
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_p_zero_equals_ppr(self, two_cluster_graph):
+        a = personalized_d2pr(two_cluster_graph, ["a1"], 0.0).values
+        b = personalized_pagerank(two_cluster_graph, ["a1"]).values
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_degree_penalty_changes_neighbour_ranking(self):
+        g = barabasi_albert(80, 2, seed=3)
+        hub = g.nodes()[int(np.argmax(g.degree_vector()))]
+        seed_node = g.neighbors(hub)[0]
+        conventional = personalized_d2pr(g, [seed_node], 0.0)
+        penalised = personalized_d2pr(g, [seed_node], 3.0)
+        assert penalised[hub] < conventional[hub]
+
+    def test_scores_are_distribution(self, two_cluster_graph):
+        scores = personalized_d2pr(two_cluster_graph, ["b3"], -1.0)
+        assert scores.values.sum() == pytest.approx(1.0)
+        assert (scores.values >= 0).all()
+
+
+class TestRobustPersonalizedD2PR:
+    def test_single_seed_reduces_to_plain(self, two_cluster_graph):
+        a = robust_personalized_d2pr(two_cluster_graph, ["a1"], 1.0).values
+        b = personalized_d2pr(two_cluster_graph, ["a1"], 1.0).values
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_returns_distribution(self, two_cluster_graph):
+        scores = robust_personalized_d2pr(
+            two_cluster_graph, ["a1", "a2", "b1"], 0.5
+        )
+        assert scores.values.sum() == pytest.approx(1.0)
+
+    def test_redundant_seed_downweighted(self):
+        """A seed duplicating another's neighbourhood loses influence."""
+        g = barabasi_albert(60, 2, seed=11)
+        nodes = g.nodes()
+        hub = nodes[int(np.argmax(g.degree_vector()))]
+        # two tightly-related seeds plus one from elsewhere
+        near = g.neighbors(hub)[0]
+        robust = robust_personalized_d2pr(g, [hub, near, nodes[-1]], 0.0)
+        assert robust.values.sum() == pytest.approx(1.0)
+
+    def test_invalid_noise_discount_rejected(self, two_cluster_graph):
+        with pytest.raises(ParameterError):
+            robust_personalized_d2pr(
+                two_cluster_graph, ["a1", "a2"], 0.0, noise_discount=1.5
+            )
+
+    def test_noise_discount_zero_keeps_all_seeds(self, two_cluster_graph):
+        a = robust_personalized_d2pr(
+            two_cluster_graph, ["a1", "b1"], 1.0, noise_discount=0.0
+        ).values
+        b = personalized_d2pr(two_cluster_graph, ["a1", "b1"], 1.0).values
+        assert np.allclose(a, b, atol=1e-12)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.results.NodeScores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NodeScores, pagerank
+from repro.errors import ParameterError
+from repro.graph import Graph
+
+
+@pytest.fixture
+def scored_graph():
+    g = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+    scores = NodeScores(g, np.array([0.1, 0.4, 0.3, 0.2]))
+    return g, scores
+
+
+class TestAccess:
+    def test_getitem(self, scored_graph):
+        _g, scores = scored_graph
+        assert scores["b"] == 0.4
+
+    def test_len_and_iter(self, scored_graph):
+        _g, scores = scored_graph
+        assert len(scores) == 4
+        assert dict(scores)["c"] == 0.3
+
+    def test_as_dict(self, scored_graph):
+        _g, scores = scored_graph
+        assert scores.as_dict() == {"a": 0.1, "b": 0.4, "c": 0.3, "d": 0.2}
+
+    def test_values_read_only(self, scored_graph):
+        _g, scores = scored_graph
+        with pytest.raises(ValueError):
+            scores.values[0] = 99.0
+
+    def test_shape_mismatch_rejected(self):
+        g = Graph.from_edges([("a", "b")])
+        with pytest.raises(ParameterError):
+            NodeScores(g, np.array([1.0]))
+
+    def test_graph_property(self, scored_graph):
+        g, scores = scored_graph
+        assert scores.graph is g
+
+
+class TestRanking:
+    def test_ranking_order(self, scored_graph):
+        _g, scores = scored_graph
+        assert scores.ranking() == ["b", "c", "d", "a"]
+
+    def test_top_k(self, scored_graph):
+        _g, scores = scored_graph
+        assert scores.top(2) == [("b", 0.4), ("c", 0.3)]
+
+    def test_top_negative_rejected(self, scored_graph):
+        _g, scores = scored_graph
+        with pytest.raises(ParameterError):
+            scores.top(-1)
+
+    def test_top_larger_than_n(self, scored_graph):
+        _g, scores = scored_graph
+        assert len(scores.top(100)) == 4
+
+    def test_rank_of(self, scored_graph):
+        _g, scores = scored_graph
+        assert scores.rank_of("b") == 1
+        assert scores.rank_of("a") == 4
+
+    def test_rank_vector_average_ties(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        scores = NodeScores(g, np.array([0.25, 0.5, 0.25]))
+        ranks = scores.rank_vector()
+        assert ranks[g.index_of("b")] == 1.0
+        assert ranks[g.index_of("a")] == 2.5  # tied for 2nd/3rd
+        assert ranks[g.index_of("c")] == 2.5
+
+    def test_tie_breaking_stable(self):
+        g = Graph.from_edges([("x", "y"), ("y", "z")])
+        scores = NodeScores(g, np.array([0.4, 0.2, 0.4]))
+        assert scores.ranking() == ["x", "z", "y"]
+
+    def test_pagerank_returns_nodescores(self, figure1_graph):
+        scores = pagerank(figure1_graph)
+        assert isinstance(scores, NodeScores)
+        assert scores.rank_of(scores.ranking()[0]) == 1

@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.topics (topic-sensitive D2PR)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Topic, TopicSensitiveD2PR, personalized_d2pr
+from repro.errors import ParameterError, ReproError
+from repro.graph import Graph
+
+
+@pytest.fixture
+def line_graph() -> Graph:
+    return Graph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")]
+    )
+
+
+@pytest.fixture
+def fitted(line_graph):
+    ts = TopicSensitiveD2PR(alpha=0.85)
+    ts.add_topic(Topic("left", ["a"], p=0.0))
+    ts.add_topic(Topic("right", ["e"], p=0.0))
+    return ts.fit(line_graph)
+
+
+class TestSetup:
+    def test_fit_without_topics_rejected(self, line_graph):
+        with pytest.raises(ParameterError):
+            TopicSensitiveD2PR().fit(line_graph)
+
+    def test_duplicate_topic_rejected(self):
+        ts = TopicSensitiveD2PR()
+        ts.add_topic(Topic("t", ["a"]))
+        with pytest.raises(ParameterError):
+            ts.add_topic(Topic("t", ["b"]))
+
+    def test_query_before_fit_rejected(self):
+        ts = TopicSensitiveD2PR()
+        ts.add_topic(Topic("t", ["a"]))
+        with pytest.raises(ReproError):
+            ts.query({"t": 1.0})
+
+    def test_topic_names(self, fitted):
+        assert fitted.topic_names == ["left", "right"]
+
+    def test_add_topic_after_fit_computes_vector(self, fitted, line_graph):
+        fitted.add_topic(Topic("mid", ["c"], p=1.0))
+        assert fitted.vector("mid").values.sum() == pytest.approx(1.0)
+
+
+class TestVectors:
+    def test_topic_vector_matches_personalized(self, fitted, line_graph):
+        expected = personalized_d2pr(line_graph, ["a"], 0.0).values
+        assert np.allclose(fitted.vector("left").values, expected, atol=1e-12)
+
+    def test_unknown_topic_rejected(self, fitted):
+        with pytest.raises(ParameterError):
+            fitted.vector("nope")
+
+    def test_per_topic_p(self, line_graph):
+        ts = TopicSensitiveD2PR()
+        ts.add_topic(Topic("flat", ["c"], p=0.0))
+        ts.add_topic(Topic("penalised", ["c"], p=2.0))
+        ts.fit(line_graph)
+        assert not np.allclose(
+            ts.vector("flat").values, ts.vector("penalised").values
+        )
+
+
+class TestQuery:
+    def test_blend_is_distribution(self, fitted):
+        blended = fitted.query({"left": 0.5, "right": 0.5})
+        assert blended.values.sum() == pytest.approx(1.0)
+
+    def test_pure_query_equals_topic_vector(self, fitted):
+        assert np.allclose(
+            fitted.query({"left": 1.0}).values,
+            fitted.vector("left").values,
+        )
+
+    def test_weights_normalised(self, fitted):
+        a = fitted.query({"left": 1.0, "right": 3.0}).values
+        b = fitted.query({"left": 0.25, "right": 0.75}).values
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_linearity_identity(self, fitted, line_graph):
+        """Blending vectors (same p) == computing with blended teleport."""
+        blended = fitted.query({"left": 0.3, "right": 0.7}).values
+        direct = personalized_d2pr(
+            line_graph, {"a": 0.3, "e": 0.7}, 0.0
+        ).values
+        assert np.allclose(blended, direct, atol=1e-9)
+
+    def test_skew_shifts_ranking(self, fitted):
+        left_heavy = fitted.query({"left": 0.9, "right": 0.1})
+        right_heavy = fitted.query({"left": 0.1, "right": 0.9})
+        assert left_heavy["a"] > right_heavy["a"]
+        assert right_heavy["e"] > left_heavy["e"]
+
+    def test_empty_weights_rejected(self, fitted):
+        with pytest.raises(ParameterError):
+            fitted.query({})
+
+    def test_negative_weight_rejected(self, fitted):
+        with pytest.raises(ParameterError):
+            fitted.query({"left": -1.0})
+
+    def test_zero_mass_rejected(self, fitted):
+        with pytest.raises(ParameterError):
+            fitted.query({"left": 0.0})

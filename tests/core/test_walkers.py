@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.walkers (Monte-Carlo walk simulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import d2pr, estimate_cover_time, simulate_walk
+from repro.errors import ParameterError
+from repro.graph import Graph, barabasi_albert
+from repro.metrics import spearman
+
+
+class TestSimulateWalk:
+    def test_frequencies_are_distribution(self, figure1_graph):
+        result = simulate_walk(figure1_graph, 0.0, steps=20_000, seed=1)
+        assert result.visit_frequencies.sum() == pytest.approx(1.0)
+        assert (result.visit_frequencies >= 0).all()
+        assert result.steps == 20_000
+
+    def test_converges_to_power_iteration(self, figure1_graph):
+        """The stochastic process matches the matrix fixed point."""
+        exact = d2pr(figure1_graph, 0.0).values
+        result = simulate_walk(figure1_graph, 0.0, steps=400_000, seed=2)
+        assert np.abs(result.visit_frequencies - exact).max() < 0.01
+
+    def test_converges_for_nonzero_p(self, figure1_graph):
+        exact = d2pr(figure1_graph, 1.5).values
+        result = simulate_walk(figure1_graph, 1.5, steps=400_000, seed=3)
+        assert np.abs(result.visit_frequencies - exact).max() < 0.01
+
+    def test_rank_agreement_on_larger_graph(self):
+        g = barabasi_albert(60, 2, seed=5)
+        exact = d2pr(g, -1.0).values
+        result = simulate_walk(g, -1.0, steps=300_000, seed=5)
+        assert spearman(result.visit_frequencies, exact) > 0.95
+
+    def test_teleports_counted(self, figure1_graph):
+        result = simulate_walk(figure1_graph, 0.0, alpha=0.5, steps=10_000, seed=7)
+        # with alpha=0.5 roughly half the steps teleport
+        assert 0.4 < result.teleports / result.steps < 0.6
+
+    def test_alpha_zero_pure_teleport(self, figure1_graph):
+        result = simulate_walk(figure1_graph, 0.0, alpha=0.0, steps=30_000, seed=9)
+        assert result.teleports == result.steps
+        assert np.abs(result.visit_frequencies - 1 / 6).max() < 0.02
+
+    def test_invalid_steps_rejected(self, figure1_graph):
+        with pytest.raises(ParameterError):
+            simulate_walk(figure1_graph, 0.0, steps=0)
+
+    def test_deterministic_given_seed(self, figure1_graph):
+        a = simulate_walk(figure1_graph, 0.5, steps=5_000, seed=11)
+        b = simulate_walk(figure1_graph, 0.5, steps=5_000, seed=11)
+        assert np.array_equal(a.visit_frequencies, b.visit_frequencies)
+
+
+class TestCoverTime:
+    def test_complete_graph_fast(self):
+        g = Graph.from_edges(
+            [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        )
+        cover = estimate_cover_time(g, 0.0, trials=5, seed=1)
+        # coupon collector on 6 nodes: ~15 steps; generous upper bound
+        assert cover < 100
+
+    def test_path_slower_than_complete(self):
+        complete = Graph.from_edges(
+            [(i, j) for i in range(8) for j in range(i + 1, 8)]
+        )
+        path = Graph.from_edges([(i, i + 1) for i in range(7)])
+        fast = estimate_cover_time(complete, 0.0, trials=5, seed=2)
+        slow = estimate_cover_time(path, 0.0, trials=5, seed=2)
+        assert slow > fast
+
+    def test_disconnected_returns_inf(self):
+        g = Graph.from_edges([("a", "b"), ("x", "y")])
+        cover = estimate_cover_time(g, 0.0, trials=2, max_steps=2_000, seed=3)
+        assert cover == float("inf")
+
+    def test_boosting_slows_coverage_on_hub_graph(self):
+        """Hub-revisiting walks cover slower than flattened walks."""
+        g = barabasi_albert(50, 2, seed=13)
+        boosted = estimate_cover_time(g, -2.0, trials=4, seed=13)
+        flattened = estimate_cover_time(g, 1.0, trials=4, seed=13)
+        assert boosted > flattened
+
+    def test_invalid_trials_rejected(self, figure1_graph):
+        with pytest.raises(ParameterError):
+            estimate_cover_time(figure1_graph, 0.0, trials=0)
+
+    def test_start_node_honoured(self, figure1_graph):
+        cover = estimate_cover_time(
+            figure1_graph, 0.0, trials=3, seed=17, start="A"
+        )
+        assert np.isfinite(cover)

@@ -1,0 +1,179 @@
+"""Unit tests for the latent-quality affiliation generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import AffiliationConfig, generate_affiliation
+from repro.errors import ParameterError
+from repro.metrics import spearman
+
+
+def _config(**overrides):
+    base = dict(
+        n_members=120,
+        n_venues=60,
+        mean_memberships=3.0,
+        member_degree_coupling=0.0,
+        venue_popularity_sigma=0.5,
+        quality_match=0.0,
+        venue_quality_popularity_corr=0.0,
+        membership_dispersion=0.3,
+    )
+    base.update(overrides)
+    return AffiliationConfig(**base)
+
+
+class TestConfigValidation:
+    def test_valid_config_passes(self):
+        _config().validate()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("n_members", 0),
+            ("n_venues", 0),
+            ("mean_memberships", 0.0),
+            ("venue_popularity_sigma", -0.1),
+            ("membership_dispersion", -0.1),
+            ("min_memberships", 0),
+            ("venue_quality_popularity_corr", 1.5),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ParameterError):
+            _config(**{field: value}).validate()
+
+
+class TestGeneration:
+    def test_shapes(self):
+        sample = generate_affiliation(_config(), seed=1)
+        assert len(sample.member_names) == 120
+        assert len(sample.venue_names) == 60
+        assert sample.member_quality.shape == (120,)
+        assert sample.venue_quality.shape == (60,)
+        assert len(sample.memberships) == 120
+
+    def test_deterministic(self):
+        a = generate_affiliation(_config(), seed=42)
+        b = generate_affiliation(_config(), seed=42)
+        assert all(
+            np.array_equal(x, y) for x, y in zip(a.memberships, b.memberships)
+        )
+        assert np.array_equal(a.member_quality, b.member_quality)
+
+    def test_seed_changes_output(self):
+        a = generate_affiliation(_config(), seed=1)
+        b = generate_affiliation(_config(), seed=2)
+        assert not np.array_equal(a.member_quality, b.member_quality)
+
+    def test_min_memberships_respected(self):
+        sample = generate_affiliation(_config(min_memberships=2), seed=3)
+        assert all(len(j) >= 2 for j in sample.memberships)
+
+    def test_max_memberships_respected(self):
+        sample = generate_affiliation(_config(max_memberships=4), seed=3)
+        assert all(len(j) <= 4 for j in sample.memberships)
+
+    def test_memberships_distinct_and_sorted(self):
+        sample = generate_affiliation(_config(), seed=5)
+        for joined in sample.memberships:
+            assert len(set(joined.tolist())) == len(joined)
+            assert np.array_equal(joined, np.sort(joined))
+
+    def test_mean_memberships_near_target(self):
+        sample = generate_affiliation(_config(mean_memberships=4.0), seed=7)
+        counts = sample.membership_counts
+        assert 3.0 < counts.mean() < 5.5
+
+    def test_bipartite_edge_count_matches_memberships(self):
+        sample = generate_affiliation(_config(), seed=9)
+        total = int(sum(len(j) for j in sample.memberships))
+        assert sample.bipartite.number_of_edges == total
+
+    def test_venue_sizes_consistent(self):
+        sample = generate_affiliation(_config(), seed=11)
+        assert sample.venue_sizes.sum() == sum(len(j) for j in sample.memberships)
+
+
+class TestCouplings:
+    def test_negative_coupling_anticorrelates_quality_and_count(self):
+        sample = generate_affiliation(
+            _config(member_degree_coupling=-1.0, membership_dispersion=0.1),
+            seed=13,
+        )
+        corr = spearman(sample.member_quality, sample.membership_counts)
+        assert corr < -0.3
+
+    def test_positive_coupling_correlates(self):
+        sample = generate_affiliation(
+            _config(member_degree_coupling=1.0, membership_dispersion=0.1),
+            seed=13,
+        )
+        corr = spearman(sample.member_quality, sample.membership_counts)
+        assert corr > 0.3
+
+    def test_zero_coupling_near_independent(self):
+        sample = generate_affiliation(
+            _config(member_degree_coupling=0.0), seed=13
+        )
+        corr = spearman(sample.member_quality, sample.membership_counts)
+        assert abs(corr) < 0.25
+
+    def test_popularity_sigma_drives_venue_size_spread(self):
+        flat = generate_affiliation(_config(venue_popularity_sigma=0.0), seed=17)
+        spiky = generate_affiliation(_config(venue_popularity_sigma=2.0), seed=17)
+        assert spiky.venue_sizes.std() > flat.venue_sizes.std()
+
+    def test_quality_match_sends_good_members_to_good_venues(self):
+        matched = generate_affiliation(
+            _config(quality_match=2.0, mean_memberships=2.0), seed=19
+        )
+        corr = spearman(
+            matched.member_quality, matched.mean_venue_quality_per_member()
+        )
+        assert corr > 0.3
+
+    def test_quality_popularity_corr(self):
+        sample = generate_affiliation(
+            _config(venue_quality_popularity_corr=0.9), seed=23
+        )
+        corr = spearman(sample.venue_popularity, sample.venue_quality)
+        assert corr > 0.5
+
+
+class TestProjections:
+    def test_member_projection_weights_count_shared_venues(self):
+        sample = generate_affiliation(_config(), seed=29)
+        graph = sample.member_projection()
+        # verify a handful of edges against the raw memberships
+        checked = 0
+        for u, v, w in graph.edges():
+            ui = sample.member_names.index(u)
+            vi = sample.member_names.index(v)
+            shared = len(
+                set(sample.memberships[ui].tolist())
+                & set(sample.memberships[vi].tolist())
+            )
+            assert w == shared
+            checked += 1
+            if checked >= 25:
+                break
+        assert checked > 0
+
+    def test_projections_cached(self):
+        sample = generate_affiliation(_config(), seed=31)
+        assert sample.member_projection() is sample.member_projection()
+        assert sample.venue_projection() is sample.venue_projection()
+
+    def test_projection_node_counts(self):
+        sample = generate_affiliation(_config(), seed=37)
+        assert sample.member_projection().number_of_nodes == 120
+        assert sample.venue_projection().number_of_nodes == 60
+
+    def test_mean_member_quality_per_venue_range(self):
+        sample = generate_affiliation(_config(), seed=41)
+        means = sample.mean_member_quality_per_venue()
+        assert means.shape == (60,)
+        assert np.isfinite(means).all()

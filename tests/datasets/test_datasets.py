@@ -1,0 +1,165 @@
+"""Behavioural tests for the eight synthetic data graphs.
+
+These verify the *semantic* calibration targets from the paper (DESIGN.md
+§2): every graph carries a complete significance vector, and the
+degree–significance couplings have the signs that define the application
+groups (Figure 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import SIGNIFICANCE_ATTR, DataGraph, load, load_all
+from repro.errors import DatasetError
+from repro.graph import Graph
+from repro.metrics import spearman
+
+TEST_SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def all_graphs():
+    return {dg.name: dg for dg in load_all(scale=TEST_SCALE)}
+
+
+class TestDataGraphContract:
+    def test_every_node_has_significance(self, all_graphs):
+        for dg in all_graphs.values():
+            sig = dg.significance_vector()
+            assert sig.shape == (dg.graph.number_of_nodes,)
+            assert np.isfinite(sig).all()
+
+    def test_graphs_are_weighted(self, all_graphs):
+        for dg in all_graphs.values():
+            weights = [w for _u, _v, w in dg.graph.edges()]
+            assert all(w >= 1.0 for w in weights)
+
+    def test_metadata_present(self, all_graphs):
+        for dg in all_graphs.values():
+            assert dg.significance_label
+            assert dg.edge_weight_label
+            assert dg.dataset in dg.name
+
+    def test_statistics_row(self, all_graphs):
+        for dg in all_graphs.values():
+            stats = dg.statistics()
+            assert stats.nodes == dg.graph.number_of_nodes
+            assert stats.average_degree > 0
+
+    def test_expected_optimal_p_sign(self, all_graphs):
+        signs = {
+            dg.name: dg.expected_optimal_p_sign for dg in all_graphs.values()
+        }
+        assert signs["imdb/actor-actor"] == 1
+        assert signs["imdb/movie-movie"] == 0
+        assert signs["lastfm/artist-artist"] == -1
+
+    def test_invalid_group_rejected(self):
+        g = Graph.from_edges([("a", "b")])
+        g.set_node_attr("a", SIGNIFICANCE_ATTR, 1.0)
+        g.set_node_attr("b", SIGNIFICANCE_ATTR, 2.0)
+        with pytest.raises(DatasetError):
+            DataGraph(
+                name="x",
+                graph=g,
+                group="Z",
+                significance_label="s",
+                edge_weight_label="w",
+                dataset="test",
+            )
+
+    def test_missing_significance_detected(self):
+        g = Graph.from_edges([("a", "b")])
+        g.set_node_attr("a", SIGNIFICANCE_ATTR, 1.0)
+        dg = DataGraph(
+            name="x",
+            graph=g,
+            group="A",
+            significance_label="s",
+            edge_weight_label="w",
+            dataset="test",
+        )
+        with pytest.raises(DatasetError, match="lack"):
+            dg.significance_vector()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(DatasetError):
+            DataGraph(
+                name="x",
+                graph=Graph(),
+                group="A",
+                significance_label="s",
+                edge_weight_label="w",
+                dataset="test",
+            )
+
+
+class TestDegreeSignificanceCouplings:
+    """The Figure 5 signs that define the paper's application groups."""
+
+    def _coupling(self, dg) -> float:
+        return spearman(dg.graph.degree_vector(), dg.significance_vector())
+
+    def test_group_a_negative(self, all_graphs):
+        for name in (
+            "imdb/actor-actor",
+            "epinions/commenter-commenter",
+            "epinions/product-product",
+        ):
+            assert self._coupling(all_graphs[name]) < 0, name
+
+    def test_group_b_positive(self, all_graphs):
+        for name in ("imdb/movie-movie", "dblp/author-author"):
+            assert self._coupling(all_graphs[name]) > 0, name
+
+    def test_group_c_strongly_positive(self, all_graphs):
+        for name in (
+            "dblp/article-article",
+            "lastfm/listener-listener",
+            "lastfm/artist-artist",
+        ):
+            assert self._coupling(all_graphs[name]) > 0.3, name
+
+    def test_product_product_is_most_negative(self, all_graphs):
+        couplings = {
+            name: self._coupling(dg) for name, dg in all_graphs.items()
+        }
+        assert couplings["epinions/product-product"] == min(couplings.values())
+
+
+class TestScaling:
+    def test_scale_changes_size(self):
+        small = load("imdb/actor-actor", scale=0.1)
+        large = load("imdb/actor-actor", scale=0.3)
+        assert large.graph.number_of_nodes > small.graph.number_of_nodes
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(Exception):
+            load("imdb/actor-actor", scale=0.0)
+
+    def test_table3_density_orderings(self, all_graphs):
+        """Orderings preserved from the paper's Table 3 (per family)."""
+        avg = {
+            name: dg.statistics().average_degree
+            for name, dg in all_graphs.items()
+        }
+        # actor-actor denser than movie-movie (77.4 vs 23.3 in the paper)
+        assert avg["imdb/actor-actor"] > avg["imdb/movie-movie"]
+        # article-article denser than author-author (108.1 vs 6.6)
+        assert avg["dblp/article-article"] > avg["dblp/author-author"]
+        # artist-artist denser than listener-listener (149.8 vs 13.4)
+        assert avg["lastfm/artist-artist"] > avg["lastfm/listener-listener"]
+
+    def test_group_c_has_heterogeneous_neighborhoods(self, all_graphs):
+        """Table 3: Group C graphs have large neighbour-degree spreads
+        relative to their own average degree; group B graphs small."""
+        ratio = {}
+        for name, dg in all_graphs.items():
+            stats = dg.statistics()
+            ratio[name] = (
+                stats.median_neighbor_degree_std / max(stats.average_degree, 1)
+            )
+        assert ratio["lastfm/artist-artist"] > ratio["dblp/author-author"]
+        assert ratio["dblp/article-article"] > ratio["imdb/movie-movie"]

@@ -1,0 +1,147 @@
+"""Unit tests for repro.datasets.perturb."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    add_random_edges,
+    drop_edges,
+    load,
+    noisy_significance,
+    perturbed_copy,
+    rewire_edges,
+)
+from repro.errors import ParameterError
+from repro.graph import Graph, erdos_renyi
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    g = erdos_renyi(60, 0.15, seed=41)
+    for node in g.nodes():
+        g.set_node_attr(node, "significance", 1.0)
+    return g
+
+
+class TestDropEdges:
+    def test_drops_about_fraction(self, base_graph):
+        dropped = drop_edges(base_graph, 0.3, seed=1)
+        ratio = dropped.number_of_edges / base_graph.number_of_edges
+        assert 0.55 < ratio < 0.85
+
+    def test_zero_fraction_keeps_all(self, base_graph):
+        dropped = drop_edges(base_graph, 0.0, seed=1)
+        assert dropped.number_of_edges == base_graph.number_of_edges
+
+    def test_nodes_and_attrs_preserved(self, base_graph):
+        dropped = drop_edges(base_graph, 0.5, seed=2)
+        assert dropped.number_of_nodes == base_graph.number_of_nodes
+        assert dropped.node_attr(dropped.nodes()[0], "significance") == 1.0
+
+    def test_invalid_fraction_rejected(self, base_graph):
+        with pytest.raises(ParameterError):
+            drop_edges(base_graph, 1.0)
+
+    def test_deterministic(self, base_graph):
+        a = drop_edges(base_graph, 0.4, seed=3)
+        b = drop_edges(base_graph, 0.4, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestAddRandomEdges:
+    def test_adds_count(self, base_graph):
+        added = add_random_edges(base_graph, 20, seed=5)
+        assert added.number_of_edges == base_graph.number_of_edges + 20
+
+    def test_no_self_loops_or_duplicates(self, base_graph):
+        added = add_random_edges(base_graph, 30, seed=7)
+        seen = set()
+        for u, v, _w in added.edges():
+            assert u != v
+            key = frozenset((u, v))
+            assert key not in seen
+            seen.add(key)
+
+    def test_zero_count_noop(self, base_graph):
+        added = add_random_edges(base_graph, 0, seed=1)
+        assert added.number_of_edges == base_graph.number_of_edges
+
+    def test_negative_count_rejected(self, base_graph):
+        with pytest.raises(ParameterError):
+            add_random_edges(base_graph, -1)
+
+    def test_tiny_graph_handled(self):
+        g = Graph()
+        g.add_node("only")
+        assert add_random_edges(g, 5, seed=1).number_of_edges == 0
+
+
+class TestRewireEdges:
+    def test_edge_count_roughly_preserved(self, base_graph):
+        rewired = rewire_edges(base_graph, 0.3, seed=9)
+        # collisions can drop a few edges, never add
+        assert rewired.number_of_edges <= base_graph.number_of_edges
+        assert rewired.number_of_edges > 0.8 * base_graph.number_of_edges
+
+    def test_zero_fraction_identity(self, base_graph):
+        rewired = rewire_edges(base_graph, 0.0, seed=9)
+        assert sorted(rewired.edges()) == sorted(base_graph.edges())
+
+    def test_full_rewire_changes_structure(self, base_graph):
+        rewired = rewire_edges(base_graph, 1.0, seed=11)
+        assert sorted(rewired.edges()) != sorted(base_graph.edges())
+
+    def test_invalid_fraction_rejected(self, base_graph):
+        with pytest.raises(ParameterError):
+            rewire_edges(base_graph, 1.5)
+
+
+class TestNoisySignificance:
+    def test_zero_sigma_copy(self):
+        sig = np.array([1.0, 2.0, 3.0])
+        noisy = noisy_significance(sig, 0.0, seed=1)
+        assert np.array_equal(noisy, sig)
+        assert noisy is not sig
+
+    def test_noise_changes_values(self):
+        sig = np.ones(100)
+        noisy = noisy_significance(sig, 0.5, seed=2)
+        assert not np.allclose(noisy, sig)
+        assert (noisy > 0).all()  # multiplicative noise keeps sign
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ParameterError):
+            noisy_significance(np.ones(3), -0.1)
+
+
+class TestPerturbedCopy:
+    def test_metadata_preserved(self):
+        dg = load("imdb/movie-movie", scale=0.15)
+        out = perturbed_copy(dg, drop_fraction=0.1, seed=1)
+        assert out.name == dg.name
+        assert out.group == dg.group
+        assert "[perturbed]" in out.notes
+
+    def test_significance_complete_after_perturbation(self):
+        dg = load("imdb/movie-movie", scale=0.15)
+        out = perturbed_copy(
+            dg, drop_fraction=0.1, significance_sigma=0.3, seed=2
+        )
+        sig = out.significance_vector()
+        assert np.isfinite(sig).all()
+
+    def test_original_not_mutated(self):
+        dg = load("imdb/movie-movie", scale=0.15)
+        edges_before = dg.graph.number_of_edges
+        sig_before = dg.significance_vector().copy()
+        perturbed_copy(dg, drop_fraction=0.3, significance_sigma=0.5, seed=3)
+        assert dg.graph.number_of_edges == edges_before
+        assert np.array_equal(dg.significance_vector(), sig_before)
+
+    def test_no_op_returns_copy(self):
+        dg = load("imdb/movie-movie", scale=0.15)
+        out = perturbed_copy(dg, seed=1)
+        assert out.graph is not dg.graph
+        assert out.graph.number_of_edges == dg.graph.number_of_edges

@@ -1,0 +1,89 @@
+"""Unit tests for the dataset registry and reference tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    GRAPH_NAMES,
+    PAPER_GROUPS,
+    PAPER_TABLE1,
+    PAPER_TABLE3,
+    graph_names,
+    groups,
+    load,
+    load_all,
+)
+from repro.errors import DatasetError
+
+
+class TestReferenceTables:
+    def test_eight_graphs(self):
+        assert len(GRAPH_NAMES) == 8
+
+    def test_groups_cover_all_graphs(self):
+        assert set(PAPER_GROUPS) == set(GRAPH_NAMES)
+        assert set(PAPER_GROUPS.values()) == {"A", "B", "C"}
+
+    def test_group_sizes_match_paper(self):
+        counts = {g: 0 for g in "ABC"}
+        for group in PAPER_GROUPS.values():
+            counts[group] += 1
+        assert counts == {"A": 3, "B": 2, "C": 3}
+
+    def test_table3_rows_complete(self):
+        assert set(PAPER_TABLE3) == set(GRAPH_NAMES)
+        for row in PAPER_TABLE3.values():
+            assert row.nodes > 0
+            assert row.edges > 0
+            assert row.average_degree > 0
+
+    def test_table1_names_are_known(self):
+        assert set(PAPER_TABLE1) <= set(GRAPH_NAMES)
+        assert len(PAPER_TABLE1) == 3
+
+
+class TestRegistry:
+    def test_graph_names_accessor(self):
+        assert graph_names() == GRAPH_NAMES
+
+    def test_groups_accessor_is_copy(self):
+        g = groups()
+        g["imdb/actor-actor"] = "Z"
+        assert groups()["imdb/actor-actor"] == "A"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            load("nope/nothing")
+
+    def test_load_default_deterministic(self):
+        a = load("lastfm/listener-listener", scale=0.1)
+        b = load("lastfm/listener-listener", scale=0.1)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+        assert a.significance_vector().tolist() == b.significance_vector().tolist()
+
+    def test_load_custom_seed_changes_graph(self):
+        a = load("lastfm/listener-listener", scale=0.1)
+        b = load("lastfm/listener-listener", scale=0.1, seed=999)
+        assert sorted(a.graph.edges()) != sorted(b.graph.edges())
+
+    def test_load_all_yields_eight(self, tiny_scale):
+        graphs = list(load_all(scale=tiny_scale))
+        assert len(graphs) == 8
+        assert [dg.name for dg in graphs] == list(GRAPH_NAMES)
+
+    def test_load_all_group_filter(self, tiny_scale):
+        group_b = list(load_all(scale=tiny_scale, group="B"))
+        assert {dg.name for dg in group_b} == {
+            "imdb/movie-movie",
+            "dblp/author-author",
+        }
+
+    def test_load_all_invalid_group(self):
+        with pytest.raises(DatasetError):
+            list(load_all(group="X"))
+
+    def test_load_all_seed_offset_changes_graphs(self, tiny_scale):
+        a = next(iter(load_all(scale=tiny_scale)))
+        b = next(iter(load_all(scale=tiny_scale, seed_offset=7)))
+        assert sorted(a.graph.edges()) != sorted(b.graph.edges())

@@ -1,0 +1,107 @@
+"""Unit tests for repro.datasets.significance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import blend, counts_from_scores, ratings_from_scores, zscore
+from repro.errors import ParameterError
+from repro.metrics import spearman
+
+
+class TestZscore:
+    def test_standardises(self):
+        z = zscore(np.array([1.0, 2.0, 3.0]))
+        assert z.mean() == pytest.approx(0.0)
+        assert z.std() == pytest.approx(1.0)
+
+    def test_constant_maps_to_zero(self):
+        assert np.array_equal(zscore(np.full(4, 9.0)), np.zeros(4))
+
+    def test_preserves_order(self):
+        x = np.array([5.0, -2.0, 7.0])
+        z = zscore(x)
+        assert np.array_equal(np.argsort(z), np.argsort(x))
+
+
+class TestBlend:
+    def test_single_component_is_zscore(self):
+        x = np.array([1.0, 4.0, 2.0])
+        assert np.allclose(blend((2.0, x)), 2.0 * zscore(x))
+
+    def test_opposite_components_cancel(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(blend((1.0, x), (-1.0, x)), 0.0)
+
+    def test_weights_control_influence(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=200)
+        b = rng.normal(size=200)
+        heavy_a = blend((5.0, a), (1.0, b))
+        assert spearman(heavy_a, a) > spearman(heavy_a, b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            blend()
+
+
+class TestRatings:
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=500)
+        ratings = ratings_from_scores(scores, rng)
+        assert ratings.min() >= 1.0
+        assert ratings.max() <= 5.0
+
+    def test_monotone_without_noise(self):
+        rng = np.random.default_rng(0)
+        scores = np.linspace(-2, 2, 50)
+        ratings = ratings_from_scores(scores, rng, noise_sigma=0.0)
+        assert (np.diff(ratings) >= 0).all()
+
+    def test_noise_reduces_correlation(self):
+        scores = np.linspace(-2, 2, 400)
+        clean = ratings_from_scores(scores, np.random.default_rng(1), noise_sigma=0.0)
+        noisy = ratings_from_scores(scores, np.random.default_rng(1), noise_sigma=2.0)
+        assert spearman(clean, scores) > spearman(noisy, scores)
+
+    def test_custom_bounds(self):
+        rng = np.random.default_rng(2)
+        ratings = ratings_from_scores(rng.normal(size=100), rng, lo=0.0, hi=10.0)
+        assert ratings.min() >= 0.0
+        assert ratings.max() <= 10.0
+
+    def test_invalid_bounds_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParameterError):
+            ratings_from_scores(np.zeros(3), rng, lo=5.0, hi=1.0)
+
+    def test_negative_noise_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParameterError):
+            ratings_from_scores(np.zeros(3), rng, noise_sigma=-1.0)
+
+
+class TestCounts:
+    def test_non_negative_integers(self):
+        rng = np.random.default_rng(4)
+        counts = counts_from_scores(rng.normal(size=300), rng, base=10.0)
+        assert (counts >= 0).all()
+        assert np.array_equal(counts, np.round(counts))
+
+    def test_heavy_tail(self):
+        rng = np.random.default_rng(5)
+        counts = counts_from_scores(rng.normal(size=2000), rng, base=50.0, spread=1.5)
+        assert counts.max() > 10 * np.median(counts)
+
+    def test_monotone_in_scores_without_noise(self):
+        rng = np.random.default_rng(6)
+        scores = np.linspace(-2, 2, 40)
+        counts = counts_from_scores(scores, rng, noise_sigma=0.0)
+        assert (np.diff(counts) >= 0).all()
+
+    def test_invalid_base_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParameterError):
+            counts_from_scores(np.zeros(3), rng, base=0.0)

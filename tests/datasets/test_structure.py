@@ -1,0 +1,60 @@
+"""Unit tests for repro.datasets.structure (structural features)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.structure import (
+    degree_feature,
+    max_neighbor_degree,
+    mean_neighbor_degree,
+)
+from repro.graph import Graph
+
+
+class TestDegreeFeature:
+    def test_log_default(self, figure1_graph):
+        feat = degree_feature(figure1_graph)
+        degrees = figure1_graph.degree_vector()
+        assert np.allclose(feat, np.log1p(degrees))
+
+    def test_raw(self, figure1_graph):
+        feat = degree_feature(figure1_graph, log=False)
+        assert np.allclose(feat, figure1_graph.degree_vector())
+
+
+class TestMeanNeighborDegree:
+    def test_star_hub_and_leaves(self, star_graph):
+        feat = mean_neighbor_degree(star_graph, log=False)
+        hub = star_graph.index_of("h")
+        assert feat[hub] == 1.0  # leaves all degree 1
+        for i in range(star_graph.number_of_nodes):
+            if i != hub:
+                assert feat[i] == 5.0  # the hub
+
+    def test_isolated_node_zero(self):
+        g = Graph.from_edges([("a", "b")], nodes=["iso"])
+        feat = mean_neighbor_degree(g, log=False)
+        assert feat[g.index_of("iso")] == 0.0
+
+    def test_figure1_values(self, figure1_graph):
+        feat = mean_neighbor_degree(figure1_graph, log=False)
+        # A's neighbours: B(2), C(3), D(1) -> mean 2.0
+        assert feat[figure1_graph.index_of("A")] == 2.0
+
+
+class TestMaxNeighborDegree:
+    def test_leaf_sees_hub(self, star_graph):
+        feat = max_neighbor_degree(star_graph, log=False)
+        leaf = star_graph.index_of("leaf0")
+        assert feat[leaf] == 5.0
+
+    def test_isolated_zero(self):
+        g = Graph.from_edges([("a", "b")], nodes=["iso"])
+        feat = max_neighbor_degree(g, log=False)
+        assert feat[g.index_of("iso")] == 0.0
+
+    def test_max_ge_mean(self, figure1_graph):
+        mx = max_neighbor_degree(figure1_graph, log=False)
+        mn = mean_neighbor_degree(figure1_graph, log=False)
+        assert (mx >= mn).all()

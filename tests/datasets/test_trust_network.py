@@ -1,0 +1,78 @@
+"""Unit tests for the directed trust network dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import d2pr
+from repro.datasets import build_trust_network
+from repro.errors import ParameterError
+from repro.graph import DiGraph
+from repro.metrics import spearman
+
+
+@pytest.fixture(scope="module")
+def trust():
+    return build_trust_network(350, seed=7500)
+
+
+class TestConstruction:
+    def test_is_directed(self, trust):
+        assert isinstance(trust, DiGraph)
+
+    def test_node_count(self, trust):
+        assert trust.number_of_nodes == 350
+
+    def test_no_self_trust(self, trust):
+        for u, v, _w in trust.edges():
+            assert u != v
+
+    def test_every_user_issues_some_trust(self, trust):
+        assert trust.out_degree_vector().min() >= 1
+
+    def test_significance_attached_everywhere(self, trust):
+        sig = trust.node_attr_array("significance")
+        assert np.isfinite(sig).all()
+        assert (sig >= 0).all()
+
+    def test_discernment_attribute(self, trust):
+        d = trust.node_attr_array("discernment")
+        assert np.isfinite(d).all()
+
+    def test_deterministic(self):
+        a = build_trust_network(100, seed=1)
+        b = build_trust_network(100, seed=1)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            build_trust_network(2)
+        with pytest.raises(ParameterError):
+            build_trust_network(100, mean_trusts=0.0)
+        with pytest.raises(ParameterError):
+            build_trust_network(100, trust_quality_corr=2.0)
+
+
+class TestSemantics:
+    def test_out_degree_negative_signal(self, trust):
+        """§3.2.2: non-discerning users issue many statements."""
+        sig = trust.node_attr_array("significance")
+        assert spearman(trust.out_degree_vector(), sig) < -0.15
+
+    def test_in_degree_positive_signal(self, trust):
+        sig = trust.node_attr_array("significance")
+        assert spearman(trust.in_degree_vector(), sig) > 0.3
+
+    def test_directed_penalisation_helps(self, trust):
+        """The directed Group A analogue: p ≈ 1 beats p = 0."""
+        sig = trust.node_attr_array("significance")
+        conventional = spearman(d2pr(trust, 0.0).values, sig)
+        penalised = spearman(d2pr(trust, 1.0).values, sig)
+        assert penalised > conventional
+
+    def test_overpenalisation_declines(self, trust):
+        sig = trust.node_attr_array("significance")
+        peak_region = spearman(d2pr(trust, 1.0).values, sig)
+        extreme = spearman(d2pr(trust, 4.0).values, sig)
+        assert extreme < peak_region

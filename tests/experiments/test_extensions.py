@@ -1,0 +1,149 @@
+"""Tests for the extension experiments (beyond the paper's evaluation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (
+    ext_centrality,
+    ext_covertime,
+    ext_robustness,
+    ext_spam,
+)
+from repro.experiments.runner import experiment_ids, run_experiment
+
+SCALE = 0.3
+
+
+class TestRegistration:
+    def test_extension_ids_registered(self):
+        ids = experiment_ids()
+        for ext in ("ext-centrality", "ext-covertime", "ext-spam", "ext-robustness"):
+            assert ext in ids
+
+    def test_runner_dispatch(self):
+        result = run_experiment("ext-covertime", scale=0.3)
+        assert result.experiment_id == "ext-covertime"
+
+
+class TestExtCentrality:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_centrality(SCALE)
+
+    def test_covers_representatives(self, result):
+        assert len(result.data) == 3
+
+    def test_d2pr_strongly_positive_on_every_group(self, result):
+        """The adaptivity claim: tuned D2PR stays strongly positive on all
+        three application groups."""
+        for name, entry in result.data.items():
+            d2pr_key = next(k for k in entry if k.startswith("D2PR"))
+            assert entry[d2pr_key] > 0.3, name
+
+    def test_every_fixed_measure_fails_some_group(self, result):
+        """No fixed measure adapts across groups: each one is weak or
+        negatively correlated on at least one graph."""
+        fixed = ["degree", "betweenness", "closeness", "clustering", "eigen (HITS)"]
+        for label in fixed:
+            worst = min(entry[label] for entry in result.data.values())
+            assert worst < 0.1, label
+
+    def test_fixed_measures_fail_group_a(self, result):
+        """Degree-coupled measures are negatively correlated on Group A,
+        where tuned D2PR wins outright."""
+        entry = result.data["imdb/actor-actor"]
+        assert entry["degree"] < 0
+        assert entry["eigen (HITS)"] < 0
+        d2pr_key = next(k for k in entry if k.startswith("D2PR"))
+        assert entry[d2pr_key] == max(entry.values())
+
+
+class TestExtCovertime:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_covertime(SCALE)
+
+    def test_all_ps_measured(self, result):
+        assert set(result.data) == {"p=-2", "p=-1", "p=0", "p=1", "p=2"}
+
+    def test_boosting_slows_coverage(self, result):
+        assert result.data["p=-2"] > result.data["p=0"]
+
+    def test_values_positive(self, result):
+        assert all(v > 0 for v in result.data.values())
+
+
+class TestExtSpam:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_spam(SCALE)
+
+    def test_vanilla_pagerank_gameable(self, result):
+        assert result.data["p=0"]["boost"] > 0
+
+    def test_penalisation_reduces_boost(self, result):
+        assert result.data["p=2"]["boost"] < result.data["p=0"]["boost"]
+
+    def test_ranks_valid(self, result):
+        for entry in result.data.values():
+            assert entry["rank_before"] >= 1
+            assert entry["rank_after"] >= 1
+
+
+class TestExtRobustness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_robustness(SCALE)
+
+    def test_scenarios_cover_all_graphs(self, result):
+        assert len(result.data) == 3
+        for entry in result.data.values():
+            assert set(entry) == {
+                "clean",
+                "drop 10% edges",
+                "rewire 10% edges",
+                "significance noise 0.2",
+            }
+
+    def test_group_sign_survives_perturbation(self, result):
+        """The application grouping is robust to 10% structural noise."""
+        signs = {
+            "imdb/actor-actor": 1,
+            "dblp/author-author": 0,
+            "lastfm/listener-listener": -1,
+        }
+        for name, entry in result.data.items():
+            for scenario, values in entry.items():
+                peak = values["peak_p"]
+                if signs[name] > 0:
+                    assert peak > 0, (name, scenario)
+                elif signs[name] < 0:
+                    assert peak < 0, (name, scenario)
+                else:
+                    assert abs(peak) <= 0.5, (name, scenario)
+
+    def test_correlations_finite(self, result):
+        for entry in result.data.values():
+            for values in entry.values():
+                assert np.isfinite(values["peak_correlation"])
+
+
+class TestExtDirected:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.extensions import ext_directed
+
+        return ext_directed(SCALE)
+
+    def test_peak_positive(self, result):
+        assert result.data["peak_p"] > 0
+
+    def test_out_degree_negative_in_degree_positive(self, result):
+        assert result.data["out_degree_coupling"] < 0
+        assert result.data["in_degree_coupling"] > 0
+
+    def test_penalisation_beats_conventional(self, result):
+        peak = max(result.data["correlations"])
+        assert peak > result.data["correlation_at_zero"]

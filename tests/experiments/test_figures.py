@@ -1,0 +1,254 @@
+"""Reproduction tests for the paper's Figures 1–11.
+
+Each test asserts the *shape claims* of the paper's evaluation (peak
+locations, plateau/decline patterns, group orderings) on the deterministic
+synthetic data graphs.  Scales: figure 3 (Group B) uses the full-scale
+graphs because its peak-at-zero geometry is the most delicate; the sweep
+figures use half scale for speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+
+SWEEP_SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return figure2(1.0)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return figure3(1.0)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4(1.0)
+
+
+class TestFigure1:
+    def test_matches_paper_exactly(self):
+        data = figure1().data
+        assert data["p=0"]["B"] == pytest.approx(1 / 3)
+        assert data["p=2"]["B"] == pytest.approx(0.18, abs=0.01)
+        assert data["p=2"]["C"] == pytest.approx(0.08, abs=0.01)
+        assert data["p=2"]["D"] == pytest.approx(0.74, abs=0.01)
+        assert data["p=-2"]["B"] == pytest.approx(0.29, abs=0.01)
+        assert data["p=-2"]["C"] == pytest.approx(0.64, abs=0.01)
+        assert data["p=-2"]["D"] == pytest.approx(0.07, abs=0.01)
+
+    def test_rows_sum_to_one(self):
+        for entry in figure1().data.values():
+            assert sum(entry.values()) == pytest.approx(1.0)
+
+
+class TestFigure2GroupA:
+    """Group A: degree penalisation (p > 0) is optimal."""
+
+    def test_all_peaks_positive(self, fig2):
+        for name, entry in fig2.data.items():
+            assert entry["peak_p"] > 0, name
+
+    def test_moderate_peak_for_actor_and_commenter(self, fig2):
+        assert 0.5 <= fig2.data["imdb/actor-actor"]["peak_p"] <= 2.0
+        assert 0.5 <= fig2.data["epinions/commenter-commenter"]["peak_p"] <= 2.0
+
+    def test_overpenalisation_hurts_actor_and_commenter(self, fig2):
+        """Correlations drop significantly when p >> peak (§4.3.1)."""
+        for name in ("imdb/actor-actor", "epinions/commenter-commenter"):
+            entry = fig2.data[name]
+            corr = dict(zip(entry["ps"], entry["correlations"]))
+            peak = max(entry["correlations"])
+            assert corr[4.0] < peak - 0.02, name
+
+    def test_product_product_negative_at_zero(self, fig2):
+        """The paper's signature: conventional PR is *negatively*
+        correlated with significance on product-product."""
+        assert fig2.data["epinions/product-product"]["correlation_at_zero"] < 0
+
+    def test_product_product_stable_when_overpenalised(self, fig2):
+        """Correlations stabilise instead of deteriorating (Figure 2c)."""
+        entry = fig2.data["epinions/product-product"]
+        corr = dict(zip(entry["ps"], entry["correlations"]))
+        plateau = [corr[p] for p in (2.0, 2.5, 3.0, 3.5, 4.0)]
+        assert max(plateau) - min(plateau) < 0.05
+        assert min(plateau) > 0.8 * max(entry["correlations"])
+
+    def test_negative_p_worse_than_peak(self, fig2):
+        for name, entry in fig2.data.items():
+            corr = dict(zip(entry["ps"], entry["correlations"]))
+            assert corr[-4.0] < max(entry["correlations"]), name
+
+
+class TestFigure3GroupB:
+    """Group B: conventional PageRank (p = 0) is optimal."""
+
+    def test_peak_exactly_at_zero(self, fig3):
+        for name, entry in fig3.data.items():
+            assert entry["peak_p"] == 0.0, name
+
+    def test_positive_correlation_at_zero(self, fig3):
+        for name, entry in fig3.data.items():
+            assert entry["correlation_at_zero"] > 0, name
+
+    def test_boosting_degrades(self, fig3):
+        """p < 0 never beats p = 0 (homogeneous neighbour degrees)."""
+        for name, entry in fig3.data.items():
+            corr = dict(zip(entry["ps"], entry["correlations"]))
+            assert corr[-4.0] < corr[0.0], name
+            assert corr[-1.0] < corr[0.0], name
+
+    def test_penalisation_turns_negative(self, fig3):
+        """Past the crossover the correlation flips sign (Figure 3)."""
+        for name, entry in fig3.data.items():
+            corr = dict(zip(entry["ps"], entry["correlations"]))
+            assert corr[2.0] < 0, name
+
+
+class TestFigure4GroupC:
+    """Group C: degree boosting (p < 0) is optimal."""
+
+    def test_all_peaks_nonpositive(self, fig4):
+        for name, entry in fig4.data.items():
+            assert entry["peak_p"] < 0, name
+
+    def test_improvement_over_zero_is_modest(self, fig4):
+        """The paper: 'improvements over p = 0 are slight' for article and
+        artist graphs."""
+        for name in ("dblp/article-article", "lastfm/artist-artist"):
+            entry = fig4.data[name]
+            gain = max(entry["correlations"]) - entry["correlation_at_zero"]
+            assert 0 <= gain < 0.05, name
+
+    def test_negative_plateau(self, fig4):
+        """For p < 0 the curve is stable (dominant high-degree neighbour)."""
+        for name in ("dblp/article-article", "lastfm/artist-artist"):
+            entry = fig4.data[name]
+            corr = dict(zip(entry["ps"], entry["correlations"]))
+            plateau = [corr[p] for p in (-4.0, -3.0, -2.0, -1.0)]
+            assert max(plateau) - min(plateau) < 0.05, name
+
+    def test_penalisation_collapses_correlation(self, fig4):
+        for name, entry in fig4.data.items():
+            corr = dict(zip(entry["ps"], entry["correlations"]))
+            assert corr[2.0] < corr[0.0] - 0.3, name
+
+
+class TestFigure5:
+    def test_group_signs(self):
+        data = figure5(1.0).data
+        for name, entry in data.items():
+            coupling = entry["degree_significance"]
+            if entry["group"] == "A":
+                assert coupling < 0, name
+            else:
+                assert coupling > 0, name
+
+    def test_group_c_stronger_than_group_b(self):
+        data = figure5(1.0).data
+        weakest_c = min(
+            e["degree_significance"] for e in data.values() if e["group"] == "C"
+        )
+        strongest_b = max(
+            e["degree_significance"] for e in data.values() if e["group"] == "B"
+        )
+        assert weakest_c > strongest_b
+
+
+class TestAlphaSweeps:
+    """Figures 6-8: the grouping is preserved for every alpha (§4.4)."""
+
+    def test_figure6_group_a_peaks_positive_all_alphas(self):
+        data = figure6(SWEEP_SCALE).data
+        for name, entry in data.items():
+            for key, sweep in entry.items():
+                if key == "ps":
+                    continue
+                assert sweep["peak_p"] > 0, (name, key)
+
+    def test_figure7_group_b_peaks_near_zero_all_alphas(self):
+        data = figure7(SWEEP_SCALE).data
+        for name, entry in data.items():
+            for key, sweep in entry.items():
+                if key == "ps":
+                    continue
+                assert -1.0 <= sweep["peak_p"] <= 0.5, (name, key)
+
+    def test_figure8_group_c_peaks_negative_all_alphas(self):
+        data = figure8(SWEEP_SCALE).data
+        for name, entry in data.items():
+            for key, sweep in entry.items():
+                if key == "ps":
+                    continue
+                assert sweep["peak_p"] < 0, (name, key)
+
+    def test_alpha_changes_correlations(self):
+        data = figure6(SWEEP_SCALE).data["imdb/actor-actor"]
+        a_low = data["alpha=0.5"]["correlations"]
+        a_high = data["alpha=0.9"]["correlations"]
+        assert a_low != a_high
+
+
+class TestBetaSweeps:
+    """Figures 9-11: weighted graphs, connection strength vs de-coupling."""
+
+    def test_figure9_beta1_is_flat_in_p(self):
+        data = figure9(SWEEP_SCALE).data
+        for name, entry in data.items():
+            values = np.asarray(entry["beta=1"]["correlations"])
+            assert np.allclose(values, values[0], atol=1e-9), name
+
+    def test_figure9_decoupling_beats_connection_strength(self):
+        """β < 1 reaches higher correlation than β = 1 (Figure 9)."""
+        data = figure9(SWEEP_SCALE).data
+        for name, entry in data.items():
+            best_decoupled = max(entry["beta=0"]["correlations"])
+            strength_only = max(entry["beta=1"]["correlations"])
+            assert best_decoupled > strength_only, name
+
+    def test_figure9_optimal_p_grows_with_beta(self):
+        """More connection-strength weight ⇒ larger optimal p (§4.5)."""
+        data = figure9(SWEEP_SCALE).data
+        for name in ("imdb/actor-actor", "epinions/commenter-commenter"):
+            entry = data[name]
+            assert entry["beta=0.75"]["peak_p"] >= entry["beta=0"]["peak_p"]
+
+    def test_figure10_beta0_peak_near_zero(self):
+        data = figure10(SWEEP_SCALE).data
+        for name, entry in data.items():
+            assert -1.0 <= entry["beta=0"]["peak_p"] <= 0.5, name
+
+    def test_figure11_beta0_peak_negative(self):
+        data = figure11(SWEEP_SCALE).data
+        for name, entry in data.items():
+            assert entry["beta=0"]["peak_p"] < 0, name
+
+    def test_figure11_decoupled_betas_best_overall(self):
+        """The best overall correlations use beta ∈ {0, 0.25} (§4.5)."""
+        data = figure11(SWEEP_SCALE).data
+        for name, entry in data.items():
+            best_by_beta = {
+                key: max(sweep["correlations"])
+                for key, sweep in entry.items()
+                if key != "ps"
+            }
+            winner = max(best_by_beta, key=lambda k: best_by_beta[k])
+            assert winner in ("beta=0", "beta=0.25"), (name, winner)

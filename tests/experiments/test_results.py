@@ -1,0 +1,86 @@
+"""Unit tests for repro.experiments.results (tables + ASCII charts)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments import ExperimentResult, Section, ascii_chart, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "v"], [["a", "1"], ["longer", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        # all rows equal width
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestAsciiChart:
+    def test_contains_marks_and_legend(self):
+        x = np.linspace(-1, 1, 9)
+        chart = ascii_chart(x, {"up": x, "down": -x})
+        assert "o" in chart
+        assert "x" in chart
+        assert "legend" in chart
+        assert "up" in chart and "down" in chart
+
+    def test_peak_row_position(self):
+        x = np.arange(5.0)
+        values = np.array([0.0, 0.0, 1.0, 0.0, 0.0])
+        chart = ascii_chart(x, {"spike": values}, height=5)
+        lines = chart.splitlines()
+        # the max value should appear in the top plot row
+        assert "o" in lines[0]
+
+    def test_constant_series_handled(self):
+        x = np.arange(4.0)
+        chart = ascii_chart(x, {"flat": np.ones(4)})
+        assert "o" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_chart(np.arange(3.0), {"bad": np.arange(4.0)})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ParameterError):
+            ascii_chart(np.arange(3.0), {})
+
+    def test_min_height_enforced(self):
+        with pytest.raises(ParameterError):
+            ascii_chart(np.arange(3.0), {"a": np.arange(3.0)}, height=2)
+
+
+class TestExperimentResult:
+    def test_to_text_structure(self):
+        result = ExperimentResult(
+            experiment_id="tableX",
+            title="A title",
+            sections=[
+                Section(title="S1", headers=["a"], rows=[["1"]]),
+                Section(title="S2", chart="<chart>"),
+            ],
+            data={},
+            notes="a note",
+        )
+        text = result.to_text()
+        assert "# tableX: A title" in text
+        assert "## S1" in text
+        assert "<chart>" in text
+        assert "Notes: a note" in text
+
+    def test_section_without_table(self):
+        section = Section(title="only chart", chart="***")
+        assert "***" in section.to_text()
+        assert "only chart" in section.to_text()

@@ -1,0 +1,71 @@
+"""Unit tests for the experiment runner and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import experiment_ids, run_all, run_experiment
+from repro.experiments.cli import build_parser, main
+
+
+class TestRunner:
+    def test_all_experiments_registered(self):
+        ids = experiment_ids()
+        # 3 tables + 11 figures + 5 extension experiments
+        assert len(ids) == 19
+        assert {"table1", "table2", "table3"} <= set(ids)
+        assert {f"figure{i}" for i in range(1, 12)} <= set(ids)
+        assert {
+            "ext-centrality",
+            "ext-covertime",
+            "ext-spam",
+            "ext-robustness",
+            "ext-directed",
+        } <= set(ids)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("figure99")
+
+    def test_run_experiment_returns_result(self):
+        result = run_experiment("figure1")
+        assert result.experiment_id == "figure1"
+        assert result.sections
+
+    def test_run_all_subset_writes_reports(self, tmp_path):
+        results = run_all(scale=0.2, out_dir=tmp_path, ids=["figure1", "table1"])
+        assert set(results) == {"figure1", "table1"}
+        assert (tmp_path / "figure1.txt").exists()
+        assert (tmp_path / "table1.txt").exists()
+        assert "figure1" in (tmp_path / "figure1.txt").read_text()
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "figure1", "--scale", "0.5"])
+        assert args.experiment == "figure1"
+        assert args.scale == 0.5
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out
+        assert "table3" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out
+
+    def test_run_unknown_returns_error_code(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_all_with_out_dir(self, tmp_path, capsys):
+        code = main(
+            ["run-all", "--scale", "0.2", "--out", str(tmp_path), "--ids", "figure1"]
+        )
+        assert code == 0
+        assert (tmp_path / "figure1.txt").exists()

@@ -1,0 +1,102 @@
+"""Unit tests for repro.experiments.sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALPHA_GRID,
+    BETA_GRID,
+    P_GRID,
+    CorrelationCurve,
+    alpha_sweep,
+    beta_sweep,
+    correlation_curve,
+    get_data_graph,
+)
+
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def listener():
+    return get_data_graph("lastfm/listener-listener", SCALE)
+
+
+class TestGrids:
+    def test_p_grid_matches_paper(self):
+        assert P_GRID[0] == -4.0
+        assert P_GRID[-1] == 4.0
+        assert len(P_GRID) == 17
+        assert np.allclose(np.diff(P_GRID), 0.5)
+
+    def test_alpha_grid_in_paper_range(self):
+        assert all(0.5 <= a <= 0.9 for a in ALPHA_GRID)
+
+    def test_beta_grid(self):
+        assert BETA_GRID == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+class TestGetDataGraph:
+    def test_cached(self):
+        a = get_data_graph("imdb/movie-movie", SCALE)
+        b = get_data_graph("imdb/movie-movie", SCALE)
+        assert a is b
+
+    def test_scale_keyed(self):
+        a = get_data_graph("imdb/movie-movie", SCALE)
+        b = get_data_graph("imdb/movie-movie", 0.1)
+        assert a is not b
+
+
+class TestCorrelationCurve:
+    def test_curve_length(self, listener):
+        curve = correlation_curve(listener, ps=(0.0, 1.0))
+        assert curve.ps == (0.0, 1.0)
+        assert len(curve.correlations) == 2
+
+    def test_at_lookup(self, listener):
+        curve = correlation_curve(listener, ps=(-1.0, 0.0, 1.0))
+        assert curve.at(0.0) == curve.correlations[1]
+
+    def test_at_missing_raises(self, listener):
+        curve = correlation_curve(listener, ps=(0.0,))
+        with pytest.raises(KeyError):
+            curve.at(3.0)
+
+    def test_peak_properties(self):
+        curve = CorrelationCurve(ps=(0.0, 1.0, 2.0), correlations=(0.1, 0.9, 0.3))
+        assert curve.peak_p == 1.0
+        assert curve.peak_correlation == 0.9
+
+    def test_correlations_bounded(self, listener):
+        curve = correlation_curve(listener, ps=(-2.0, 0.0, 2.0))
+        assert all(-1.0 <= c <= 1.0 for c in curve.correlations)
+
+    def test_weighted_beta_changes_curve(self, listener):
+        unweighted = correlation_curve(listener, ps=(1.0,))
+        strength = correlation_curve(
+            listener, ps=(1.0,), beta=1.0, weighted=True
+        )
+        assert unweighted.correlations != strength.correlations
+
+
+class TestSweeps:
+    def test_alpha_sweep_keys(self, listener):
+        curves = alpha_sweep(listener, ps=(0.0, 1.0), alphas=(0.5, 0.9))
+        assert set(curves) == {0.5, 0.9}
+
+    def test_alpha_changes_results(self, listener):
+        curves = alpha_sweep(listener, ps=(-2.0,), alphas=(0.5, 0.9))
+        assert curves[0.5].correlations != curves[0.9].correlations
+
+    def test_beta_sweep_keys(self, listener):
+        curves = beta_sweep(listener, ps=(0.0,), betas=(0.0, 1.0))
+        assert set(curves) == {0.0, 1.0}
+
+    def test_beta_one_is_p_invariant(self, listener):
+        """With beta = 1 the transition ignores p entirely."""
+        curve = beta_sweep(listener, ps=(-3.0, 0.0, 3.0), betas=(1.0,))[1.0]
+        values = np.asarray(curve.correlations)
+        assert np.allclose(values, values[0], atol=1e-9)

@@ -1,0 +1,101 @@
+"""Reproduction tests for the paper's Tables 1–3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1, table2, table3
+
+SCALE = 0.5
+
+
+@pytest.fixture(scope="module")
+def t1():
+    return table1(SCALE)
+
+
+@pytest.fixture(scope="module")
+def t2():
+    return table2(SCALE)
+
+
+@pytest.fixture(scope="module")
+def t3():
+    return table3(SCALE)
+
+
+class TestTable1:
+    def test_three_graphs(self, t1):
+        assert len(t1.data) == 3
+
+    def test_tight_coupling_reproduced(self, t1):
+        """The paper's premise: PageRank ranks ≈ degree ranks (all ≥ 0.8)."""
+        for name, entry in t1.data.items():
+            assert entry["measured"] > 0.8, name
+
+    def test_listener_and_article_near_paper(self, t1):
+        assert t1.data["lastfm/listener-listener"]["measured"] == pytest.approx(
+            0.988, abs=0.03
+        )
+        assert t1.data["dblp/article-article"]["measured"] == pytest.approx(
+            0.997, abs=0.02
+        )
+
+    def test_report_renders(self, t1):
+        text = t1.to_text()
+        assert "paper" in text and "measured" in text
+
+
+class TestTable2:
+    def test_four_sample_nodes(self, t2):
+        assert len(t2.data) == 4
+
+    def test_high_degree_nodes_fall_with_p(self, t2):
+        """Paper's pattern: p>0 pushes hubs down, p<0 pulls them up."""
+        entries = sorted(t2.data.values(), key=lambda e: -e["degree"])
+        for hub in entries[:2]:
+            assert hub["rank@p=-4"] <= hub["rank@p=0"] <= hub["rank@p=4"]
+            assert hub["rank@p=-4"] < hub["rank@p=4"]
+
+    def test_low_degree_nodes_rise_with_p(self, t2):
+        entries = sorted(t2.data.values(), key=lambda e: e["degree"])
+        for leaf in entries[:2]:
+            assert leaf["rank@p=-4"] > leaf["rank@p=4"]
+
+    def test_hubs_top_ranked_at_negative_p(self, t2):
+        entries = sorted(t2.data.values(), key=lambda e: -e["degree"])
+        assert entries[0]["rank@p=-4"] <= 3
+
+
+class TestTable3:
+    def test_all_eight_graphs(self, t3):
+        assert len(t3.data) == 8
+
+    def test_paper_reference_included(self, t3):
+        for entry in t3.data.values():
+            assert entry["paper_average_degree"] > 0
+
+    def test_within_family_density_orderings(self, t3):
+        d = t3.data
+        assert (
+            d["imdb/actor-actor"]["average_degree"]
+            > d["imdb/movie-movie"]["average_degree"]
+        )
+        assert (
+            d["dblp/article-article"]["average_degree"]
+            > d["dblp/author-author"]["average_degree"]
+        )
+        assert (
+            d["lastfm/artist-artist"]["average_degree"]
+            > d["lastfm/listener-listener"]["average_degree"]
+        )
+
+    def test_statistics_positive(self, t3):
+        for entry in t3.data.values():
+            assert entry["nodes"] > 0
+            assert entry["edges"] > 0
+            assert entry["degree_std"] >= 0
+
+    def test_report_renders(self, t3):
+        text = t3.to_text()
+        assert "median nbr-degree std" in text

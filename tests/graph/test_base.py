@@ -1,0 +1,342 @@
+"""Unit tests for repro.graph.base (Graph / DiGraph)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeError, EmptyGraphError, NodeNotFoundError
+from repro.graph import DiGraph, Graph
+
+
+class TestGraphNodes:
+    def test_add_node_returns_index(self):
+        g = Graph()
+        assert g.add_node("a") == 0
+        assert g.add_node("b") == 1
+
+    def test_add_existing_node_is_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        assert g.add_node("a") == 0
+        assert g.number_of_nodes == 1
+
+    def test_add_node_merges_attrs(self):
+        g = Graph()
+        g.add_node("a", color="red")
+        g.add_node("a", size=3)
+        assert g.node_attr("a", "color") == "red"
+        assert g.node_attr("a", "size") == 3
+
+    def test_nodes_in_insertion_order(self):
+        g = Graph()
+        for name in ("z", "a", "m"):
+            g.add_node(name)
+        assert g.nodes() == ["z", "a", "m"]
+
+    def test_index_of_unknown_raises(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.index_of("ghost")
+
+    def test_node_at_roundtrip(self):
+        g = Graph()
+        g.add_nodes_from(["a", "b", "c"])
+        for node in g.nodes():
+            assert g.node_at(g.index_of(node)) == node
+
+    def test_node_at_out_of_range_raises(self):
+        g = Graph()
+        g.add_node("a")
+        with pytest.raises(NodeNotFoundError):
+            g.node_at(5)
+
+    def test_contains_and_len(self):
+        g = Graph()
+        g.add_nodes_from(["a", "b"])
+        assert "a" in g
+        assert "zzz" not in g
+        assert len(g) == 2
+
+    def test_iteration_yields_nodes(self):
+        g = Graph()
+        g.add_nodes_from(["a", "b"])
+        assert list(g) == ["a", "b"]
+
+    def test_hashable_non_string_nodes(self):
+        g = Graph()
+        g.add_edge((1, 2), frozenset({3}))
+        assert g.has_edge((1, 2), frozenset({3}))
+
+    def test_require_nonempty_raises_on_empty(self):
+        with pytest.raises(EmptyGraphError):
+            Graph().require_nonempty()
+
+
+class TestGraphAttributes:
+    def test_node_attr_default(self):
+        g = Graph()
+        g.add_node("a")
+        assert g.node_attr("a", "missing", default=7) == 7
+
+    def test_node_attr_array_alignment(self):
+        g = Graph()
+        g.add_node("a", score=1.0)
+        g.add_node("b")
+        g.add_node("c", score=3.0)
+        arr = g.node_attr_array("score")
+        assert arr[0] == 1.0
+        assert np.isnan(arr[1])
+        assert arr[2] == 3.0
+
+    def test_node_attr_array_custom_default(self):
+        g = Graph()
+        g.add_node("a")
+        arr = g.node_attr_array("score", default=-1.0)
+        assert arr[0] == -1.0
+
+    def test_attribute_names_sorted(self):
+        g = Graph()
+        g.add_node("a", zeta=1, alpha=2)
+        assert g.attribute_names() == ["alpha", "zeta"]
+
+    def test_set_node_attr_after_creation(self):
+        g = Graph()
+        g.add_node("a")
+        g.set_node_attr("a", "significance", 4.2)
+        assert g.node_attr("a", "significance") == 4.2
+
+
+class TestGraphEdges:
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert g.number_of_nodes == 2
+        assert g.number_of_edges == 1
+
+    def test_edge_is_symmetric(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=2.5)
+        assert g.edge_weight("a", "b") == 2.5
+        assert g.edge_weight("b", "a") == 2.5
+
+    def test_re_adding_edge_updates_weight_not_count(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("a", "b", weight=9.0)
+        assert g.number_of_edges == 1
+        assert g.edge_weight("a", "b") == 9.0
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(EdgeError):
+            g.add_edge("a", "a")
+
+    def test_nonpositive_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(EdgeError):
+            g.add_edge("a", "b", weight=0.0)
+        with pytest.raises(EdgeError):
+            g.add_edge("a", "b", weight=-1.0)
+
+    def test_nonfinite_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(EdgeError):
+            g.add_edge("a", "b", weight=float("nan"))
+        with pytest.raises(EdgeError):
+            g.add_edge("a", "b", weight=float("inf"))
+
+    def test_edge_weight_missing_edge_raises(self):
+        g = Graph()
+        g.add_nodes_from(["a", "b"])
+        with pytest.raises(EdgeError):
+            g.edge_weight("a", "b")
+
+    def test_increment_edge_accumulates(self):
+        g = Graph()
+        g.increment_edge("a", "b")
+        g.increment_edge("a", "b", delta=2.0)
+        assert g.edge_weight("a", "b") == 3.0
+        assert g.number_of_edges == 1
+
+    def test_increment_edge_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(EdgeError):
+            g.increment_edge("x", "x")
+
+    def test_edges_listed_once(self, figure1_graph):
+        edges = list(figure1_graph.edges())
+        assert len(edges) == 6
+        endpoints = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(endpoints) == 6
+
+    def test_add_edges_from_mixed_tuples(self):
+        g = Graph()
+        g.add_edges_from([("a", "b"), ("b", "c", 4.0)])
+        assert g.edge_weight("a", "b") == 1.0
+        assert g.edge_weight("b", "c") == 4.0
+
+    def test_has_edge_unknown_nodes(self):
+        g = Graph()
+        assert not g.has_edge("a", "b")
+
+    def test_neighbors(self, figure1_graph):
+        assert sorted(figure1_graph.neighbors("A")) == ["B", "C", "D"]
+        assert sorted(figure1_graph.neighbors("C")) == ["A", "E", "F"]
+
+    def test_degree(self, figure1_graph):
+        assert figure1_graph.degree("A") == 3
+        assert figure1_graph.degree("D") == 1
+
+    def test_degree_vector(self, figure1_graph):
+        degrees = figure1_graph.degree_vector()
+        by_node = {
+            node: degrees[figure1_graph.index_of(node)]
+            for node in figure1_graph.nodes()
+        }
+        assert by_node == {"A": 3, "B": 2, "C": 3, "D": 1, "E": 2, "F": 1}
+
+    def test_weighted_degree_vector(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=2.0)
+        g.add_edge("a", "c", weight=3.0)
+        strengths = g.degree_vector(weighted=True)
+        assert strengths[g.index_of("a")] == 5.0
+
+
+class TestGraphExport:
+    def test_to_csr_shape_and_symmetry(self, figure1_graph):
+        mat = figure1_graph.to_csr()
+        assert mat.shape == (6, 6)
+        assert (mat != mat.T).nnz == 0
+
+    def test_to_csr_unweighted_binarizes(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=7.0)
+        mat = g.to_csr(weighted=False)
+        assert mat.data.tolist() == [1.0, 1.0]
+
+    def test_to_coo_arrays_roundtrip(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=2.0)
+        rows, cols, data = g.to_coo_arrays()
+        assert len(rows) == 2  # both orientations
+        assert set(zip(rows.tolist(), cols.tolist())) == {(0, 1), (1, 0)}
+        assert data.tolist() == [2.0, 2.0]
+
+
+class TestGraphStructure:
+    def test_connected_components_sizes(self):
+        g = Graph.from_edges([("a", "b"), ("c", "d"), ("d", "e")])
+        comps = g.connected_components()
+        assert [len(c) for c in comps] == [3, 2]
+
+    def test_connected_components_isolated_node(self):
+        g = Graph()
+        g.add_node("lonely")
+        g.add_edge("a", "b")
+        comps = g.connected_components()
+        assert [len(c) for c in comps] == [2, 1]
+
+    def test_largest_connected_component(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("x", "y")])
+        lcc = g.largest_connected_component()
+        assert sorted(lcc.nodes()) == ["a", "b", "c"]
+        assert lcc.number_of_edges == 2
+
+    def test_subgraph_preserves_attrs_and_weights(self):
+        g = Graph()
+        g.add_node("a", significance=1.5)
+        g.add_edge("a", "b", weight=3.0)
+        g.add_edge("b", "c")
+        sub = g.subgraph(["a", "b"])
+        assert sub.number_of_nodes == 2
+        assert sub.edge_weight("a", "b") == 3.0
+        assert sub.node_attr("a", "significance") == 1.5
+        assert not sub.has_node("c")
+
+    def test_copy_is_independent(self, path_graph):
+        clone = path_graph.copy()
+        clone.add_edge("d", "zzz")
+        assert not path_graph.has_node("zzz")
+
+    def test_to_directed_doubles_edges(self, path_graph):
+        d = path_graph.to_directed()
+        assert d.number_of_edges == 2 * path_graph.number_of_edges
+        assert d.has_edge("a", "b") and d.has_edge("b", "a")
+
+    def test_from_edges_with_isolated_nodes(self):
+        g = Graph.from_edges([("a", "b")], nodes=["isolated"])
+        assert g.has_node("isolated")
+        assert g.degree("isolated") == 0
+
+
+class TestDiGraph:
+    def test_directed_edge_one_way(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_in_out_degree(self, cycle_digraph):
+        for node in cycle_digraph.nodes():
+            assert cycle_digraph.out_degree(node) == 1
+            assert cycle_digraph.in_degree(node) == 1
+
+    def test_in_degree_vector_weighted(self):
+        g = DiGraph()
+        g.add_edge("a", "c", weight=2.0)
+        g.add_edge("b", "c", weight=3.0)
+        vec = g.in_degree_vector(weighted=True)
+        assert vec[g.index_of("c")] == 5.0
+
+    def test_predecessors(self):
+        g = DiGraph.from_edges([("a", "c"), ("b", "c")])
+        assert sorted(g.predecessors("c")) == ["a", "b"]
+
+    def test_dangling_mask(self, dangling_digraph):
+        mask = dangling_digraph.dangling_mask()
+        assert mask[dangling_digraph.index_of("c")]
+        assert not mask[dangling_digraph.index_of("a")]
+
+    def test_self_loop_rejected(self):
+        g = DiGraph()
+        with pytest.raises(EdgeError):
+            g.add_edge("a", "a")
+
+    def test_subgraph_directed(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        sub = g.subgraph(["a", "b"])
+        assert sub.has_edge("a", "b")
+        assert not sub.has_edge("b", "a")
+        assert sub.number_of_edges == 1
+
+    def test_to_undirected_sums_antiparallel(self):
+        g = DiGraph()
+        g.add_edge("a", "b", weight=2.0)
+        g.add_edge("b", "a", weight=3.0)
+        u = g.to_undirected()
+        assert u.edge_weight("a", "b") == 5.0
+        assert u.number_of_edges == 1
+
+    def test_edges_yields_directed_tuples(self, cycle_digraph):
+        edges = {(u, v) for u, v, _w in cycle_digraph.edges()}
+        assert ("a", "b") in edges
+        assert ("b", "a") not in edges
+
+    def test_re_adding_directed_edge_updates_weight(self):
+        g = DiGraph()
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("a", "b", weight=5.0)
+        assert g.number_of_edges == 1
+        assert g.edge_weight("a", "b") == 5.0
+
+    def test_out_degree_vector(self, dangling_digraph):
+        vec = dangling_digraph.out_degree_vector()
+        assert vec[dangling_digraph.index_of("a")] == 2
+        assert vec[dangling_digraph.index_of("c")] == 0
+
+    def test_copy_preserves_direction(self, cycle_digraph):
+        clone = cycle_digraph.copy()
+        assert clone.has_edge("a", "b")
+        assert not clone.has_edge("b", "a")

@@ -1,0 +1,140 @@
+"""Unit tests for repro.graph.bipartite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, NodeNotFoundError, ParameterError
+from repro.graph import BipartiteGraph, project
+
+
+@pytest.fixture
+def movie_cast() -> BipartiteGraph:
+    """Three actors, three movies: a1 in m1+m2, a2 in m1+m2, a3 in m3."""
+    b = BipartiteGraph()
+    b.add_edge("a1", "m1")
+    b.add_edge("a1", "m2")
+    b.add_edge("a2", "m1")
+    b.add_edge("a2", "m2")
+    b.add_edge("a3", "m3")
+    return b
+
+
+class TestBipartiteConstruction:
+    def test_counts(self, movie_cast):
+        assert movie_cast.number_of_left == 3
+        assert movie_cast.number_of_right == 3
+        assert movie_cast.number_of_edges == 5
+
+    def test_duplicate_edge_ignored(self, movie_cast):
+        movie_cast.add_edge("a1", "m1")
+        assert movie_cast.number_of_edges == 5
+
+    def test_side_collision_rejected(self, movie_cast):
+        with pytest.raises(GraphError):
+            movie_cast.add_right("a1")
+        with pytest.raises(GraphError):
+            movie_cast.add_left("m1")
+
+    def test_attrs_both_sides(self):
+        b = BipartiteGraph()
+        b.add_left("a", quality=0.5)
+        b.add_right("m", popularity=0.1)
+        assert b.left_attr_array("quality")[0] == 0.5
+        assert b.right_attr_array("popularity")[0] == 0.1
+
+    def test_attr_array_missing_is_nan(self):
+        b = BipartiteGraph()
+        b.add_left("a")
+        assert np.isnan(b.left_attr_array("quality")[0])
+
+    def test_neighbors(self, movie_cast):
+        assert movie_cast.neighbors_of_left("a1") == ["m1", "m2"]
+        assert movie_cast.neighbors_of_right("m1") == ["a1", "a2"]
+
+    def test_neighbors_unknown_raises(self, movie_cast):
+        with pytest.raises(NodeNotFoundError):
+            movie_cast.neighbors_of_left("ghost")
+        with pytest.raises(NodeNotFoundError):
+            movie_cast.neighbors_of_right("ghost")
+
+    def test_degree_vectors(self, movie_cast):
+        assert movie_cast.left_degree_vector().tolist() == [2.0, 2.0, 1.0]
+        assert movie_cast.right_degree_vector().tolist() == [2.0, 2.0, 1.0]
+
+    def test_add_edges_from(self):
+        b = BipartiteGraph()
+        b.add_edges_from([("x", "1"), ("y", "2")])
+        assert b.number_of_edges == 2
+
+
+class TestProjection:
+    def test_left_projection_weights(self, movie_cast):
+        g = project(movie_cast, "left")
+        # a1 and a2 share two movies
+        assert g.edge_weight("a1", "a2") == 2.0
+        assert not g.has_edge("a1", "a3")
+
+    def test_right_projection_weights(self, movie_cast):
+        g = project(movie_cast, "right")
+        assert g.edge_weight("m1", "m2") == 2.0
+        assert not g.has_edge("m1", "m3")
+
+    def test_isolated_nodes_kept(self, movie_cast):
+        g = project(movie_cast, "left")
+        assert g.has_node("a3")
+        assert g.degree("a3") == 0
+
+    def test_min_shared_filters(self, movie_cast):
+        movie_cast.add_edge("a3", "m1")  # now a3 shares exactly one with a1/a2
+        g1 = project(movie_cast, "left", min_shared=1)
+        g2 = project(movie_cast, "left", min_shared=2)
+        assert g1.has_edge("a1", "a3")
+        assert not g2.has_edge("a1", "a3")
+        assert g2.has_edge("a1", "a2")
+
+    def test_attrs_copied(self):
+        b = BipartiteGraph()
+        b.add_left("a", quality=0.7)
+        b.add_edge("a", "m")
+        g = project(b, "left")
+        assert g.node_attr("a", "quality") == 0.7
+
+    def test_attrs_not_copied_when_disabled(self):
+        b = BipartiteGraph()
+        b.add_left("a", quality=0.7)
+        b.add_edge("a", "m")
+        g = project(b, "left", copy_attrs=False)
+        assert g.node_attr("a", "quality") is None
+
+    def test_invalid_side_rejected(self, movie_cast):
+        with pytest.raises(ParameterError):
+            project(movie_cast, "middle")
+
+    def test_invalid_min_shared_rejected(self, movie_cast):
+        with pytest.raises(ParameterError):
+            project(movie_cast, "left", min_shared=0)
+
+    def test_projection_weight_equals_shared_count(self):
+        """Brute-force check on a random bipartite structure."""
+        rng = np.random.default_rng(11)
+        b = BipartiteGraph()
+        memberships = {}
+        for i in range(15):
+            joined = set(rng.choice(8, size=rng.integers(1, 5), replace=False))
+            memberships[f"L{i}"] = joined
+            for j in joined:
+                b.add_edge(f"L{i}", f"R{j}")
+        g = project(b, "left")
+        for i in range(15):
+            for j in range(i + 1, 15):
+                shared = len(memberships[f"L{i}"] & memberships[f"L{j}"])
+                if shared:
+                    assert g.edge_weight(f"L{i}", f"L{j}") == shared
+                else:
+                    assert not g.has_edge(f"L{i}", f"L{j}")
+
+    def test_projection_node_order_matches_side_order(self, movie_cast):
+        g = project(movie_cast, "right")
+        assert g.nodes() == movie_cast.right_nodes()

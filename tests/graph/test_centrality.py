@@ -1,0 +1,122 @@
+"""Unit tests for repro.graph.centrality, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import EmptyGraphError
+from repro.graph import (
+    Graph,
+    barabasi_albert,
+    betweenness_centrality,
+    closeness_centrality,
+    clustering_coefficient,
+    erdos_renyi,
+    harmonic_centrality,
+)
+
+
+def _to_nx(graph: Graph) -> nx.Graph:
+    nxg = nx.Graph()
+    nxg.add_nodes_from(graph.nodes())
+    for u, v, _w in graph.edges():
+        nxg.add_edge(u, v)
+    return nxg
+
+
+class TestBetweenness:
+    def test_path_graph_center(self, path_graph):
+        bc = betweenness_centrality(path_graph, normalized=False)
+        # on a path a-b-c-d: b and c each lie on 2 shortest paths
+        assert bc[path_graph.index_of("b")] == pytest.approx(2.0)
+        assert bc[path_graph.index_of("a")] == 0.0
+
+    def test_star_hub(self, star_graph):
+        bc = betweenness_centrality(star_graph)
+        hub = star_graph.index_of("h")
+        assert bc[hub] == pytest.approx(1.0)  # normalised: hub on all paths
+        assert bc.sum() == pytest.approx(1.0)  # leaves are all zero
+
+    def test_cycle_uniform(self):
+        g = Graph.from_edges([(i, (i + 1) % 6) for i in range(6)])
+        bc = betweenness_centrality(g)
+        assert np.allclose(bc, bc[0])
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(40, 0.15, seed=3)
+        ours = betweenness_centrality(g)
+        theirs_dict = nx.betweenness_centrality(_to_nx(g), normalized=True)
+        theirs = np.array([theirs_dict[n] for n in g.nodes()])
+        assert np.allclose(ours, theirs, atol=1e-9)
+
+    def test_matches_networkx_heavy_tail(self):
+        g = barabasi_albert(50, 2, seed=4)
+        ours = betweenness_centrality(g)
+        theirs_dict = nx.betweenness_centrality(_to_nx(g), normalized=True)
+        theirs = np.array([theirs_dict[n] for n in g.nodes()])
+        assert np.allclose(ours, theirs, atol=1e-9)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            betweenness_centrality(Graph())
+
+
+class TestCloseness:
+    def test_star_hub_highest(self, star_graph):
+        cc = closeness_centrality(star_graph)
+        hub = star_graph.index_of("h")
+        assert cc[hub] == cc.max()
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(40, 0.15, seed=5)
+        ours = closeness_centrality(g)
+        theirs_dict = nx.closeness_centrality(_to_nx(g))
+        theirs = np.array([theirs_dict[n] for n in g.nodes()])
+        assert np.allclose(ours, theirs, atol=1e-9)
+
+    def test_disconnected_components_handled(self):
+        g = Graph.from_edges([("a", "b"), ("x", "y"), ("y", "z")])
+        cc = closeness_centrality(g)
+        assert np.isfinite(cc).all()
+        assert cc[g.index_of("y")] > 0
+
+    def test_isolated_node_zero(self):
+        g = Graph.from_edges([("a", "b")], nodes=["iso"])
+        cc = closeness_centrality(g)
+        assert cc[g.index_of("iso")] == 0.0
+
+
+class TestHarmonic:
+    def test_matches_networkx(self):
+        g = erdos_renyi(35, 0.15, seed=7)
+        ours = harmonic_centrality(g)
+        theirs_dict = nx.harmonic_centrality(_to_nx(g))
+        theirs = np.array([theirs_dict[n] for n in g.nodes()])
+        assert np.allclose(ours, theirs, atol=1e-9)
+
+    def test_robust_to_disconnection(self):
+        g = Graph.from_edges([("a", "b"), ("x", "y")])
+        hc = harmonic_centrality(g)
+        assert (hc > 0).all()
+
+
+class TestClustering:
+    def test_triangle_is_one(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        assert np.allclose(clustering_coefficient(g), 1.0)
+
+    def test_star_is_zero(self, star_graph):
+        assert np.allclose(clustering_coefficient(star_graph), 0.0)
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(40, 0.2, seed=9)
+        ours = clustering_coefficient(g)
+        theirs_dict = nx.clustering(_to_nx(g))
+        theirs = np.array([theirs_dict[n] for n in g.nodes()])
+        assert np.allclose(ours, theirs, atol=1e-9)
+
+    def test_degree_one_zero(self, path_graph):
+        cc = clustering_coefficient(path_graph)
+        assert cc[path_graph.index_of("a")] == 0.0

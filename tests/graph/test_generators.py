@@ -1,0 +1,221 @@
+"""Unit and property tests for repro.graph.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graph import (
+    barabasi_albert,
+    configuration_model,
+    erdos_renyi,
+    powerlaw_degree_sequence,
+    random_regular,
+)
+from repro.graph.generators import as_rng
+
+
+class TestAsRng:
+    def test_from_int(self):
+        rng = as_rng(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = as_rng(7).random(5)
+        b = as_rng(7).random(5)
+        assert np.allclose(a, b)
+
+
+class TestErdosRenyi:
+    def test_node_count(self):
+        g = erdos_renyi(50, 0.1, seed=1)
+        assert g.number_of_nodes == 50
+
+    def test_p_zero_no_edges(self):
+        g = erdos_renyi(20, 0.0, seed=1)
+        assert g.number_of_edges == 0
+
+    def test_p_one_complete(self):
+        n = 12
+        g = erdos_renyi(n, 1.0, seed=1)
+        assert g.number_of_edges == n * (n - 1) // 2
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi(30, 0.2, seed=5)
+        b = erdos_renyi(30, 0.2, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(30, 0.2, seed=5)
+        b = erdos_renyi(30, 0.2, seed=6)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.05
+        g = erdos_renyi(n, p, seed=3)
+        expected = p * n * (n - 1) / 2
+        assert 0.7 * expected < g.number_of_edges < 1.3 * expected
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi(10, 1.5)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi(-1, 0.5)
+
+    def test_prefix_in_names(self):
+        g = erdos_renyi(3, 0.5, seed=1, prefix="node")
+        assert all(str(n).startswith("node") for n in g.nodes())
+
+
+class TestBarabasiAlbert:
+    def test_sizes(self):
+        g = barabasi_albert(100, 3, seed=1)
+        assert g.number_of_nodes == 100
+        # star (m edges) + (n - m - 1) nodes with m edges each
+        assert g.number_of_edges == 3 + (100 - 4) * 3
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(400, 3, seed=2)
+        degrees = g.degree_vector()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_min_degree_is_m(self):
+        m = 4
+        g = barabasi_albert(200, m, seed=3)
+        assert g.degree_vector().min() >= m
+
+    def test_deterministic(self):
+        a = barabasi_albert(50, 2, seed=9)
+        b = barabasi_albert(50, 2, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert(10, 0)
+
+    def test_n_not_greater_than_m_rejected(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert(3, 3)
+
+
+class TestPowerlawDegreeSequence:
+    def test_length_and_bounds(self):
+        seq = powerlaw_degree_sequence(100, 2.5, min_degree=2, max_degree=30, seed=1)
+        assert seq.shape == (100,)
+        assert seq.min() >= 2
+        assert seq.max() <= 30 + 1  # +1 possible from the even-sum bump
+
+    def test_even_sum(self):
+        for seed in range(5):
+            seq = powerlaw_degree_sequence(31, 2.2, seed=seed)
+            assert seq.sum() % 2 == 0
+
+    def test_exponent_validation(self):
+        with pytest.raises(ParameterError):
+            powerlaw_degree_sequence(10, 1.0)
+
+    def test_min_degree_validation(self):
+        with pytest.raises(ParameterError):
+            powerlaw_degree_sequence(10, 2.0, min_degree=0)
+
+    def test_max_less_than_min_rejected(self):
+        with pytest.raises(ParameterError):
+            powerlaw_degree_sequence(10, 2.0, min_degree=5, max_degree=2)
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        light = powerlaw_degree_sequence(3000, 3.5, max_degree=60, seed=4)
+        heavy = powerlaw_degree_sequence(3000, 1.8, max_degree=60, seed=4)
+        assert heavy.mean() > light.mean()
+
+
+class TestConfigurationModel:
+    def test_realises_simple_graph(self):
+        degrees = np.array([3, 3, 2, 2, 1, 1])
+        g = configuration_model(degrees, seed=1)
+        realized = g.degree_vector()
+        # erased model: realised degrees never exceed requested
+        assert (realized <= degrees).all()
+        assert g.number_of_edges > 0
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(ParameterError):
+            configuration_model(np.array([1, 1, 1]))
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ParameterError):
+            configuration_model(np.array([2, -1, 1]))
+
+    def test_deterministic(self):
+        degrees = powerlaw_degree_sequence(60, 2.5, seed=0)
+        a = configuration_model(degrees, seed=1)
+        b = configuration_model(degrees, seed=1)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_no_self_loops(self):
+        degrees = np.full(20, 4)
+        g = configuration_model(degrees, seed=2)
+        for u, v, _w in g.edges():
+            assert u != v
+
+    def test_mean_degree_approximates_target(self):
+        degrees = np.full(300, 6)
+        g = configuration_model(degrees, seed=3)
+        assert g.degree_vector().mean() > 5.0
+
+
+class TestRandomRegular:
+    def test_near_regular(self):
+        g = random_regular(100, 4, seed=1)
+        degrees = g.degree_vector()
+        assert degrees.max() <= 4
+        assert degrees.mean() > 3.5
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ParameterError):
+            random_regular(5, 3)
+
+    def test_d_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            random_regular(4, 4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_erdos_renyi_properties(n, p, seed):
+    """G(n,p): node count exact, no self-loops, edge bound respected."""
+    g = erdos_renyi(n, p, seed=seed)
+    assert g.number_of_nodes == n
+    assert g.number_of_edges <= n * (n - 1) // 2
+    for u, v, _w in g.edges():
+        assert u != v
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=60),
+    m=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_barabasi_albert_properties(n, m, seed):
+    """BA graphs are connected and have the documented edge count."""
+    if n <= m:
+        n = m + 2
+    g = barabasi_albert(n, m, seed=seed)
+    assert g.number_of_nodes == n
+    assert len(g.connected_components()) == 1

@@ -1,0 +1,113 @@
+"""Unit tests for repro.graph.io."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    DiGraph,
+    Graph,
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+
+
+class TestEdgeList:
+    def test_read_two_columns(self):
+        handle = io.StringIO("a b\nb c\n")
+        g = read_edge_list(handle)
+        assert g.number_of_edges == 2
+        assert g.edge_weight("a", "b") == 1.0
+
+    def test_read_three_columns(self):
+        handle = io.StringIO("a b 2.5\n")
+        g = read_edge_list(handle)
+        assert g.edge_weight("a", "b") == 2.5
+
+    def test_comments_and_blank_lines_skipped(self):
+        handle = io.StringIO("# header\n\na b\n  \n# tail\n")
+        g = read_edge_list(handle)
+        assert g.number_of_edges == 1
+
+    def test_directed_mode(self):
+        handle = io.StringIO("a b\n")
+        g = read_edge_list(handle, directed=True)
+        assert isinstance(g, DiGraph)
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_bad_weight_raises_with_line_number(self):
+        handle = io.StringIO("a b notanumber\n")
+        with pytest.raises(GraphError, match="line 1"):
+            read_edge_list(handle)
+
+    def test_wrong_column_count_raises(self):
+        handle = io.StringIO("a b 1.0 extra\n")
+        with pytest.raises(GraphError, match="2 or 3 columns"):
+            read_edge_list(handle)
+
+    def test_roundtrip_via_file(self, tmp_path):
+        g = Graph.from_edges([("a", "b", 2.0), ("b", "c", 1.0)])
+        path = tmp_path / "graph.tsv"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded.number_of_edges == 2
+        assert loaded.edge_weight("a", "b") == 2.0
+
+    def test_roundtrip_directed(self, tmp_path):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        path = tmp_path / "graph.tsv"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path, directed=True)
+        assert loaded.has_edge("a", "b")
+        assert not loaded.has_edge("b", "a")
+
+
+class TestJsonGraph:
+    def test_roundtrip_with_attrs(self, tmp_path):
+        g = Graph()
+        g.add_node("a", significance=4.5)
+        g.add_edge("a", "b", weight=3.0)
+        path = tmp_path / "graph.json"
+        write_json_graph(g, path)
+        loaded = read_json_graph(path)
+        assert isinstance(loaded, Graph)
+        assert loaded.edge_weight("a", "b") == 3.0
+        assert loaded.node_attr("a", "significance") == 4.5
+
+    def test_roundtrip_directed(self, tmp_path):
+        g = DiGraph.from_edges([("x", "y", 2.0)])
+        path = tmp_path / "digraph.json"
+        write_json_graph(g, path)
+        loaded = read_json_graph(path)
+        assert isinstance(loaded, DiGraph)
+        assert loaded.has_edge("x", "y")
+        assert not loaded.has_edge("y", "x")
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        g = Graph()
+        g.add_node("only")
+        path = tmp_path / "iso.json"
+        write_json_graph(g, path)
+        loaded = read_json_graph(path)
+        assert loaded.has_node("only")
+        assert loaded.number_of_edges == 0
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"directed": true}', encoding="utf-8")
+        with pytest.raises(GraphError):
+            read_json_graph(path)
+
+    def test_node_order_preserved(self, tmp_path):
+        g = Graph()
+        for name in ("z", "a", "m"):
+            g.add_node(name)
+        path = tmp_path / "order.json"
+        write_json_graph(g, path)
+        assert read_json_graph(path).nodes() == ["z", "a", "m"]

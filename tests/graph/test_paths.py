@@ -1,0 +1,156 @@
+"""Unit tests for repro.graph.paths."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import NodeNotFoundError, ParameterError
+from repro.graph import (
+    Graph,
+    all_pairs_distances,
+    bfs_distances,
+    diameter,
+    eccentricities,
+    effective_diameter,
+    erdos_renyi,
+    neighborhood_function,
+    path_length_relatedness,
+)
+
+
+class TestBfsDistances:
+    def test_path_graph(self, path_graph):
+        dist = bfs_distances(path_graph, "a")
+        assert dist == {"a": 0, "b": 1, "c": 2, "d": 3}
+
+    def test_unreachable_omitted(self):
+        g = Graph.from_edges([("a", "b"), ("x", "y")])
+        dist = bfs_distances(g, "a")
+        assert "x" not in dist
+        assert set(dist) == {"a", "b"}
+
+    def test_unknown_source_raises(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(path_graph, "ghost")
+
+
+class TestAllPairs:
+    def test_symmetric_for_undirected(self, figure1_graph):
+        distances = all_pairs_distances(figure1_graph)
+        assert np.array_equal(distances, distances.T)
+
+    def test_diagonal_zero(self, figure1_graph):
+        distances = all_pairs_distances(figure1_graph)
+        assert (np.diag(distances) == 0).all()
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(30, 0.15, seed=6)
+        ours = all_pairs_distances(g)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(g.nodes())
+        for u, v, _w in g.edges():
+            nxg.add_edge(u, v)
+        nodes = g.nodes()
+        for i, lengths in enumerate(
+            dict(nx.all_pairs_shortest_path_length(nxg))[n] for n in nodes
+        ):
+            for j, node in enumerate(nodes):
+                expected = lengths.get(node, -1)
+                assert ours[i, j] == expected
+
+    def test_unreachable_minus_one(self):
+        g = Graph.from_edges([("a", "b"), ("x", "y")])
+        distances = all_pairs_distances(g)
+        assert distances[g.index_of("a"), g.index_of("x")] == -1
+
+
+class TestNeighborhoodFunction:
+    def test_monotone_nondecreasing(self, figure1_graph):
+        nf = neighborhood_function(figure1_graph)
+        values = [nf[h] for h in sorted(nf)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_h_zero_is_n(self, figure1_graph):
+        nf = neighborhood_function(figure1_graph)
+        assert nf[0] == figure1_graph.number_of_nodes
+
+    def test_saturates_at_reachable_pairs(self, path_graph):
+        nf = neighborhood_function(path_graph)
+        assert nf[max(nf)] == 16  # 4 nodes, all mutually reachable (4*4)
+
+    def test_path_graph_values(self, path_graph):
+        nf = neighborhood_function(path_graph)
+        # h=1: 4 self + 2*3 adjacent ordered pairs = 10
+        assert nf[1] == 10
+
+
+class TestDiameters:
+    def test_path_diameter(self, path_graph):
+        assert diameter(path_graph) == 3
+
+    def test_star_diameter(self, star_graph):
+        assert diameter(star_graph) == 2
+
+    def test_effective_diameter_below_diameter(self):
+        g = erdos_renyi(40, 0.12, seed=8)
+        assert effective_diameter(g) <= diameter(g)
+
+    def test_effective_diameter_quantile_validation(self, path_graph):
+        with pytest.raises(ParameterError):
+            effective_diameter(path_graph, quantile=0.0)
+
+    def test_eccentricities(self, path_graph):
+        ecc = eccentricities(path_graph)
+        assert ecc["a"] == 3
+        assert ecc["b"] == 2
+
+    def test_edgeless_graph(self):
+        g = Graph()
+        g.add_nodes_from(["a", "b"])
+        assert diameter(g) == 0
+        assert effective_diameter(g) == 0.0
+
+
+class TestPathLengthRelatedness:
+    def test_adjacent_pair(self, path_graph):
+        assert path_length_relatedness(path_graph, "a", "b") == 0.5
+
+    def test_self_relatedness_is_one(self, path_graph):
+        assert path_length_relatedness(path_graph, "a", "a") == 1.0
+
+    def test_decreases_with_distance(self, path_graph):
+        near = path_length_relatedness(path_graph, "a", "b")
+        far = path_length_relatedness(path_graph, "a", "d")
+        assert near > far
+
+    def test_unreachable_zero(self):
+        g = Graph.from_edges([("a", "b"), ("x", "y")])
+        assert path_length_relatedness(g, "a", "x") == 0.0
+
+    def test_unknown_target_raises(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            path_length_relatedness(path_graph, "a", "ghost")
+
+    def test_blind_to_path_multiplicity(self):
+        """The related-work contrast: path-length relatedness ignores how
+        MANY paths exist; random-walk measures do not.  Both graphs give
+        u→v distance 2, but with a distractor branch competing for the
+        walk, four parallel paths deliver more probability mass than one.
+        """
+        from repro.core import personalized_pagerank
+
+        distractor = [("u", "w"), ("w", "w2")]
+        thin = Graph.from_edges([("u", "m1"), ("m1", "v")] + distractor)
+        thick = Graph.from_edges(
+            [("u", f"m{i}") for i in range(1, 5)]
+            + [(f"m{i}", "v") for i in range(1, 5)]
+            + distractor
+        )
+        assert path_length_relatedness(
+            thin, "u", "v"
+        ) == path_length_relatedness(thick, "u", "v")
+        thin_walk = personalized_pagerank(thin, ["u"])["v"]
+        thick_walk = personalized_pagerank(thick, ["u"])["v"]
+        assert thick_walk > thin_walk

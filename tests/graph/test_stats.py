@@ -1,0 +1,98 @@
+"""Unit tests for repro.graph.stats (Table 3 statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyGraphError
+from repro.graph import (
+    Graph,
+    degree_assortativity,
+    degree_histogram,
+    graph_statistics,
+    median_neighbor_degree_std,
+    neighbor_degree_stds,
+)
+
+
+class TestGraphStatistics:
+    def test_basic_counts(self, figure1_graph):
+        stats = graph_statistics(figure1_graph, name="fig1")
+        assert stats.name == "fig1"
+        assert stats.nodes == 6
+        assert stats.edges == 6
+        assert stats.average_degree == pytest.approx(2.0)
+
+    def test_degree_std(self, star_graph):
+        stats = graph_statistics(star_graph)
+        # hub degree 5, leaves degree 1: mean 5/3... verify with numpy
+        degrees = star_graph.degree_vector()
+        assert stats.degree_std == pytest.approx(float(np.std(degrees)))
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(EmptyGraphError):
+            graph_statistics(Graph())
+
+    def test_as_row_is_formatted(self, figure1_graph):
+        row = graph_statistics(figure1_graph, name="x").as_row()
+        assert row[0] == "x"
+        assert all(isinstance(cell, str) for cell in row)
+
+
+class TestNeighborDegreeStds:
+    def test_star_leaves_have_zero_spread(self, star_graph):
+        stds = neighbor_degree_stds(star_graph)
+        for i in range(star_graph.number_of_nodes):
+            node = star_graph.node_at(i)
+            if node != "h":
+                assert stds[i] == 0.0  # single neighbour
+
+    def test_hub_spread_zero_when_leaves_equal(self, star_graph):
+        stds = neighbor_degree_stds(star_graph)
+        assert stds[star_graph.index_of("h")] == 0.0  # all leaves degree 1
+
+    def test_mixed_neighborhood(self, figure1_graph):
+        stds = neighbor_degree_stds(figure1_graph)
+        # A's neighbours: B(2), C(3), D(1) -> std of [2,3,1]
+        expected = float(np.std([2, 3, 1]))
+        assert stds[figure1_graph.index_of("A")] == pytest.approx(expected)
+
+    def test_median_statistic(self, figure1_graph):
+        stds = neighbor_degree_stds(figure1_graph)
+        assert median_neighbor_degree_std(figure1_graph) == pytest.approx(
+            float(np.median(stds))
+        )
+
+    def test_homogeneous_graph_has_low_median(self):
+        # cycle: every node has two degree-2 neighbours -> spread 0
+        g = Graph.from_edges([(i, (i + 1) % 8) for i in range(8)])
+        assert median_neighbor_degree_std(g) == 0.0
+
+
+class TestDegreeHistogram:
+    def test_counts(self, figure1_graph):
+        hist = degree_histogram(figure1_graph)
+        assert hist == {1: 2, 2: 2, 3: 2}
+
+    def test_histogram_sums_to_n(self, star_graph):
+        hist = degree_histogram(star_graph)
+        assert sum(hist.values()) == star_graph.number_of_nodes
+
+
+class TestDegreeAssortativity:
+    def test_star_is_disassortative(self, star_graph):
+        assert degree_assortativity(star_graph) < 0
+
+    def test_regular_graph_is_zero(self):
+        g = Graph.from_edges([(i, (i + 1) % 6) for i in range(6)])
+        assert degree_assortativity(g) == 0.0
+
+    def test_no_edges_returns_zero(self):
+        g = Graph()
+        g.add_node("a")
+        assert degree_assortativity(g) == 0.0
+
+    def test_value_in_valid_range(self, figure1_graph):
+        value = degree_assortativity(figure1_graph)
+        assert -1.0 <= value <= 1.0

@@ -1,0 +1,91 @@
+"""Unit tests for the Aitken-extrapolated power iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import barabasi_albert, erdos_renyi
+from repro.linalg import (
+    direct_solve,
+    extrapolated_power_iteration,
+    power_iteration,
+    uniform_transition,
+)
+
+
+def _transition(graph):
+    return uniform_transition(graph.to_csr(weighted=False))
+
+
+class TestExtrapolatedPowerIteration:
+    def test_matches_direct_solve(self, figure1_graph):
+        t = _transition(figure1_graph)
+        accel = extrapolated_power_iteration(t, tol=1e-13)
+        exact = direct_solve(t)
+        assert np.allclose(accel.scores, exact.scores, atol=1e-9)
+
+    def test_matches_plain_power_iteration(self):
+        g = erdos_renyi(50, 0.1, seed=3)
+        t = _transition(g)
+        accel = extrapolated_power_iteration(t, tol=1e-13)
+        plain = power_iteration(t, tol=1e-13)
+        assert np.allclose(accel.scores, plain.scores, atol=1e-9)
+
+    def test_handles_dangling(self, dangling_digraph):
+        t = _transition(dangling_digraph)
+        accel = extrapolated_power_iteration(t, tol=1e-13)
+        exact = direct_solve(t)
+        assert np.allclose(accel.scores, exact.scores, atol=1e-9)
+
+    def test_scores_distribution_invariant(self):
+        g = barabasi_albert(80, 2, seed=5)
+        result = extrapolated_power_iteration(_transition(g), alpha=0.95)
+        assert result.scores.sum() == pytest.approx(1.0)
+        assert (result.scores > 0).all()
+
+    @staticmethod
+    def _barbell():
+        """Two 30-cliques joined by a 60-node path: slow mixing."""
+        from repro.graph import Graph
+
+        g = Graph()
+        for off in (0, 1000):
+            for i in range(30):
+                for j in range(i + 1, 30):
+                    g.add_edge(off + i, off + j)
+        path = [29] + [2000 + k for k in range(60)] + [1000]
+        for a, b in zip(path, path[1:]):
+            g.add_edge(a, b)
+        return g
+
+    def test_accelerates_slow_mixing_graph(self):
+        """On slow-mixing graphs at large alpha the trial-accepted Aitken
+        steps save sweeps; the safeguard means it can never lose."""
+        t = _transition(self._barbell())
+        plain = power_iteration(t, alpha=0.95, tol=1e-12, max_iter=50_000)
+        accel = extrapolated_power_iteration(
+            t, alpha=0.95, tol=1e-12, max_iter=50_000
+        )
+        assert accel.converged
+        assert accel.iterations <= plain.iterations
+
+    def test_safeguard_never_diverges_at_extreme_alpha(self):
+        t = _transition(self._barbell())
+        accel = extrapolated_power_iteration(
+            t, alpha=0.995, tol=1e-12, max_iter=50_000, extrapolate_every=8
+        )
+        exact = direct_solve(t, alpha=0.995)
+        assert accel.converged
+        assert np.allclose(accel.scores, exact.scores, atol=1e-8)
+
+    def test_invalid_period_rejected(self, figure1_graph):
+        with pytest.raises(ParameterError):
+            extrapolated_power_iteration(
+                _transition(figure1_graph), extrapolate_every=2
+            )
+
+    def test_method_label(self, figure1_graph):
+        result = extrapolated_power_iteration(_transition(figure1_graph))
+        assert result.method == "extrapolated_power_iteration"

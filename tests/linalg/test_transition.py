@@ -1,0 +1,298 @@
+"""Unit and property tests for repro.linalg.transition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse
+
+from repro.errors import ParameterError
+from repro.graph import Graph
+from repro.linalg import (
+    blended_transition,
+    connection_strength_transition,
+    dangling_rows,
+    degree_decoupled_transition,
+    row_normalize,
+    segment_softmax_weights,
+    uniform_transition,
+    validate_stochastic_rows,
+)
+
+
+def _figure1_adjacency():
+    g = Graph.from_edges(
+        [("A", "B"), ("A", "C"), ("A", "D"), ("B", "E"), ("C", "E"), ("C", "F")]
+    )
+    return g, g.to_csr(weighted=False)
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self):
+        mat = sparse.csr_matrix(np.array([[0.0, 2.0, 2.0], [1.0, 0.0, 3.0], [0, 0, 0]]))
+        norm = row_normalize(mat)
+        sums = np.asarray(norm.sum(axis=1)).ravel()
+        assert sums[0] == pytest.approx(1.0)
+        assert sums[1] == pytest.approx(1.0)
+        assert sums[2] == 0.0  # empty row stays empty
+
+    def test_relative_weights_preserved(self):
+        mat = sparse.csr_matrix(np.array([[0.0, 1.0, 3.0]] + [[0.0] * 3] * 2))
+        norm = row_normalize(mat).toarray()
+        assert norm[0, 1] == pytest.approx(0.25)
+        assert norm[0, 2] == pytest.approx(0.75)
+
+    def test_empty_matrix(self):
+        mat = sparse.csr_matrix((3, 3))
+        norm = row_normalize(mat)
+        assert norm.nnz == 0
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ParameterError):
+            row_normalize(sparse.csr_matrix((2, 3)))
+
+
+class TestUniformTransition:
+    def test_ignores_weights(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=100.0)
+        g.add_edge("a", "c", weight=1.0)
+        t = uniform_transition(g.to_csr())
+        row = t.getrow(g.index_of("a")).toarray().ravel()
+        assert row[g.index_of("b")] == pytest.approx(0.5)
+        assert row[g.index_of("c")] == pytest.approx(0.5)
+
+    def test_matches_paper_p0(self):
+        g, adj = _figure1_adjacency()
+        t = uniform_transition(adj)
+        row = t.getrow(g.index_of("A")).toarray().ravel()
+        for dest in ("B", "C", "D"):
+            assert row[g.index_of(dest)] == pytest.approx(1 / 3)
+
+
+class TestConnectionStrengthTransition:
+    def test_proportional_to_weights(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=1.0)
+        g.add_edge("a", "c", weight=3.0)
+        t = connection_strength_transition(g.to_csr())
+        row = t.getrow(g.index_of("a")).toarray().ravel()
+        assert row[g.index_of("b")] == pytest.approx(0.25)
+        assert row[g.index_of("c")] == pytest.approx(0.75)
+
+
+class TestDegreeDecoupledTransition:
+    def test_paper_figure1_p2(self):
+        g, adj = _figure1_adjacency()
+        t = degree_decoupled_transition(adj, 2.0)
+        row = t.getrow(g.index_of("A")).toarray().ravel()
+        assert row[g.index_of("B")] == pytest.approx(0.1837, abs=1e-3)
+        assert row[g.index_of("C")] == pytest.approx(0.0816, abs=1e-3)
+        assert row[g.index_of("D")] == pytest.approx(0.7347, abs=1e-3)
+
+    def test_paper_figure1_minus2(self):
+        g, adj = _figure1_adjacency()
+        t = degree_decoupled_transition(adj, -2.0)
+        row = t.getrow(g.index_of("A")).toarray().ravel()
+        assert row[g.index_of("B")] == pytest.approx(0.2857, abs=1e-3)
+        assert row[g.index_of("C")] == pytest.approx(0.6429, abs=1e-3)
+        assert row[g.index_of("D")] == pytest.approx(0.0714, abs=1e-3)
+
+    def test_p_zero_equals_uniform(self):
+        _g, adj = _figure1_adjacency()
+        assert np.allclose(
+            degree_decoupled_transition(adj, 0.0).toarray(),
+            uniform_transition(adj).toarray(),
+        )
+
+    def test_rows_stochastic_for_extreme_p(self):
+        _g, adj = _figure1_adjacency()
+        for p in (-50.0, -8.0, 8.0, 50.0):
+            t = degree_decoupled_transition(adj, p)
+            sums = np.asarray(t.sum(axis=1)).ravel()
+            assert np.allclose(sums, 1.0)
+            assert np.isfinite(t.data).all()
+
+    def test_extreme_positive_p_targets_min_degree(self):
+        g, adj = _figure1_adjacency()
+        t = degree_decoupled_transition(adj, 60.0)
+        row = t.getrow(g.index_of("A")).toarray().ravel()
+        # D has degree 1 (the minimum among A's neighbours)
+        assert row[g.index_of("D")] == pytest.approx(1.0, abs=1e-9)
+
+    def test_extreme_negative_p_targets_max_degree(self):
+        g, adj = _figure1_adjacency()
+        t = degree_decoupled_transition(adj, -60.0)
+        row = t.getrow(g.index_of("A")).toarray().ravel()
+        # C has degree 3 (the maximum among A's neighbours)
+        assert row[g.index_of("C")] == pytest.approx(1.0, abs=1e-9)
+
+    def test_p_minus_one_proportional_to_degree(self):
+        g, adj = _figure1_adjacency()
+        t = degree_decoupled_transition(adj, -1.0)
+        row = t.getrow(g.index_of("A")).toarray().ravel()
+        # degrees: B=2, C=3, D=1, total 6
+        assert row[g.index_of("B")] == pytest.approx(2 / 6)
+        assert row[g.index_of("C")] == pytest.approx(3 / 6)
+        assert row[g.index_of("D")] == pytest.approx(1 / 6)
+
+    def test_p_plus_one_inversely_proportional(self):
+        g, adj = _figure1_adjacency()
+        t = degree_decoupled_transition(adj, 1.0)
+        row = t.getrow(g.index_of("A")).toarray().ravel()
+        weights = np.array([1 / 2, 1 / 3, 1 / 1])
+        expected = weights / weights.sum()
+        assert row[g.index_of("B")] == pytest.approx(expected[0])
+        assert row[g.index_of("C")] == pytest.approx(expected[1])
+        assert row[g.index_of("D")] == pytest.approx(expected[2])
+
+    def test_custom_theta(self):
+        _g, adj = _figure1_adjacency()
+        theta = np.array([5.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+        t = degree_decoupled_transition(adj, 1.0, theta=theta)
+        sums = np.asarray(t.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_theta_zero_clamped(self):
+        _g, adj = _figure1_adjacency()
+        theta = np.zeros(6)
+        t = degree_decoupled_transition(adj, 2.0, theta=theta)
+        assert np.isfinite(t.data).all()
+
+    def test_theta_wrong_shape_rejected(self):
+        _g, adj = _figure1_adjacency()
+        with pytest.raises(ParameterError):
+            degree_decoupled_transition(adj, 1.0, theta=np.ones(3))
+
+    def test_negative_theta_rejected(self):
+        _g, adj = _figure1_adjacency()
+        with pytest.raises(ParameterError):
+            degree_decoupled_transition(adj, 1.0, theta=-np.ones(6))
+
+    def test_nonfinite_p_rejected(self):
+        _g, adj = _figure1_adjacency()
+        with pytest.raises(ParameterError):
+            degree_decoupled_transition(adj, float("nan"))
+
+    def test_invalid_clamp_rejected(self):
+        _g, adj = _figure1_adjacency()
+        with pytest.raises(ParameterError):
+            degree_decoupled_transition(adj, 1.0, clamp_min=0.0)
+
+    def test_sparsity_pattern_preserved(self):
+        _g, adj = _figure1_adjacency()
+        t = degree_decoupled_transition(adj, 1.5)
+        assert (t != 0).nnz == adj.nnz
+
+
+class TestBlendedTransition:
+    def _weighted_graph(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=4.0)
+        g.add_edge("a", "c", weight=1.0)
+        g.add_edge("b", "c", weight=2.0)
+        return g
+
+    def test_beta_one_is_connection_strength(self):
+        g = self._weighted_graph()
+        adj = g.to_csr()
+        assert np.allclose(
+            blended_transition(adj, 2.0, 1.0).toarray(),
+            connection_strength_transition(adj).toarray(),
+        )
+
+    def test_beta_zero_is_decoupled(self):
+        g = self._weighted_graph()
+        adj = g.to_csr()
+        theta = np.asarray(adj.sum(axis=1)).ravel()
+        assert np.allclose(
+            blended_transition(adj, 2.0, 0.0).toarray(),
+            degree_decoupled_transition(adj, 2.0, theta=theta).toarray(),
+        )
+
+    def test_blend_is_convex_combination(self):
+        g = self._weighted_graph()
+        adj = g.to_csr()
+        full = blended_transition(adj, 1.0, 0.5).toarray()
+        strength = connection_strength_transition(adj).toarray()
+        theta = np.asarray(adj.sum(axis=1)).ravel()
+        decoupled = degree_decoupled_transition(adj, 1.0, theta=theta).toarray()
+        assert np.allclose(full, 0.5 * strength + 0.5 * decoupled)
+
+    def test_rows_stochastic(self):
+        g = self._weighted_graph()
+        adj = g.to_csr()
+        for beta in (0.0, 0.25, 0.5, 0.75, 1.0):
+            t = blended_transition(adj, -1.5, beta)
+            sums = np.asarray(t.sum(axis=1)).ravel()
+            assert np.allclose(sums, 1.0)
+
+    def test_invalid_beta_rejected(self):
+        g = self._weighted_graph()
+        with pytest.raises(ParameterError):
+            blended_transition(g.to_csr(), 0.0, 1.5)
+
+
+class TestDanglingRows:
+    def test_detects_dangling(self, dangling_digraph):
+        mask = dangling_rows(dangling_digraph.to_csr())
+        assert mask[dangling_digraph.index_of("c")]
+        assert mask.sum() == 1
+
+    def test_validate_stochastic_accepts_dangling(self, dangling_digraph):
+        t = uniform_transition(dangling_digraph.to_csr())
+        validate_stochastic_rows(t)  # should not raise
+
+    def test_validate_rejects_broken_rows(self):
+        mat = sparse.csr_matrix(np.array([[0.5, 0.2], [0.0, 1.0]]))
+        with pytest.raises(ParameterError, match="row 0"):
+            validate_stochastic_rows(mat)
+
+
+class TestSegmentSoftmax:
+    def test_empty_input(self):
+        out = segment_softmax_weights(np.array([]), np.array([0, 0]), 2.0)
+        assert out.shape == (0,)
+
+    def test_matches_naive_for_small_values(self):
+        log_theta = np.log(np.array([2.0, 3.0, 1.0]))
+        indptr = np.array([0, 3])
+        for p in (-2.0, -1.0, 0.0, 1.0, 2.0):
+            weights = segment_softmax_weights(log_theta, indptr, p)
+            naive = np.exp(log_theta) ** (-p)
+            naive /= naive.sum()
+            assert np.allclose(weights, naive)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        degrees=st.lists(
+            st.integers(min_value=1, max_value=10_000), min_size=1, max_size=20
+        ),
+        p=st.floats(min_value=-100.0, max_value=100.0),
+    )
+    def test_always_normalised_and_finite(self, degrees, p):
+        log_theta = np.log(np.asarray(degrees, dtype=float))
+        indptr = np.array([0, len(degrees)])
+        weights = segment_softmax_weights(log_theta, indptr, p)
+        assert np.isfinite(weights).all()
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights >= 0).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        segments=st.lists(
+            st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=6),
+            min_size=1,
+            max_size=6,
+        ),
+        p=st.floats(min_value=-20.0, max_value=20.0),
+    )
+    def test_multi_segment_normalisation(self, segments, p):
+        flat = np.log(np.array([d for seg in segments for d in seg], dtype=float))
+        indptr = np.cumsum([0] + [len(seg) for seg in segments])
+        weights = segment_softmax_weights(flat, indptr, p)
+        for i in range(len(segments)):
+            seg_sum = weights[indptr[i] : indptr[i + 1]].sum()
+            assert seg_sum == pytest.approx(1.0)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.metrics.ranking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.metrics import (
+    average_precision,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+    top_k_overlap,
+)
+
+
+class TestPrecisionRecall:
+    def test_precision_basic(self):
+        assert precision_at_k(["a", "b", "c", "d"], {"a", "c"}, 2) == 0.5
+        assert precision_at_k(["a", "b", "c", "d"], {"a", "c"}, 4) == 0.5
+
+    def test_precision_all_relevant(self):
+        assert precision_at_k(["a", "b"], {"a", "b"}, 2) == 1.0
+
+    def test_precision_short_ranking(self):
+        assert precision_at_k(["a"], {"a"}, 5) == 1.0
+
+    def test_precision_empty_ranking(self):
+        assert precision_at_k([], {"a"}, 3) == 0.0
+
+    def test_precision_invalid_k(self):
+        with pytest.raises(ParameterError):
+            precision_at_k(["a"], {"a"}, 0)
+
+    def test_recall_basic(self):
+        assert recall_at_k(["a", "b", "c"], {"a", "z"}, 3) == 0.5
+
+    def test_recall_empty_relevant(self):
+        assert recall_at_k(["a"], set(), 1) == 0.0
+
+    def test_recall_complete(self):
+        assert recall_at_k(["a", "b"], {"a", "b"}, 2) == 1.0
+
+
+class TestNdcg:
+    def test_perfect_ranking(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], gains, 3) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        gains = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], gains, 3) < 1.0
+
+    def test_missing_items_gain_zero(self):
+        gains = {"a": 1.0}
+        value = ndcg_at_k(["x", "a"], gains, 2)
+        assert 0.0 < value < 1.0
+
+    def test_empty_gains(self):
+        assert ndcg_at_k(["a", "b"], {}, 2) == 0.0
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ParameterError):
+            ndcg_at_k(["a"], {"a": -1.0}, 1)
+
+    def test_order_within_k_matters(self):
+        gains = {"a": 5.0, "b": 1.0}
+        good = ndcg_at_k(["a", "b"], gains, 2)
+        bad = ndcg_at_k(["b", "a"], gains, 2)
+        assert good > bad
+
+
+class TestTopKOverlap:
+    def test_identical(self):
+        assert top_k_overlap(["a", "b", "c"], ["c", "a", "b"], 3) == 1.0
+
+    def test_disjoint(self):
+        assert top_k_overlap(["a", "b"], ["x", "y"], 2) == 0.0
+
+    def test_partial(self):
+        assert top_k_overlap(["a", "b"], ["b", "c"], 2) == pytest.approx(1 / 3)
+
+    def test_empty_both(self):
+        assert top_k_overlap([], [], 4) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            top_k_overlap(["a"], ["a"], 0)
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(["a", "b"], {"a"}) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank(["x", "y", "a"], {"a"}) == pytest.approx(1 / 3)
+
+    def test_never_found(self):
+        assert reciprocal_rank(["x", "y"], {"a"}) == 0.0
+
+    def test_first_of_many(self):
+        assert reciprocal_rank(["x", "b", "a"], {"a", "b"}) == pytest.approx(0.5)
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(["a", "b"], {"a", "b"}) == pytest.approx(1.0)
+
+    def test_empty_relevant(self):
+        assert average_precision(["a"], set()) == 0.0
+
+    def test_never_retrieved(self):
+        assert average_precision(["x", "y"], {"a"}) == 0.0
+
+    def test_known_value(self):
+        # relevant at positions 1 and 3: AP = (1/1 + 2/3) / 2
+        value = average_precision(["a", "x", "b"], {"a", "b"})
+        assert value == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_order_sensitivity(self):
+        early = average_precision(["a", "x", "x2"], {"a"})
+        late = average_precision(["x", "x2", "a"], {"a"})
+        assert early > late

@@ -1,0 +1,97 @@
+"""Unit tests for repro.recsys.evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NodeScores, degree_scores
+from repro.datasets import load
+from repro.errors import ParameterError
+from repro.graph import barabasi_albert
+from repro.recsys import evaluate_scores, holdout_tune
+
+
+class TestEvaluateScores:
+    def test_perfect_scores(self):
+        g = barabasi_albert(40, 2, seed=1)
+        rng = np.random.default_rng(0)
+        sig = rng.random(40)
+        scores = NodeScores(g, sig.copy())
+        result = evaluate_scores(scores, sig)
+        assert result.spearman == pytest.approx(1.0)
+        assert result.kendall == pytest.approx(1.0)
+        assert result.ndcg_at_10 == pytest.approx(1.0)
+        assert result.precision_at_10 > 0.3
+
+    def test_inverted_scores(self):
+        g = barabasi_albert(40, 2, seed=1)
+        rng = np.random.default_rng(0)
+        sig = rng.random(40)
+        scores = NodeScores(g, -sig)
+        result = evaluate_scores(scores, sig)
+        assert result.spearman == pytest.approx(-1.0)
+        assert result.precision_at_10 == 0.0
+
+    def test_as_dict_keys(self):
+        g = barabasi_albert(20, 2, seed=1)
+        sig = np.arange(20.0)
+        result = evaluate_scores(NodeScores(g, sig), sig)
+        assert set(result.as_dict()) == {
+            "spearman",
+            "kendall",
+            "ndcg@10",
+            "precision@10",
+        }
+
+    def test_shape_mismatch_rejected(self):
+        g = barabasi_albert(20, 2, seed=1)
+        scores = NodeScores(g, np.ones(20))
+        with pytest.raises(ParameterError):
+            evaluate_scores(scores, np.ones(5))
+
+    def test_invalid_quantile_rejected(self):
+        g = barabasi_albert(20, 2, seed=1)
+        scores = NodeScores(g, np.ones(20))
+        with pytest.raises(ParameterError):
+            evaluate_scores(scores, np.ones(20), relevant_quantile=1.5)
+
+    def test_degree_baseline_on_group_c(self):
+        """Degree ranking is a strong baseline where coupling is positive."""
+        dg = load("lastfm/listener-listener", scale=0.3)
+        result = evaluate_scores(
+            degree_scores(dg.graph), dg.significance_vector()
+        )
+        assert result.spearman > 0.2
+
+
+class TestHoldoutTune:
+    def test_group_a_improvement(self):
+        """On a Group A graph, tuned D2PR beats conventional PR held-out."""
+        dg = load("imdb/actor-actor", scale=0.4)
+        result = holdout_tune(dg, seed=1)
+        assert result.best_p > 0
+        assert result.improvement > 0
+
+    def test_group_c_prefers_nonpositive_p(self):
+        dg = load("lastfm/listener-listener", scale=0.4)
+        result = holdout_tune(dg, seed=1)
+        assert result.best_p <= 0
+
+    def test_train_curve_complete(self):
+        dg = load("imdb/movie-movie", scale=0.3)
+        grid = (-1.0, 0.0, 1.0)
+        result = holdout_tune(dg, p_grid=grid, seed=2)
+        assert set(result.train_curve) == set(grid)
+
+    def test_invalid_fraction_rejected(self):
+        dg = load("imdb/movie-movie", scale=0.2)
+        with pytest.raises(ParameterError):
+            holdout_tune(dg, train_fraction=0.0)
+
+    def test_deterministic_given_seed(self):
+        dg = load("epinions/product-product", scale=0.25)
+        a = holdout_tune(dg, p_grid=(0.0, 2.0), seed=3)
+        b = holdout_tune(dg, p_grid=(0.0, 2.0), seed=3)
+        assert a.best_p == b.best_p
+        assert a.test_spearman_best == pytest.approx(b.test_spearman_best)

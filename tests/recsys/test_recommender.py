@@ -1,0 +1,135 @@
+"""Unit tests for repro.recsys.recommender."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import d2pr
+from repro.errors import ParameterError, ReproError
+from repro.graph import barabasi_albert
+from repro.recsys import D2PRRecommender, RecommenderConfig
+
+
+@pytest.fixture
+def fitted():
+    g = barabasi_albert(60, 2, seed=2)
+    rec = D2PRRecommender(config=RecommenderConfig(p=0.5)).fit(g)
+    return g, rec
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        RecommenderConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 1.0},
+            {"alpha": -0.2},
+            {"beta": 1.5},
+            {"p": float("inf")},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            RecommenderConfig(**kwargs).validate()
+
+
+class TestFitAndRecommend:
+    def test_unfitted_raises(self):
+        rec = D2PRRecommender()
+        with pytest.raises(ReproError):
+            rec.recommend()
+
+    def test_scores_match_direct_d2pr(self, fitted):
+        g, rec = fitted
+        direct = d2pr(g, 0.5)
+        assert np.allclose(rec.scores.values, direct.values, atol=1e-12)
+
+    def test_recommend_k_items(self, fitted):
+        _g, rec = fitted
+        top = rec.recommend(k=5)
+        assert len(top) == 5
+        scores = [s for _n, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_recommend_excludes(self, fitted):
+        _g, rec = fitted
+        first = rec.recommend(k=1)[0][0]
+        top = rec.recommend(k=5, exclude=[first])
+        assert first not in [n for n, _s in top]
+
+    def test_recommend_for_excludes_seeds(self, fitted):
+        g, rec = fitted
+        seed_node = g.nodes()[0]
+        related = rec.recommend_for([seed_node], k=5)
+        assert seed_node not in [n for n, _s in related]
+
+    def test_recommend_for_include_seeds(self, fitted):
+        g, rec = fitted
+        seed_node = g.nodes()[0]
+        related = rec.recommend_for([seed_node], k=3, include_seeds=True)
+        # the seed dominates its own personalised ranking
+        assert related[0][0] == seed_node
+
+    def test_recommendations_are_local(self, fitted):
+        """Seeded recommendations favour the seed's neighbourhood."""
+        g, rec = fitted
+        seed_node = g.nodes()[10]
+        related = [n for n, _s in rec.recommend_for([seed_node], k=5)]
+        neighbours = set(g.neighbors(seed_node))
+        assert any(n in neighbours for n in related)
+
+    def test_fit_returns_self(self):
+        g = barabasi_albert(20, 2, seed=3)
+        rec = D2PRRecommender()
+        assert rec.fit(g) is rec
+
+
+class TestTuneP:
+    def test_recovers_planted_best_p(self):
+        """If significance IS a d2pr ranking, tune_p should find its p."""
+        g = barabasi_albert(80, 2, seed=5)
+        planted = d2pr(g, -1.0).values
+        rec = D2PRRecommender().fit(g)
+        best_p, curve = rec.tune_p(planted, p_grid=(-2.0, -1.0, 0.0, 1.0, 2.0))
+        assert best_p == -1.0
+        assert curve[-1.0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_curve_has_all_grid_points(self, fitted):
+        g, rec = fitted
+        sig = g.degree_vector()
+        _best, curve = rec.tune_p(sig, p_grid=(-1.0, 0.0, 1.0))
+        assert set(curve) == {-1.0, 0.0, 1.0}
+
+    def test_train_mask_restricts(self, fitted):
+        g, rec = fitted
+        rng = np.random.default_rng(0)
+        sig = rng.normal(size=g.number_of_nodes)
+        mask = np.zeros(g.number_of_nodes, dtype=bool)
+        mask[:30] = True
+        best_masked, curve_masked = rec.tune_p(sig, p_grid=(0.0, 1.0), train_mask=mask)
+        _best_full, curve_full = rec.tune_p(sig, p_grid=(0.0, 1.0))
+        assert curve_masked != curve_full
+        assert best_masked in (0.0, 1.0)
+
+    def test_bad_significance_shape_rejected(self, fitted):
+        _g, rec = fitted
+        with pytest.raises(ParameterError):
+            rec.tune_p(np.ones(3))
+
+    def test_tiny_train_mask_rejected(self, fitted):
+        g, rec = fitted
+        sig = np.ones(g.number_of_nodes)
+        mask = np.zeros(g.number_of_nodes, dtype=bool)
+        mask[0] = True
+        with pytest.raises(ParameterError):
+            rec.tune_p(sig, train_mask=mask)
+
+    def test_with_p_refits(self, fitted):
+        g, rec = fitted
+        new = rec.with_p(-2.0)
+        assert new.config.p == -2.0
+        direct = d2pr(g, -2.0)
+        assert np.allclose(new.scores.values, direct.values, atol=1e-12)

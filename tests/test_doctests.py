@@ -1,0 +1,35 @@
+"""Run every docstring example in the library as a test.
+
+Keeps the documentation honest: any ``>>>`` example that drifts from the
+implementation fails here.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules() -> list[str]:
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        names.append(module_info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_docstring_examples(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

@@ -1,0 +1,112 @@
+"""End-to-end integration tests across subsystems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    Graph,
+    d2pr,
+    degree_scores,
+    graph_statistics,
+    pagerank,
+    personalized_d2pr,
+    spearman,
+)
+from repro.datasets import load
+from repro.experiments import correlation_curve, get_data_graph
+from repro.graph import read_json_graph, write_json_graph
+from repro.recsys import D2PRRecommender, RecommenderConfig, evaluate_scores
+
+
+class TestPublicApi:
+    def test_version_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_from_docstring(self):
+        g = Graph.from_edges([("a", "b"), ("a", "c"), ("c", "d"), ("c", "e")])
+        conventional = pagerank(g)
+        penalised = d2pr(g, p=1.0)
+        boosted = d2pr(g, p=-1.0)
+        assert penalised["c"] < conventional["c"] < boosted["c"]
+
+
+class TestDatasetToScorePipeline:
+    def test_full_pipeline_on_actor_graph(self):
+        dg = load("imdb/actor-actor", scale=0.25)
+        sig = dg.significance_vector()
+        conventional = pagerank(dg.graph)
+        penalised = d2pr(dg.graph, 1.0)
+        # Group A: penalisation improves correlation with significance
+        assert spearman(penalised.values, sig) > spearman(
+            conventional.values, sig
+        )
+
+    def test_statistics_and_curve_consistent(self):
+        dg = get_data_graph("lastfm/listener-listener", 0.25)
+        stats = graph_statistics(dg.graph, dg.name)
+        assert stats.nodes == dg.graph.number_of_nodes
+        curve = correlation_curve(dg, ps=(-1.0, 0.0, 1.0))
+        assert curve.at(-1.0) > curve.at(1.0)  # Group C
+
+    def test_roundtrip_dataset_through_json(self, tmp_path):
+        dg = load("imdb/movie-movie", scale=0.15)
+        path = tmp_path / "movie.json"
+        write_json_graph(dg.graph, path)
+        loaded = read_json_graph(path)
+        assert loaded.number_of_edges == dg.graph.number_of_edges
+        # significance survives the roundtrip as a node attribute
+        orig = dg.graph.node_attr_array("significance")
+        back = loaded.node_attr_array("significance")
+        assert np.allclose(orig, back)
+
+
+class TestRecommenderIntegration:
+    def test_tuned_recommender_beats_degree_baseline_on_group_a(self):
+        dg = load("epinions/product-product", scale=0.3)
+        sig = dg.significance_vector()
+        rec = D2PRRecommender(config=RecommenderConfig()).fit(dg.graph)
+        best_p, _curve = rec.tune_p(sig, p_grid=(-1.0, 0.0, 1.0, 2.0, 3.0))
+        tuned = rec.with_p(best_p)
+        tuned_eval = evaluate_scores(tuned.scores, sig)
+        degree_eval = evaluate_scores(degree_scores(dg.graph), sig)
+        assert tuned_eval.spearman > degree_eval.spearman
+
+    def test_seeded_recommendations_end_to_end(self):
+        dg = load("lastfm/artist-artist", scale=0.2)
+        rec = D2PRRecommender(
+            config=RecommenderConfig(p=-1.0, weighted=True, beta=0.25)
+        ).fit(dg.graph)
+        seed_artist = rec.recommend(k=1)[0][0]
+        related = rec.recommend_for([seed_artist], k=5)
+        assert len(related) == 5
+        assert seed_artist not in [n for n, _s in related]
+
+    def test_personalized_d2pr_on_dataset(self):
+        dg = load("dblp/author-author", scale=0.2)
+        seed = dg.graph.nodes()[0]
+        scores = personalized_d2pr(dg.graph, [seed], p=0.5)
+        assert scores.values.sum() == pytest.approx(1.0)
+        assert scores.rank_of(seed) <= 5
+
+
+class TestCrossSolverOnDatasets:
+    def test_solvers_agree_on_real_dataset(self):
+        dg = load("imdb/movie-movie", scale=0.15)
+        pw = d2pr(dg.graph, 1.5, solver="power", tol=1e-13).values
+        ds = d2pr(dg.graph, 1.5, solver="direct").values
+        assert np.allclose(pw, ds, atol=1e-8)
+
+    def test_weighted_solvers_agree(self):
+        dg = load("lastfm/listener-listener", scale=0.15)
+        pw = d2pr(
+            dg.graph, -1.0, beta=0.5, weighted=True, solver="power", tol=1e-13
+        ).values
+        ds = d2pr(dg.graph, -1.0, beta=0.5, weighted=True, solver="direct").values
+        assert np.allclose(pw, ds, atol=1e-8)

@@ -1,0 +1,136 @@
+"""Cross-cutting property-based tests on library invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Graph, d2pr, pagerank
+from repro.graph import BipartiteGraph, erdos_renyi, project
+from repro.metrics import rank_data, spearman
+
+
+@st.composite
+def bipartite_memberships(draw):
+    """A random small two-mode membership structure."""
+    n_left = draw(st.integers(min_value=1, max_value=8))
+    n_right = draw(st.integers(min_value=1, max_value=6))
+    memberships = {}
+    for i in range(n_left):
+        size = draw(st.integers(min_value=0, max_value=n_right))
+        joined = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n_right - 1),
+                min_size=min(size, n_right),
+                max_size=min(size, n_right),
+            )
+        )
+        memberships[i] = joined
+    return n_left, n_right, memberships
+
+
+@settings(max_examples=40, deadline=None)
+@given(bipartite_memberships())
+def test_projection_weight_equals_intersection(data):
+    """Projection edge weights always count shared memberships exactly."""
+    n_left, n_right, memberships = data
+    b = BipartiteGraph()
+    for i in range(n_left):
+        b.add_left(f"L{i}")
+    for j in range(n_right):
+        b.add_right(f"R{j}")
+    for i, joined in memberships.items():
+        for j in joined:
+            b.add_edge(f"L{i}", f"R{j}")
+    g = project(b, "left")
+    for i in range(n_left):
+        for k in range(i + 1, n_left):
+            shared = len(memberships[i] & memberships[k])
+            if shared:
+                assert g.edge_weight(f"L{i}", f"L{k}") == shared
+            else:
+                assert not g.has_edge(f"L{i}", f"L{k}")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    edge_p=st.floats(min_value=0.1, max_value=0.7),
+    p=st.floats(min_value=-4.0, max_value=4.0),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+def test_d2pr_invariant_under_node_relabelling(n, edge_p, p, seed):
+    """Scores depend on structure only, not on node names or insertion
+    order."""
+    g = erdos_renyi(n, edge_p, seed=seed)
+    renamed = Graph()
+    mapping = {node: f"x-{node}" for node in g.nodes()}
+    # insert nodes in reverse order to shuffle the internal indexing
+    for node in reversed(g.nodes()):
+        renamed.add_node(mapping[node])
+    for u, v, w in g.edges():
+        renamed.add_edge(mapping[u], mapping[v], weight=w)
+
+    original = d2pr(g, p, tol=1e-12)
+    relabelled = d2pr(renamed, p, tol=1e-12)
+    for node in g.nodes():
+        assert original[node] == pytest.approx(
+            relabelled[mapping[node]], abs=1e-9
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=25),
+    edge_p=st.floats(min_value=0.2, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=9999),
+    scale=st.floats(min_value=0.1, max_value=50.0),
+)
+def test_uniform_edge_weight_scaling_is_noop(n, edge_p, seed, scale):
+    """Multiplying every edge weight by a constant changes nothing, in
+    both the weighted-PageRank and the weighted-D2PR formulations."""
+    g = erdos_renyi(n, edge_p, seed=seed)
+    scaled = Graph()
+    scaled.add_nodes_from(g.nodes())
+    for u, v, w in g.edges():
+        scaled.add_edge(u, v, weight=w * scale)
+    a = pagerank(g, weighted=True, tol=1e-12).values
+    b = pagerank(scaled, weighted=True, tol=1e-12).values
+    assert np.allclose(a, b, atol=1e-8)
+    c = d2pr(g, 1.5, beta=0.5, weighted=True, tol=1e-12).values
+    d = d2pr(scaled, 1.5, beta=0.5, weighted=True, tol=1e-12).values
+    assert np.allclose(c, d, atol=1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=40,
+    )
+)
+def test_spearman_invariant_under_monotone_transform(values):
+    """Spearman only sees ranks: exp() on one side changes nothing."""
+    x = np.array(values)
+    y = np.arange(len(values), dtype=float)
+    a = spearman(x, y)
+    b = spearman(rank_data(x), y)  # rank transform is monotone
+    assert a == pytest.approx(b, abs=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    edge_p=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(min_value=0, max_value=9999),
+    alpha=st.floats(min_value=0.05, max_value=0.95),
+)
+def test_teleport_lower_bound(n, edge_p, seed, alpha):
+    """Every node's score is at least (1-alpha)/n: the teleport floor."""
+    g = erdos_renyi(n, edge_p, seed=seed)
+    scores = pagerank(g, alpha=alpha, tol=1e-12)
+    floor = (1.0 - alpha) / n
+    assert (scores.values >= floor - 1e-9).all()

@@ -86,19 +86,30 @@ def d2pr_transition(
             "beta is only meaningful for weighted graphs "
             "(the paper defines the blend in §3.2.3); pass weighted=True"
         )
-    adjacency, theta = adjacency_and_theta(graph, weighted=weighted)
-    if clamp_min is None:
+    graph.require_nonempty()
+
+    def build():
+        adjacency, theta = adjacency_and_theta(graph, weighted=weighted)
+        resolved = clamp_min
+        if resolved is None:
+            if weighted:
+                positive = theta[theta > 0]
+                resolved = float(positive.min()) if positive.size else 1.0
+            else:
+                resolved = 1.0
         if weighted:
-            positive = theta[theta > 0]
-            clamp_min = float(positive.min()) if positive.size else 1.0
-        else:
-            clamp_min = 1.0
-    if weighted:
-        return blended_transition(
-            adjacency, p, beta, theta=theta, clamp_min=clamp_min
+            return blended_transition(
+                adjacency, p, beta, theta=theta, clamp_min=resolved
+            )
+        return degree_decoupled_transition(
+            adjacency, p, theta=theta, clamp_min=resolved
         )
-    return degree_decoupled_transition(
-        adjacency, p, theta=theta, clamp_min=clamp_min
+
+    # Memoised per graph version: sweeps and repeated solves with the same
+    # (p, beta, weighted, clamp_min) reuse the built matrix.
+    return graph.cached(
+        ("d2pr_transition", float(p), float(beta), bool(weighted), clamp_min),
+        build,
     )
 
 

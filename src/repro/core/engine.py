@@ -15,7 +15,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.errors import ParameterError
-from repro.graph.base import BaseGraph, DiGraph, Node
+from repro.graph.base import BaseGraph, Node
 from repro.linalg.solvers import (
     PageRankResult,
     direct_solve,
@@ -125,13 +125,20 @@ def adjacency_and_theta(
     * undirected unweighted — node degree;
     * directed unweighted   — node out-degree;
     * weighted (either)     — total out-weight ``Θ(v) = Σ_h w(v→h)``.
+
+    The pair is memoised on the graph's mutation-aware cache, so repeated
+    solves and parameter sweeps reuse one export per graph version.
     """
     graph.require_nonempty()
-    adjacency = graph.to_csr(weighted=weighted)
-    if weighted:
-        theta = np.asarray(adjacency.sum(axis=1)).ravel()
-    elif isinstance(graph, DiGraph):
-        theta = graph.out_degree_vector()
-    else:
-        theta = graph.out_degree_vector()
-    return adjacency, theta
+
+    def build() -> tuple[sparse.csr_matrix, np.ndarray]:
+        adjacency = graph.to_csr(weighted=weighted)
+        if weighted:
+            theta = np.asarray(adjacency.sum(axis=1)).ravel()
+        else:
+            # Degree for undirected graphs, out-degree for DiGraph — both
+            # are exactly out_degree_vector on our representation.
+            theta = graph.out_degree_vector()
+        return adjacency, theta
+
+    return graph.cached(("adj_theta", bool(weighted)), build)

@@ -62,11 +62,16 @@ def pagerank(
     NodeScores
     """
     graph.require_nonempty()
-    adjacency = graph.to_csr(weighted=weighted)
-    if weighted:
-        transition = connection_strength_transition(adjacency)
-    else:
-        transition = uniform_transition(adjacency)
+
+    def build():
+        adjacency = graph.to_csr(weighted=weighted)
+        if weighted:
+            return connection_strength_transition(adjacency)
+        return uniform_transition(adjacency)
+
+    # Memoised per graph version (see BaseGraph.cached): repeated calls on
+    # an unmutated graph reuse the row-normalised transition.
+    transition = graph.cached(("pagerank_transition", bool(weighted)), build)
     teleport_vec = build_teleport(graph, teleport)
     result = solve_transition(
         transition,

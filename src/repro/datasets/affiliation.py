@@ -245,10 +245,14 @@ def generate_affiliation(
         joined = rng.choice(
             config.n_venues, size=k, replace=False, p=weights
         )
-        joined = np.sort(joined)
-        memberships.append(joined)
-        for v in joined:
-            bipartite.add_edge(member_names[i], venue_names[int(v)])
+        memberships.append(np.sort(joined))
+    bipartite.add_edges_arrays(
+        np.repeat(
+            np.arange(config.n_members, dtype=np.int64),
+            [m.shape[0] for m in memberships],
+        ),
+        np.concatenate(memberships).astype(np.int64),
+    )
 
     if bipartite.number_of_edges == 0:
         raise DatasetError("affiliation sample produced no edges")

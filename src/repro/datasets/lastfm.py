@@ -48,12 +48,23 @@ def _shared_friend_weights(friendship: Graph) -> Graph:
     """
     weighted = Graph()
     weighted.add_nodes_from(friendship.nodes())
-    neighbor_sets = {
-        node: set(friendship.neighbors(node)) for node in friendship.nodes()
-    }
-    for u, v, _w in friendship.edges():
-        shared = len(neighbor_sets[u] & neighbor_sets[v])
-        weighted.add_edge(u, v, weight=float(shared + 1))
+    # For a binary symmetric adjacency, sum_k A[u, k] * A[v, k] counts the
+    # common neighbours of u and v.  Computing it as row-slices multiplied
+    # elementwise (chunked over edges) only materialises the rows of the
+    # edge endpoints, never the full A @ A product, whose common-neighbour
+    # counts for *all* pairs would blow up on hub-heavy graphs.
+    rows, cols, _ = friendship.edge_arrays()
+    if rows.size:
+        adjacency = friendship.to_csr(weighted=False)
+        chunk = 65_536
+        shared_parts = []
+        for start in range(0, rows.shape[0], chunk):
+            r = rows[start : start + chunk]
+            c = cols[start : start + chunk]
+            counts = adjacency[r].multiply(adjacency[c]).sum(axis=1)
+            shared_parts.append(np.asarray(counts).ravel())
+        shared = np.concatenate(shared_parts)
+        weighted.add_edges_arrays(rows, cols, shared + 1.0)
     return weighted
 
 

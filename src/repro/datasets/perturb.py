@@ -37,19 +37,12 @@ def drop_edges(
     if not 0.0 <= fraction < 1.0:
         raise ParameterError(f"fraction must be in [0, 1), got {fraction}")
     rng = as_rng(seed)
-    edges = list(graph.edges())
-    keep_mask = rng.random(len(edges)) >= fraction
+    rows, cols, weights = graph.edge_arrays()
+    keep_mask = rng.random(rows.shape[0]) >= fraction
     out = Graph()
     for node in graph.nodes():
-        attrs = {
-            name: graph.node_attr(node, name)
-            for name in graph.attribute_names()
-            if graph.node_attr(node, name) is not None
-        }
-        out.add_node(node, **attrs)
-    for (u, v, w), keep in zip(edges, keep_mask):
-        if keep:
-            out.add_edge(u, v, weight=w)
+        out.add_node(node, **graph.node_attrs(node))
+    out.add_edges_arrays(rows[keep_mask], cols[keep_mask], weights[keep_mask])
     return out
 
 
@@ -108,12 +101,7 @@ def rewire_edges(
     n = len(nodes)
     out = Graph()
     for node in nodes:
-        attrs = {
-            name: graph.node_attr(node, name)
-            for name in graph.attribute_names()
-            if graph.node_attr(node, name) is not None
-        }
-        out.add_node(node, **attrs)
+        out.add_node(node, **graph.node_attrs(node))
     for u, v, w in edges:
         if rng.random() < fraction and n > 2:
             for _ in range(10):  # retry collisions a few times

@@ -111,6 +111,7 @@ def build_trust_network(
         )
 
     base_quality = zscore(quality)
+    per_user_targets: list[np.ndarray] = []
     for i in range(n_users):
         # Issuer-specific targeting: discerning users weight quality more.
         sharpness = selectivity * (1.0 + np.tanh(discernment[i]))
@@ -119,9 +120,11 @@ def build_trust_network(
         logits -= logits.max()
         weights = np.exp(logits)
         weights /= weights.sum()
-        targets = rng.choice(
-            n_users, size=int(out_counts[i]), replace=False, p=weights
+        per_user_targets.append(
+            rng.choice(n_users, size=int(out_counts[i]), replace=False, p=weights)
         )
-        for j in targets:
-            graph.add_edge(names[i], names[int(j)])
+    graph.add_edges_arrays(
+        np.repeat(np.arange(n_users, dtype=np.int64), out_counts),
+        np.concatenate(per_user_targets).astype(np.int64),
+    )
     return graph

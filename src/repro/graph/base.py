@@ -23,21 +23,67 @@ O(1) edge lookup and weight updates while staying cheap to iterate for CSR
 export.  Node attributes live in per-name arrays (``dict[str, list]``) so
 that attribute vectors align with node indices and can be handed directly to
 numpy.
+
+Two layers sit on top of the dict adjacency to make the graph→matrix→solver
+pipeline array-native:
+
+* **Bulk ingestion** — :meth:`Graph.add_edges_arrays` /
+  :meth:`Graph.from_arrays` (and the :class:`DiGraph` equivalents) accept
+  numpy index/weight arrays, validate and de-duplicate them vectorised, and
+  fold them into the adjacency with C-level ``dict.update`` calls instead of
+  one Python call per edge.  All heavy producers (generators, IO, dataset
+  builders) route through this path.
+* **Invalidation-aware caching** — every structural mutation bumps a
+  monotonic counter (:attr:`BaseGraph.mutation_count`) and clears a per-graph
+  cache that memoises COO/CSR exports and the transition matrices derived
+  from them (see :meth:`BaseGraph.cached`).  Repeated solves and parameter
+  sweeps on an unmutated graph therefore never rebuild identical matrices.
+  Cached arrays/matrices are shared, so callers must treat them as
+  read-only; :meth:`BaseGraph.invalidate_caches` is the manual escape hatch.
+
+See ``docs/performance.md`` for the full cache-keying and bulk-ingestion
+contract.
 """
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable, Iterator, Mapping
+from collections.abc import Callable, Hashable, Iterable, Iterator, Mapping
+from itertools import chain
 from typing import Any
 
 import numpy as np
 from scipy import sparse
+from scipy.sparse import csgraph
 
-from repro.errors import EdgeError, EmptyGraphError, NodeNotFoundError
+from repro.errors import (
+    EdgeError,
+    EmptyGraphError,
+    NodeNotFoundError,
+    ParameterError,
+)
 
 Node = Hashable
 
 __all__ = ["Graph", "DiGraph", "Node"]
+
+
+def row_segments(
+    sources: np.ndarray, n_rows: int
+) -> tuple[np.ndarray, list[tuple[int, int, int]]]:
+    """Group entry positions by source row for segment-wise bulk updates.
+
+    Returns the stable sort order of ``sources`` plus ``(row, start, stop)``
+    triples delimiting each occupied row's slice of the order-sorted arrays.
+    Shared by the graph and bipartite bulk-ingestion paths.
+    """
+    order = np.argsort(sources, kind="stable")
+    counts = np.bincount(sources, minlength=n_rows)
+    occupied = np.flatnonzero(counts)
+    stops = np.cumsum(counts[occupied])
+    starts = stops - counts[occupied]
+    return order, list(
+        zip(occupied.tolist(), starts.tolist(), stops.tolist())
+    )
 
 
 class BaseGraph:
@@ -57,6 +103,77 @@ class BaseGraph:
         self._succ: list[dict[int, float]] = []
         self._node_attrs: dict[str, dict[int, Any]] = {}
         self._num_edges = 0
+        # Canonical columnar edge store for bulk-ingested graphs: while set,
+        # the dict adjacency above is empty and all edges live in these
+        # de-duplicated arrays (one entry per edge; ``(lo, hi, w)`` with
+        # lo < hi for undirected graphs, ``(rows, cols, w)`` for directed).
+        # Dict-style accessors call _materialize() to fold them in lazily,
+        # so array-only pipelines (build -> to_csr -> solve) never pay for
+        # dict construction at all.
+        self._lazy: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        # Structural version counter + derived-object cache (COO arrays,
+        # CSR matrices, transition matrices).  Any mutation bumps the
+        # version and clears the cache.
+        self._version = 0
+        self._cache: dict[tuple, Any] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter bumped on every structural mutation.
+
+        Derived objects (CSR exports, transition matrices) are cached per
+        graph and keyed implicitly by this counter: any mutation clears
+        the cache, so a cached object is always consistent with the
+        current structure.
+        """
+        return self._version
+
+    def cached(self, key: tuple, builder: Callable[[], Any]) -> Any:
+        """Return ``builder()`` memoised under ``key`` until the next mutation.
+
+        The cache is invalidated wholesale whenever the graph structure
+        changes (node added, edge added/re-weighted, bulk ingestion), so
+        ``key`` only needs to encode the *parameters* of the derived
+        object — e.g. ``("d2pr", p, beta, weighted, clamp_min)`` — not the
+        graph state.  Cached values are shared between callers and must be
+        treated as read-only.
+        """
+        try:
+            value = self._cache[key]
+        except KeyError:
+            self._cache_misses += 1
+            value = builder()
+            self._cache[key] = value
+            return value
+        self._cache_hits += 1
+        return value
+
+    def invalidate_caches(self) -> None:
+        """Drop all cached derived objects and bump the mutation counter.
+
+        Escape hatch for callers that mutate internals directly (nothing in
+        the library does); normal mutations invalidate automatically.
+        """
+        self._invalidate()
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and current cache size (for tests/diagnostics)."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "entries": len(self._cache),
+            "version": self._version,
+        }
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        if self._cache:
+            self._cache.clear()
 
     # ------------------------------------------------------------------
     # node handling
@@ -71,15 +188,32 @@ class BaseGraph:
             idx = len(self._nodes)
             self._index[node] = idx
             self._nodes.append(node)
-            self._succ.append({})
+            self._grow_adjacency()
+            self._invalidate()
         for name, value in attrs.items():
             self._node_attrs.setdefault(name, {})[idx] = value
         return idx
+
+    def _grow_adjacency(self) -> None:
+        """Append adjacency slots for one newly added node."""
+        self._succ.append({})
 
     def add_nodes_from(self, nodes: Iterable[Node]) -> None:
         """Add every node in ``nodes``."""
         for node in nodes:
             self.add_node(node)
+
+    def _add_integer_nodes(self, n: int) -> None:
+        """Fast path: populate an *empty* graph with nodes ``0 .. n-1``."""
+        if self._nodes:
+            raise ParameterError(
+                "_add_integer_nodes requires an empty graph"
+            )
+        ids = range(n)
+        self._nodes = list(ids)
+        self._index = {i: i for i in ids}
+        self._succ = [{} for _ in ids]
+        self._invalidate()
 
     def has_node(self, node: Node) -> bool:
         """Return ``True`` when ``node`` is part of the graph."""
@@ -141,6 +275,18 @@ class BaseGraph:
         idx = self.index_of(node)
         return self._node_attrs.get(name, {}).get(idx, default)
 
+    def node_attrs(self, node: Node) -> dict[str, Any]:
+        """Return every attribute set on ``node`` as a fresh dict."""
+        idx = self.index_of(node)
+        return self._attrs_at(idx)
+
+    def _attrs_at(self, idx: int) -> dict[str, Any]:
+        return {
+            name: values[idx]
+            for name, values in self._node_attrs.items()
+            if idx in values
+        }
+
     def node_attr_array(self, name: str, default: float = np.nan) -> np.ndarray:
         """Return attribute ``name`` for every node as a float array.
 
@@ -173,6 +319,7 @@ class BaseGraph:
         """Return ``True`` when the edge ``u -> v`` (or ``u -- v``) exists."""
         if u not in self._index or v not in self._index:
             return False
+        self._materialize()
         return self._index[v] in self._succ[self._index[u]]
 
     def edge_weight(self, u: Node, v: Node) -> float:
@@ -184,6 +331,7 @@ class BaseGraph:
             If the edge does not exist.
         """
         ui, vi = self.index_of(u), self.index_of(v)
+        self._materialize()
         try:
             return self._succ[ui][vi]
         except KeyError:
@@ -192,49 +340,237 @@ class BaseGraph:
     def neighbors(self, node: Node) -> list[Node]:
         """Return the (out-)neighbours of ``node`` as node objects."""
         idx = self.index_of(node)
+        self._materialize()
         return [self._nodes[j] for j in self._succ[idx]]
 
     def neighbor_indices(self, index: int) -> list[int]:
         """Return (out-)neighbour integer indices of node ``index``."""
         if not 0 <= index < len(self._succ):
             raise NodeNotFoundError(index)
+        self._materialize()
         return list(self._succ[index])
+
+    # ------------------------------------------------------------------
+    # bulk ingestion
+    # ------------------------------------------------------------------
+    def _validate_edge_arrays(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised validation shared by the bulk ingestion paths.
+
+        Checks shapes, integer dtypes, index bounds, self-loops and weight
+        positivity/finiteness in whole-array operations, mirroring the
+        per-edge checks of :meth:`add_edge`.
+        """
+        rows = np.asarray(rows)
+        cols = np.asarray(cols)
+        if rows.ndim != 1 or cols.ndim != 1 or rows.shape != cols.shape:
+            raise ParameterError(
+                "rows and cols must be 1-D arrays of equal length, "
+                f"got shapes {rows.shape} and {cols.shape}"
+            )
+        if rows.size and not (
+            np.issubdtype(rows.dtype, np.integer)
+            and np.issubdtype(cols.dtype, np.integer)
+        ):
+            raise ParameterError(
+                "rows and cols must be integer node indices "
+                f"(got dtypes {rows.dtype}, {cols.dtype}); add nodes first "
+                "and map them with index_of, or use from_arrays"
+            )
+        rows = rows.astype(np.int64, copy=False)
+        cols = cols.astype(np.int64, copy=False)
+        n = self.number_of_nodes
+        if rows.size:
+            low = min(int(rows.min()), int(cols.min()))
+            high = max(int(rows.max()), int(cols.max()))
+            if low < 0 or high >= n:
+                bad = low if low < 0 else high
+                raise NodeNotFoundError(bad)
+            loops = rows == cols
+            if loops.any():
+                offender = self._nodes[int(rows[np.argmax(loops)])]
+                raise EdgeError(f"self-loop on {offender!r} is not allowed")
+        if weights is None:
+            data = np.ones(rows.shape[0], dtype=np.float64)
+        else:
+            data = np.asarray(weights, dtype=np.float64)
+            if data.shape != rows.shape:
+                raise ParameterError(
+                    f"weights must have shape {rows.shape}, got {data.shape}"
+                )
+            if data.size:
+                if not np.isfinite(data).all():
+                    raise EdgeError("edge weights must be finite")
+                if (data <= 0.0).any():
+                    raise EdgeError("edge weights must be positive")
+        return rows, cols, data
+
+    @staticmethod
+    def _dedup_last_wins(
+        keys: np.ndarray,
+    ) -> np.ndarray:
+        """Indices of the *last* occurrence of each unique key (key-sorted)."""
+        _, first_in_reversed = np.unique(keys[::-1], return_index=True)
+        return keys.shape[0] - 1 - first_in_reversed
+
+    def _bulk_update_succ(
+        self,
+        adjacency: list[dict[int, float]],
+        sources: np.ndarray,
+        targets: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        """Fold ``source -> target = weight`` triples into dict adjacency.
+
+        One ``dict.update(zip(...))`` per distinct source row: the per-entry
+        work happens at C speed instead of one Python ``add_edge`` per edge.
+        """
+        order, segments = row_segments(sources, len(adjacency))
+        targets_l = targets[order].tolist()
+        data_l = data[order].tolist()
+        for i, s, e in segments:
+            adjacency[i].update(zip(targets_l[s:e], data_l[s:e]))
+
+    def _entry_total(self) -> int:
+        return sum(map(len, self._succ))
+
+    def _materialize(self) -> None:
+        """Fold lazily stored bulk edges into the dict adjacency.
+
+        No-op unless the graph is in columnar mode.  Called by every
+        accessor that needs dict lookups (``has_edge``, ``neighbors``,
+        incremental mutation, ...); array-based exports never trigger it.
+        """
+        if self._lazy is None:
+            return
+        arrays = self._lazy
+        self._lazy = None
+        self._fold_arrays(*arrays)
+
+    def _fold_arrays(
+        self, rows: np.ndarray, cols: np.ndarray, data: np.ndarray
+    ) -> None:
+        raise NotImplementedError  # pragma: no cover - subclass hook
+
+    @classmethod
+    def from_arrays(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        nodes: Iterable[Node] | None = None,
+        num_nodes: int | None = None,
+    ):
+        """Build a graph directly from COO-style numpy arrays.
+
+        ``nodes`` supplies node objects (indices refer to positions in the
+        iterable); ``num_nodes`` creates integer nodes ``0 .. num_nodes-1``;
+        with neither, integer nodes up to the largest index are created.
+        """
+        g = cls()
+        if nodes is not None:
+            g.add_nodes_from(nodes)
+        else:
+            if num_nodes is None:
+                rows_a = np.asarray(rows)
+                cols_a = np.asarray(cols)
+                num_nodes = (
+                    int(max(rows_a.max(), cols_a.max())) + 1
+                    if rows_a.size
+                    else 0
+                )
+            g._add_integer_nodes(num_nodes)
+        g.add_edges_arrays(rows, cols, weights)
+        return g
 
     # ------------------------------------------------------------------
     # numpy / scipy export
     # ------------------------------------------------------------------
+    def _coo_from_dicts(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Extract (rows, cols, weights) from the dict adjacency, vectorised.
+
+        Uses preallocated ``np.fromiter`` buffers over chained dict views
+        instead of per-edge list appends.
+        """
+        n = self.number_of_nodes
+        lengths = np.fromiter(map(len, self._succ), dtype=np.int64, count=n)
+        nnz = int(lengths.sum())
+        rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+        cols = np.fromiter(
+            chain.from_iterable(self._succ), dtype=np.int64, count=nnz
+        )
+        data = np.fromiter(
+            chain.from_iterable(map(dict.values, self._succ)),
+            dtype=np.float64,
+            count=nnz,
+        )
+        return rows, cols, data
+
+    def _coo_current(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """COO triple of the current structure, whichever store holds it."""
+        if self._lazy is not None:
+            return self._coo_from_lazy(*self._lazy)
+        return self._coo_from_dicts()
+
+    def _coo_from_lazy(
+        self, rows: np.ndarray, cols: np.ndarray, data: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError  # pragma: no cover - subclass hook
+
+    @staticmethod
+    def _freeze(*arrays: np.ndarray) -> tuple[np.ndarray, ...]:
+        for arr in arrays:
+            arr.setflags(write=False)
+        return arrays
+
     def to_coo_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(rows, cols, weights)`` arrays of the adjacency.
 
         For undirected graphs both orientations of every edge are present,
-        mirroring the symmetric adjacency matrix.
+        mirroring the symmetric adjacency matrix.  The arrays are cached
+        until the next mutation and marked read-only; copy before writing.
         """
-        rows: list[int] = []
-        cols: list[int] = []
-        data: list[float] = []
-        for i, nbrs in enumerate(self._succ):
-            for j, w in nbrs.items():
-                rows.append(i)
-                cols.append(j)
-                data.append(w)
-        return (
-            np.asarray(rows, dtype=np.int64),
-            np.asarray(cols, dtype=np.int64),
-            np.asarray(data, dtype=np.float64),
+        return self.cached(
+            ("coo",), lambda: self._freeze(*self._coo_current())
         )
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical ``(rows, cols, weights)`` with each edge listed once.
+
+        For undirected graphs each edge appears with ``row < col``; for
+        directed graphs this is identical to :meth:`to_coo_arrays`.  The
+        returned arrays are fresh copies, safe to mutate.
+        """
+        rows, cols, data = self.to_coo_arrays()
+        if not self.directed:
+            once = rows < cols
+            return rows[once].copy(), cols[once].copy(), data[once].copy()
+        return rows.copy(), cols.copy(), data.copy()
 
     def to_csr(self, *, weighted: bool = True) -> sparse.csr_matrix:
         """Return the adjacency matrix as ``scipy.sparse.csr_matrix``.
 
         Row ``i`` holds the out-edges of node ``i`` (for undirected graphs
         the matrix is symmetric).  With ``weighted=False`` all stored
-        weights are replaced by ``1.0``.
+        weights are replaced by ``1.0``.  The matrix is cached until the
+        next mutation and shared between callers: treat it as read-only
+        (every consumer in :mod:`repro.linalg` copies before mutating).
         """
-        n = self.number_of_nodes
-        rows, cols, data = self.to_coo_arrays()
-        if not weighted:
-            data = np.ones_like(data)
-        return sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+        def build() -> sparse.csr_matrix:
+            n = self.number_of_nodes
+            rows, cols, data = self.to_coo_arrays()
+            if not weighted:
+                data = np.ones_like(data)
+            mat = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))
+            mat.sort_indices()
+            return mat
+
+        return self.cached(("csr", bool(weighted)), build)
 
     # ------------------------------------------------------------------
     # degrees
@@ -245,13 +581,14 @@ class BaseGraph:
         For undirected graphs this equals the ordinary degree vector.
         """
         n = self.number_of_nodes
-        out = np.zeros(n, dtype=float)
-        for i, nbrs in enumerate(self._succ):
-            out[i] = sum(nbrs.values()) if weighted else len(nbrs)
-        return out
+        rows, _, data = self.to_coo_arrays()
+        return np.bincount(
+            rows, weights=data if weighted else None, minlength=n
+        ).astype(float)
 
     def degree(self, node: Node) -> int:
         """Number of (out-)edges incident on ``node``."""
+        self._materialize()
         return len(self._succ[self.index_of(node)])
 
     # ------------------------------------------------------------------
@@ -294,6 +631,7 @@ class Graph(BaseGraph):
         if u == v:
             raise EdgeError(f"self-loop on {u!r} is not allowed")
         weight = self._require_weight(weight)
+        self._materialize()
         ui = self.add_node(u)
         vi = self.add_node(v)
         is_new = vi not in self._succ[ui]
@@ -301,6 +639,7 @@ class Graph(BaseGraph):
         self._succ[vi][ui] = weight
         if is_new:
             self._num_edges += 1
+        self._invalidate()
 
     def increment_edge(self, u: Node, v: Node, delta: float = 1.0) -> None:
         """Add ``delta`` to the weight of ``u -- v``, creating it if absent.
@@ -310,6 +649,7 @@ class Graph(BaseGraph):
         """
         if u == v:
             raise EdgeError(f"self-loop on {u!r} is not allowed")
+        self._materialize()
         ui = self.add_node(u)
         vi = self.add_node(v)
         current = self._succ[ui].get(vi)
@@ -319,6 +659,7 @@ class Graph(BaseGraph):
         new_weight = self._require_weight(current + delta)
         self._succ[ui][vi] = new_weight
         self._succ[vi][ui] = new_weight
+        self._invalidate()
 
     def add_edges_from(
         self, edges: Iterable[tuple[Node, Node] | tuple[Node, Node, float]]
@@ -332,8 +673,69 @@ class Graph(BaseGraph):
                 u, v, w = edge  # type: ignore[misc]
                 self.add_edge(u, v, weight=w)
 
+    def add_edges_arrays(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Bulk-add undirected edges from integer index arrays.
+
+        ``rows[k] -- cols[k]`` gets weight ``weights[k]`` (default 1.0).
+        Indices must refer to already-added nodes (use :meth:`add_node` /
+        :meth:`add_nodes_from` first, or :meth:`from_arrays`).  Duplicate
+        pairs — in either orientation — keep the last weight, matching a
+        sequential :meth:`add_edge` loop.  Validation, de-duplication and
+        symmetrisation are vectorised; no per-edge Python calls are made.
+        """
+        rows, cols, data = self._validate_edge_arrays(rows, cols, weights)
+        if rows.size == 0:
+            return
+        n = self.number_of_nodes
+        lo = np.minimum(rows, cols)
+        hi = np.maximum(rows, cols)
+        if self._num_edges == 0 or self._lazy is not None:
+            # Columnar fast path: merge with any previous lazy batch and
+            # stay array-native — the dict adjacency is filled on demand.
+            if self._lazy is not None:
+                prev_lo, prev_hi, prev_w = self._lazy
+                lo = np.concatenate([prev_lo, lo])
+                hi = np.concatenate([prev_hi, hi])
+                data = np.concatenate([prev_w, data])
+            sel = self._dedup_last_wins(lo * np.int64(n) + hi)
+            lo, hi, data = lo[sel], hi[sel], data[sel]
+            self._lazy = (lo, hi, data)
+            self._num_edges = lo.shape[0]
+            self._invalidate()
+        else:
+            sel = self._dedup_last_wins(lo * np.int64(n) + hi)
+            lo, hi, data = lo[sel], hi[sel], data[sel]
+            self._fold_arrays(lo, hi, data)
+            self._num_edges = self._entry_total() // 2
+            self._invalidate()
+
+    def _fold_arrays(
+        self, lo: np.ndarray, hi: np.ndarray, data: np.ndarray
+    ) -> None:
+        self._bulk_update_succ(
+            self._succ,
+            np.concatenate([lo, hi]),
+            np.concatenate([hi, lo]),
+            np.concatenate([data, data]),
+        )
+
+    def _coo_from_lazy(
+        self, lo: np.ndarray, hi: np.ndarray, data: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            np.concatenate([lo, hi]),
+            np.concatenate([hi, lo]),
+            np.concatenate([data, data]),
+        )
+
     def edges(self) -> Iterator[tuple[Node, Node, float]]:
         """Iterate over edges once each as ``(u, v, weight)`` with u-index < v-index."""
+        self._materialize()
         for i, nbrs in enumerate(self._succ):
             for j, w in nbrs.items():
                 if i < j:
@@ -350,27 +752,24 @@ class Graph(BaseGraph):
         """Return connected components as lists of node objects.
 
         Components are sorted by decreasing size (ties broken by smallest
-        member index) so ``components[0]`` is the giant component.
+        member index) so ``components[0]`` is the giant component.  The
+        labelling runs on the cached CSR via ``scipy.sparse.csgraph``.
         """
         n = self.number_of_nodes
-        seen = np.zeros(n, dtype=bool)
-        components: list[list[int]] = []
-        for start in range(n):
-            if seen[start]:
-                continue
-            stack = [start]
-            seen[start] = True
-            members = []
-            while stack:
-                i = stack.pop()
-                members.append(i)
-                for j in self._succ[i]:
-                    if not seen[j]:
-                        seen[j] = True
-                        stack.append(j)
-            components.append(members)
-        components.sort(key=lambda m: (-len(m), m[0]))
-        return [[self._nodes[i] for i in sorted(m)] for m in components]
+        if n == 0:
+            return []
+        n_comp, labels = csgraph.connected_components(
+            self.to_csr(weighted=False), directed=False
+        )
+        sizes = np.bincount(labels, minlength=n_comp)
+        # Stable argsort groups members by label while keeping indices
+        # ascending within each component.
+        by_label = np.argsort(labels, kind="stable")
+        groups = np.split(by_label, np.cumsum(sizes)[:-1])
+        order = sorted(
+            range(n_comp), key=lambda c: (-int(sizes[c]), int(groups[c][0]))
+        )
+        return [[self._nodes[i] for i in groups[c].tolist()] for c in order]
 
     def largest_connected_component(self) -> "Graph":
         """Return the subgraph induced by the largest connected component."""
@@ -380,18 +779,18 @@ class Graph(BaseGraph):
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
         """Return the subgraph induced by ``nodes`` (attributes preserved)."""
         keep = {self.index_of(node) for node in nodes}
+        kept = sorted(keep)
         sub = Graph()
-        for i in sorted(keep):
-            attrs = {
-                name: values[i]
-                for name, values in self._node_attrs.items()
-                if i in values
-            }
-            sub.add_node(self._nodes[i], **attrs)
-        for i in sorted(keep):
-            for j, w in self._succ[i].items():
-                if j in keep and i < j:
-                    sub.add_edge(self._nodes[i], self._nodes[j], weight=w)
+        for i in kept:
+            sub.add_node(self._nodes[i], **self._attrs_at(i))
+        rows, cols, data = self.to_coo_arrays()
+        if rows.size:
+            remap = np.full(self.number_of_nodes, -1, dtype=np.int64)
+            remap[kept] = np.arange(len(kept), dtype=np.int64)
+            new_rows = remap[rows]
+            new_cols = remap[cols]
+            mask = (new_rows >= 0) & (new_cols >= 0) & (rows < cols)
+            sub.add_edges_arrays(new_rows[mask], new_cols[mask], data[mask])
         return sub
 
     def copy(self) -> "Graph":
@@ -402,15 +801,9 @@ class Graph(BaseGraph):
         """Return a :class:`DiGraph` with both orientations of every edge."""
         d = DiGraph()
         for i, node in enumerate(self._nodes):
-            attrs = {
-                name: values[i]
-                for name, values in self._node_attrs.items()
-                if i in values
-            }
-            d.add_node(node, **attrs)
-        for u, v, w in self.edges():
-            d.add_edge(u, v, weight=w)
-            d.add_edge(v, u, weight=w)
+            d.add_node(node, **self._attrs_at(i))
+        rows, cols, data = self.to_coo_arrays()
+        d.add_edges_arrays(rows, cols, data)
         return d
 
     @classmethod
@@ -445,11 +838,13 @@ class DiGraph(BaseGraph):
         super().__init__()
         self._pred: list[dict[int, float]] = []
 
-    def add_node(self, node: Node, **attrs: Any) -> int:
-        idx = super().add_node(node, **attrs)
-        while len(self._pred) < len(self._nodes):
-            self._pred.append({})
-        return idx
+    def _grow_adjacency(self) -> None:
+        super()._grow_adjacency()
+        self._pred.append({})
+
+    def _add_integer_nodes(self, n: int) -> None:
+        super()._add_integer_nodes(n)
+        self._pred = [{} for _ in range(n)]
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
         """Add (or re-weight) the directed edge ``u -> v``.
@@ -459,6 +854,7 @@ class DiGraph(BaseGraph):
         if u == v:
             raise EdgeError(f"self-loop on {u!r} is not allowed")
         weight = self._require_weight(weight)
+        self._materialize()
         ui = self.add_node(u)
         vi = self.add_node(v)
         is_new = vi not in self._succ[ui]
@@ -466,6 +862,7 @@ class DiGraph(BaseGraph):
         self._pred[vi][ui] = weight
         if is_new:
             self._num_edges += 1
+        self._invalidate()
 
     def add_edges_from(
         self, edges: Iterable[tuple[Node, Node] | tuple[Node, Node, float]]
@@ -479,52 +876,102 @@ class DiGraph(BaseGraph):
                 u, v, w = edge  # type: ignore[misc]
                 self.add_edge(u, v, weight=w)
 
+    def add_edges_arrays(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Bulk-add directed edges ``rows[k] -> cols[k]`` from index arrays.
+
+        Same contract as :meth:`Graph.add_edges_arrays`: indices must refer
+        to existing nodes, duplicates keep the last weight, and all
+        validation/de-duplication is vectorised.
+        """
+        rows, cols, data = self._validate_edge_arrays(rows, cols, weights)
+        if rows.size == 0:
+            return
+        n = self.number_of_nodes
+        if self._num_edges == 0 or self._lazy is not None:
+            # Columnar fast path — see Graph.add_edges_arrays.
+            if self._lazy is not None:
+                prev_r, prev_c, prev_w = self._lazy
+                rows = np.concatenate([prev_r, rows])
+                cols = np.concatenate([prev_c, cols])
+                data = np.concatenate([prev_w, data])
+            sel = self._dedup_last_wins(rows * np.int64(n) + cols)
+            rows, cols, data = rows[sel], cols[sel], data[sel]
+            self._lazy = (rows, cols, data)
+            self._num_edges = rows.shape[0]
+            self._invalidate()
+        else:
+            sel = self._dedup_last_wins(rows * np.int64(n) + cols)
+            rows, cols, data = rows[sel], cols[sel], data[sel]
+            self._fold_arrays(rows, cols, data)
+            self._num_edges = self._entry_total()
+            self._invalidate()
+
+    def _fold_arrays(
+        self, rows: np.ndarray, cols: np.ndarray, data: np.ndarray
+    ) -> None:
+        self._bulk_update_succ(self._succ, rows, cols, data)
+        self._bulk_update_succ(self._pred, cols, rows, data)
+
+    def _coo_from_lazy(
+        self, rows: np.ndarray, cols: np.ndarray, data: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return rows.copy(), cols.copy(), data.copy()
+
     def edges(self) -> Iterator[tuple[Node, Node, float]]:
         """Iterate over directed edges as ``(u, v, weight)``."""
+        self._materialize()
         for i, nbrs in enumerate(self._succ):
             for j, w in nbrs.items():
                 yield self._nodes[i], self._nodes[j], w
 
     def out_degree(self, node: Node) -> int:
         """Number of edges leaving ``node``."""
+        self._materialize()
         return len(self._succ[self.index_of(node)])
 
     def in_degree(self, node: Node) -> int:
         """Number of edges entering ``node``."""
+        self._materialize()
         return len(self._pred[self.index_of(node)])
 
     def in_degree_vector(self, *, weighted: bool = False) -> np.ndarray:
         """In-degree (or total in-weight) per node index."""
         n = self.number_of_nodes
-        out = np.zeros(n, dtype=float)
-        for i, preds in enumerate(self._pred):
-            out[i] = sum(preds.values()) if weighted else len(preds)
-        return out
+        _, cols, data = self.to_coo_arrays()
+        return np.bincount(
+            cols, weights=data if weighted else None, minlength=n
+        ).astype(float)
 
     def predecessors(self, node: Node) -> list[Node]:
         """Return nodes with an edge into ``node``."""
         idx = self.index_of(node)
+        self._materialize()
         return [self._nodes[j] for j in self._pred[idx]]
 
     def dangling_mask(self) -> np.ndarray:
         """Boolean array marking nodes without outgoing edges."""
-        return np.array([len(nbrs) == 0 for nbrs in self._succ], dtype=bool)
+        return self.out_degree_vector() == 0.0
 
     def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
         """Return the subgraph induced by ``nodes`` (attributes preserved)."""
         keep = {self.index_of(node) for node in nodes}
+        kept = sorted(keep)
         sub = DiGraph()
-        for i in sorted(keep):
-            attrs = {
-                name: values[i]
-                for name, values in self._node_attrs.items()
-                if i in values
-            }
-            sub.add_node(self._nodes[i], **attrs)
-        for i in sorted(keep):
-            for j, w in self._succ[i].items():
-                if j in keep:
-                    sub.add_edge(self._nodes[i], self._nodes[j], weight=w)
+        for i in kept:
+            sub.add_node(self._nodes[i], **self._attrs_at(i))
+        rows, cols, data = self.to_coo_arrays()
+        if rows.size:
+            remap = np.full(self.number_of_nodes, -1, dtype=np.int64)
+            remap[kept] = np.arange(len(kept), dtype=np.int64)
+            new_rows = remap[rows]
+            new_cols = remap[cols]
+            mask = (new_rows >= 0) & (new_cols >= 0)
+            sub.add_edges_arrays(new_rows[mask], new_cols[mask], data[mask])
         return sub
 
     def copy(self) -> "DiGraph":
@@ -535,14 +982,19 @@ class DiGraph(BaseGraph):
         """Collapse directions; anti-parallel edge weights are summed."""
         g = Graph()
         for i, node in enumerate(self._nodes):
-            attrs = {
-                name: values[i]
-                for name, values in self._node_attrs.items()
-                if i in values
-            }
-            g.add_node(node, **attrs)
-        for u, v, w in self.edges():
-            g.increment_edge(u, v, delta=w)
+            g.add_node(node, **self._attrs_at(i))
+        rows, cols, data = self.to_coo_arrays()
+        if rows.size:
+            lo = np.minimum(rows, cols)
+            hi = np.maximum(rows, cols)
+            keys = lo * np.int64(self.number_of_nodes) + hi
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            sums = np.bincount(inverse, weights=data)
+            g.add_edges_arrays(
+                (uniq // self.number_of_nodes).astype(np.int64),
+                (uniq % self.number_of_nodes).astype(np.int64),
+                sums,
+            )
         return g
 
     @classmethod

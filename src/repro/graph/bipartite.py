@@ -24,7 +24,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import GraphError, NodeNotFoundError, ParameterError
-from repro.graph.base import Graph, Node
+from repro.graph.base import Graph, Node, row_segments
 
 __all__ = ["BipartiteGraph", "project"]
 
@@ -92,6 +92,56 @@ class BipartiteGraph:
         """Add ``(left, right)`` pairs."""
         for left, right in edges:
             self.add_edge(left, right)
+
+    def add_edges_arrays(
+        self, lefts: np.ndarray, rights: np.ndarray
+    ) -> None:
+        """Bulk-connect ``lefts[k] -- rights[k]`` by integer side indices.
+
+        Both sides must already contain the referenced nodes (use
+        :meth:`add_left` / :meth:`add_right` first).  Duplicate pairs are
+        de-duplicated vectorised; the per-pair set updates run at C speed.
+        """
+        lefts = np.asarray(lefts)
+        rights = np.asarray(rights)
+        if lefts.ndim != 1 or rights.ndim != 1 or lefts.shape != rights.shape:
+            raise ParameterError(
+                "lefts and rights must be 1-D arrays of equal length, "
+                f"got shapes {lefts.shape} and {rights.shape}"
+            )
+        if lefts.size == 0:
+            return
+        if not (
+            np.issubdtype(lefts.dtype, np.integer)
+            and np.issubdtype(rights.dtype, np.integer)
+        ):
+            raise ParameterError(
+                "lefts and rights must be integer side indices "
+                f"(got dtypes {lefts.dtype}, {rights.dtype})"
+            )
+        for indices, limit in (
+            (lefts, self.number_of_left),
+            (rights, self.number_of_right),
+        ):
+            low, high = int(indices.min()), int(indices.max())
+            if low < 0 or high >= limit:
+                raise NodeNotFoundError(low if low < 0 else high)
+        n_right = self.number_of_right
+        keys = np.unique(
+            lefts.astype(np.int64) * np.int64(n_right)
+            + rights.astype(np.int64)
+        )
+        li = keys // n_right
+        ri = keys % n_right
+        for adj, sources, targets in (
+            (self._left_adj, li, ri),
+            (self._right_adj, ri, li),
+        ):
+            order, segments = row_segments(sources, len(adj))
+            targets_l = targets[order].tolist()
+            for i, s, e in segments:
+                adj[i].update(targets_l[s:e])
+        self._num_edges = sum(map(len, self._left_adj))
 
     # ------------------------------------------------------------------
     # queries
@@ -226,18 +276,25 @@ def project(
         else:
             g.add_node(node)
 
-    # Count shared-neighbour pairs by iterating opposite-side memberships.
-    shared: dict[tuple[int, int], int] = {}
+    # Count shared-neighbour pairs by iterating opposite-side memberships:
+    # each opposite node of degree d contributes its d(d-1)/2 co-membership
+    # pairs via one triu_indices call; the pair keys are then tallied with
+    # a single unique(return_counts=True) pass.
+    n_own = len(nodes)
+    pair_keys: list[np.ndarray] = []
     for members in opp_adj:
-        ms = sorted(members)
-        for a_pos, a in enumerate(ms):
-            for b in ms[a_pos + 1 :]:
-                key = (a, b)
-                shared[key] = shared.get(key, 0) + 1
-
-    for (a, b), count in shared.items():
-        if count >= min_shared:
-            g.add_edge(nodes[a], nodes[b], weight=float(count))
+        if len(members) < 2:
+            continue
+        ms = np.fromiter(sorted(members), dtype=np.int64, count=len(members))
+        a_pos, b_pos = np.triu_indices(ms.shape[0], k=1)
+        pair_keys.append(ms[a_pos] * np.int64(n_own) + ms[b_pos])
+    if pair_keys:
+        keys, counts = np.unique(np.concatenate(pair_keys), return_counts=True)
+        strong = counts >= min_shared
+        keys, counts = keys[strong], counts[strong]
+        g.add_edges_arrays(
+            keys // n_own, keys % n_own, counts.astype(np.float64)
+        )
 
     # `own_adj` is intentionally unused beyond validation: isolated nodes on
     # the projected side stay isolated in the projection.

@@ -84,11 +84,11 @@ def erdos_renyi(
     g.add_nodes_from(names)
     if n < 2 or p == 0.0:
         return g
-    # Vectorised sampling: draw the upper triangle in one shot.
+    # Vectorised sampling: draw the upper triangle in one shot and ingest
+    # the surviving pairs through the bulk array path.
     iu, ju = np.triu_indices(n, k=1)
     mask = rng.random(iu.shape[0]) < p
-    for i, j in zip(iu[mask], ju[mask]):
-        g.add_edge(names[i], names[j])
+    g.add_edges_arrays(iu[mask], ju[mask])
     return g
 
 
@@ -115,9 +115,15 @@ def barabasi_albert(
     g.add_nodes_from(names)
 
     # Urn of node indices where each index appears once per incident edge.
+    # The attachment loop is inherently sequential (the urn grows with each
+    # edge) so it stays in Python, but the edges are collected into index
+    # lists and ingested in one bulk call at the end.
     urn: list[int] = []
+    src: list[int] = []
+    dst: list[int] = []
     for i in range(1, m + 1):
-        g.add_edge(names[0], names[i])
+        src.append(0)
+        dst.append(i)
         urn.extend((0, i))
 
     for new in range(m + 1, n):
@@ -126,8 +132,12 @@ def barabasi_albert(
             pick = urn[rng.integers(0, len(urn))]
             targets.add(pick)
         for t in targets:
-            g.add_edge(names[new], names[t])
+            src.append(new)
+            dst.append(t)
             urn.extend((new, t))
+    g.add_edges_arrays(
+        np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+    )
     return g
 
 
@@ -199,24 +209,25 @@ def configuration_model(
     names = _node_names(n, prefix)
 
     stubs = np.repeat(np.arange(n), degrees)
-    best_edges: set[tuple[int, int]] = set()
+    # Vectorised stub pairing: normalise each stub pair to (min, max),
+    # encode as a scalar key and unique-ify — self-loops and parallel
+    # edges drop out without a Python-level inner loop.
+    best_keys = np.empty(0, dtype=np.int64)
     for _ in range(max_tries):
         rng.shuffle(stubs)
-        edges: set[tuple[int, int]] = set()
-        for a, b in zip(stubs[0::2], stubs[1::2]):
-            if a == b:
-                continue
-            edge = (int(a), int(b)) if a < b else (int(b), int(a))
-            edges.add(edge)
-        if len(edges) > len(best_edges):
-            best_edges = edges
-        if len(best_edges) * 2 == stubs.shape[0]:
+        a, b = stubs[0::2], stubs[1::2]
+        simple = a != b
+        lo = np.minimum(a, b)[simple]
+        hi = np.maximum(a, b)[simple]
+        keys = np.unique(lo * np.int64(n) + hi)
+        if keys.shape[0] > best_keys.shape[0]:
+            best_keys = keys
+        if best_keys.shape[0] * 2 == stubs.shape[0]:
             break
 
     g = Graph()
     g.add_nodes_from(names)
-    for a, b in sorted(best_edges):
-        g.add_edge(names[a], names[b])
+    g.add_edges_arrays(best_keys // n, best_keys % n)
     return g
 
 

@@ -16,6 +16,8 @@ import json
 from pathlib import Path
 from typing import TextIO
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.graph.base import BaseGraph, DiGraph, Graph
 
@@ -58,20 +60,33 @@ def read_edge_list(
     lines are skipped.  Node names are kept as strings.
     """
     graph: Graph | DiGraph = DiGraph() if directed else Graph()
+    rows: list[int] = []
+    cols: list[int] = []
+    weights: list[float] = []
 
     def _consume(handle: TextIO) -> None:
+        # add_node is idempotent and returns the index, so it doubles as
+        # the name→index mapping while preserving first-appearance order;
+        # the edges themselves are ingested in one bulk call below.
         for lineno, line in enumerate(handle, start=1):
             parsed = _parse_edge_line(line, lineno)
             if parsed is None:
                 continue
             u, v, w = parsed
-            graph.add_edge(u, v, weight=w)
+            rows.append(graph.add_node(u))
+            cols.append(graph.add_node(v))
+            weights.append(w)
 
     if isinstance(path, (str, Path)):
         with open(path, "r", encoding="utf-8") as handle:
             _consume(handle)
     else:
         _consume(path)
+    graph.add_edges_arrays(
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(cols, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+    )
     return graph
 
 
@@ -122,8 +137,20 @@ def read_json_graph(path: str | Path) -> Graph | DiGraph:
     graph: Graph | DiGraph = DiGraph() if directed else Graph()
     for record in node_records:
         graph.add_node(record["id"], **record.get("attrs", {}))
-    for record in edge_records:
-        graph.add_edge(
-            record["source"], record["target"], weight=record.get("weight", 1.0)
-        )
+    rows = np.fromiter(
+        (graph.add_node(r["source"]) for r in edge_records),
+        dtype=np.int64,
+        count=len(edge_records),
+    )
+    cols = np.fromiter(
+        (graph.add_node(r["target"]) for r in edge_records),
+        dtype=np.int64,
+        count=len(edge_records),
+    )
+    weights = np.fromiter(
+        (r.get("weight", 1.0) for r in edge_records),
+        dtype=np.float64,
+        count=len(edge_records),
+    )
+    graph.add_edges_arrays(rows, cols, weights)
     return graph

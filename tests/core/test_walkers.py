@@ -54,6 +54,47 @@ class TestSimulateWalk:
         b = simulate_walk(figure1_graph, 0.5, steps=5_000, seed=11)
         assert np.array_equal(a.visit_frequencies, b.visit_frequencies)
 
+    def test_single_walker_fleet_converges(self, figure1_graph):
+        """A fleet of one reproduces the classic sequential walk."""
+        exact = d2pr(figure1_graph, 0.0).values
+        result = simulate_walk(
+            figure1_graph, 0.0, steps=200_000, seed=21, walkers=1
+        )
+        assert result.steps == 200_000
+        assert np.abs(result.visit_frequencies - exact).max() < 0.02
+
+    def test_fleet_size_does_not_bias_distribution(self, figure1_graph):
+        exact = d2pr(figure1_graph, 1.0).values
+        wide = simulate_walk(
+            figure1_graph, 1.0, steps=200_000, seed=22, walkers=2048
+        )
+        narrow = simulate_walk(
+            figure1_graph, 1.0, steps=200_000, seed=23, walkers=16
+        )
+        assert np.abs(wide.visit_frequencies - exact).max() < 0.01
+        assert np.abs(narrow.visit_frequencies - exact).max() < 0.01
+
+    def test_zero_burn_in_allowed(self, figure1_graph):
+        result = simulate_walk(
+            figure1_graph, 0.0, steps=1_000, seed=5, burn_in=0
+        )
+        assert result.visit_frequencies.sum() == pytest.approx(1.0)
+
+    def test_invalid_walkers_rejected(self, figure1_graph):
+        with pytest.raises(ParameterError):
+            simulate_walk(figure1_graph, 0.0, steps=100, walkers=0)
+        with pytest.raises(ParameterError):
+            simulate_walk(figure1_graph, 0.0, steps=100, burn_in=-1)
+
+    def test_dangling_digraph_walk(self):
+        """Walkers stranded on a sink must teleport, not crash."""
+        from repro.graph import DiGraph
+
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        exact = d2pr(g, 0.0).values
+        result = simulate_walk(g, 0.0, steps=200_000, seed=6)
+        assert np.abs(result.visit_frequencies - exact).max() < 0.01
+
 
 class TestCoverTime:
     def test_complete_graph_fast(self):

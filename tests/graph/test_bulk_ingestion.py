@@ -1,0 +1,226 @@
+"""Tests for the bulk array-ingestion path (add_edges_arrays / from_arrays).
+
+The contract under test: the vectorised bulk path must be observationally
+identical to a sequential ``add_edge`` loop — same nodes, edge counts,
+weights (last duplicate wins), degrees and CSR export — while rejecting the
+same invalid inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EdgeError, NodeNotFoundError, ParameterError
+from repro.graph import DiGraph, Graph
+
+
+def _random_edge_batch(rng, n, m, *, weighted):
+    """Random index pairs with duplicates and both orientations present."""
+    rows = rng.integers(0, n, size=m)
+    cols = rng.integers(0, n, size=m)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    weights = rng.uniform(0.5, 4.0, size=rows.shape[0]) if weighted else None
+    return rows, cols, weights
+
+
+def _looped_reference(cls, n, rows, cols, weights):
+    g = cls()
+    g.add_nodes_from(range(n))
+    for k in range(rows.shape[0]):
+        w = 1.0 if weights is None else float(weights[k])
+        g.add_edge(int(rows[k]), int(cols[k]), weight=w)
+    return g
+
+
+def _assert_same_graph(bulk, looped):
+    assert bulk.number_of_nodes == looped.number_of_nodes
+    assert bulk.number_of_edges == looped.number_of_edges
+    np.testing.assert_allclose(
+        bulk.out_degree_vector(), looped.out_degree_vector()
+    )
+    np.testing.assert_allclose(
+        bulk.out_degree_vector(weighted=True),
+        looped.out_degree_vector(weighted=True),
+    )
+    diff = (bulk.to_csr() - looped.to_csr()).tocoo()
+    assert diff.nnz == 0 or np.abs(diff.data).max() < 1e-12
+
+
+class TestEquivalenceWithLoopedAddEdge:
+    @pytest.mark.parametrize("cls", [Graph, DiGraph])
+    @pytest.mark.parametrize("weighted", [False, True])
+    @pytest.mark.parametrize("trial", range(5))
+    def test_random_batches_match(self, cls, weighted, trial):
+        rng = np.random.default_rng(100 + trial)
+        n = int(rng.integers(5, 40))
+        m = int(rng.integers(1, 200))
+        rows, cols, weights = _random_edge_batch(rng, n, m, weighted=weighted)
+        bulk = cls()
+        bulk.add_nodes_from(range(n))
+        bulk.add_edges_arrays(rows, cols, weights)
+        _assert_same_graph(bulk, _looped_reference(cls, n, rows, cols, weights))
+
+    @pytest.mark.parametrize("cls", [Graph, DiGraph])
+    def test_duplicate_pairs_keep_last_weight(self, cls):
+        g = cls()
+        g.add_nodes_from(range(3))
+        g.add_edges_arrays(
+            np.array([0, 0, 0]),
+            np.array([1, 2, 1]),
+            np.array([5.0, 2.0, 9.0]),
+        )
+        assert g.number_of_edges == 2
+        assert g.edge_weight(0, 1) == 9.0
+        assert g.edge_weight(0, 2) == 2.0
+
+    def test_undirected_duplicates_across_orientations(self):
+        g = Graph()
+        g.add_nodes_from(range(2))
+        g.add_edges_arrays(
+            np.array([0, 1]), np.array([1, 0]), np.array([3.0, 7.0])
+        )
+        assert g.number_of_edges == 1
+        assert g.edge_weight(0, 1) == 7.0
+        assert g.edge_weight(1, 0) == 7.0
+
+    def test_bulk_then_incremental_interleave(self):
+        g = Graph()
+        g.add_nodes_from(range(4))
+        g.add_edges_arrays(np.array([0, 1]), np.array([1, 2]))
+        g.add_edge(2, 3, weight=2.0)
+        g.add_edges_arrays(np.array([0]), np.array([3]))
+        ref = Graph()
+        ref.add_nodes_from(range(4))
+        for u, v, w in [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 2.0), (0, 3, 1.0)]:
+            ref.add_edge(u, v, weight=w)
+        _assert_same_graph(g, ref)
+
+    def test_digraph_predecessors_populated(self):
+        g = DiGraph()
+        g.add_nodes_from("abc")
+        g.add_edges_arrays(np.array([0, 1]), np.array([2, 2]))
+        assert sorted(g.predecessors("c")) == ["a", "b"]
+        np.testing.assert_array_equal(
+            g.in_degree_vector(), np.array([0.0, 0.0, 2.0])
+        )
+
+    def test_empty_batch_is_noop(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        before = g.mutation_count
+        g.add_edges_arrays(np.array([], dtype=int), np.array([], dtype=int))
+        assert g.number_of_edges == 1
+        assert g.mutation_count == before
+
+
+class TestValidation:
+    def test_self_loop_rejected(self):
+        g = Graph()
+        g.add_nodes_from(range(3))
+        with pytest.raises(EdgeError):
+            g.add_edges_arrays(np.array([0, 1]), np.array([1, 1]))
+
+    def test_out_of_range_index_rejected(self):
+        g = Graph()
+        g.add_nodes_from(range(3))
+        with pytest.raises(NodeNotFoundError):
+            g.add_edges_arrays(np.array([0]), np.array([7]))
+        with pytest.raises(NodeNotFoundError):
+            g.add_edges_arrays(np.array([-1]), np.array([1]))
+
+    def test_nonpositive_weight_rejected(self):
+        g = Graph()
+        g.add_nodes_from(range(2))
+        with pytest.raises(EdgeError):
+            g.add_edges_arrays(
+                np.array([0]), np.array([1]), np.array([0.0])
+            )
+
+    def test_nonfinite_weight_rejected(self):
+        g = Graph()
+        g.add_nodes_from(range(2))
+        with pytest.raises(EdgeError):
+            g.add_edges_arrays(
+                np.array([0]), np.array([1]), np.array([np.inf])
+            )
+
+    def test_float_indices_rejected(self):
+        g = Graph()
+        g.add_nodes_from(range(2))
+        with pytest.raises(ParameterError):
+            g.add_edges_arrays(np.array([0.0]), np.array([1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        g = Graph()
+        g.add_nodes_from(range(3))
+        with pytest.raises(ParameterError):
+            g.add_edges_arrays(np.array([0, 1]), np.array([2]))
+        with pytest.raises(ParameterError):
+            g.add_edges_arrays(
+                np.array([0]), np.array([1]), np.array([1.0, 2.0])
+            )
+
+
+class TestFromArrays:
+    def test_integer_nodes_inferred(self):
+        g = Graph.from_arrays(np.array([0, 2]), np.array([1, 3]))
+        assert g.number_of_nodes == 4
+        assert g.nodes() == [0, 1, 2, 3]
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+
+    def test_num_nodes_adds_isolated(self):
+        g = Graph.from_arrays(np.array([0]), np.array([1]), num_nodes=5)
+        assert g.number_of_nodes == 5
+        assert g.degree(4) == 0
+
+    def test_named_nodes(self):
+        g = DiGraph.from_arrays(
+            np.array([0, 1]), np.array([1, 2]), nodes=["x", "y", "z"]
+        )
+        assert g.has_edge("x", "y") and g.has_edge("y", "z")
+        assert not g.has_edge("y", "x")
+
+    def test_weights_applied(self):
+        g = Graph.from_arrays(
+            np.array([0]), np.array([1]), np.array([4.5])
+        )
+        assert g.edge_weight(0, 1) == 4.5
+
+    def test_empty_arrays(self):
+        g = Graph.from_arrays(np.array([], dtype=int), np.array([], dtype=int))
+        assert g.number_of_nodes == 0
+        assert g.number_of_edges == 0
+
+
+class TestEdgeArrays:
+    def test_undirected_single_orientation(self):
+        g = Graph.from_edges([("a", "b", 2.0), ("b", "c", 3.0)])
+        rows, cols, weights = g.edge_arrays()
+        assert rows.shape == (2,)
+        assert (rows < cols).all()
+        assert sorted(weights.tolist()) == [2.0, 3.0]
+
+    def test_directed_all_edges(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "a")])
+        rows, cols, _ = g.edge_arrays()
+        assert rows.shape == (2,)
+
+    def test_returned_arrays_are_writable_copies(self):
+        g = Graph.from_edges([("a", "b")])
+        rows, _, weights = g.edge_arrays()
+        rows[0] = 99  # must not corrupt the graph's cache
+        weights[0] = -1.0
+        assert g.edge_weight("a", "b") == 1.0
+        assert g.to_csr().nnz == 2
+
+    def test_roundtrip_through_from_arrays(self):
+        rng = np.random.default_rng(7)
+        rows, cols, weights = _random_edge_batch(rng, 20, 80, weighted=True)
+        g = Graph()
+        g.add_nodes_from(range(20))
+        g.add_edges_arrays(rows, cols, weights)
+        r2, c2, w2 = g.edge_arrays()
+        clone = Graph.from_arrays(r2, c2, w2, num_nodes=20)
+        _assert_same_graph(clone, g)

@@ -1,0 +1,1 @@
+"""Test package (gives shared-basename test modules unique import paths)."""

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Performance benchmark for the CSR-native graph kernel.
+
+Times the three hot paths the bulk-ingestion PR optimised, on a seeded
+synthetic graph (default 100k nodes / 1M candidate edges):
+
+* **graph build** — per-edge ``add_edge`` loop (the seed implementation's
+  only path) vs ``from_arrays`` bulk ingestion;
+* **pagerank / d2pr** — cold solve (matrix built) vs warm solve (matrix
+  cache hit) on the same graph;
+* **simulate_walk** — the seed's step-at-a-time Python loop (kept here as
+  the reference implementation) vs the chunked vectorised fleet sampler.
+
+Results are written to ``BENCH_core.json`` so the perf trajectory is
+tracked across PRs.  ``--quick`` shrinks the workload for CI smoke runs.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_perf.py [--quick] [--out BENCH_core.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.d2pr import d2pr, d2pr_transition  # noqa: E402
+from repro.core.pagerank import pagerank  # noqa: E402
+from repro.core.walkers import simulate_walk  # noqa: E402
+from repro.graph.base import Graph  # noqa: E402
+
+SEED = 20160315
+
+
+def _edge_batch(n: int, m: int, rng: np.random.Generator):
+    rows = rng.integers(0, n, size=m)
+    cols = rng.integers(0, n, size=m)
+    keep = rows != cols
+    return rows[keep], cols[keep]
+
+
+def _time(fn, repeats: int = 1) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _legacy_build(n: int, rows, cols) -> Graph:
+    """The seed implementation's only construction path: one call per edge."""
+    g = Graph()
+    g.add_nodes_from(range(n))
+    rows_l = rows.tolist()
+    cols_l = cols.tolist()
+    for u, v in zip(rows_l, cols_l):
+        g.add_edge(u, v)
+    return g
+
+
+def _legacy_simulate_walk(graph, p, *, alpha, steps, seed):
+    """The seed's step-at-a-time walker, kept verbatim as the reference."""
+    rng = np.random.default_rng(seed)
+    transition = d2pr_transition(graph, p)
+    neighbors, cumprobs = [], []
+    for i in range(transition.shape[0]):
+        start, end = transition.indptr[i], transition.indptr[i + 1]
+        neighbors.append(transition.indices[start:end])
+        cumprobs.append(np.cumsum(transition.data[start:end]))
+    n = graph.number_of_nodes
+    counts = np.zeros(n, dtype=np.int64)
+    current = int(rng.integers(0, n))
+    coin = rng.random(steps)
+    jump = rng.integers(0, n, size=steps)
+    pick = rng.random(steps)
+    for t in range(steps):
+        counts[current] += 1
+        nbrs = neighbors[current]
+        if coin[t] >= alpha or nbrs.shape[0] == 0:
+            current = int(jump[t])
+        else:
+            cp = cumprobs[current]
+            idx = int(np.searchsorted(cp, pick[t] * cp[-1]))
+            current = int(nbrs[min(idx, nbrs.shape[0] - 1)])
+    return counts / counts.sum()
+
+
+def run(n: int, m: int, walk_steps: int) -> dict:
+    rng = np.random.default_rng(SEED)
+    rows, cols = _edge_batch(n, m, rng)
+    report: dict = {
+        "config": {
+            "nodes": n,
+            "candidate_edges": m,
+            "sampled_edges": int(rows.shape[0]),
+            "walk_steps": walk_steps,
+            "seed": SEED,
+        }
+    }
+
+    print(f"graph build: {n:,} nodes, {rows.shape[0]:,} edge pairs")
+    loop_s, _ = _time(lambda: _legacy_build(n, rows, cols))
+    bulk_s, graph = _time(
+        lambda: Graph.from_arrays(rows, cols, num_nodes=n)
+    )
+    report["graph_build"] = {
+        "loop_s": loop_s,
+        "bulk_s": bulk_s,
+        "speedup": loop_s / bulk_s,
+    }
+    print(f"  loop {loop_s:.3f}s  bulk {bulk_s:.3f}s  ({loop_s / bulk_s:.1f}x)")
+
+    for name, solve in (
+        ("pagerank", lambda: pagerank(graph, tol=1e-9)),
+        ("d2pr", lambda: d2pr(graph, 1.0, tol=1e-9)),
+    ):
+        graph.invalidate_caches()
+        cold_s, _ = _time(solve)
+        warm_s, _ = _time(solve)
+        report[name] = {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "cached_speedup": cold_s / warm_s,
+        }
+        print(
+            f"{name}: cold {cold_s:.3f}s  warm {warm_s:.3f}s  "
+            f"({cold_s / warm_s:.1f}x from matrix cache)"
+        )
+
+    print(f"simulate_walk: {walk_steps:,} steps")
+    d2pr_transition(graph, 0.0)  # build once so neither timing pays for it
+    legacy_s, _ = _time(
+        lambda: _legacy_simulate_walk(
+            graph, 0.0, alpha=0.85, steps=walk_steps, seed=SEED
+        )
+    )
+    vector_s, _ = _time(
+        lambda: simulate_walk(graph, 0.0, steps=walk_steps, seed=SEED)
+    )
+    report["simulate_walk"] = {
+        "legacy_s": legacy_s,
+        "vectorized_s": vector_s,
+        "speedup": legacy_s / vector_s,
+    }
+    print(
+        f"  legacy {legacy_s:.3f}s  vectorized {vector_s:.3f}s  "
+        f"({legacy_s / vector_s:.1f}x)"
+    )
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload for CI smoke runs (no JSON overwrite by default)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output JSON path (default: BENCH_core.json at the repo root; "
+        "--quick skips writing unless --out is given)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        report = run(n=5_000, m=50_000, walk_steps=50_000)
+        report["quick"] = True
+    else:
+        report = run(n=100_000, m=1_000_000, walk_steps=1_000_000)
+        report["quick"] = False
+
+    out = args.out
+    if out is None and not args.quick:
+        out = REPO_ROOT / "BENCH_core.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: full test suite plus a smoke run of the perf benchmark.
+# Mirrors what .github/workflows/ci.yml executes on every push; run it
+# locally before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+python tools/bench_perf.py --quick

@@ -21,6 +21,7 @@ paper-vs-measured record of every table and figure.
 from repro._version import __version__
 from repro.core import (
     NodeScores,
+    RankQuery,
     commute_time,
     d2pr,
     d2pr_transition,
@@ -30,6 +31,7 @@ from repro.core import (
     personalized_d2pr,
     personalized_pagerank,
     robust_personalized_d2pr,
+    solve_many,
     teleport_adjusted_pagerank,
     transition_probabilities,
     weighted_pagerank,
@@ -40,6 +42,7 @@ from repro.errors import (
     EdgeError,
     EmptyGraphError,
     ExperimentError,
+    FrozenGraphError,
     GraphError,
     NodeNotFoundError,
     ParameterError,
@@ -64,6 +67,8 @@ __all__ = [
     "hitting_times",
     "commute_time",
     "NodeScores",
+    "RankQuery",
+    "solve_many",
     # graphs
     "Graph",
     "DiGraph",
@@ -81,6 +86,7 @@ __all__ = [
     "NodeNotFoundError",
     "EdgeError",
     "EmptyGraphError",
+    "FrozenGraphError",
     "ConvergenceError",
     "ParameterError",
     "DatasetError",

@@ -7,7 +7,13 @@ from repro.core.baselines import (
     weighted_pagerank,
 )
 from repro.core.d2pr import d2pr, d2pr_transition, transition_probabilities
-from repro.core.engine import SOLVERS, adjacency_and_theta, build_teleport
+from repro.core.engine import (
+    SOLVERS,
+    RankQuery,
+    adjacency_and_theta,
+    build_teleport,
+    solve_many,
+)
 from repro.core.hits import HitsResult, hits
 from repro.core.hitting import commute_time, hitting_times
 from repro.core.manipulation import (
@@ -50,6 +56,8 @@ __all__ = [
     "FarmAttackResult",
     "NodeScores",
     "SOLVERS",
+    "RankQuery",
+    "solve_many",
     "adjacency_and_theta",
     "build_teleport",
 ]

@@ -33,6 +33,15 @@ class EmptyGraphError(GraphError):
     """An operation that needs at least one node/edge got an empty graph."""
 
 
+class FrozenGraphError(GraphError):
+    """A mutation was attempted on a graph frozen via ``graph.freeze()``.
+
+    Frozen graphs are shared, cached instances (e.g. the dataset loader's
+    memoised :class:`~repro.datasets.base.DataGraph` objects); mutate a
+    private ``graph.copy()`` instead.
+    """
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to reach its tolerance within its budget.
 

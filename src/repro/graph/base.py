@@ -58,6 +58,7 @@ from scipy.sparse import csgraph
 from repro.errors import (
     EdgeError,
     EmptyGraphError,
+    FrozenGraphError,
     NodeNotFoundError,
     ParameterError,
 )
@@ -118,6 +119,9 @@ class BaseGraph:
         self._cache: dict[tuple, Any] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        # Shared-instance guard: freeze() flips this and every mutator
+        # raises FrozenGraphError from then on (see BaseGraph.freeze).
+        self._frozen = False
 
     # ------------------------------------------------------------------
     # cache plumbing
@@ -176,6 +180,40 @@ class BaseGraph:
             self._cache.clear()
 
     # ------------------------------------------------------------------
+    # freezing (shared-instance protection)
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether the graph rejects structural mutation (see :meth:`freeze`)."""
+        return self._frozen
+
+    def freeze(self) -> "BaseGraph":
+        """Permanently reject all further mutation of this instance.
+
+        Cached, shared graphs (e.g. the memoised dataset loader
+        :func:`repro.experiments.sweep.get_data_graph`) are frozen before
+        being handed out, so one caller's ``add_edge`` cannot silently
+        corrupt every other caller's results.  After freezing, any
+        structural mutation — node or edge insertion, re-weighting, bulk
+        ingestion — and any node-attribute write raises
+        :class:`~repro.errors.FrozenGraphError`.  Read access (including
+        lazy materialisation of the dict adjacency) is unaffected, and
+        :meth:`copy` / :meth:`subgraph` return ordinary *unfrozen* graphs
+        to mutate freely.
+
+        Freezing is idempotent and returns ``self`` for chaining.
+        """
+        self._frozen = True
+        return self
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise FrozenGraphError(
+                "graph is frozen (a shared cached instance); "
+                "mutate a private graph.copy() instead"
+            )
+
+    # ------------------------------------------------------------------
     # node handling
     # ------------------------------------------------------------------
     def add_node(self, node: Node, **attrs: Any) -> int:
@@ -183,6 +221,7 @@ class BaseGraph:
 
         Adding an existing node is a no-op apart from merging ``attrs``.
         """
+        self._check_mutable()
         idx = self._index.get(node)
         if idx is None:
             idx = len(self._nodes)
@@ -205,6 +244,7 @@ class BaseGraph:
 
     def _add_integer_nodes(self, n: int) -> None:
         """Fast path: populate an *empty* graph with nodes ``0 .. n-1``."""
+        self._check_mutable()
         if self._nodes:
             raise ParameterError(
                 "_add_integer_nodes requires an empty graph"
@@ -267,6 +307,7 @@ class BaseGraph:
     # ------------------------------------------------------------------
     def set_node_attr(self, node: Node, name: str, value: Any) -> None:
         """Attach attribute ``name=value`` to ``node``."""
+        self._check_mutable()
         idx = self.index_of(node)
         self._node_attrs.setdefault(name, {})[idx] = value
 
@@ -628,6 +669,7 @@ class Graph(BaseGraph):
         Self-loops are rejected: none of the graphs studied by the paper
         contain them and they would silently distort degree statistics.
         """
+        self._check_mutable()
         if u == v:
             raise EdgeError(f"self-loop on {u!r} is not allowed")
         weight = self._require_weight(weight)
@@ -647,6 +689,7 @@ class Graph(BaseGraph):
         This is the operation used by bipartite projections, where the edge
         weight counts shared affiliations.
         """
+        self._check_mutable()
         if u == v:
             raise EdgeError(f"self-loop on {u!r} is not allowed")
         self._materialize()
@@ -688,6 +731,7 @@ class Graph(BaseGraph):
         sequential :meth:`add_edge` loop.  Validation, de-duplication and
         symmetrisation are vectorised; no per-edge Python calls are made.
         """
+        self._check_mutable()
         rows, cols, data = self._validate_edge_arrays(rows, cols, weights)
         if rows.size == 0:
             return
@@ -851,6 +895,7 @@ class DiGraph(BaseGraph):
 
         Self-loops are rejected (see :class:`Graph`).
         """
+        self._check_mutable()
         if u == v:
             raise EdgeError(f"self-loop on {u!r} is not allowed")
         weight = self._require_weight(weight)
@@ -888,6 +933,7 @@ class DiGraph(BaseGraph):
         to existing nodes, duplicates keep the last weight, and all
         validation/de-duplication is vectorised.
         """
+        self._check_mutable()
         rows, cols, data = self._validate_edge_arrays(rows, cols, weights)
         if rows.size == 0:
             return

@@ -1,5 +1,6 @@
 """Numerical substrate: transition-matrix builders and stationary solvers."""
 
+from repro.linalg.batch import BatchResult, power_iteration_batch
 from repro.linalg.solvers import (
     DANGLING_STRATEGIES,
     PageRankResult,
@@ -22,7 +23,9 @@ from repro.linalg.transition import (
 
 __all__ = [
     "PageRankResult",
+    "BatchResult",
     "power_iteration",
+    "power_iteration_batch",
     "extrapolated_power_iteration",
     "gauss_seidel",
     "direct_solve",

@@ -8,7 +8,12 @@ small recommender with the two standard modes:
 * **global ranking** — rank all items by significance (e.g. "top movies"),
 * **contextual recommendation** — rank items relative to a set of seed
   items the user liked, via personalised D2PR (the context-aware setting of
-  the paper's §2.1).
+  the paper's §2.1),
+* **bulk serving** — :meth:`D2PRRecommender.recommend_for_many` answers a
+  whole cohort of personalised queries as one batched solve
+  (:func:`repro.core.engine.solve_many`): every user shares the fitted
+  transition matrix, so the cohort differs only in teleport vectors and
+  advances together, one sparse·dense multiply per sweep.
 
 The degree de-coupling weight ``p`` is the recommender's key hyper-parameter;
 :meth:`D2PRRecommender.tune_p` selects it by maximising rank correlation
@@ -24,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.d2pr import d2pr
+from repro.core.engine import RankQuery, solve_many
 from repro.core.personalized import personalized_d2pr
 from repro.core.results import NodeScores
 from repro.errors import ParameterError, ReproError
@@ -134,6 +140,22 @@ class D2PRRecommender:
                 break
         return out
 
+    @staticmethod
+    def _top_k(
+        seeded: NodeScores,
+        seed_set: set,
+        k: int,
+        include_seeds: bool,
+    ) -> list[tuple[Node, float]]:
+        out: list[tuple[Node, float]] = []
+        for node in seeded.ranking():
+            if not include_seeds and node in seed_set:
+                continue
+            out.append((node, seeded[node]))
+            if len(out) == k:
+                break
+        return out
+
     def recommend_for(
         self,
         seeds: Mapping[Node, float] | Sequence[Node],
@@ -155,14 +177,70 @@ class D2PRRecommender:
             weighted=self.config.weighted,
             solver=self.config.solver,
         )
-        seed_set = set(seeds)
-        out: list[tuple[Node, float]] = []
-        for node in seeded.ranking():
-            if not include_seeds and node in seed_set:
-                continue
-            out.append((node, seeded[node]))
-            if len(out) == k:
-                break
+        return self._top_k(seeded, set(seeds), k, include_seeds)
+
+    def recommend_for_many(
+        self,
+        users: Sequence[Mapping[Node, float] | Sequence[Node]],
+        k: int = 10,
+        *,
+        include_seeds: bool = False,
+        precision: str = "double",
+        batch_size: int = 256,
+    ) -> list[list[tuple[Node, float]]]:
+        """Bulk serving: top-``k`` recommendations for many users at once.
+
+        ``users`` is a sequence of per-user seed specifications (each a
+        seed sequence or ``{node: weight}`` mapping).  Every user's
+        personalised system shares the recommender's transition matrix and
+        differs only in its teleport vector, so the whole cohort is solved
+        as **one batched pass** (:func:`repro.core.engine.solve_many`) —
+        the path to take when serving query traffic, ``tools/bench_perf.py
+        ppr_batch`` measures the speedup over per-user solves.
+
+        Returns one recommendation list per user, aligned with ``users``.
+        Non-power solvers fall back to per-user :meth:`recommend_for`.
+
+        ``precision="mixed"`` enables the float32+float64 serving mode of
+        the batched solver — scores stay within solver-tolerance of the
+        double-precision answer (see ``docs/performance.md``), which is
+        the configuration to run under load.
+
+        The cohort is served in slices of ``batch_size`` users per solver
+        call: one solver call holds the full ``n × K`` teleport and score
+        blocks in memory, so the slice size caps peak memory at roughly
+        ``5 · 8 · n · batch_size`` bytes regardless of cohort size.
+        """
+        graph, _scores = self._require_fitted()
+        if batch_size < 1:
+            raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+        users = list(users)
+        if not users:
+            return []
+        if self.config.solver != "power":
+            return [
+                self.recommend_for(seeds, k, include_seeds=include_seeds)
+                for seeds in users
+            ]
+        beta = self.config.beta if self.config.weighted else 0.0
+        out: list[list[tuple[Node, float]]] = []
+        for start in range(0, len(users), batch_size):
+            chunk = users[start : start + batch_size]
+            queries = [
+                RankQuery(
+                    p=self.config.p,
+                    alpha=self.config.alpha,
+                    beta=beta,
+                    weighted=self.config.weighted,
+                    teleport=seeds,
+                )
+                for seeds in chunk
+            ]
+            results = solve_many(graph, queries, precision=precision)
+            out.extend(
+                self._top_k(seeded, set(seeds), k, include_seeds)
+                for seeds, seeded in zip(chunk, results)
+            )
         return out
 
     # ------------------------------------------------------------------
@@ -191,6 +269,10 @@ class D2PRRecommender:
         Returns
         -------
         (best_p, {p: correlation})
+            Dict keys are grid values rounded to 10 decimals, so
+            ``curve[1.5]`` works even when the grid came from
+            ``np.arange`` (whose points carry float noise like
+            ``1.5000000000000004``).
         """
         graph, _ = self._require_fitted()
         significance = np.asarray(significance, dtype=np.float64)
@@ -206,23 +288,44 @@ class D2PRRecommender:
             if train_mask.sum() < 2:
                 raise ParameterError("train_mask must keep at least 2 nodes")
 
-        curve: dict[float, float] = {}
-        for p in p_grid:
-            scores = d2pr(
+        beta = self.config.beta if self.config.weighted else 0.0
+        ps = [float(p) for p in p_grid]
+        if self.config.solver == "power":
+            # One batched call: each p is its own transition matrix, but
+            # solve_many warm-starts consecutive grid points from each
+            # other, and the graph's matrix cache amortises the exports.
+            results = solve_many(
                 graph,
-                float(p),
-                alpha=self.config.alpha,
-                beta=self.config.beta if self.config.weighted else 0.0,
-                weighted=self.config.weighted,
-                solver=self.config.solver,
+                [
+                    RankQuery(
+                        p=p,
+                        alpha=self.config.alpha,
+                        beta=beta,
+                        weighted=self.config.weighted,
+                    )
+                    for p in ps
+                ],
             )
+        else:
+            results = [
+                d2pr(
+                    graph,
+                    p,
+                    alpha=self.config.alpha,
+                    beta=beta,
+                    weighted=self.config.weighted,
+                    solver=self.config.solver,
+                )
+                for p in ps
+            ]
+        curve: dict[float, float] = {}
+        for p, scores in zip(ps, results):
             values = scores.values
             if train_mask is not None:
-                curve[float(p)] = spearman(
-                    values[train_mask], significance[train_mask]
-                )
+                corr = spearman(values[train_mask], significance[train_mask])
             else:
-                curve[float(p)] = spearman(values, significance)
+                corr = spearman(values, significance)
+            curve[round(p, 10)] = corr
         best_p = max(curve, key=lambda key: curve[key])
         return best_p, curve
 

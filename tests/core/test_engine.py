@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.engine import adjacency_and_theta, build_teleport, solve_transition
+from repro.core.engine import (
+    RankQuery,
+    adjacency_and_theta,
+    build_teleport,
+    solve_many,
+    solve_transition,
+)
 from repro.errors import ParameterError
 from repro.graph import DiGraph, Graph
 from repro.linalg import uniform_transition
@@ -95,3 +101,129 @@ class TestSolveTransition:
         t = uniform_transition(g.to_csr(weighted=False))
         result = solve_transition(t, tol=1e-12)
         assert result.converged
+
+
+class TestSolveMany:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        from repro.graph import barabasi_albert
+
+        return barabasi_albert(120, 3, seed=9)
+
+    def test_empty_queries(self, graph):
+        assert solve_many(graph, []) == []
+
+    def test_matches_individual_d2pr(self, graph):
+        from repro.core.d2pr import d2pr
+
+        queries = [
+            RankQuery(p=0.0),
+            RankQuery(p=1.0, alpha=0.7),
+            RankQuery(p=1.0, alpha=0.9),
+            RankQuery(p=-2.0, teleport=[graph.nodes()[0]]),
+        ]
+        results = solve_many(graph, queries)
+        for query, result in zip(queries, results):
+            direct = d2pr(
+                graph,
+                query.p,
+                alpha=query.alpha,
+                teleport=query.teleport,
+            )
+            np.testing.assert_allclose(
+                result.values, direct.values, atol=1e-12, rtol=0
+            )
+
+    def test_results_align_with_input_order(self, graph):
+        """Grouping by matrix must not permute the output."""
+        queries = [
+            RankQuery(p=1.0, alpha=0.5),
+            RankQuery(p=-1.0, alpha=0.5),
+            RankQuery(p=1.0, alpha=0.9),
+        ]
+        results = solve_many(graph, queries)
+        assert results[0].solver_result.iterations != 0
+        from repro.core.d2pr import d2pr
+
+        np.testing.assert_allclose(
+            results[1].values, d2pr(graph, -1.0, alpha=0.5).values,
+            atol=1e-12, rtol=0,
+        )
+
+    def test_shared_matrix_queries_solved_in_one_batch(self, graph):
+        """Same (p, beta) queries build exactly one transition matrix."""
+        graph.invalidate_caches()
+        queries = [RankQuery(p=2.0, alpha=a) for a in (0.5, 0.7, 0.9)]
+        solve_many(graph, queries)
+        entries_after_first = graph.cache_info()["entries"]
+        # one d2pr transition (plus its coo/csr/adj_theta inputs), no more
+        assert (
+            sum(
+                1
+                for key in graph._cache
+                if key[0] == "d2pr_transition"
+            )
+            == 1
+        )
+        solve_many(graph, queries)
+        assert graph.cache_info()["entries"] == entries_after_first
+
+    def test_warm_start_cuts_iterations_along_grid(self, graph):
+        ps = [0.0, 0.25, 0.5, 0.75, 1.0]
+        cold = solve_many(
+            graph, [RankQuery(p=p) for p in ps], warm_start=False
+        )
+        warm = solve_many(graph, [RankQuery(p=p) for p in ps])
+        cold_total = sum(r.solver_result.iterations for r in cold)
+        warm_total = sum(r.solver_result.iterations for r in warm)
+        assert warm_total < cold_total
+        for c, w in zip(cold, warm):
+            np.testing.assert_allclose(
+                w.values, c.values, atol=1e-8, rtol=0
+            )
+
+    def test_mixed_dangling_grouped_separately(self, graph):
+        from repro.core.d2pr import d2pr
+
+        queries = [
+            RankQuery(p=1.0, dangling="teleport"),
+            RankQuery(p=1.0, dangling="uniform"),
+        ]
+        # warm_start off: strict equivalence with cold individual solves
+        results = solve_many(graph, queries, warm_start=False)
+        for query, result in zip(queries, results):
+            direct = d2pr(graph, 1.0, dangling=query.dangling)
+            np.testing.assert_allclose(
+                result.values, direct.values, atol=1e-12, rtol=0
+            )
+
+    def test_invalid_query_rejected(self, graph):
+        with pytest.raises(ParameterError):
+            solve_many(graph, [RankQuery(alpha=1.0)])
+        with pytest.raises(ParameterError):
+            solve_many(graph, [RankQuery(beta=0.5, weighted=False)])
+        with pytest.raises(ParameterError):
+            solve_many(graph, [RankQuery(dangling="bounce")])
+
+    def test_solver_diagnostics_attached(self, graph):
+        result = solve_many(graph, [RankQuery(p=0.5)])[0]
+        assert result.solver_result is not None
+        assert result.solver_result.converged
+        assert result.solver_result.residuals
+
+    def test_mixed_precision_within_tolerance(self, graph):
+        from repro.core.d2pr import d2pr
+
+        queries = [RankQuery(p=1.0, alpha=0.85), RankQuery(p=1.0, alpha=0.5)]
+        mixed = solve_many(graph, queries, tol=1e-10, precision="mixed")
+        for query, result in zip(queries, mixed):
+            assert result.solver_result.converged
+            assert result.solver_result.final_residual < 1e-10
+            direct = d2pr(graph, 1.0, alpha=query.alpha)
+            np.testing.assert_allclose(
+                result.values, direct.values, atol=1e-8, rtol=0
+            )
+
+    def test_invalid_precision_rejected(self, graph):
+        with pytest.raises(ParameterError):
+            solve_many(graph, [RankQuery()], precision="half")

@@ -121,3 +121,53 @@ class TestRobustPersonalizedD2PR:
         ).values
         b = personalized_d2pr(two_cluster_graph, ["a1", "b1"], 1.0).values
         assert np.allclose(a, b, atol=1e-12)
+
+
+class TestRobustBatchedEquivalence:
+    """The batched LOO path must match a hand-rolled sequential loop."""
+
+    def test_matches_manual_sequential_loop(self):
+        g = barabasi_albert(70, 2, seed=21)
+        nodes = g.nodes()
+        seeds = [nodes[0], nodes[5], nodes[20]]
+        robust = robust_personalized_d2pr(g, seeds, 1.0)
+
+        # Re-derive the result with per-seed sequential solves.
+        weights = {s: 1.0 for s in seeds}
+        full = personalized_d2pr(g, weights, 1.0)
+        influences = {}
+        for seed in weights:
+            reduced = {s: w for s, w in weights.items() if s != seed}
+            loo = personalized_d2pr(g, reduced, 1.0)
+            influences[seed] = float(np.abs(full.values - loo.values).sum())
+        max_influence = max(influences.values())
+        adjusted = {}
+        for seed, base in weights.items():
+            relative = influences[seed] / max_influence
+            factor = relative if relative < 0.5 else 1.0
+            adjusted[seed] = base * max(factor, 1e-12)
+        expected = personalized_d2pr(g, adjusted, 1.0)
+        np.testing.assert_allclose(
+            robust.values, expected.values, atol=1e-10, rtol=0
+        )
+
+    def test_kwargs_forwarded_to_batched_path(self, two_cluster_graph):
+        loose = robust_personalized_d2pr(
+            two_cluster_graph, ["a1", "b2"], 1.0, tol=1e-4, max_iter=5
+        )
+        tight = robust_personalized_d2pr(
+            two_cluster_graph, ["a1", "b2"], 1.0, tol=1e-12
+        )
+        assert loose.values.sum() == pytest.approx(1.0)
+        assert tight.values.sum() == pytest.approx(1.0)
+
+    def test_non_power_solver_falls_back(self, two_cluster_graph):
+        batched = robust_personalized_d2pr(
+            two_cluster_graph, ["a1", "b1"], 0.5
+        )
+        direct = robust_personalized_d2pr(
+            two_cluster_graph, ["a1", "b1"], 0.5, solver="direct"
+        )
+        np.testing.assert_allclose(
+            batched.values, direct.values, atol=1e-7, rtol=0
+        )

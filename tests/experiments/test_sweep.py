@@ -100,3 +100,97 @@ class TestSweeps:
         curve = beta_sweep(listener, ps=(-3.0, 0.0, 3.0), betas=(1.0,))[1.0]
         values = np.asarray(curve.correlations)
         assert np.allclose(values, values[0], atol=1e-9)
+
+
+class TestAtIsClose:
+    def test_arange_grid_point_found(self, listener):
+        """curve.at(1.5) works on arange-derived grids with float noise."""
+        ps = tuple(np.arange(1.0, 2.01, 0.5))  # 1.5 arrives as 1.50000...04
+        curve = correlation_curve(listener, ps=ps)
+        assert curve.at(1.5) == curve.correlations[1]
+        assert curve.at(2.0) == curve.correlations[2]
+
+    def test_synthetic_noisy_grid(self):
+        curve = CorrelationCurve(
+            ps=(1.5000000000000004, 2.0), correlations=(0.4, 0.6)
+        )
+        assert curve.at(1.5) == 0.4
+
+    def test_off_grid_still_raises(self):
+        curve = CorrelationCurve(ps=(0.0, 0.5), correlations=(0.1, 0.2))
+        with pytest.raises(KeyError):
+            curve.at(0.25)
+
+
+class TestBatchedSweepEquivalence:
+    """The batched sweeps must match per-point d2pr solves."""
+
+    def test_correlation_curve_matches_pointwise(self, listener):
+        from repro.core.d2pr import d2pr
+        from repro.metrics.correlation import spearman
+
+        ps = (-1.0, 0.0, 1.0)
+        curve = correlation_curve(listener, ps=ps)
+        significance = listener.significance_vector()
+        for p, corr in zip(ps, curve.correlations):
+            scores = d2pr(listener.graph, p, alpha=0.85, tol=1e-9)
+            assert corr == pytest.approx(
+                spearman(scores.values, significance), abs=1e-6
+            )
+
+    def test_alpha_sweep_matches_pointwise(self, listener):
+        from repro.core.d2pr import d2pr
+        from repro.metrics.correlation import spearman
+
+        curves = alpha_sweep(listener, ps=(0.0, 1.0), alphas=(0.5, 0.9))
+        significance = listener.significance_vector()
+        for alpha, curve in curves.items():
+            for p, corr in zip(curve.ps, curve.correlations):
+                scores = d2pr(listener.graph, p, alpha=alpha, tol=1e-9)
+                assert corr == pytest.approx(
+                    spearman(scores.values, significance), abs=1e-6
+                )
+
+    def test_beta_sweep_matches_pointwise(self, listener):
+        from repro.core.d2pr import d2pr
+        from repro.metrics.correlation import spearman
+
+        curves = beta_sweep(listener, ps=(0.0, 1.0), betas=(0.25, 0.75))
+        significance = listener.significance_vector()
+        for beta, curve in curves.items():
+            for p, corr in zip(curve.ps, curve.correlations):
+                scores = d2pr(
+                    listener.graph, p, alpha=0.85, beta=beta,
+                    weighted=True, tol=1e-9,
+                )
+                assert corr == pytest.approx(
+                    spearman(scores.values, significance), abs=1e-6
+                )
+
+
+class TestFrozenDataGraph:
+    def test_cached_graph_is_frozen(self):
+        from repro.errors import FrozenGraphError
+
+        dg = get_data_graph("imdb/movie-movie", SCALE)
+        assert dg.graph.frozen
+        with pytest.raises(FrozenGraphError):
+            dg.graph.add_edge("new-a", "new-b")
+        with pytest.raises(FrozenGraphError):
+            dg.graph.set_node_attr(dg.graph.nodes()[0], "significance", 0.0)
+
+    def test_copy_is_mutable(self):
+        dg = get_data_graph("imdb/movie-movie", SCALE)
+        private = dg.graph.copy()
+        assert not private.frozen
+        private.add_edge("new-a", "new-b")  # must not raise
+        # ... and the shared instance was untouched
+        assert not dg.graph.has_node("new-a")
+
+    def test_perturbed_copy_still_works(self):
+        from repro.datasets.perturb import perturbed_copy
+
+        dg = get_data_graph("imdb/movie-movie", SCALE)
+        noisy = perturbed_copy(dg, seed=3, drop_fraction=0.1)
+        assert noisy.graph is not dg.graph
+        assert noisy.graph.number_of_edges < dg.graph.number_of_edges

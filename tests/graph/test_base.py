@@ -340,3 +340,64 @@ class TestDiGraph:
         clone = cycle_digraph.copy()
         assert clone.has_edge("a", "b")
         assert not clone.has_edge("b", "a")
+
+
+class TestFreeze:
+    def test_freeze_blocks_all_mutators(self):
+        from repro.errors import FrozenGraphError
+
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        assert not g.frozen
+        assert g.freeze() is g
+        assert g.frozen
+        with pytest.raises(FrozenGraphError):
+            g.add_node("d")
+        with pytest.raises(FrozenGraphError):
+            g.add_edge("a", "c")
+        with pytest.raises(FrozenGraphError):
+            g.increment_edge("a", "b")
+        with pytest.raises(FrozenGraphError):
+            g.add_edges_arrays(np.array([0]), np.array([2]))
+        with pytest.raises(FrozenGraphError):
+            g.set_node_attr("a", "x", 1.0)
+
+    def test_freeze_blocks_digraph_mutators(self):
+        from repro.errors import FrozenGraphError
+
+        g = DiGraph.from_edges([("a", "b")])
+        g.freeze()
+        with pytest.raises(FrozenGraphError):
+            g.add_edge("b", "a")
+        with pytest.raises(FrozenGraphError):
+            g.add_edges_arrays(np.array([1]), np.array([0]))
+
+    def test_frozen_graph_reads_fine(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        g.freeze()
+        assert g.has_edge("a", "b")
+        assert g.neighbors("b") == ["a", "c"]
+        assert g.to_csr(weighted=False).nnz == 4
+        assert g.degree("b") == 2
+
+    def test_frozen_lazy_graph_materialises_on_read(self):
+        """Freezing a bulk-ingested graph must not break lazy dict access."""
+        g = Graph.from_arrays(
+            np.array([0, 1]), np.array([1, 2]), num_nodes=3
+        )
+        g.freeze()
+        assert sorted(g.neighbors(1)) == [0, 2]
+
+    def test_copy_and_subgraph_unfrozen(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c")])
+        g.freeze()
+        c = g.copy()
+        assert not c.frozen
+        c.add_edge("a", "c")
+        s = g.subgraph(["a", "b"])
+        assert not s.frozen
+        s.add_node("z")
+
+    def test_freeze_idempotent(self):
+        g = Graph.from_edges([("a", "b")])
+        g.freeze().freeze()
+        assert g.frozen

@@ -133,3 +133,99 @@ class TestTuneP:
         assert new.config.p == -2.0
         direct = d2pr(g, -2.0)
         assert np.allclose(new.scores.values, direct.values, atol=1e-12)
+
+
+class TestRecommendForMany:
+    def test_matches_per_user_path(self, fitted):
+        """Bulk serving returns the same rankings as per-user solves."""
+        g, rec = fitted
+        users = [[g.nodes()[i]] for i in range(0, 30, 5)]
+        bulk = rec.recommend_for_many(users, k=5)
+        assert len(bulk) == len(users)
+        for seeds, got in zip(users, bulk):
+            expected = rec.recommend_for(seeds, k=5)
+            assert [n for n, _s in got] == [n for n, _s in expected]
+            np.testing.assert_allclose(
+                [s for _n, s in got],
+                [s for _n, s in expected],
+                atol=1e-12,
+                rtol=0,
+            )
+
+    def test_empty_users(self, fitted):
+        _g, rec = fitted
+        assert rec.recommend_for_many([]) == []
+
+    def test_include_seeds(self, fitted):
+        g, rec = fitted
+        seed_node = g.nodes()[0]
+        bulk = rec.recommend_for_many([[seed_node]], k=3, include_seeds=True)
+        assert bulk[0][0][0] == seed_node
+
+    def test_mapping_seeds(self, fitted):
+        g, rec = fitted
+        users = [{g.nodes()[0]: 2.0, g.nodes()[1]: 1.0}, [g.nodes()[2]]]
+        bulk = rec.recommend_for_many(users, k=4)
+        assert len(bulk) == 2
+        assert all(len(r) == 4 for r in bulk)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ReproError):
+            D2PRRecommender().recommend_for_many([["x"]])
+
+    def test_non_power_solver_falls_back(self):
+        g = barabasi_albert(40, 2, seed=13)
+        rec = D2PRRecommender(
+            config=RecommenderConfig(p=0.5, solver="direct")
+        ).fit(g)
+        users = [[g.nodes()[0]], [g.nodes()[1]]]
+        bulk = rec.recommend_for_many(users, k=3)
+        for seeds, got in zip(users, bulk):
+            assert [n for n, _s in got] == [
+                n for n, _s in rec.recommend_for(seeds, k=3)
+            ]
+
+
+class TestTunePGridKeys:
+    def test_arange_grid_keys_are_exact(self, fitted):
+        """Keys coming from np.arange lose their float noise."""
+        g, rec = fitted
+        sig = g.degree_vector().astype(float)
+        _best, curve = rec.tune_p(sig, p_grid=np.arange(-1.0, 1.51, 0.5))
+        assert 1.5 in curve  # arange yields 1.5000000000000004
+        assert set(curve) == {-1.0, -0.5, 0.0, 0.5, 1.0, 1.5}
+
+    def test_batched_matches_sequential_solver_path(self, fitted):
+        """The solve_many path agrees with the per-p d2pr loop."""
+        g, rec = fitted
+        sig = g.degree_vector().astype(float)
+        _b1, batched = rec.tune_p(sig, p_grid=(-1.0, 0.0, 1.0))
+        seq = {}
+        for p in (-1.0, 0.0, 1.0):
+            from repro.metrics.correlation import spearman
+
+            seq[p] = spearman(d2pr(g, p, alpha=0.85).values, sig)
+        for p, corr in batched.items():
+            assert corr == pytest.approx(seq[p], abs=1e-9)
+
+    def test_mixed_precision_serving_mode(self, fitted):
+        """precision='mixed' returns tolerance-level-identical scores."""
+        g, rec = fitted
+        users = [[g.nodes()[0]], [g.nodes()[1]]]
+        exact = rec.recommend_for_many(users, k=5)
+        served = rec.recommend_for_many(users, k=5, precision="mixed")
+        for a, b in zip(exact, served):
+            np.testing.assert_allclose(
+                [s for _n, s in a], [s for _n, s in b], atol=1e-7, rtol=0
+            )
+
+    def test_batch_size_slicing_matches_single_batch(self, fitted):
+        g, rec = fitted
+        users = [[g.nodes()[i]] for i in range(7)]
+        whole = rec.recommend_for_many(users, k=3)
+        sliced = rec.recommend_for_many(users, k=3, batch_size=2)
+        assert [[n for n, _s in u] for u in whole] == [
+            [n for n, _s in u] for u in sliced
+        ]
+        with pytest.raises(ParameterError):
+            rec.recommend_for_many(users, batch_size=0)

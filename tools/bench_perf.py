@@ -9,7 +9,11 @@ synthetic graph (default 100k nodes / 1M candidate edges):
 * **pagerank / d2pr** — cold solve (matrix built) vs warm solve (matrix
   cache hit) on the same graph;
 * **simulate_walk** — the seed's step-at-a-time Python loop (kept here as
-  the reference implementation) vs the chunked vectorised fleet sampler.
+  the reference implementation) vs the chunked vectorised fleet sampler;
+* **ppr_batch** — 64 personalised-PageRank queries served one `d2pr` call
+  at a time vs one batched ``solve_many`` pass (the multi-query engine);
+* **sweep** — the paper's full p-grid × α-grid evaluation protocol as a
+  nested per-point loop vs one batched, warm-started ``solve_many`` call.
 
 Results are written to ``BENCH_core.json`` so the perf trajectory is
 tracked across PRs.  ``--quick`` shrinks the workload for CI smoke runs.
@@ -33,7 +37,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.d2pr import d2pr, d2pr_transition  # noqa: E402
+from repro.core.engine import RankQuery, solve_many  # noqa: E402
 from repro.core.pagerank import pagerank  # noqa: E402
+from repro.core.personalized import personalized_d2pr  # noqa: E402
 from repro.core.walkers import simulate_walk  # noqa: E402
 from repro.graph.base import Graph  # noqa: E402
 
@@ -95,7 +101,167 @@ def _legacy_simulate_walk(graph, p, *, alpha, steps, seed):
     return counts / counts.sum()
 
 
-def run(n: int, m: int, walk_steps: int) -> dict:
+def _interleaved_rounds(
+    sequential, batched, seq_scale: float, rounds: int = 2
+) -> dict:
+    """Time both paths in alternating rounds and average per-round ratios.
+
+    Single long measurements are unreliable on shared machines — sustained
+    load drifts the effective clock between a measurement taken at minute
+    1 and one taken at minute 5, which can swing a sequential/batched
+    ratio by 2x in either direction.  Interleaving keeps each ratio's two
+    sides adjacent in time; the reported speedup is the mean of the
+    per-round ratios and every raw number is recorded alongside it.
+    """
+    seq_times, bat_times = [], []
+    seq_result = bat_result = None
+    for _ in range(rounds):
+        seq_t, seq_result = _time(sequential)
+        bat_t, bat_result = _time(batched)
+        seq_times.append(seq_t)
+        bat_times.append(bat_t)
+    round_speedups = [
+        s * seq_scale / b for s, b in zip(seq_times, bat_times)
+    ]
+    return {
+        "seq_raw_s": min(seq_times),
+        "seq_s": min(seq_times) * seq_scale,
+        "bat_s": min(bat_times),
+        "round_speedups": round_speedups,
+        "speedup": float(np.mean(round_speedups)),
+        "seq_result": seq_result,
+        "bat_result": bat_result,
+    }
+
+
+def _bench_ppr_batch(
+    graph: Graph, n_seeds: int, tol: float, seq_sample: int
+) -> dict:
+    """64-seed personalised-query batch: per-seed loop vs one solve_many.
+
+    The sequential side runs ``seq_sample`` of the seeds and is scaled to
+    the full batch (per-seed cost is flat: same matrix, same tolerance,
+    near-identical iteration counts); both the raw and the scaled numbers
+    are recorded.  The batched side always runs the full batch.
+    """
+    rng = np.random.default_rng(SEED + 1)
+    nodes = graph.nodes()
+    seeds = [nodes[i] for i in rng.choice(len(nodes), n_seeds, replace=False)]
+    p = 1.0
+    d2pr_transition(graph, p)  # both paths start from a warm matrix cache
+    seq_sample = min(seq_sample, n_seeds)
+
+    def sequential():
+        return [
+            personalized_d2pr(graph, [s], p, tol=tol).values
+            for s in seeds[:seq_sample]
+        ]
+
+    def batched():
+        # precision="mixed" is the serving configuration: float32 sweeps
+        # plus a float64 polish certifying the same residual-below-tol
+        # criterion the sequential path meets (max_abs_diff is recorded).
+        results = solve_many(
+            graph,
+            [RankQuery(p=p, teleport=[s]) for s in seeds],
+            tol=tol,
+            precision="mixed",
+        )
+        return [r.values for r in results]
+
+    rounds = _interleaved_rounds(sequential, batched, n_seeds / seq_sample)
+    seq_res, bat_res = rounds["seq_result"], rounds["bat_result"]
+    worst = max(
+        float(np.abs(a - b).max()) for a, b in zip(seq_res, bat_res)
+    )
+    return {
+        "n_seeds": n_seeds,
+        "sequential_sampled_seeds": seq_sample,
+        "sequential_sampled_s": rounds["seq_raw_s"],
+        "sequential_s": rounds["seq_s"],
+        "batched_s": rounds["bat_s"],
+        "round_speedups": rounds["round_speedups"],
+        "speedup": rounds["speedup"],
+        "max_abs_diff": worst,
+    }
+
+
+def _bench_sweep(
+    graph: Graph,
+    ps: tuple[float, ...],
+    alphas: tuple[float, ...],
+    tol: float,
+    seq_sample_ps: int,
+) -> dict:
+    """Paper evaluation protocol: per-point d2pr loop vs batched solve_many.
+
+    The sequential side runs every α on a ``seq_sample_ps``-point prefix of
+    the p grid and is scaled to the full grid (all α values are timed, so
+    the α-dependent iteration counts are represented exactly); raw and
+    scaled numbers are both recorded.  The batched side runs the full grid.
+    """
+    seq_sample_ps = min(seq_sample_ps, len(ps))
+    # Stride-sample the p grid so the sequential estimate sees the same
+    # mix of fast-mixing (p ≈ 0) and slow-mixing (|p| large) systems as
+    # the full grid, instead of only one end of it.
+    stride = max(1, len(ps) // seq_sample_ps)
+    sample_ps = ps[::stride][:seq_sample_ps]
+    for p in ps:
+        d2pr_transition(graph, float(p))  # warm every matrix for both paths
+
+    def sequential():
+        # The pre-batching sweep shape: one independent solve per point.
+        return [
+            d2pr(graph, float(p), alpha=alpha, tol=tol).values
+            for alpha in alphas
+            for p in sample_ps
+        ]
+
+    def batched():
+        results = solve_many(
+            graph,
+            [
+                RankQuery(p=float(p), alpha=alpha)
+                for alpha in alphas
+                for p in ps
+            ],
+            tol=tol,
+            precision="mixed",
+        )
+        return [r.values for r in results]
+
+    rounds = _interleaved_rounds(
+        sequential, batched, len(ps) / seq_sample_ps
+    )
+    seq_res, bat_res = rounds["seq_result"], rounds["bat_result"]
+    # Align the sampled sequential results with their batched counterparts.
+    batched_lookup = {}
+    idx = 0
+    for alpha in alphas:
+        for p in ps:
+            batched_lookup[(alpha, float(p))] = bat_res[idx]
+            idx += 1
+    worst = 0.0
+    idx = 0
+    for alpha in alphas:
+        for p in sample_ps:
+            diff = np.abs(seq_res[idx] - batched_lookup[(alpha, float(p))])
+            worst = max(worst, float(diff.max()))
+            idx += 1
+    return {
+        "p_grid_points": len(ps),
+        "alphas": list(alphas),
+        "sequential_sampled_ps": seq_sample_ps,
+        "sequential_sampled_s": rounds["seq_raw_s"],
+        "sequential_s": rounds["seq_s"],
+        "batched_s": rounds["bat_s"],
+        "round_speedups": rounds["round_speedups"],
+        "speedup": rounds["speedup"],
+        "max_abs_diff": worst,
+    }
+
+
+def run(n: int, m: int, walk_steps: int, *, quick: bool = False) -> dict:
     rng = np.random.default_rng(SEED)
     rows, cols = _edge_batch(n, m, rng)
     report: dict = {
@@ -156,6 +322,58 @@ def run(n: int, m: int, walk_steps: int) -> dict:
         f"  legacy {legacy_s:.3f}s  vectorized {vector_s:.3f}s  "
         f"({legacy_s / vector_s:.1f}x)"
     )
+
+    # The batched-engine scenarios run at serving scale: the batch engine's
+    # wins (one transpose per batch instead of per call, one matrix stream
+    # per sweep for the whole column block, warm starts) grow with graph
+    # size, and the ROADMAP's serving story is millions of users.  Small
+    # graphs whose score vectors sit in cache are the sequential path's
+    # best case — the --quick numbers document that regime honestly and
+    # act as a smoke test, not a speedup gate.
+    tol = 1e-9
+    if quick:
+        big_graph = graph
+        n_seeds, seq_seed_sample = 16, 16
+        ps = tuple(np.arange(-1.0, 1.01, 0.5))
+        alphas = (0.5, 0.85)
+        seq_ps_sample = len(ps)
+    else:
+        # Average degree ~20 (the density of real social / user-item
+        # projections): the matrix stream dominates every sequential
+        # matvec and the per-call transpose conversion costs seconds, so
+        # this is the regime the batch engine amortises — one matrix
+        # stream per sweep for a 16-column block, one CSC view per batch.
+        n_big, m_big = 1_000_000, 20_000_000
+        print(f"batch scenarios: building {n_big:,}-node serving graph")
+        big_rows, big_cols = _edge_batch(n_big, m_big, rng)
+        big_graph = Graph.from_arrays(big_rows, big_cols, num_nodes=n_big)
+        n_seeds, seq_seed_sample = 64, 16
+        ps = tuple(np.arange(-4.0, 4.01, 0.5))  # the paper's full p grid
+        alphas = (0.5, 0.7, 0.75, 0.9)
+        seq_ps_sample = 4
+    report["batch_config"] = {
+        "nodes": big_graph.number_of_nodes,
+        "edges": big_graph.number_of_edges,
+        "tol": tol,
+    }
+
+    print(f"ppr_batch: {n_seeds} personalised queries")
+    report["ppr_batch"] = _bench_ppr_batch(
+        big_graph, n_seeds, tol, seq_seed_sample
+    )
+    print(
+        f"  sequential {report['ppr_batch']['sequential_s']:.3f}s  "
+        f"batched {report['ppr_batch']['batched_s']:.3f}s  "
+        f"({report['ppr_batch']['speedup']:.1f}x)"
+    )
+
+    print(f"sweep: {len(ps)} p-points x {len(alphas)} alphas")
+    report["sweep"] = _bench_sweep(big_graph, ps, alphas, tol, seq_ps_sample)
+    print(
+        f"  sequential {report['sweep']['sequential_s']:.3f}s  "
+        f"batched {report['sweep']['batched_s']:.3f}s  "
+        f"({report['sweep']['speedup']:.1f}x)"
+    )
     return report
 
 
@@ -176,7 +394,7 @@ def main() -> int:
     args = parser.parse_args()
 
     if args.quick:
-        report = run(n=5_000, m=50_000, walk_steps=50_000)
+        report = run(n=5_000, m=50_000, walk_steps=50_000, quick=True)
         report["quick"] = True
     else:
         report = run(n=100_000, m=1_000_000, walk_steps=1_000_000)

@@ -6,7 +6,12 @@ from repro.core.baselines import (
     teleport_adjusted_pagerank,
     weighted_pagerank,
 )
-from repro.core.d2pr import d2pr, d2pr_transition, transition_probabilities
+from repro.core.d2pr import (
+    d2pr,
+    d2pr_operator,
+    d2pr_transition,
+    transition_probabilities,
+)
 from repro.core.engine import (
     SOLVERS,
     RankQuery,
@@ -21,11 +26,12 @@ from repro.core.manipulation import (
     plant_link_farm,
     rank_boost_from_farm,
 )
-from repro.core.pagerank import pagerank
+from repro.core.pagerank import pagerank, walk_operator
 from repro.core.personalized import (
     personalized_d2pr,
     personalized_pagerank,
     robust_personalized_d2pr,
+    seed_weights,
 )
 from repro.core.results import NodeScores
 from repro.core.topics import Topic, TopicSensitiveD2PR
@@ -35,10 +41,13 @@ __all__ = [
     "pagerank",
     "d2pr",
     "d2pr_transition",
+    "d2pr_operator",
     "transition_probabilities",
     "personalized_pagerank",
     "personalized_d2pr",
     "robust_personalized_d2pr",
+    "seed_weights",
+    "walk_operator",
     "degree_scores",
     "teleport_adjusted_pagerank",
     "weighted_pagerank",

@@ -19,11 +19,10 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from repro.core.engine import build_teleport, solve_transition
-from repro.core.pagerank import pagerank
+from repro.core.pagerank import pagerank, walk_operator
 from repro.core.results import NodeScores
 from repro.errors import ParameterError
 from repro.graph.base import BaseGraph, DiGraph, Node
-from repro.linalg.transition import uniform_transition
 
 __all__ = [
     "degree_scores",
@@ -78,9 +77,12 @@ def teleport_adjusted_pagerank(
     log_w = exponent * np.log(clamped)
     log_w -= log_w.max()  # stabilise before exponentiation
     teleport = np.exp(log_w)
-    transition = uniform_transition(graph.to_csr(weighted=False))
+    # Shares the conventional-PageRank matrix and bundle: same transition,
+    # same cached transpose/dangling views (only the teleport differs).
+    bundle = walk_operator(graph)
     result = solve_transition(
-        transition,
+        bundle.mat,
+        operator=bundle,
         solver=solver,
         alpha=alpha,
         teleport=teleport,

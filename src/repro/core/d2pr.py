@@ -43,7 +43,12 @@ from repro.linalg.transition import (
     degree_decoupled_transition,
 )
 
-__all__ = ["d2pr", "d2pr_transition", "transition_probabilities"]
+__all__ = [
+    "d2pr",
+    "d2pr_transition",
+    "d2pr_operator",
+    "transition_probabilities",
+]
 
 
 def d2pr_transition(
@@ -113,6 +118,30 @@ def d2pr_transition(
     )
 
 
+def d2pr_operator(
+    graph: BaseGraph,
+    p: float = 0.0,
+    *,
+    beta: float = 0.0,
+    weighted: bool = False,
+    clamp_min: float | None = None,
+):
+    """Graph-cached solver-operator bundle for the D2PR transition.
+
+    Returns the :class:`~repro.linalg.operator.LinearOperatorBundle`
+    wrapping :func:`d2pr_transition` with the same parameters, memoised on
+    the graph's mutation-aware cache: the CSR-transpose conversion, the
+    dangling mask and the patched linear-system views are derived at most
+    once per graph version and shared by every single-query solve.
+    """
+    return graph.operator_bundle(
+        ("d2pr", float(p), float(beta), bool(weighted), clamp_min),
+        lambda: d2pr_transition(
+            graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
+        ),
+    )
+
+
 def d2pr(
     graph: BaseGraph,
     p: float = 0.0,
@@ -177,18 +206,19 @@ def d2pr(
     >>> penalised["c"] < conventional["c"]
     True
     """
-    transition = d2pr_transition(
+    bundle = d2pr_operator(
         graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
     )
     teleport_vec = build_teleport(graph, teleport)
     result = solve_transition(
-        transition,
+        bundle.mat,
         solver=solver,
         alpha=alpha,
         teleport=teleport_vec,
         dangling=dangling,
         tol=tol,
         max_iter=max_iter,
+        operator=bundle,
     )
     return NodeScores(graph, result.scores, result)
 

@@ -27,6 +27,8 @@ from scipy import sparse
 from repro.errors import ParameterError
 from repro.graph.base import BaseGraph, Node
 from repro.linalg.batch import power_iteration_batch
+from repro.linalg.operator import LinearOperatorBundle
+from repro.linalg.push import forward_push
 from repro.linalg.solvers import (
     DANGLING_STRATEGIES,
     PageRankResult,
@@ -44,7 +46,7 @@ __all__ = [
     "adjacency_and_theta",
 ]
 
-SOLVERS = ("power", "gauss_seidel", "direct")
+SOLVERS = ("power", "gauss_seidel", "direct", "push")
 
 
 def build_teleport(
@@ -96,9 +98,21 @@ def solve_transition(
     dangling: str = "teleport",
     tol: float = 1e-10,
     max_iter: int = 1000,
+    operator: LinearOperatorBundle | None = None,
     **extra: Any,
 ) -> PageRankResult:
-    """Dispatch to one of the three solvers by name."""
+    """Dispatch to one of the solvers by name.
+
+    ``operator`` forwards a pre-built (typically graph-cached)
+    :class:`~repro.linalg.operator.LinearOperatorBundle` so no solver
+    re-derives transpose/dangling views per call; when omitted each solver
+    falls back to the bundle memoised on the transition matrix object.
+
+    ``solver="push"`` routes to :func:`~repro.linalg.push.forward_push`,
+    the low-latency path for sparse personalised teleports; a ``None``
+    (uniform) teleport or a non-localized query falls back to power
+    iteration inside the push solver itself.
+    """
     if solver == "power":
         return power_iteration(
             transition,
@@ -107,6 +121,7 @@ def solve_transition(
             tol=tol,
             max_iter=max_iter,
             dangling=dangling,
+            operator=operator,
             **extra,
         )
     if solver == "gauss_seidel":
@@ -117,11 +132,45 @@ def solve_transition(
             tol=tol,
             max_iter=max(max_iter, 1),
             dangling=dangling,
+            operator=operator,
             **extra,
         )
     if solver == "direct":
         return direct_solve(
-            transition, alpha=alpha, teleport=teleport, dangling=dangling
+            transition,
+            alpha=alpha,
+            teleport=teleport,
+            dangling=dangling,
+            operator=operator,
+        )
+    if solver == "push":
+        if teleport is None:
+            # Uniform teleport has no sparse support to push from; serve
+            # it with the cached-operator power path the push solver would
+            # fall back to anyway (dropping push-only options it has no
+            # use for).
+            power_extra = {
+                k: v for k, v in extra.items() if k != "frontier_cap"
+            }
+            return power_iteration(
+                transition,
+                alpha=alpha,
+                teleport=None,
+                tol=tol,
+                max_iter=max_iter,
+                dangling=dangling,
+                operator=operator,
+                **power_extra,
+            )
+        return forward_push(
+            transition,
+            np.asarray(teleport, dtype=np.float64),
+            alpha=alpha,
+            tol=tol,
+            max_iter=max_iter,
+            dangling=dangling,
+            operator=operator,
+            **extra,
         )
     raise ParameterError(
         f"unknown solver {solver!r}; expected one of {SOLVERS}"
@@ -245,7 +294,7 @@ def solve_many(
     list[NodeScores]
         One result per query, aligned with the input order.
     """
-    from repro.core.d2pr import d2pr_transition  # local: avoids cycle
+    from repro.core.d2pr import d2pr_operator  # local: avoids cycle
     from repro.core.results import NodeScores
 
     queries = list(queries)
@@ -282,9 +331,10 @@ def solve_many(
     for key in sorted(groups):
         weighted, dangling, beta, p = key
         indices = groups[key]
-        transition = d2pr_transition(
+        bundle = d2pr_operator(
             graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
         )
+        transition = bundle.mat
         teleports = [vectors[i] for i in indices]
         alphas = np.array([queries[i].alpha for i in indices])
         signature = (
@@ -307,6 +357,7 @@ def solve_many(
             warm_start=initial,
             precision=precision,
             raise_on_failure=raise_on_failure,
+            operator=bundle,
         )
         for j, idx in enumerate(indices):
             column = batch.column(j)

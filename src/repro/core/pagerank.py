@@ -19,7 +19,33 @@ from repro.linalg.transition import (
     uniform_transition,
 )
 
-__all__ = ["pagerank"]
+__all__ = ["pagerank", "walk_operator"]
+
+
+def walk_operator(graph: BaseGraph, *, weighted: bool = False):
+    """Graph-cached operator bundle of the conventional walk transition.
+
+    The single owner of the ``("pagerank_transition", weighted)`` matrix
+    cache key and its ``("pagerank", weighted)`` operator bundle: every
+    feature built on the plain random walk — :func:`pagerank`,
+    :func:`repro.core.baselines.teleport_adjusted_pagerank`, the hitting
+    times in :mod:`repro.core.hitting` — resolves its transition through
+    this helper, so one export and one transpose serve them all and the
+    builder cannot drift between call sites.
+    """
+
+    def build():
+        adjacency = graph.to_csr(weighted=weighted)
+        if weighted:
+            return connection_strength_transition(adjacency)
+        return uniform_transition(adjacency)
+
+    return graph.operator_bundle(
+        ("pagerank", bool(weighted)),
+        lambda: graph.cached(
+            ("pagerank_transition", bool(weighted)), build
+        ),
+    )
 
 
 def pagerank(
@@ -62,19 +88,14 @@ def pagerank(
     NodeScores
     """
     graph.require_nonempty()
-
-    def build():
-        adjacency = graph.to_csr(weighted=weighted)
-        if weighted:
-            return connection_strength_transition(adjacency)
-        return uniform_transition(adjacency)
-
     # Memoised per graph version (see BaseGraph.cached): repeated calls on
-    # an unmutated graph reuse the row-normalised transition.
-    transition = graph.cached(("pagerank_transition", bool(weighted)), build)
+    # an unmutated graph reuse the row-normalised transition, and the
+    # operator bundle keeps the transpose/dangling views alongside it.
+    bundle = walk_operator(graph, weighted=weighted)
     teleport_vec = build_teleport(graph, teleport)
     result = solve_transition(
-        transition,
+        bundle.mat,
+        operator=bundle,
         solver=solver,
         alpha=alpha,
         teleport=teleport_vec,

@@ -28,15 +28,23 @@ from repro.errors import ParameterError
 from repro.graph.base import BaseGraph, Node
 
 __all__ = [
+    "seed_weights",
     "personalized_pagerank",
     "personalized_d2pr",
     "robust_personalized_d2pr",
 ]
 
 
-def _seed_weights(
+def seed_weights(
     seeds: Mapping[Node, float] | Sequence[Node],
 ) -> dict[Node, float]:
+    """Normalise a seed spec into ``{node: weight}`` (the shared semantics).
+
+    Sequences de-duplicate (each distinct node gets weight 1); mappings
+    pass through.  Every seed consumer — the personalised solvers here and
+    :meth:`repro.recsys.D2PRRecommender.recommend_one` — resolves its
+    seeds through this one helper.
+    """
     if isinstance(seeds, Mapping):
         weights = {node: float(w) for node, w in seeds.items()}
     else:
@@ -64,7 +72,7 @@ def personalized_pagerank(
     ``{node: weight}`` mapping.  Remaining keyword arguments are forwarded
     to :func:`repro.core.d2pr.d2pr` (with ``p = 0``).
     """
-    weights = _seed_weights(seeds)
+    weights = seed_weights(seeds)
     return d2pr(
         graph, 0.0, alpha=alpha, weighted=weighted, teleport=weights, **kwargs
     )
@@ -85,8 +93,13 @@ def personalized_d2pr(
     Combines the paper's transition-matrix modification with
     teleport-vector personalisation: the random surfer walks a degree
     de-coupled graph but restarts only at the seed nodes.
+
+    For interactive-latency single queries on large graphs pass
+    ``solver="push"``: sparse seed sets route to the localized
+    forward-push solver (:func:`repro.linalg.forward_push`), which falls
+    back to power iteration whenever the query is not localized.
     """
-    weights = _seed_weights(seeds)
+    weights = seed_weights(seeds)
     return d2pr(
         graph,
         p,
@@ -206,7 +219,7 @@ def robust_personalized_d2pr(
         raise ParameterError(
             f"noise_discount must be in [0, 1], got {noise_discount}"
         )
-    weights = _seed_weights(seeds)
+    weights = seed_weights(seeds)
     if len(weights) == 1:
         return personalized_d2pr(
             graph, weights, p, alpha=alpha, beta=beta, weighted=weighted, **kwargs

@@ -157,6 +157,29 @@ class BaseGraph:
         self._cache_hits += 1
         return value
 
+    def operator_bundle(
+        self, key: tuple, transition_builder: Callable[[], Any]
+    ) -> Any:
+        """Memoised solver-operator views of a transition built from this graph.
+
+        Wraps the matrix returned by ``transition_builder()`` in a
+        :class:`~repro.linalg.operator.LinearOperatorBundle` — the cached
+        CSR-transpose / CSC views and dangling masks/targets every
+        single-query solver needs — and memoises it on this graph's
+        mutation-aware cache under ``("operator", *key)``.  The bundle
+        therefore invalidates on exactly the same mutation-counter bumps as
+        the transition caches, and mutation of a frozen graph raises
+        :class:`~repro.errors.FrozenGraphError` before it could ever
+        desynchronise a handed-out bundle.  ``key`` must encode the same
+        parameters as the transition it wraps.
+        """
+        from repro.linalg.operator import LinearOperatorBundle
+
+        return self.cached(
+            ("operator", *key),
+            lambda: LinearOperatorBundle.of(transition_builder()),
+        )
+
     def invalidate_caches(self) -> None:
         """Drop all cached derived objects and bump the mutation counter.
 

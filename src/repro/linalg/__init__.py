@@ -1,6 +1,8 @@
-"""Numerical substrate: transition-matrix builders and stationary solvers."""
+"""Numerical substrate: transition builders, cached operators and solvers."""
 
 from repro.linalg.batch import BatchResult, power_iteration_batch
+from repro.linalg.operator import LinearOperatorBundle
+from repro.linalg.push import forward_push
 from repro.linalg.solvers import (
     DANGLING_STRATEGIES,
     PageRankResult,
@@ -24,9 +26,11 @@ from repro.linalg.transition import (
 __all__ = [
     "PageRankResult",
     "BatchResult",
+    "LinearOperatorBundle",
     "power_iteration",
     "power_iteration_batch",
     "extrapolated_power_iteration",
+    "forward_push",
     "gauss_seidel",
     "direct_solve",
     "patch_dangling",

@@ -45,6 +45,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.errors import ConvergenceError, ParameterError
+from repro.linalg.operator import LinearOperatorBundle
 from repro.linalg.solvers import (
     DANGLING_STRATEGIES,
     PageRankResult,
@@ -500,6 +501,7 @@ def power_iteration_batch(
     warm_start: np.ndarray | str | None = None,
     precision: str = "double",
     raise_on_failure: bool = False,
+    operator: LinearOperatorBundle | None = None,
 ) -> BatchResult:
     """Solve ``r_k = α_k·P.T·r_k + (1−α_k)·t_k`` for all columns at once.
 
@@ -539,17 +541,20 @@ def power_iteration_batch(
         (``BENCH_core.json``).
     raise_on_failure:
         Raise :class:`ConvergenceError` if any column fails to converge.
+    operator:
+        Pre-built :class:`~repro.linalg.operator.LinearOperatorBundle` of
+        ``transition``; when omitted the memoised bundle of the matrix
+        object is used (shared with the single-query solvers), so the
+        canonical CSR — and the float32 copy in mixed mode — is derived
+        once per matrix, not per call.
 
     Returns
     -------
     BatchResult
     """
-    mat = sparse.csr_matrix(transition, dtype=np.float64)
-    if mat.shape[0] != mat.shape[1]:
-        raise ParameterError(f"transition must be square, got {mat.shape}")
-    n = mat.shape[0]
-    if n == 0:
-        raise ParameterError("transition matrix must be non-empty")
+    bundle = LinearOperatorBundle.resolve(transition, operator)
+    mat = bundle.mat
+    n = bundle.n
     if dangling not in DANGLING_STRATEGIES:
         raise ParameterError(
             f"unknown dangling strategy {dangling!r}; "
@@ -581,11 +586,11 @@ def power_iteration_batch(
         raise ParameterError(
             f"precision must be 'double' or 'mixed', got {precision!r}"
         )
-    dangle_idx = np.flatnonzero(np.diff(mat.indptr) == 0)
+    dangle_idx = bundle.dangle_idx
     # P.T as a free CSC view: scipy multiplies CSC·dense directly, so the
-    # batch never pays the CSR transpose conversion the sequential solver
-    # performs on every call (a dominant per-call cost on large graphs).
-    mat_t = mat.T
+    # batch never pays a CSR transpose conversion (the per-call cost the
+    # sequential solvers now amortise through the same operator bundle).
+    mat_t = bundle.t_csc
 
     chain = isinstance(warm_start, str)
     if chain and warm_start != "chain":
@@ -606,7 +611,7 @@ def power_iteration_batch(
     use_mixed = (
         precision == "mixed" and not family and tol < _MIXED_SWITCH_TOL
     )
-    mat_t32 = mat.astype(np.float32).T if use_mixed else None
+    mat_t32 = bundle.mat_f32.T if use_mixed else None
     if family:
         # Every column shares its teleport (an α grid): one shared power
         # sequence reconstructs all columns at single-matvec cost.

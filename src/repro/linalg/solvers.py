@@ -39,6 +39,11 @@ from scipy import sparse
 from scipy.sparse import linalg as sparse_linalg
 
 from repro.errors import ConvergenceError, ParameterError
+from repro.linalg.operator import (
+    DANGLING_STRATEGIES,
+    LinearOperatorBundle,
+    patch_dangling,
+)
 
 __all__ = [
     "PageRankResult",
@@ -50,8 +55,6 @@ __all__ = [
     "validate_stochastic_rows",
     "DANGLING_STRATEGIES",
 ]
-
-DANGLING_STRATEGIES = ("teleport", "uniform", "self")
 
 
 @dataclass(frozen=True)
@@ -90,16 +93,21 @@ class PageRankResult:
 
 
 def _validate_common(
-    transition: sparse.spmatrix,
+    transition: sparse.spmatrix | None,
     alpha: float,
     teleport: np.ndarray | None,
-) -> tuple[sparse.csr_matrix, np.ndarray]:
-    mat = sparse.csr_matrix(transition, dtype=np.float64)
-    n = mat.shape[0]
-    if mat.shape[0] != mat.shape[1]:
-        raise ParameterError(f"transition must be square, got {mat.shape}")
-    if n == 0:
-        raise ParameterError("transition matrix must be non-empty")
+    operator: LinearOperatorBundle | None = None,
+) -> tuple[LinearOperatorBundle, np.ndarray]:
+    """Resolve the cached operator bundle and the normalised teleport.
+
+    ``operator`` short-circuits matrix canonicalisation entirely; otherwise
+    the bundle is looked up on (or attached to) ``transition`` via
+    :meth:`LinearOperatorBundle.of`, so repeated solves against the same
+    matrix object — what the graph matrix cache hands out — share one
+    bundle and never re-derive transpose/dangling views.
+    """
+    bundle = LinearOperatorBundle.resolve(transition, operator)
+    n = bundle.n
     if not 0.0 <= alpha < 1.0:
         raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
     if teleport is None:
@@ -116,7 +124,7 @@ def _validate_common(
         if total <= 0.0:
             raise ParameterError("teleport vector must have positive mass")
         t = t / total
-    return mat, t
+    return bundle, t
 
 
 def validate_stochastic_rows(
@@ -138,23 +146,8 @@ def validate_stochastic_rows(
         )
 
 
-def _dangling_target(
-    strategy: str, teleport: np.ndarray, n: int
-) -> np.ndarray | None:
-    if strategy == "teleport":
-        return teleport
-    if strategy == "uniform":
-        return np.full(n, 1.0 / n)
-    if strategy == "self":
-        return None  # handled in-loop: mass stays put
-    raise ParameterError(
-        f"unknown dangling strategy {strategy!r}; "
-        f"expected one of {DANGLING_STRATEGIES}"
-    )
-
-
 def power_iteration(
-    transition: sparse.spmatrix,
+    transition: sparse.spmatrix | None,
     *,
     alpha: float = 0.85,
     teleport: np.ndarray | None = None,
@@ -162,6 +155,8 @@ def power_iteration(
     max_iter: int = 1000,
     dangling: str = "teleport",
     raise_on_failure: bool = False,
+    operator: LinearOperatorBundle | None = None,
+    x0: np.ndarray | None = None,
 ) -> PageRankResult:
     """Solve ``r = α·P.T·r + (1−α)·t`` by power iteration.
 
@@ -184,19 +179,43 @@ def power_iteration(
     raise_on_failure:
         When ``True``, raise :class:`ConvergenceError` instead of returning
         a result flagged ``converged=False``.
+    operator:
+        Pre-built :class:`~repro.linalg.operator.LinearOperatorBundle` of
+        ``transition``; when omitted the memoised bundle of the matrix
+        object is used, so repeated calls against a cached matrix never
+        re-derive the ``P.T`` CSR conversion or the dangling mask.  The
+        memoisation assumes ``transition`` is never mutated *in place*
+        between calls (the contract of every cached matrix in this
+        library); build a fresh matrix instead of editing ``.data``.
+    x0:
+        Optional warm-start iterate (normalised automatically); defaults
+        to the teleport vector.  A warm-started solve converges to the
+        same fixed point but stops at the first iterate within ``tol``.
 
     Returns
     -------
     PageRankResult
     """
-    mat, t = _validate_common(transition, alpha, teleport)
-    n = mat.shape[0]
-    dangle_mask = np.diff(mat.indptr) == 0
-    has_dangling = bool(dangle_mask.any())
-    dangle_target = _dangling_target(dangling, t, n)
+    bundle, t = _validate_common(transition, alpha, teleport, operator)
+    dangle_mask = bundle.dangle_mask
+    has_dangling = bundle.has_dangling
+    dangle_target = bundle.dangling_target(dangling, t)
 
-    mat_t = mat.T.tocsr()  # we repeatedly need P.T @ x
-    x = t.copy()
+    mat_t = bundle.t_csr  # we repeatedly need P.T @ x
+    if x0 is None:
+        x = t.copy()
+    else:
+        x = np.asarray(x0, dtype=np.float64)
+        if x.shape != t.shape:
+            raise ParameterError(
+                f"x0 must have shape {t.shape}, got {x.shape}"
+            )
+        total = x.sum()
+        if total <= 0.0 or (x < 0).any():
+            raise ParameterError(
+                "x0 must be a non-negative vector with positive mass"
+            )
+        x = x / total
     residuals: list[float] = []
     converged = False
     iterations = 0
@@ -236,7 +255,7 @@ def power_iteration(
 
 
 def extrapolated_power_iteration(
-    transition: sparse.spmatrix,
+    transition: sparse.spmatrix | None,
     *,
     alpha: float = 0.85,
     teleport: np.ndarray | None = None,
@@ -245,6 +264,7 @@ def extrapolated_power_iteration(
     dangling: str = "teleport",
     extrapolate_every: int = 10,
     raise_on_failure: bool = False,
+    operator: LinearOperatorBundle | None = None,
 ) -> PageRankResult:
     """Power iteration with periodic Aitken Δ² extrapolation.
 
@@ -262,13 +282,12 @@ def extrapolated_power_iteration(
         raise ParameterError(
             f"extrapolate_every must be >= 3, got {extrapolate_every}"
         )
-    mat, t = _validate_common(transition, alpha, teleport)
-    n = mat.shape[0]
-    dangle_mask = np.diff(mat.indptr) == 0
-    has_dangling = bool(dangle_mask.any())
-    dangle_target = _dangling_target(dangling, t, n)
+    bundle, t = _validate_common(transition, alpha, teleport, operator)
+    dangle_mask = bundle.dangle_mask
+    has_dangling = bundle.has_dangling
+    dangle_target = bundle.dangling_target(dangling, t)
 
-    mat_t = mat.T.tocsr()
+    mat_t = bundle.t_csr
 
     def step(vec: np.ndarray) -> np.ndarray:
         spread = mat_t @ vec
@@ -338,46 +357,8 @@ def extrapolated_power_iteration(
     )
 
 
-def patch_dangling(
-    transition: sparse.spmatrix,
-    teleport: np.ndarray | None = None,
-    *,
-    dangling: str = "teleport",
-) -> sparse.csr_matrix:
-    """Return ``P`` with dangling rows replaced by an explicit distribution.
-
-    This densifies only the dangling rows, enabling solvers that need a
-    fully stochastic matrix (Gauss–Seidel, direct solve).  Intended for the
-    small graphs those solvers target.
-    """
-    mat = sparse.csr_matrix(transition, dtype=np.float64).copy()
-    n = mat.shape[0]
-    if teleport is None:
-        teleport = np.full(n, 1.0 / n)
-    else:
-        teleport = np.asarray(teleport, dtype=np.float64)
-        teleport = teleport / teleport.sum()
-    dangle_mask = np.diff(mat.indptr) == 0
-    if not dangle_mask.any():
-        return mat
-    target = _dangling_target(dangling, teleport, n)
-    rows = np.flatnonzero(dangle_mask)
-    if target is None:  # "self"
-        fix = sparse.csr_matrix(
-            (np.ones(rows.size), (rows, rows)), shape=(n, n)
-        )
-    else:
-        data = np.tile(target, rows.size)
-        indices = np.tile(np.arange(n), rows.size)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        indptr[rows + 1] = n
-        indptr = np.cumsum(indptr)
-        fix = sparse.csr_matrix((data, indices, indptr), shape=(n, n))
-    return sparse.csr_matrix(mat + fix)
-
-
 def gauss_seidel(
-    transition: sparse.spmatrix,
+    transition: sparse.spmatrix | None,
     *,
     alpha: float = 0.85,
     teleport: np.ndarray | None = None,
@@ -385,6 +366,7 @@ def gauss_seidel(
     max_iter: int = 200,
     dangling: str = "teleport",
     raise_on_failure: bool = False,
+    operator: LinearOperatorBundle | None = None,
 ) -> PageRankResult:
     """Solve ``(I − α·P.T) r = (1−α) t`` with forward Gauss–Seidel sweeps.
 
@@ -393,11 +375,12 @@ def gauss_seidel(
     are Python-loop bound, so this solver exists as an independent
     verification path for small/medium graphs, not as the production path.
     """
-    mat, t = _validate_common(transition, alpha, teleport)
-    mat = patch_dangling(mat, t, dangling=dangling)
-    n = mat.shape[0]
-    # Row j of the system matrix involves column j of P: iterate on CSC.
-    csc = mat.tocsc()
+    bundle, t = _validate_common(transition, alpha, teleport, operator)
+    n = bundle.n
+    # Row j of the system matrix involves column j of P: iterate on the
+    # bundle's memoised patched-CSC view (dangling rows densified once per
+    # (strategy, teleport) instead of per call).
+    csc = bundle.patched_csc(dangling, t)
     x = t.copy()
     b = (1.0 - alpha) * t
     residuals: list[float] = []
@@ -441,11 +424,12 @@ def gauss_seidel(
 
 
 def direct_solve(
-    transition: sparse.spmatrix,
+    transition: sparse.spmatrix | None,
     *,
     alpha: float = 0.85,
     teleport: np.ndarray | None = None,
     dangling: str = "teleport",
+    operator: LinearOperatorBundle | None = None,
 ) -> PageRankResult:
     """Solve ``(I − α·P.T) r = (1−α) t`` with a sparse LU factorisation.
 
@@ -453,10 +437,12 @@ def direct_solve(
     during factorisation.  Used as the ground-truth oracle in tests and the
     solver ablation.
     """
-    mat, t = _validate_common(transition, alpha, teleport)
-    mat = patch_dangling(mat, t, dangling=dangling)
-    n = mat.shape[0]
-    system = sparse.identity(n, format="csc") - alpha * mat.T.tocsc()
+    bundle, t = _validate_common(transition, alpha, teleport, operator)
+    n = bundle.n
+    # The patched matrix comes from the bundle's memo; its transpose is the
+    # free CSC view of the patched CSR, so no conversion happens per call.
+    patched = bundle.patched(dangling, t)
+    system = sparse.identity(n, format="csc") - alpha * patched.T
     rhs = (1.0 - alpha) * t
     x = sparse_linalg.spsolve(system, rhs)
     x = np.asarray(x, dtype=np.float64)

@@ -5,7 +5,9 @@ All builders return **row-stochastic** sparse matrices ``P`` where
 to node ``j``.  The paper writes its equations column-stochastically
 (``T_D(j, i)`` is the probability of moving *from* ``v_i`` *to* ``v_j``);
 the two conventions are transposes of each other and the solvers in
-:mod:`repro.linalg.solvers` multiply by ``P.T`` accordingly.
+:mod:`repro.linalg.solvers` multiply by ``P.T`` accordingly (the transpose
+views are derived once per matrix and cached by
+:class:`repro.linalg.operator.LinearOperatorBundle`, never per solve).
 
 The core builder is :func:`degree_decoupled_transition`, Equation (1) of the
 paper:

@@ -28,12 +28,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.d2pr import d2pr
+from repro.core.d2pr import d2pr, d2pr_operator
 from repro.core.engine import RankQuery, solve_many
-from repro.core.personalized import personalized_d2pr
+from repro.core.personalized import personalized_d2pr, seed_weights
 from repro.core.results import NodeScores
 from repro.errors import ParameterError, ReproError
 from repro.graph.base import BaseGraph, Node
+from repro.linalg.push import forward_push
 from repro.metrics.correlation import spearman
 
 __all__ = ["D2PRRecommender", "RecommenderConfig"]
@@ -55,7 +56,9 @@ class RecommenderConfig:
     weighted:
         Use stored edge weights (paper §3.2.3).
     solver:
-        One of ``"power"``, ``"gauss_seidel"``, ``"direct"``.
+        One of ``"power"``, ``"gauss_seidel"``, ``"direct"``, ``"push"``
+        (the localized forward-push serving path for personalised
+        queries; global rankings under it are served by power iteration).
     """
 
     p: float = 0.0
@@ -162,12 +165,16 @@ class D2PRRecommender:
         k: int = 10,
         *,
         include_seeds: bool = False,
+        tol: float | None = None,
     ) -> list[tuple[Node, float]]:
         """Top-``k`` items related to ``seeds`` via personalised D2PR.
 
         Seeds are excluded from the result unless ``include_seeds=True``.
+        ``tol`` overrides the solver's convergence tolerance (``None``
+        keeps the solver default; the direct solver is exact regardless).
         """
         graph, _scores = self._require_fitted()
+        extra = {} if tol is None else {"tol": tol}
         seeded = personalized_d2pr(
             graph,
             seeds,
@@ -176,7 +183,65 @@ class D2PRRecommender:
             beta=self.config.beta if self.config.weighted else 0.0,
             weighted=self.config.weighted,
             solver=self.config.solver,
+            **extra,
         )
+        return self._top_k(seeded, set(seeds), k, include_seeds)
+
+    def recommend_one(
+        self,
+        seeds: Mapping[Node, float] | Sequence[Node],
+        k: int = 10,
+        *,
+        include_seeds: bool = False,
+        tol: float = 1e-8,
+    ) -> list[tuple[Node, float]]:
+        """Low-latency single-user recommendation via forward push.
+
+        The interactive-serving counterpart of :meth:`recommend_for`: one
+        user's seeds, answered by the localized Gauss–Southwell push
+        solver (:func:`repro.linalg.forward_push`) against the
+        recommender's graph-cached operator bundle.  Push only touches the
+        frontier the personalised mass actually reaches — for sparse seed
+        sets on large graphs that is a small neighbourhood around the
+        seeds and their high-degree hubs, not the whole edge stream, so a
+        single query answers in a fraction of a full power-iteration
+        solve (``tools/bench_perf.py``, ``single_query``).  Non-localized
+        queries transparently fall back to warm-started power iteration,
+        and non-power solver configurations keep their verification
+        semantics through :meth:`recommend_for`.
+
+        ``tol`` bounds the L1 distance to the exact personalised scores
+        (push's residual-mass certificate); ranking-quality differences
+        at the default 1e-8 are negligible.
+        """
+        graph, _scores = self._require_fitted()
+        if self.config.solver != "power":
+            # Keep the configured solver's semantics (and honour tol).
+            return self.recommend_for(
+                seeds, k, include_seeds=include_seeds, tol=tol
+            )
+        bundle = d2pr_operator(
+            graph,
+            self.config.p,
+            beta=self.config.beta if self.config.weighted else 0.0,
+            weighted=self.config.weighted,
+        )
+        # One source of truth for seed semantics: normalise through the
+        # same helper recommend_for's personalised solve uses, then hand
+        # push an explicit (indices, weights) pair.
+        by_node = seed_weights(seeds)
+        indices = np.array(
+            [graph.index_of(node) for node in by_node], dtype=np.int64
+        )
+        weights = np.array(list(by_node.values()))
+        result = forward_push(
+            None,
+            (indices, weights),
+            alpha=self.config.alpha,
+            tol=tol,
+            operator=bundle,
+        )
+        seeded = NodeScores(graph, result.scores, result)
         return self._top_k(seeded, set(seeds), k, include_seeds)
 
     def recommend_for_many(

@@ -401,3 +401,79 @@ class TestFreeze:
         g = Graph.from_edges([("a", "b")])
         g.freeze().freeze()
         assert g.frozen
+
+
+class TestOperatorBundleCache:
+    """Graph-cached solver-operator bundles follow the matrix-cache contract."""
+
+    @staticmethod
+    def _bundle(g):
+        from repro.linalg.transition import uniform_transition
+
+        return g.operator_bundle(
+            ("walk", False),
+            lambda: uniform_transition(g.to_csr(weighted=False)),
+        )
+
+    def test_bundle_memoised_until_mutation(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        bundle = self._bundle(g)
+        assert self._bundle(g) is bundle
+        assert bundle.t_csr is bundle.t_csr
+
+    def test_bundle_counts_as_cache_entry(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        before = g.cache_info()["entries"]
+        self._bundle(g)
+        after = g.cache_info()
+        assert after["entries"] > before
+        self._bundle(g)
+        assert g.cache_info()["hits"] == after["hits"] + 1
+
+    def test_mutation_invalidates_bundle(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        stale = self._bundle(g)
+        stale_t = stale.t_csr
+        version = g.mutation_count
+        g.add_edge("c", "a")
+        assert g.mutation_count > version
+        fresh = self._bundle(g)
+        assert fresh is not stale
+        # The fresh bundle sees the new edge; the stale one never will.
+        assert fresh.t_csr.nnz == stale_t.nnz + 1
+        assert not fresh.has_dangling  # the cycle closed
+        assert stale.has_dangling
+
+    def test_mutation_invalidates_dangling_mask(self):
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        assert self._bundle(g).dangle_mask[g.index_of("c")]
+        g.add_edge("c", "b")
+        assert not self._bundle(g).dangle_mask.any()
+
+    def test_frozen_graph_keeps_bundle_stable(self):
+        from repro.errors import FrozenGraphError
+
+        g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        g.freeze()
+        bundle = self._bundle(g)
+        with pytest.raises(FrozenGraphError):
+            g.add_edge("c", "a")
+        # The rejected mutation must not have touched the cache.
+        assert self._bundle(g) is bundle
+
+    def test_invalidate_caches_drops_bundle(self):
+        g = DiGraph.from_edges([("a", "b")])
+        bundle = self._bundle(g)
+        g.invalidate_caches()
+        assert self._bundle(g) is not bundle
+
+    def test_d2pr_solve_reuses_bundle_across_calls(self):
+        from repro.core.d2pr import d2pr, d2pr_operator
+
+        g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        d2pr(g, 1.0, tol=1e-8)
+        bundle = d2pr_operator(g, 1.0)
+        misses = g.cache_info()["misses"]
+        d2pr(g, 1.0, tol=1e-8, alpha=0.6)
+        assert d2pr_operator(g, 1.0) is bundle
+        assert g.cache_info()["misses"] == misses

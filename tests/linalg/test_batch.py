@@ -424,3 +424,28 @@ class TestAlphaFamily:
             alphas=0.85, tol=1e-4, precision="mixed",
         )
         assert loose.method == "power_iteration_batch"
+
+
+class TestOperatorParam:
+    def test_operator_kwarg_matches_plain_call(self):
+        from repro.linalg import LinearOperatorBundle
+
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        t = d2pr_transition(g, 1.0)
+        bundle = LinearOperatorBundle.of(t)
+        plain = power_iteration_batch(t, n_queries=3, alphas=[0.5, 0.7, 0.9])
+        via_op = power_iteration_batch(
+            t, n_queries=3, alphas=[0.5, 0.7, 0.9], operator=bundle
+        )
+        np.testing.assert_allclose(plain.scores, via_op.scores, atol=1e-12)
+
+    def test_operator_shape_mismatch_rejected(self):
+        from repro.linalg import LinearOperatorBundle
+
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        other = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        bundle = LinearOperatorBundle.of(d2pr_transition(other, 0.0))
+        with pytest.raises(ParameterError):
+            power_iteration_batch(
+                d2pr_transition(g, 0.0), n_queries=2, operator=bundle
+            )

@@ -13,7 +13,12 @@ synthetic graph (default 100k nodes / 1M candidate edges):
 * **ppr_batch** — 64 personalised-PageRank queries served one `d2pr` call
   at a time vs one batched ``solve_many`` pass (the multi-query engine);
 * **sweep** — the paper's full p-grid × α-grid evaluation protocol as a
-  nested per-point loop vs one batched, warm-started ``solve_many`` call.
+  nested per-point loop vs one batched, warm-started ``solve_many`` call;
+* **single_query** — the low-latency serving path: (a) single-query power
+  iteration paying the per-call ``P.T.tocsr()`` conversion (the pre-fix
+  behaviour) vs the shared cached operator bundle, and (b) single-seed
+  personalised queries by full power iteration vs the localized
+  forward-push solver on a community-structured serving graph.
 
 Results are written to ``BENCH_core.json`` so the perf trajectory is
 tracked across PRs.  ``--quick`` shrinks the workload for CI smoke runs.
@@ -42,6 +47,11 @@ from repro.core.pagerank import pagerank  # noqa: E402
 from repro.core.personalized import personalized_d2pr  # noqa: E402
 from repro.core.walkers import simulate_walk  # noqa: E402
 from repro.graph.base import Graph  # noqa: E402
+from repro.linalg import (  # noqa: E402
+    LinearOperatorBundle,
+    forward_push,
+    power_iteration,
+)
 
 SEED = 20160315
 
@@ -261,6 +271,144 @@ def _bench_sweep(
     }
 
 
+def _community_graph(
+    n: int, community: int, reps: int, rng: np.random.Generator
+) -> Graph:
+    """Ring of dense communities: the localized-mass serving regime.
+
+    Each node links to ``reps`` random peers inside its ``community``-sized
+    block and one bridge edge joins consecutive blocks.  Personalised mass
+    from a single seed stays concentrated in a small neighbourhood (the
+    regime the push solver targets), while global mixing is slow — the
+    opposite profile of the uniform-random batch graph.
+    """
+    u = np.repeat(np.arange(n, dtype=np.int64), reps)
+    offsets = rng.integers(1, community, size=u.size)
+    v = (u // community) * community + (u % community + offsets) % community
+    bridge_u = np.arange(0, n, community, dtype=np.int64)
+    bridge_v = (bridge_u + community) % n
+    rows = np.concatenate([u, bridge_u])
+    cols = np.concatenate([v, bridge_v])
+    keep = rows != cols
+    return Graph.from_arrays(rows[keep], cols[keep], num_nodes=n)
+
+
+def _bench_single_query(
+    batch_graph: Graph, local_graph: Graph, n_queries: int, tol: float
+) -> dict:
+    """Single-query serving: cached operator vs per-call transpose, push vs power.
+
+    Part (a) reproduces the fixed bug: every single-query solver used to
+    re-run ``P.T.tocsr()`` per call.  The legacy side hands the solver a
+    *fresh* (cold) bundle per query — identical arithmetic, per-call
+    conversion — while the fixed side reuses the memoised bundle, exactly
+    what ``d2pr``/``pagerank`` now do on an unmutated graph.
+
+    Part (b) serves single-seed personalised queries on the
+    community-structured graph twice: full power iteration vs the
+    forward-push solver, both through the same warm bundle, both at the
+    same tolerance (push's residual-mass certificate bounds the same L1
+    error the power residual tracks).
+    """
+    p = 1.0
+    rng = np.random.default_rng(SEED + 2)
+
+    # --- (a) cached operator bundle vs per-call transpose -------------
+    transition = d2pr_transition(batch_graph, p)
+    n = batch_graph.number_of_nodes
+    seeds = rng.choice(n, n_queries, replace=False)
+    teleports = []
+    for s in seeds:
+        t = np.zeros(n)
+        t[s] = 1.0
+        teleports.append(t)
+    LinearOperatorBundle.of(transition).t_csr  # warm the fixed side
+
+    def legacy():
+        return [
+            power_iteration(
+                transition,
+                teleport=t,
+                tol=tol,
+                operator=LinearOperatorBundle(transition),
+            ).scores
+            for t in teleports
+        ]
+
+    def cached():
+        return [
+            power_iteration(transition, teleport=t, tol=tol).scores
+            for t in teleports
+        ]
+
+    op_rounds = _interleaved_rounds(legacy, cached, 1.0)
+    worst_op = max(
+        float(np.abs(a - b).max())
+        for a, b in zip(op_rounds["seq_result"], op_rounds["bat_result"])
+    )
+
+    # --- (b) push vs power on the localized serving graph -------------
+    local_t = d2pr_transition(local_graph, p)
+    bundle = LinearOperatorBundle.of(local_t)
+    bundle.t_csr  # warm: both sides solve through the same operator
+    n_local = local_graph.number_of_nodes
+    local_seeds = rng.choice(n_local, n_queries, replace=False)
+    local_teleports = []
+    for s in local_seeds:
+        t = np.zeros(n_local)
+        t[s] = 1.0
+        local_teleports.append(t)
+
+    def by_power():
+        return [
+            power_iteration(
+                local_t, teleport=t, tol=tol, operator=bundle
+            ).scores
+            for t in local_teleports
+        ]
+
+    def by_push():
+        return [
+            forward_push(
+                local_t, int(s), tol=tol, operator=bundle
+            ).scores
+            for s in local_seeds
+        ]
+
+    push_rounds = _interleaved_rounds(by_power, by_push, 1.0)
+    worst_push = max(
+        float(np.abs(a - b).sum())
+        for a, b in zip(push_rounds["seq_result"], push_rounds["bat_result"])
+    )
+    push_methods = sorted(
+        {
+            forward_push(local_t, int(s), tol=tol, operator=bundle).method
+            for s in local_seeds[:2]
+        }
+    )
+
+    return {
+        "n_queries": n_queries,
+        "cached_operator": {
+            "per_call_transpose_s": op_rounds["seq_s"],
+            "cached_bundle_s": op_rounds["bat_s"],
+            "round_speedups": op_rounds["round_speedups"],
+            "speedup": op_rounds["speedup"],
+            "max_abs_diff": worst_op,
+        },
+        "push": {
+            "local_nodes": n_local,
+            "local_edges": local_graph.number_of_edges,
+            "power_s": push_rounds["seq_s"],
+            "push_s": push_rounds["bat_s"],
+            "round_speedups": push_rounds["round_speedups"],
+            "speedup": push_rounds["speedup"],
+            "max_l1_diff": worst_push,
+            "methods": push_methods,
+        },
+    }
+
+
 def run(n: int, m: int, walk_steps: int, *, quick: bool = False) -> dict:
     rng = np.random.default_rng(SEED)
     rows, cols = _edge_batch(n, m, rng)
@@ -373,6 +521,28 @@ def run(n: int, m: int, walk_steps: int, *, quick: bool = False) -> dict:
         f"  sequential {report['sweep']['sequential_s']:.3f}s  "
         f"batched {report['sweep']['batched_s']:.3f}s  "
         f"({report['sweep']['speedup']:.1f}x)"
+    )
+
+    if quick:
+        local_graph = _community_graph(5_000, 20, 10, rng)
+        n_queries = 4
+    else:
+        print("single_query: building community-structured serving graph")
+        local_graph = _community_graph(1_000_000, 20, 10, rng)
+        n_queries = 8
+    print(f"single_query: {n_queries} single-seed queries")
+    report["single_query"] = _bench_single_query(
+        big_graph, local_graph, n_queries, tol
+    )
+    op = report["single_query"]["cached_operator"]
+    push = report["single_query"]["push"]
+    print(
+        f"  operator: per-call transpose {op['per_call_transpose_s']:.3f}s  "
+        f"cached bundle {op['cached_bundle_s']:.3f}s  ({op['speedup']:.2f}x)"
+    )
+    print(
+        f"  push: power {push['power_s']:.3f}s  push {push['push_s']:.3f}s  "
+        f"({push['speedup']:.1f}x)"
     )
     return report
 

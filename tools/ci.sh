@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: full test suite plus a smoke run of the perf benchmark.
-# The --quick bench exercises every scenario, including the batched
-# multi-query engine (ppr_batch, sweep), so a broken batch path fails CI
-# even before the full-size numbers are regenerated.
+# The --quick bench exercises every scenario — the batched multi-query
+# engine (ppr_batch, sweep) and the single-query serving path
+# (single_query: cached operator bundle + forward push) — so a broken
+# batch, operator-cache or push path fails CI even before the full-size
+# numbers are regenerated.
 # Mirrors what .github/workflows/ci.yml executes on every push; run it
 # locally before sending a PR.
 set -euo pipefail

@@ -18,6 +18,7 @@ from repro.core.engine import (
     adjacency_and_theta,
     build_teleport,
     solve_many,
+    update_scores,
 )
 from repro.core.hits import HitsResult, hits
 from repro.core.hitting import commute_time, hitting_times
@@ -67,6 +68,7 @@ __all__ = [
     "SOLVERS",
     "RankQuery",
     "solve_many",
+    "update_scores",
     "adjacency_and_theta",
     "build_teleport",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "build_teleport",
     "solve_transition",
     "solve_many",
+    "update_scores",
     "adjacency_and_theta",
 ]
 
@@ -99,6 +100,7 @@ def solve_transition(
     tol: float = 1e-10,
     max_iter: int = 1000,
     operator: LinearOperatorBundle | None = None,
+    warm_from: np.ndarray | None = None,
     **extra: Any,
 ) -> PageRankResult:
     """Dispatch to one of the solvers by name.
@@ -108,11 +110,26 @@ def solve_transition(
     re-derives transpose/dangling views per call; when omitted each solver
     falls back to the bundle memoised on the transition matrix object.
 
+    ``warm_from`` seeds the iterative solvers with a previous solution
+    (the streaming-update hot path: scores of the pre-delta system are an
+    excellent initial iterate for the post-delta one).  Supported by
+    ``"power"`` and ``"gauss_seidel"``; ``"direct"`` is exact and ignores
+    it; ``"push"`` rejects it — its warm state is residual mass, not an
+    iterate (use :func:`update_scores` /
+    :func:`repro.linalg.incremental.incremental_update` instead).
+
     ``solver="push"`` routes to :func:`~repro.linalg.push.forward_push`,
     the low-latency path for sparse personalised teleports; a ``None``
     (uniform) teleport or a non-localized query falls back to power
     iteration inside the push solver itself.
     """
+    if warm_from is not None and solver == "push":
+        raise ParameterError(
+            "solver='push' does not take warm_from; use update_scores / "
+            "incremental_update for warm incremental solving"
+        )
+    if warm_from is not None and "x0" in extra:
+        raise ParameterError("pass either warm_from or x0, not both")
     if solver == "power":
         return power_iteration(
             transition,
@@ -122,6 +139,7 @@ def solve_transition(
             max_iter=max_iter,
             dangling=dangling,
             operator=operator,
+            x0=warm_from if warm_from is not None else extra.pop("x0", None),
             **extra,
         )
     if solver == "gauss_seidel":
@@ -133,6 +151,7 @@ def solve_transition(
             max_iter=max(max_iter, 1),
             dangling=dangling,
             operator=operator,
+            x0=warm_from if warm_from is not None else extra.pop("x0", None),
             **extra,
         )
     if solver == "direct":
@@ -229,14 +248,29 @@ class RankQuery:
 
 
 def _teleport_digest(vec: np.ndarray | None) -> bytes | None:
-    """Stable identity of a teleport vector for warm-start matching."""
+    """Stable identity of a teleport vector for warm-start matching.
+
+    The digest is taken over the vector **normalised to unit mass**, so
+    two proportional teleports (``v`` and ``3·v``) — which define the
+    same personalised system — always digest equal and can warm-start
+    each other.  A vector without positive finite mass has no valid
+    normalisation (and no valid solve): it raises
+    :class:`~repro.errors.ParameterError` here instead of silently
+    digesting raw bytes, which used to let a zero vector produce a
+    "valid-looking" digest while scaled copies of one teleport failed to
+    match.
+    """
     if vec is None:
         return None
-    total = vec.sum()
-    normalised = vec / total if total > 0 else vec
-    return hashlib.sha1(
-        np.ascontiguousarray(normalised, dtype=np.float64).tobytes()
-    ).digest()
+    arr = np.ascontiguousarray(vec, dtype=np.float64)
+    if not np.isfinite(arr).all() or (arr < 0).any():
+        raise ParameterError(
+            "teleport vector must be non-negative and finite"
+        )
+    total = arr.sum()
+    if total <= 0.0:
+        raise ParameterError("teleport vector must have positive mass")
+    return hashlib.sha1((arr / total).tobytes()).digest()
 
 
 def solve_many(
@@ -365,6 +399,105 @@ def solve_many(
         prev_signature = signature
         prev_scores = batch.scores
     return out
+
+
+def update_scores(
+    previous,
+    delta,
+    *,
+    p: float = 0.0,
+    alpha: float = 0.85,
+    beta: float = 0.0,
+    weighted: bool = False,
+    teleport: Mapping[Node, float] | Sequence[Node] | np.ndarray | None = None,
+    dangling: str = "teleport",
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+    clamp_min: float | None = None,
+    frontier_cap: float = 0.2,
+    apply_delta: bool = True,
+):
+    """Apply a graph delta and incrementally update a previous solution.
+
+    The streaming serving path: given the :class:`~repro.core.results.
+    NodeScores` of an earlier :func:`~repro.core.d2pr.d2pr` /
+    :func:`~repro.core.pagerank.pagerank` solve and a
+    :class:`~repro.graph.delta.GraphDelta`, this
+
+    1. applies the delta to the scores' graph through the delta-aware
+       cache refresh (:meth:`~repro.graph.base.BaseGraph.apply_delta` —
+       cached matrices and operator bundles are patched, not evicted),
+    2. re-solves by **residual correction**
+       (:func:`~repro.linalg.incremental.incremental_update`): only the
+       residual the delta creates is propagated, instead of re-streaming
+       the whole matrix for a cold solve.
+
+    ``(p, alpha, beta, weighted, teleport, dangling, clamp_min)`` must
+    describe the query that produced ``previous`` — the delta changes
+    the graph, not the question.  The result converges to the cold
+    re-solve answer within solver tolerance (certified; see
+    ``linalg/incremental.py``) and is typically far cheaper for deltas
+    touching a small fraction of edges (``tools/bench_perf.py``,
+    ``dynamic_update``).
+
+    ``apply_delta=False`` skips step 1 for callers that already applied
+    the delta (e.g. several ``update_scores`` calls for different
+    queries after one mutation).  Frozen (shared) graphs raise
+    :class:`~repro.errors.FrozenGraphError` from step 1, exactly like
+    any other mutation.
+
+    Returns
+    -------
+    NodeScores
+        Updated scores on the (mutated) graph; ``solver_result.method``
+        reports ``"incremental_push"`` or ``"incremental_fallback"``.
+    """
+    from repro.core.d2pr import d2pr_operator  # local: avoids cycle
+    from repro.core.results import NodeScores
+    from repro.linalg.incremental import incremental_update, residual_vector
+    from repro.linalg.solvers import _validate_common
+
+    if not isinstance(previous, NodeScores):
+        raise ParameterError(
+            "previous must be the NodeScores of an earlier solve, "
+            f"got {type(previous).__name__}"
+        )
+    graph = previous.graph
+    teleport_vec = build_teleport(graph, teleport)
+    baseline = None
+    if apply_delta:
+        # Capture the old system's residual of the previous scores before
+        # the delta lands: the bundle is (typically) still cached, one
+        # extra matvec through the free CSC view costs far less than the
+        # global-dust cleanup it saves the push solver (see
+        # ``incremental_update``'s baseline_residual).
+        old_bundle = d2pr_operator(
+            graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
+        )
+        _, t_norm = _validate_common(None, alpha, teleport_vec, old_bundle)
+        prev_values = previous.values
+        prev_total = prev_values.sum()
+        if prev_total > 0.0:
+            baseline = residual_vector(
+                old_bundle, prev_values / prev_total, t_norm, alpha, dangling
+            )
+        graph.apply_delta(delta)
+    bundle = d2pr_operator(
+        graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
+    )
+    result = incremental_update(
+        None,
+        previous.values,
+        alpha=alpha,
+        teleport=teleport_vec,
+        dangling=dangling,
+        tol=tol,
+        max_iter=max_iter,
+        frontier_cap=frontier_cap,
+        operator=bundle,
+        baseline_residual=baseline,
+    )
+    return NodeScores(graph, result.scores, result)
 
 
 def adjacency_and_theta(

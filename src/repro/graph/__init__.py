@@ -15,6 +15,7 @@ Public surface:
 
 from repro.graph.base import DiGraph, Graph, Node
 from repro.graph.bipartite import BipartiteGraph, project
+from repro.graph.delta import GraphDelta
 from repro.graph.centrality import (
     betweenness_centrality,
     closeness_centrality,
@@ -56,6 +57,7 @@ from repro.graph.stats import (
 __all__ = [
     "Graph",
     "DiGraph",
+    "GraphDelta",
     "Node",
     "BipartiteGraph",
     "project",

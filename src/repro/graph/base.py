@@ -68,6 +68,25 @@ Node = Hashable
 __all__ = ["Graph", "DiGraph", "Node"]
 
 
+class PendingRefresh:
+    """A deferred delta-aware cache patch (see :mod:`repro.graph.delta`).
+
+    :meth:`BaseGraph.apply_delta` stores these in place of evicting cache
+    entries; :meth:`BaseGraph.cached` resolves them transparently on
+    first access, so the patch cost is paid only for entries a caller
+    actually touches after the delta — an entry that is never read again
+    costs nothing beyond holding the (aliased, immutable) plan arrays.
+    """
+
+    __slots__ = ("_build",)
+
+    def __init__(self, build: Callable[[], Any]) -> None:
+        self._build = build
+
+    def resolve(self) -> Any:
+        return self._build()
+
+
 def row_segments(
     sources: np.ndarray, n_rows: int
 ) -> tuple[np.ndarray, list[tuple[int, int, int]]]:
@@ -141,11 +160,15 @@ class BaseGraph:
         """Return ``builder()`` memoised under ``key`` until the next mutation.
 
         The cache is invalidated wholesale whenever the graph structure
-        changes (node added, edge added/re-weighted, bulk ingestion), so
-        ``key`` only needs to encode the *parameters* of the derived
-        object — e.g. ``("d2pr", p, beta, weighted, clamp_min)`` — not the
-        graph state.  Cached values are shared between callers and must be
-        treated as read-only.
+        changes through the classic mutators (node added, edge
+        added/re-weighted, bulk ingestion), so ``key`` only needs to
+        encode the *parameters* of the derived object — e.g.
+        ``("d2pr", p, beta, weighted, clamp_min)`` — not the graph state.
+        The streaming path (:meth:`apply_delta`) instead *refreshes*
+        known entries: it stores deferred patch thunks that this method
+        resolves transparently on first access, so a refreshed entry is
+        always consistent with the current structure.  Cached values are
+        shared between callers and must be treated as read-only.
         """
         try:
             value = self._cache[key]
@@ -154,6 +177,12 @@ class BaseGraph:
             value = builder()
             self._cache[key] = value
             return value
+        if type(value) is PendingRefresh:
+            # A delta-aware patch queued by apply_delta: materialise it
+            # now (still far cheaper than builder() from scratch) and
+            # keep the result for everyone else.
+            value = value.resolve()
+            self._cache[key] = value
         self._cache_hits += 1
         return value
 
@@ -187,6 +216,74 @@ class BaseGraph:
         the library does); normal mutations invalidate automatically.
         """
         self._invalidate()
+
+    def apply_delta(self, delta) -> dict:
+        """Apply a batched :class:`~repro.graph.delta.GraphDelta`.
+
+        The streaming mutation path: edge inserts (upserts), deletes and
+        re-weights are validated and folded into the columnar edge store
+        in one vectorised pass, and — unlike the classic mutators, which
+        evict the whole derived-object cache — the known cached matrices
+        (COO/CSR exports, transition matrices, operator bundles) are
+        **refreshed** with surgically patched replacements: only rows the
+        delta actually touches are recomputed, untouched rows are
+        block-copied.  ``mutation_count`` still bumps once, cached objects
+        are never mutated (holders of pre-delta matrices stay consistent),
+        and unrecognised cache entries are dropped.
+
+        Returns a stats dict with op counts and the refreshed/dropped
+        cache keys.  Raises :class:`~repro.errors.FrozenGraphError` on
+        frozen (shared) graphs, :class:`~repro.errors.EdgeError` for
+        deletes/re-weights of missing edges, and the usual validation
+        errors for bad indices or weights.  See
+        ``docs/performance.md`` ("Streaming updates") for the contract.
+        """
+        from repro.graph.delta import apply_graph_delta
+
+        return apply_graph_delta(self, delta)
+
+    def _canonical_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Canonical ``(rows, cols, weights)`` with each edge stored once.
+
+        Unlike :meth:`edge_arrays` this may alias the internal columnar
+        store — callers must not mutate the result.
+        """
+        if self._lazy is not None:
+            return self._lazy
+        rows, cols, data = self._coo_from_dicts()
+        if not self.directed:
+            once = rows < cols
+            return rows[once], cols[once], data[once]
+        return rows, cols, data
+
+    def _canonical_pairs(
+        self, rows: np.ndarray, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Orientation-canonical form of delta index pairs."""
+        if not self.directed:
+            return np.minimum(rows, cols), np.maximum(rows, cols)
+        return rows, cols
+
+    def _delta_touched(self, delta) -> tuple[np.ndarray, ...]:
+        """Index arrays of rows whose adjacency/theta a delta changes."""
+        if not self.directed:
+            return (
+                delta.insert_rows, delta.insert_cols,
+                delta.delete_rows, delta.delete_cols,
+                delta.reweight_rows, delta.reweight_cols,
+            )
+        return (delta.insert_rows, delta.delete_rows, delta.reweight_rows)
+
+    def _set_edge_store(
+        self, rows: np.ndarray, cols: np.ndarray, data: np.ndarray
+    ) -> None:
+        """Replace the edge store with canonical columnar arrays."""
+        if self._lazy is None:
+            # Dicts were materialised and now hold stale edges; reset
+            # them (columnar mode keeps them empty by invariant).
+            self._succ = [{} for _ in range(self.number_of_nodes)]
+        self._lazy = (rows, cols, data)
+        self._num_edges = rows.shape[0]
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss counters and current cache size (for tests/diagnostics)."""
@@ -912,6 +1009,14 @@ class DiGraph(BaseGraph):
     def _add_integer_nodes(self, n: int) -> None:
         super()._add_integer_nodes(n)
         self._pred = [{} for _ in range(n)]
+
+    def _set_edge_store(
+        self, rows: np.ndarray, cols: np.ndarray, data: np.ndarray
+    ) -> None:
+        materialised = self._lazy is None
+        super()._set_edge_store(rows, cols, data)
+        if materialised:
+            self._pred = [{} for _ in range(self.number_of_nodes)]
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
         """Add (or re-weight) the directed edge ``u -> v``.

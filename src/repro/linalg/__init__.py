@@ -1,6 +1,7 @@
 """Numerical substrate: transition builders, cached operators and solvers."""
 
 from repro.linalg.batch import BatchResult, power_iteration_batch
+from repro.linalg.incremental import incremental_update, residual_vector
 from repro.linalg.operator import LinearOperatorBundle
 from repro.linalg.push import forward_push
 from repro.linalg.solvers import (
@@ -31,6 +32,8 @@ __all__ = [
     "power_iteration_batch",
     "extrapolated_power_iteration",
     "forward_push",
+    "incremental_update",
+    "residual_vector",
     "gauss_seidel",
     "direct_solve",
     "patch_dangling",

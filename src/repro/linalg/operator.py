@@ -173,13 +173,18 @@ class LinearOperatorBundle:
         if mat.shape[0] == 0:
             raise ParameterError("transition matrix must be non-empty")
         self._mat = mat
-        # Structural fingerprint of the wrapped matrix: scipy's sparse
-        # setitem replaces the index/data arrays, so a changed buffer
-        # identity (or nnz) reveals structural in-place edits and lets
-        # `of` rebuild instead of serving stale views.  Pure value edits
-        # through the same buffer remain undetectable — hence the
-        # wrap-only-immutable-matrices contract.
-        self._fingerprint = (id(mat.data), id(mat.indices), mat.nnz)
+        # Fingerprint of the wrapped matrix: scipy's sparse setitem
+        # replaces the index/data arrays, so a changed buffer identity
+        # (or nnz) reveals structural in-place edits, and the value
+        # checksum catches the sneakier failure of mutating `.data`
+        # through the same buffer (same sparsity pattern) — which used
+        # to serve a stale cached transpose/float32 copy.  `of` rebuilds
+        # on any mismatch.  The checksum is O(nnz) in the sum plus a
+        # fixed-size sampled digest, so compensating edits confined to
+        # unsampled positions remain theoretically undetectable — the
+        # wrap-only-immutable-matrices contract still stands; the
+        # fingerprint is a guard rail, not a licence to mutate.
+        self._fingerprint = self._fingerprint_of(mat)
         self._mat_f32: sparse.csr_matrix | None = None
         self._t_csr: sparse.csr_matrix | None = None
         self._dangle_mask: np.ndarray | None = None
@@ -187,6 +192,25 @@ class LinearOperatorBundle:
         self._uniform: np.ndarray | None = None
         # (strategy, teleport-digest) -> patched CSR / CSC pair, capped.
         self._patched: dict[tuple[str, bytes], tuple] = {}
+
+    @staticmethod
+    def _fingerprint_of(mat: sparse.csr_matrix) -> tuple:
+        """Cheap identity + value checksum of a CSR matrix.
+
+        Buffer identities and ``nnz`` detect structural edits; the exact
+        data sum plus a SHA-1 of ≤ 65 strided samples detects in-place
+        value mutation through the same buffers.
+        """
+        data = mat.data
+        if data.size:
+            stride = max(1, data.size // 64)
+            sample = np.ascontiguousarray(data[::stride])
+            value_sum = float(data.sum())
+            digest = hashlib.sha1(sample.tobytes()).digest()
+        else:
+            value_sum = 0.0
+            digest = b""
+        return (id(data), id(mat.indices), mat.nnz, value_sum, digest)
 
     @classmethod
     def of(
@@ -198,15 +222,17 @@ class LinearOperatorBundle:
         with the same object — e.g. a transition held in a graph's matrix
         cache — returns the same bundle, and the bundle dies with the
         matrix.  Matrices that reject attribute assignment simply get a
-        fresh (uncached) bundle.
+        fresh (uncached) bundle.  A fingerprint mismatch — structural
+        setitem *or* in-place value mutation of ``.data`` (see
+        :meth:`_fingerprint_of`) — rebuilds instead of serving stale
+        derived views.
         """
         if isinstance(transition, cls):
             return transition
         bundle = getattr(transition, _BUNDLE_ATTR, None)
-        if isinstance(bundle, cls) and bundle._fingerprint == (
-            id(bundle._mat.data),
-            id(bundle._mat.indices),
-            bundle._mat.nnz,
+        if (
+            isinstance(bundle, cls)
+            and bundle._fingerprint == cls._fingerprint_of(bundle._mat)
         ):
             return bundle
         bundle = cls(transition)

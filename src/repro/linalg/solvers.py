@@ -127,6 +127,19 @@ def _validate_common(
     return bundle, t
 
 
+def _normalise_x0(x0: np.ndarray, t: np.ndarray) -> np.ndarray:
+    """Validate and unit-normalise a warm-start iterate (shared by solvers)."""
+    x = np.asarray(x0, dtype=np.float64)
+    if x.shape != t.shape:
+        raise ParameterError(f"x0 must have shape {t.shape}, got {x.shape}")
+    total = x.sum()
+    if not total > 0.0 or (x < 0).any():
+        raise ParameterError(
+            "x0 must be a non-negative vector with positive mass"
+        )
+    return x / total
+
+
 def validate_stochastic_rows(
     transition: sparse.spmatrix, *, atol: float = 1e-9
 ) -> None:
@@ -202,20 +215,7 @@ def power_iteration(
     dangle_target = bundle.dangling_target(dangling, t)
 
     mat_t = bundle.t_csr  # we repeatedly need P.T @ x
-    if x0 is None:
-        x = t.copy()
-    else:
-        x = np.asarray(x0, dtype=np.float64)
-        if x.shape != t.shape:
-            raise ParameterError(
-                f"x0 must have shape {t.shape}, got {x.shape}"
-            )
-        total = x.sum()
-        if total <= 0.0 or (x < 0).any():
-            raise ParameterError(
-                "x0 must be a non-negative vector with positive mass"
-            )
-        x = x / total
+    x = t.copy() if x0 is None else _normalise_x0(x0, t)
     residuals: list[float] = []
     converged = False
     iterations = 0
@@ -367,6 +367,7 @@ def gauss_seidel(
     dangling: str = "teleport",
     raise_on_failure: bool = False,
     operator: LinearOperatorBundle | None = None,
+    x0: np.ndarray | None = None,
 ) -> PageRankResult:
     """Solve ``(I − α·P.T) r = (1−α) t`` with forward Gauss–Seidel sweeps.
 
@@ -374,6 +375,8 @@ def gauss_seidel(
     Each sweep updates ``r[j]`` in place using the freshest values.  Sweeps
     are Python-loop bound, so this solver exists as an independent
     verification path for small/medium graphs, not as the production path.
+    ``x0`` optionally warm-starts the sweeps (normalised automatically);
+    the fixed point is unchanged.
     """
     bundle, t = _validate_common(transition, alpha, teleport, operator)
     n = bundle.n
@@ -381,7 +384,7 @@ def gauss_seidel(
     # bundle's memoised patched-CSC view (dangling rows densified once per
     # (strategy, teleport) instead of per call).
     csc = bundle.patched_csc(dangling, t)
-    x = t.copy()
+    x = t.copy() if x0 is None else _normalise_x0(x0, t)
     b = (1.0 - alpha) * t
     residuals: list[float] = []
     converged = False

@@ -13,7 +13,12 @@ small recommender with the two standard modes:
   whole cohort of personalised queries as one batched solve
   (:func:`repro.core.engine.solve_many`): every user shares the fitted
   transition matrix, so the cohort differs only in teleport vectors and
-  advances together, one sparse·dense multiply per sweep.
+  advances together, one sparse·dense multiply per sweep,
+* **streaming updates** — :meth:`D2PRRecommender.update` absorbs a
+  :class:`~repro.graph.delta.GraphDelta` without a refit: the fitted
+  graph's caches are patched in place and the global ranking is
+  corrected incrementally (:func:`repro.core.engine.update_scores`), so
+  serving survives edits.
 
 The degree de-coupling weight ``p`` is the recommender's key hyper-parameter;
 :meth:`D2PRRecommender.tune_p` selects it by maximising rank correlation
@@ -29,7 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.d2pr import d2pr, d2pr_operator
-from repro.core.engine import RankQuery, solve_many
+from repro.core.engine import RankQuery, solve_many, update_scores
 from repro.core.personalized import personalized_d2pr, seed_weights
 from repro.core.results import NodeScores
 from repro.errors import ParameterError, ReproError
@@ -112,6 +117,34 @@ class D2PRRecommender:
         )
         return self
 
+    def update(self, delta, *, tol: float = 1e-10) -> "D2PRRecommender":
+        """Absorb a :class:`~repro.graph.delta.GraphDelta` without a refit.
+
+        The streaming-serving counterpart of :meth:`fit`: the delta is
+        applied to the fitted graph through the delta-aware cache refresh
+        and the precomputed global ranking is **incrementally corrected**
+        (:func:`repro.core.engine.update_scores`) instead of re-solved
+        from scratch — bulk serving (:meth:`recommend`,
+        :meth:`recommend_for_many`, :meth:`recommend_one`) keeps running
+        against up-to-date scores and patched cached operators while the
+        graph takes edits.  Fitted on a frozen shared graph, the update
+        raises :class:`~repro.errors.FrozenGraphError` (fit a private
+        ``graph.copy()`` to serve a mutable stream).
+
+        Returns ``self`` for chaining.
+        """
+        _graph, scores = self._require_fitted()
+        self._global_scores = update_scores(
+            scores,
+            delta,
+            p=self.config.p,
+            alpha=self.config.alpha,
+            beta=self.config.beta if self.config.weighted else 0.0,
+            weighted=self.config.weighted,
+            tol=tol,
+        )
+        return self
+
     def _require_fitted(self) -> tuple[BaseGraph, NodeScores]:
         if self._graph is None or self._global_scores is None:
             raise ReproError("recommender is not fitted; call fit(graph) first")
@@ -130,34 +163,72 @@ class D2PRRecommender:
     ) -> list[tuple[Node, float]]:
         """Top-``k`` items by global D2PR significance.
 
-        ``exclude`` removes items the user already knows.
+        ``exclude`` removes items the user already knows.  **Short-result
+        contract:** the list holds fewer than ``k`` entries exactly when
+        fewer than ``k`` eligible items exist (the graph runs out after
+        exclusions) — never because of internal truncation.  Selection is
+        ``argpartition``-based (O(n + k·log k) with over-fetch for the
+        exclusions) instead of a full O(n·log n) ranking per request;
+        ordering matches the full stable ranking, ties broken by node
+        index.
         """
         _graph, scores = self._require_fitted()
-        banned = set(exclude)
+        return self._select_top_k(scores, set(exclude), k)
+
+    @staticmethod
+    def _select_top_k(
+        scores: NodeScores, banned: set, k: int
+    ) -> list[tuple[Node, float]]:
+        """Best ``k`` unbanned nodes, matching the stable full-sort order.
+
+        Over-fetches ``k + len(banned)`` candidates via ``argpartition``
+        so exclusions can never push an eligible item out of the window;
+        returns fewer than ``k`` entries only when the graph has fewer
+        than ``k`` eligible nodes.  Tie-break (equal scores → smaller
+        node index first) reproduces ``NodeScores.ranking()`` exactly,
+        including across the partition boundary.
+        """
+        if k < 0:
+            raise ParameterError(f"k must be >= 0, got {k}")
+        if k == 0:
+            return []
+        values = scores.values
+        n = values.shape[0]
+        m = k + len(banned)
+        if m >= n:
+            order = np.argsort(-values, kind="stable")
+        else:
+            part = np.argpartition(-values, m - 1)[:m]
+            # argpartition picks an arbitrary subset of boundary ties;
+            # re-pick the == threshold candidates by smallest index so the
+            # selection matches the stable full sort.
+            thresh = values[part].min()
+            above = part[values[part] > thresh]
+            at = np.flatnonzero(values == thresh)[: m - above.size]
+            cand = np.concatenate([above, at])
+            order = cand[np.lexsort((cand, -values[cand]))]
+        graph = scores.graph
         out: list[tuple[Node, float]] = []
-        for node in scores.ranking():
+        for idx in order:
+            node = graph.node_at(int(idx))
             if node in banned:
                 continue
-            out.append((node, scores[node]))
+            out.append((node, float(values[idx])))
             if len(out) == k:
                 break
         return out
 
-    @staticmethod
+    @classmethod
     def _top_k(
+        cls,
         seeded: NodeScores,
         seed_set: set,
         k: int,
         include_seeds: bool,
     ) -> list[tuple[Node, float]]:
-        out: list[tuple[Node, float]] = []
-        for node in seeded.ranking():
-            if not include_seeds and node in seed_set:
-                continue
-            out.append((node, seeded[node]))
-            if len(out) == k:
-                break
-        return out
+        return cls._select_top_k(
+            seeded, set() if include_seeds else seed_set, k
+        )
 
     def recommend_for(
         self,

@@ -227,3 +227,112 @@ class TestSolveMany:
     def test_invalid_precision_rejected(self, graph):
         with pytest.raises(ParameterError):
             solve_many(graph, [RankQuery()], precision="half")
+
+
+class TestTeleportDigest:
+    """Regression: digest must normalise, and reject invalid mass."""
+
+    def test_scaled_vectors_digest_equal(self):
+        from repro.core.engine import _teleport_digest
+
+        vec = np.array([0.0, 1.0, 3.0, 0.5])
+        assert _teleport_digest(vec) == _teleport_digest(3.0 * vec)
+        assert _teleport_digest(vec) == _teleport_digest(vec / vec.sum())
+
+    def test_different_shapes_digest_differently(self):
+        from repro.core.engine import _teleport_digest
+
+        a = np.array([1.0, 0.0, 1.0])
+        b = np.array([0.0, 1.0, 1.0])
+        assert _teleport_digest(a) != _teleport_digest(b)
+
+    def test_none_passthrough(self):
+        from repro.core.engine import _teleport_digest
+
+        assert _teleport_digest(None) is None
+
+    def test_zero_mass_rejected(self):
+        from repro.core.engine import _teleport_digest
+
+        with pytest.raises(ParameterError):
+            _teleport_digest(np.zeros(4))
+
+    def test_negative_entries_rejected(self):
+        from repro.core.engine import _teleport_digest
+
+        with pytest.raises(ParameterError):
+            _teleport_digest(np.array([1.0, -1.0, 2.0]))
+
+    def test_non_finite_rejected(self):
+        from repro.core.engine import _teleport_digest
+
+        with pytest.raises(ParameterError):
+            _teleport_digest(np.array([1.0, np.inf]))
+
+    def test_scaled_teleports_warm_start_in_solve_many(self, figure1_graph):
+        # Two groups whose columns differ only by teleport scaling must
+        # produce identical digests, enabling the cross-group warm start.
+        seeds = np.zeros(6)
+        seeds[0] = 1.0
+        cold = solve_many(
+            figure1_graph,
+            [RankQuery(p=0.0, teleport=seeds),
+             RankQuery(p=0.5, teleport=7.5 * seeds)],
+            warm_start=False,
+        )
+        warm = solve_many(
+            figure1_graph,
+            [RankQuery(p=0.0, teleport=seeds),
+             RankQuery(p=0.5, teleport=7.5 * seeds)],
+        )
+        warm_total = sum(r.solver_result.iterations for r in warm)
+        cold_total = sum(r.solver_result.iterations for r in cold)
+        assert warm_total <= cold_total
+        for c, w in zip(cold, warm):
+            np.testing.assert_allclose(c.values, w.values, atol=1e-8)
+
+
+class TestWarmFrom:
+    @pytest.fixture
+    def transition(self, figure1_graph):
+        return uniform_transition(figure1_graph.to_csr())
+
+    def test_power_warm_start_cuts_iterations(self, transition):
+        cold = solve_transition(transition, solver="power", tol=1e-12)
+        warm = solve_transition(
+            transition, solver="power", tol=1e-12, warm_from=cold.scores
+        )
+        assert warm.iterations < cold.iterations
+        np.testing.assert_allclose(warm.scores, cold.scores, atol=1e-10)
+
+    def test_gauss_seidel_warm_start(self, transition):
+        cold = solve_transition(transition, solver="gauss_seidel", tol=1e-12)
+        warm = solve_transition(
+            transition, solver="gauss_seidel", tol=1e-12,
+            warm_from=cold.scores,
+        )
+        assert warm.iterations <= cold.iterations
+        np.testing.assert_allclose(warm.scores, cold.scores, atol=1e-10)
+
+    def test_direct_ignores_warm_from(self, transition):
+        cold = solve_transition(transition, solver="direct")
+        warm = solve_transition(
+            transition, solver="direct", warm_from=cold.scores
+        )
+        np.testing.assert_allclose(warm.scores, cold.scores)
+
+    def test_push_rejects_warm_from(self, transition):
+        seeds = np.zeros(6)
+        seeds[0] = 1.0
+        with pytest.raises(ParameterError, match="warm_from"):
+            solve_transition(
+                transition, solver="push", teleport=seeds,
+                warm_from=np.full(6, 1 / 6),
+            )
+
+    def test_warm_from_and_x0_conflict(self, transition):
+        with pytest.raises(ParameterError, match="not both"):
+            solve_transition(
+                transition, solver="power",
+                warm_from=np.full(6, 1 / 6), x0=np.full(6, 1 / 6),
+            )

@@ -114,6 +114,42 @@ class TestBundleMemoisation:
         assert fresh is not stale
         assert not fresh.has_dangling
 
+    def test_value_only_inplace_edit_rebuilds_bundle(self):
+        # Regression: mutating `.data` through the same buffers (same
+        # sparsity pattern) used to pass the structural fingerprint and
+        # serve a stale cached transpose / float32 copy.
+        from scipy import sparse as sp
+
+        t = sp.csr_matrix(
+            np.array([[0.0, 0.5, 0.5], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        )
+        stale = LinearOperatorBundle.of(t)
+        stale_transpose = stale.t_csr
+        stale_f32 = stale.mat_f32
+        t.data *= np.array([0.5, 1.5, 1.0, 1.0])  # same pattern, new values
+        fresh = LinearOperatorBundle.of(t)
+        assert fresh is not stale
+        np.testing.assert_allclose(fresh.t_csr.toarray(), t.T.toarray())
+        assert not np.allclose(
+            fresh.t_csr.toarray(), stale_transpose.toarray()
+        )
+        np.testing.assert_allclose(
+            fresh.mat_f32.toarray(), t.astype(np.float32).toarray()
+        )
+        assert not np.allclose(fresh.mat_f32.toarray(), stale_f32.toarray())
+
+    def test_single_value_edit_detected_by_checksum(self, figure1_graph):
+        t = d2pr_transition(figure1_graph, 1.0).copy()
+        stale = LinearOperatorBundle.of(t)
+        t.data[0] += 0.125  # one entry, same buffers, same nnz
+        fresh = LinearOperatorBundle.of(t)
+        assert fresh is not stale
+
+    def test_unchanged_matrix_keeps_bundle(self, figure1_graph):
+        t = d2pr_transition(figure1_graph, 1.0)
+        bundle = LinearOperatorBundle.of(t)
+        assert LinearOperatorBundle.of(t) is bundle  # checksum stable
+
     def test_operator_kwarg_used(self, figure1_graph):
         t = d2pr_transition(figure1_graph, 0.0)
         bundle = LinearOperatorBundle(t)

@@ -229,3 +229,124 @@ class TestTunePGridKeys:
         ]
         with pytest.raises(ParameterError):
             rec.recommend_for_many(users, batch_size=0)
+
+
+class TestTopKSelection:
+    """Regression: argpartition top-k must match the stable full sort and
+    honour the short-result contract under exclusions."""
+
+    def _reference(self, scores, banned, k):
+        out = []
+        for node in scores.ranking():
+            if node in banned:
+                continue
+            out.append((node, scores[node]))
+            if len(out) == k:
+                break
+        return out
+
+    def test_matches_full_sort_reference(self, fitted):
+        _g, rec = fitted
+        scores = rec.scores
+        for k in (1, 3, 10, 59, 60, 100):
+            assert rec.recommend(k=k) == self._reference(scores, set(), k)
+
+    def test_matches_reference_with_exclusions(self, fitted):
+        _g, rec = fitted
+        scores = rec.scores
+        banned = set(scores.ranking()[:7])  # ban the whole top
+        assert rec.recommend(k=5, exclude=list(banned)) == self._reference(
+            scores, banned, 5
+        )
+
+    def test_tie_break_matches_stable_sort(self):
+        from repro.graph import Graph
+
+        # 6-cycle: perfectly symmetric, all scores tie.
+        g = Graph.from_edges([(i, (i + 1) % 6) for i in range(6)])
+        rec = D2PRRecommender().fit(g)
+        top = rec.recommend(k=3)
+        assert [node for node, _ in top] == [0, 1, 2]  # smallest index first
+
+    def test_short_result_when_exclusions_exhaust(self, fitted):
+        g, rec = fitted
+        everything = g.nodes()
+        out = rec.recommend(k=10, exclude=everything[:-2])
+        assert len(out) == 2  # only two eligible nodes remain
+
+    def test_k_larger_than_graph(self, fitted):
+        g, rec = fitted
+        out = rec.recommend(k=10_000)
+        assert len(out) == g.number_of_nodes
+
+    def test_k_zero_empty(self, fitted):
+        _g, rec = fitted
+        assert rec.recommend(k=0) == []
+
+    def test_negative_k_rejected(self, fitted):
+        _g, rec = fitted
+        with pytest.raises(ParameterError):
+            rec.recommend(k=-1)
+
+    def test_unknown_excluded_nodes_harmless(self, fitted):
+        _g, rec = fitted
+        out = rec.recommend(k=5, exclude=["no-such-node"])
+        assert len(out) == 5
+
+    def test_recommend_for_seed_exclusion_still_fills_k(self, fitted):
+        g, rec = fitted
+        seeds = g.nodes()[:4]
+        out = rec.recommend_for(seeds, k=8)
+        assert len(out) == 8
+        assert not set(seeds) & {node for node, _ in out}
+
+
+class TestStreamingUpdate:
+    def test_update_matches_refit(self, fitted):
+        from repro.graph import GraphDelta
+
+        g, rec = fitted
+        er, ec, _ = g.edge_arrays()
+        rng = np.random.default_rng(11)
+        dsel = rng.choice(er.shape[0], 3, replace=False)
+        ins_r = rng.integers(0, 60, 5)
+        ins_c = rng.integers(0, 60, 5)
+        keep = ins_r != ins_c
+        delta = GraphDelta.delete(er[dsel], ec[dsel]) | GraphDelta.insert(
+            ins_r[keep], ins_c[keep]
+        )
+        rec.update(delta, tol=1e-11)
+        refit = D2PRRecommender(config=rec.config).fit(g)
+        np.testing.assert_allclose(
+            rec.scores.values, refit.scores.values, atol=1e-8
+        )
+        assert [n for n, _ in rec.recommend(k=10)] == [
+            n for n, _ in refit.recommend(k=10)
+        ]
+
+    def test_update_returns_self_and_serves(self, fitted):
+        from repro.graph import GraphDelta
+
+        g, rec = fitted
+        er, ec, _ = g.edge_arrays()
+        delta = GraphDelta.delete(er[:1], ec[:1])
+        assert rec.update(delta) is rec
+        seeds = [g.nodes()[5]]
+        assert len(rec.recommend_for(seeds, k=5)) == 5
+        assert len(rec.recommend_one(seeds, k=5)) == 5
+
+    def test_update_unfitted_raises(self):
+        from repro.graph import GraphDelta
+
+        with pytest.raises(ReproError):
+            D2PRRecommender().update(GraphDelta())
+
+    def test_update_frozen_graph_raises(self):
+        from repro.errors import FrozenGraphError
+        from repro.graph import GraphDelta, barabasi_albert as ba
+
+        g = ba(40, 2, seed=3).freeze()
+        rec = D2PRRecommender().fit(g)
+        er, ec, _ = g.edge_arrays()
+        with pytest.raises(FrozenGraphError):
+            rec.update(GraphDelta.delete(er[:1], ec[:1]))

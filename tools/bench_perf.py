@@ -18,10 +18,16 @@ synthetic graph (default 100k nodes / 1M candidate edges):
   iteration paying the per-call ``P.T.tocsr()`` conversion (the pre-fix
   behaviour) vs the shared cached operator bundle, and (b) single-seed
   personalised queries by full power iteration vs the localized
-  forward-push solver on a community-structured serving graph.
+  forward-push solver on a community-structured serving graph;
+* **dynamic_update** — streaming graph updates: localized edge deltas
+  (0.1% / 1% of edges) absorbed by ``update_scores`` (delta-aware cache
+  refresh + residual-correction push) vs the pre-streaming behaviour of
+  evicting every cache and re-solving cold.
 
 Results are written to ``BENCH_core.json`` so the perf trajectory is
-tracked across PRs.  ``--quick`` shrinks the workload for CI smoke runs.
+tracked across PRs.  ``--quick`` shrinks the workload for CI smoke runs;
+``--only scenario[,scenario]`` re-measures a subset and merges it into
+the existing JSON.
 
 Usage::
 
@@ -42,11 +48,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.d2pr import d2pr, d2pr_transition  # noqa: E402
-from repro.core.engine import RankQuery, solve_many  # noqa: E402
+from repro.core.engine import RankQuery, solve_many, update_scores  # noqa: E402
 from repro.core.pagerank import pagerank  # noqa: E402
 from repro.core.personalized import personalized_d2pr  # noqa: E402
 from repro.core.walkers import simulate_walk  # noqa: E402
 from repro.graph.base import Graph  # noqa: E402
+from repro.graph.delta import GraphDelta  # noqa: E402
 from repro.linalg import (  # noqa: E402
     LinearOperatorBundle,
     forward_push,
@@ -409,8 +416,111 @@ def _bench_single_query(
     }
 
 
-def run(n: int, m: int, walk_steps: int, *, quick: bool = False) -> dict:
+def _make_dynamic_delta(
+    graph: Graph, frac: float, community: int, rng: np.random.Generator
+) -> GraphDelta:
+    """A localized streaming delta touching ~``frac`` of the edges.
+
+    Streaming edits cluster in practice (a crawl refreshes one site, a
+    user edits their own trust list), so the delta rewires edges inside
+    a contiguous block of communities: half the block's edges are
+    deleted and replaced by fresh intra-block edges.  This is the
+    regime the incremental path targets; scattered global deltas
+    de-localise the correction and fall back to warm-started power
+    iteration (see ``docs/performance.md``).
+    """
+    n = graph.number_of_nodes
+    m = graph.number_of_edges
+    block = max(community, int(2.2 * frac * n))
+    rows, cols, _ = graph.edge_arrays()
+    inside = np.flatnonzero((rows < block) & (cols < block))
+    k = min(inside.size // 2, int(frac * m) // 2)
+    removed = rng.choice(inside, k, replace=False)
+    ins_r = rng.integers(0, block, k)
+    ins_c = (ins_r + rng.integers(1, community, k)) % block
+    keep = ins_r != ins_c
+    return GraphDelta.delete(rows[removed], cols[removed]) | GraphDelta.insert(
+        ins_r[keep], ins_c[keep]
+    )
+
+
+def _bench_dynamic_update(
+    graph: Graph,
+    community: int,
+    fracs: tuple[float, ...],
+    tol: float,
+    rounds: int = 2,
+) -> dict:
+    """Streaming updates: incremental ``update_scores`` vs cold re-solve.
+
+    For each delta size, alternating rounds apply a fresh localized
+    delta incrementally (``update_scores`` — delta-aware cache refresh
+    plus residual-correction push, timed end to end *including* the
+    delta application) and then re-solve the same post-delta graph cold
+    (``invalidate_caches`` + full rebuild + solve — the pre-streaming
+    eviction behaviour).  Scores must agree within solver tolerance;
+    the graph evolves across rounds, as a served stream would.
+    """
+    p = 1.0
+    rng = np.random.default_rng(SEED + 3)
+    previous = d2pr(graph, p, tol=tol)  # warm caches + starting scores
+    out: dict = {
+        "nodes": graph.number_of_nodes,
+        "edges": graph.number_of_edges,
+        "tol": tol,
+        "rounds": rounds,
+        "fracs": {},
+    }
+    for frac in fracs:
+        inc_times, cold_times, speedups, diffs = [], [], [], []
+        methods = set()
+        ops = 0
+        for _ in range(rounds):
+            delta = _make_dynamic_delta(graph, frac, community, rng)
+            ops = delta.size
+            t0 = time.perf_counter()
+            updated = update_scores(previous, delta, p=p, tol=tol)
+            t_inc = time.perf_counter() - t0
+            graph.invalidate_caches()
+            t0 = time.perf_counter()
+            cold = d2pr(graph, p, tol=tol)
+            t_cold = time.perf_counter() - t0
+            inc_times.append(t_inc)
+            cold_times.append(t_cold)
+            speedups.append(t_cold / t_inc)
+            diffs.append(float(np.abs(updated.values - cold.values).max()))
+            methods.add(updated.solver_result.method)
+            previous = cold
+        out["fracs"][str(frac)] = {
+            "delta_ops": ops,
+            "incremental_s": min(inc_times),
+            "cold_s": min(cold_times),
+            "round_speedups": speedups,
+            "speedup": float(np.mean(speedups)),
+            "max_abs_diff": max(diffs),
+            "methods": sorted(methods),
+        }
+        print(
+            f"  frac={frac}: {ops:,} ops  "
+            f"incremental {min(inc_times):.3f}s  cold {min(cold_times):.3f}s  "
+            f"({float(np.mean(speedups)):.1f}x, {sorted(methods)})"
+        )
+    return out
+
+
+def run(
+    n: int,
+    m: int,
+    walk_steps: int,
+    *,
+    quick: bool = False,
+    only: set[str] | None = None,
+) -> dict:
     rng = np.random.default_rng(SEED)
+
+    def want(name: str) -> bool:
+        return only is None or name in only
+
     rows, cols = _edge_batch(n, m, rng)
     report: dict = {
         "config": {
@@ -421,23 +531,36 @@ def run(n: int, m: int, walk_steps: int, *, quick: bool = False) -> dict:
             "seed": SEED,
         }
     }
+    graph: Graph | None = None
 
-    print(f"graph build: {n:,} nodes, {rows.shape[0]:,} edge pairs")
-    loop_s, _ = _time(lambda: _legacy_build(n, rows, cols))
-    bulk_s, graph = _time(
-        lambda: Graph.from_arrays(rows, cols, num_nodes=n)
-    )
-    report["graph_build"] = {
-        "loop_s": loop_s,
-        "bulk_s": bulk_s,
-        "speedup": loop_s / bulk_s,
-    }
-    print(f"  loop {loop_s:.3f}s  bulk {bulk_s:.3f}s  ({loop_s / bulk_s:.1f}x)")
+    if want("graph_build"):
+        print(f"graph build: {n:,} nodes, {rows.shape[0]:,} edge pairs")
+        loop_s, _ = _time(lambda: _legacy_build(n, rows, cols))
+        bulk_s, graph = _time(
+            lambda: Graph.from_arrays(rows, cols, num_nodes=n)
+        )
+        report["graph_build"] = {
+            "loop_s": loop_s,
+            "bulk_s": bulk_s,
+            "speedup": loop_s / bulk_s,
+        }
+        print(
+            f"  loop {loop_s:.3f}s  bulk {bulk_s:.3f}s  "
+            f"({loop_s / bulk_s:.1f}x)"
+        )
+    if graph is None and (
+        want("pagerank") or want("d2pr") or want("simulate_walk")
+        or (quick and (want("ppr_batch") or want("sweep")
+                       or want("single_query")))
+    ):
+        graph = Graph.from_arrays(rows, cols, num_nodes=n)
 
     for name, solve in (
         ("pagerank", lambda: pagerank(graph, tol=1e-9)),
         ("d2pr", lambda: d2pr(graph, 1.0, tol=1e-9)),
     ):
+        if not want(name):
+            continue
         graph.invalidate_caches()
         cold_s, _ = _time(solve)
         warm_s, _ = _time(solve)
@@ -451,25 +574,26 @@ def run(n: int, m: int, walk_steps: int, *, quick: bool = False) -> dict:
             f"({cold_s / warm_s:.1f}x from matrix cache)"
         )
 
-    print(f"simulate_walk: {walk_steps:,} steps")
-    d2pr_transition(graph, 0.0)  # build once so neither timing pays for it
-    legacy_s, _ = _time(
-        lambda: _legacy_simulate_walk(
-            graph, 0.0, alpha=0.85, steps=walk_steps, seed=SEED
+    if want("simulate_walk"):
+        print(f"simulate_walk: {walk_steps:,} steps")
+        d2pr_transition(graph, 0.0)  # build once so neither timing pays
+        legacy_s, _ = _time(
+            lambda: _legacy_simulate_walk(
+                graph, 0.0, alpha=0.85, steps=walk_steps, seed=SEED
+            )
         )
-    )
-    vector_s, _ = _time(
-        lambda: simulate_walk(graph, 0.0, steps=walk_steps, seed=SEED)
-    )
-    report["simulate_walk"] = {
-        "legacy_s": legacy_s,
-        "vectorized_s": vector_s,
-        "speedup": legacy_s / vector_s,
-    }
-    print(
-        f"  legacy {legacy_s:.3f}s  vectorized {vector_s:.3f}s  "
-        f"({legacy_s / vector_s:.1f}x)"
-    )
+        vector_s, _ = _time(
+            lambda: simulate_walk(graph, 0.0, steps=walk_steps, seed=SEED)
+        )
+        report["simulate_walk"] = {
+            "legacy_s": legacy_s,
+            "vectorized_s": vector_s,
+            "speedup": legacy_s / vector_s,
+        }
+        print(
+            f"  legacy {legacy_s:.3f}s  vectorized {vector_s:.3f}s  "
+            f"({legacy_s / vector_s:.1f}x)"
+        )
 
     # The batched-engine scenarios run at serving scale: the batch engine's
     # wins (one transpose per batch instead of per call, one matrix stream
@@ -479,13 +603,14 @@ def run(n: int, m: int, walk_steps: int, *, quick: bool = False) -> dict:
     # best case — the --quick numbers document that regime honestly and
     # act as a smoke test, not a speedup gate.
     tol = 1e-9
+    need_batch = want("ppr_batch") or want("sweep") or want("single_query")
     if quick:
         big_graph = graph
         n_seeds, seq_seed_sample = 16, 16
         ps = tuple(np.arange(-1.0, 1.01, 0.5))
         alphas = (0.5, 0.85)
         seq_ps_sample = len(ps)
-    else:
+    elif need_batch:
         # Average degree ~20 (the density of real social / user-item
         # projections): the matrix stream dominates every sequential
         # matvec and the per-call transpose conversion costs seconds, so
@@ -499,51 +624,81 @@ def run(n: int, m: int, walk_steps: int, *, quick: bool = False) -> dict:
         ps = tuple(np.arange(-4.0, 4.01, 0.5))  # the paper's full p grid
         alphas = (0.5, 0.7, 0.75, 0.9)
         seq_ps_sample = 4
-    report["batch_config"] = {
-        "nodes": big_graph.number_of_nodes,
-        "edges": big_graph.number_of_edges,
-        "tol": tol,
-    }
+    if need_batch:
+        report["batch_config"] = {
+            "nodes": big_graph.number_of_nodes,
+            "edges": big_graph.number_of_edges,
+            "tol": tol,
+        }
 
-    print(f"ppr_batch: {n_seeds} personalised queries")
-    report["ppr_batch"] = _bench_ppr_batch(
-        big_graph, n_seeds, tol, seq_seed_sample
-    )
-    print(
-        f"  sequential {report['ppr_batch']['sequential_s']:.3f}s  "
-        f"batched {report['ppr_batch']['batched_s']:.3f}s  "
-        f"({report['ppr_batch']['speedup']:.1f}x)"
-    )
+    if want("ppr_batch"):
+        print(f"ppr_batch: {n_seeds} personalised queries")
+        report["ppr_batch"] = _bench_ppr_batch(
+            big_graph, n_seeds, tol, seq_seed_sample
+        )
+        print(
+            f"  sequential {report['ppr_batch']['sequential_s']:.3f}s  "
+            f"batched {report['ppr_batch']['batched_s']:.3f}s  "
+            f"({report['ppr_batch']['speedup']:.1f}x)"
+        )
 
-    print(f"sweep: {len(ps)} p-points x {len(alphas)} alphas")
-    report["sweep"] = _bench_sweep(big_graph, ps, alphas, tol, seq_ps_sample)
-    print(
-        f"  sequential {report['sweep']['sequential_s']:.3f}s  "
-        f"batched {report['sweep']['batched_s']:.3f}s  "
-        f"({report['sweep']['speedup']:.1f}x)"
-    )
+    if want("sweep"):
+        print(f"sweep: {len(ps)} p-points x {len(alphas)} alphas")
+        report["sweep"] = _bench_sweep(
+            big_graph, ps, alphas, tol, seq_ps_sample
+        )
+        print(
+            f"  sequential {report['sweep']['sequential_s']:.3f}s  "
+            f"batched {report['sweep']['batched_s']:.3f}s  "
+            f"({report['sweep']['speedup']:.1f}x)"
+        )
 
-    if quick:
-        local_graph = _community_graph(5_000, 20, 10, rng)
-        n_queries = 4
-    else:
-        print("single_query: building community-structured serving graph")
-        local_graph = _community_graph(1_000_000, 20, 10, rng)
-        n_queries = 8
-    print(f"single_query: {n_queries} single-seed queries")
-    report["single_query"] = _bench_single_query(
-        big_graph, local_graph, n_queries, tol
-    )
-    op = report["single_query"]["cached_operator"]
-    push = report["single_query"]["push"]
-    print(
-        f"  operator: per-call transpose {op['per_call_transpose_s']:.3f}s  "
-        f"cached bundle {op['cached_bundle_s']:.3f}s  ({op['speedup']:.2f}x)"
-    )
-    print(
-        f"  push: power {push['power_s']:.3f}s  push {push['push_s']:.3f}s  "
-        f"({push['speedup']:.1f}x)"
-    )
+    if want("single_query"):
+        if quick:
+            local_graph = _community_graph(5_000, 20, 10, rng)
+            n_queries = 4
+        else:
+            print("single_query: building community-structured serving graph")
+            local_graph = _community_graph(1_000_000, 20, 10, rng)
+            n_queries = 8
+        print(f"single_query: {n_queries} single-seed queries")
+        report["single_query"] = _bench_single_query(
+            big_graph, local_graph, n_queries, tol
+        )
+        op = report["single_query"]["cached_operator"]
+        push = report["single_query"]["push"]
+        print(
+            f"  operator: per-call transpose "
+            f"{op['per_call_transpose_s']:.3f}s  "
+            f"cached bundle {op['cached_bundle_s']:.3f}s  "
+            f"({op['speedup']:.2f}x)"
+        )
+        print(
+            f"  push: power {push['power_s']:.3f}s  "
+            f"push {push['push_s']:.3f}s  ({push['speedup']:.1f}x)"
+        )
+
+    if want("dynamic_update"):
+        # Streaming scenario: the d2pr default tolerance (1e-10) is the
+        # serving accuracy both sides are held to; the dynamic graph is
+        # community-structured (avg degree ~40 via 64-node blocks) at
+        # 1M nodes / ~20M edges, the ISSUE's target scale.
+        if quick:
+            dyn_comm = 20
+            dyn_graph = _community_graph(5_000, dyn_comm, 10, rng)
+            fracs: tuple[float, ...] = (0.01,)
+        else:
+            print("dynamic_update: building community serving graph")
+            dyn_comm = 64
+            dyn_graph = _community_graph(1_000_000, dyn_comm, 31, rng)
+            fracs = (0.001, 0.01)
+        print(
+            f"dynamic_update: {dyn_graph.number_of_edges:,} edges, "
+            f"delta sizes {fracs}"
+        )
+        report["dynamic_update"] = _bench_dynamic_update(
+            dyn_graph, dyn_comm, fracs, 1e-10
+        )
     return report
 
 
@@ -561,19 +716,40 @@ def main() -> int:
         help="output JSON path (default: BENCH_core.json at the repo root; "
         "--quick skips writing unless --out is given)",
     )
+    parser.add_argument(
+        "--only",
+        type=str,
+        default=None,
+        help="comma-separated scenario subset to run (graph_build, "
+        "pagerank, d2pr, simulate_walk, ppr_batch, sweep, single_query, "
+        "dynamic_update); results are merged into the existing JSON",
+    )
     args = parser.parse_args()
+    only = (
+        {name.strip() for name in args.only.split(",") if name.strip()}
+        if args.only
+        else None
+    )
 
     if args.quick:
-        report = run(n=5_000, m=50_000, walk_steps=50_000, quick=True)
+        report = run(
+            n=5_000, m=50_000, walk_steps=50_000, quick=True, only=only
+        )
         report["quick"] = True
     else:
-        report = run(n=100_000, m=1_000_000, walk_steps=1_000_000)
+        report = run(n=100_000, m=1_000_000, walk_steps=1_000_000, only=only)
         report["quick"] = False
 
     out = args.out
     if out is None and not args.quick:
         out = REPO_ROOT / "BENCH_core.json"
     if out is not None:
+        if only is not None and out.exists():
+            # Partial run: merge the re-measured scenarios into the
+            # existing record instead of discarding the rest.
+            merged = json.loads(out.read_text(encoding="utf-8"))
+            merged.update(report)
+            report = merged
         out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {out}")
     return 0

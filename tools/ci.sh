@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: full test suite plus a smoke run of the perf benchmark.
 # The --quick bench exercises every scenario — the batched multi-query
-# engine (ppr_batch, sweep) and the single-query serving path
-# (single_query: cached operator bundle + forward push) — so a broken
-# batch, operator-cache or push path fails CI even before the full-size
-# numbers are regenerated.
+# engine (ppr_batch, sweep), the single-query serving path
+# (single_query: cached operator bundle + forward push) and the
+# streaming-update path (dynamic_update: GraphDelta apply + delta-aware
+# cache refresh + incremental residual-correction solve vs cold
+# re-solve) — so a broken batch, operator-cache, push or streaming path
+# fails CI even before the full-size numbers are regenerated.
 # Mirrors what .github/workflows/ci.yml executes on every push; run it
 # locally before sending a PR.
 set -euo pipefail

@@ -14,8 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Graph, d2pr, pagerank, transition_probabilities
-from repro.graph import barabasi_albert
+from repro import (
+    Graph,
+    RankingService,
+    d2pr,
+    pagerank,
+    transition_probabilities,
+)
+from repro.graph import GraphDelta, barabasi_albert
 
 
 def main() -> None:
@@ -70,6 +76,32 @@ def main() -> None:
     print(
         "  p < 0 pulls high-degree nodes to the top; p > 0 pushes them "
         "down — exactly the paper's Table 2."
+    )
+
+    print()
+    print("=== Serving traffic: RankingService ===")
+    service = RankingService(social)
+    fresh = service.rank(method="d2pr", p=2.0, seeds=[hub], top_k=3)
+    print(f"  personalised query: {fresh.plan.explain()}")
+    print(f"  top-3 around the hub: {fresh.topk}")
+    repeat = service.rank(method="d2pr", p=2.0, seeds=[hub], top_k=3)
+    print(f"  same query again:   strategy={repeat.plan.strategy}")
+    leaves = [n for n in social.nodes() if social.degree(n) == 2][:2]
+    service.apply_delta(
+        GraphDelta.insert(
+            np.array([social.index_of(leaves[0])]),
+            np.array([social.index_of(leaves[1])]),
+        )
+    )
+    corrected = service.rank(method="d2pr", p=2.0, seeds=[hub], top_k=3)
+    print(
+        f"  after an edge edit: strategy={corrected.plan.strategy} "
+        "(cached answer corrected, not re-solved)"
+    )
+    stats = service.stats()
+    print(
+        f"  stats: plan mix {stats['plan_mix']}, "
+        f"hit rate {stats['hit_rate']:.2f}"
     )
 
 

@@ -50,6 +50,7 @@ from repro.errors import (
 )
 from repro.graph import BipartiteGraph, DiGraph, Graph, graph_statistics, project
 from repro.metrics import kendall, pearson, rank_data, spearman
+from repro.serving import RankingService, RankRequest
 
 __all__ = [
     "__version__",
@@ -69,6 +70,9 @@ __all__ = [
     "NodeScores",
     "RankQuery",
     "solve_many",
+    # serving
+    "RankingService",
+    "RankRequest",
     # graphs
     "Graph",
     "DiGraph",

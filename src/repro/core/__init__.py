@@ -19,6 +19,7 @@ from repro.core.engine import (
     build_teleport,
     solve_many,
     update_scores,
+    update_scores_many,
 )
 from repro.core.hits import HitsResult, hits
 from repro.core.hitting import commute_time, hitting_times
@@ -69,6 +70,7 @@ __all__ = [
     "RankQuery",
     "solve_many",
     "update_scores",
+    "update_scores_many",
     "adjacency_and_theta",
     "build_teleport",
 ]

@@ -44,6 +44,7 @@ __all__ = [
     "solve_transition",
     "solve_many",
     "update_scores",
+    "update_scores_many",
     "adjacency_and_theta",
 ]
 
@@ -452,52 +453,175 @@ def update_scores(
         Updated scores on the (mutated) graph; ``solver_result.method``
         reports ``"incremental_push"`` or ``"incremental_fallback"``.
     """
+    query = RankQuery(
+        p=p,
+        alpha=alpha,
+        beta=beta,
+        weighted=weighted,
+        teleport=teleport,
+        dangling=dangling,
+    )
+    return update_scores_many(
+        [previous],
+        delta,
+        [query],
+        tol=tol,
+        max_iter=max_iter,
+        clamp_min=clamp_min,
+        frontier_cap=frontier_cap,
+        apply_delta=apply_delta,
+    )[0]
+
+
+def update_scores_many(
+    previous: Sequence,
+    delta,
+    queries: Sequence[RankQuery] | None = None,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+    clamp_min: float | None = None,
+    frontier_cap: float = 0.2,
+    apply_delta: bool = True,
+) -> list:
+    """Apply one delta and incrementally update a whole block of solutions.
+
+    The batched counterpart of :func:`update_scores` — the delta-aware
+    entry point for :func:`solve_many` consumers (parameter sweeps,
+    bulk-served cohorts, the serving layer's cached blocks): given the
+    :class:`~repro.core.results.NodeScores` of several earlier solves
+    against **one graph** and the :class:`~repro.graph.delta.GraphDelta`
+    that graph is about to absorb, every solution is re-certified by
+    residual correction instead of a cold re-solve, and the per-delta
+    costs are paid **once for the whole block**:
+
+    * each query's *baseline residual* is captured against its
+      still-cached pre-delta operator bundle — queries sharing a
+      transition matrix share one bundle and one CSC view, so a block of
+      K personalised queries costs K matvecs, not K bundle builds;
+    * the delta is applied once (one columnar merge, one delta-aware
+      cache refresh);
+    * corrections run per query against the refreshed post-delta bundles
+      (grouped, again, by transition matrix), each with the same
+      certified O(tol) distance to its cold re-solve as
+      :func:`~repro.linalg.incremental.incremental_update` guarantees —
+      de-localised corrections fall back to warm-started power iteration
+      per query, so the block always converges.
+
+    Parameters
+    ----------
+    previous:
+        The earlier solutions, one :class:`~repro.core.results.NodeScores`
+        per query, all on the same graph object.
+    delta:
+        The :class:`~repro.graph.delta.GraphDelta` to absorb.
+    queries:
+        One :class:`RankQuery` per entry of ``previous`` describing the
+        query that produced it (the delta changes the graph, not the
+        questions).  ``None`` means every entry was a default global
+        ranking (``RankQuery()``).
+    tol, max_iter, clamp_min, frontier_cap:
+        As in :func:`update_scores`, shared by the whole block.
+    apply_delta:
+        ``False`` skips both the baseline capture and the delta
+        application for callers that already applied the delta.
+
+    Returns
+    -------
+    list[NodeScores]
+        Updated scores aligned with ``previous``.
+    """
     from repro.core.d2pr import d2pr_operator  # local: avoids cycle
     from repro.core.results import NodeScores
     from repro.linalg.incremental import incremental_update, residual_vector
     from repro.linalg.solvers import _validate_common
 
-    if not isinstance(previous, NodeScores):
+    previous = list(previous)
+    if not previous:
+        return []
+    for scores in previous:
+        if not isinstance(scores, NodeScores):
+            raise ParameterError(
+                "previous must hold the NodeScores of earlier solves, "
+                f"got {type(scores).__name__}"
+            )
+    graph = previous[0].graph
+    if any(scores.graph is not graph for scores in previous):
         raise ParameterError(
-            "previous must be the NodeScores of an earlier solve, "
-            f"got {type(previous).__name__}"
+            "all previous solutions must be computed on the same graph "
+            "object (one delta mutates one graph)"
         )
-    graph = previous.graph
-    teleport_vec = build_teleport(graph, teleport)
-    baseline = None
+    if queries is None:
+        queries = [RankQuery()] * len(previous)
+    queries = list(queries)
+    if len(queries) != len(previous):
+        raise ParameterError(
+            f"got {len(previous)} previous solutions but "
+            f"{len(queries)} queries; they must align one-to-one"
+        )
+    for query in queries:
+        query.validate()
+
+    vectors = [build_teleport(graph, q.teleport) for q in queries]
+    groups: dict[tuple, list[int]] = {}
+    for idx, query in enumerate(queries):
+        key = (
+            bool(query.weighted),
+            query.dangling,
+            float(query.beta),
+            float(query.p),
+        )
+        groups.setdefault(key, []).append(idx)
+
+    baselines: list[np.ndarray | None] = [None] * len(previous)
     if apply_delta:
-        # Capture the old system's residual of the previous scores before
-        # the delta lands: the bundle is (typically) still cached, one
-        # extra matvec through the free CSC view costs far less than the
-        # global-dust cleanup it saves the push solver (see
+        # Capture every query's old-system residual before the delta
+        # lands: the bundles are (typically) still cached, and one
+        # matvec through the free CSC view per query costs far less
+        # than the global-dust cleanup it saves the push solver (see
         # ``incremental_update``'s baseline_residual).
-        old_bundle = d2pr_operator(
+        for key, indices in groups.items():
+            weighted, dangling, beta, p = key
+            old_bundle = d2pr_operator(
+                graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
+            )
+            for idx in indices:
+                _, t_norm = _validate_common(
+                    None, queries[idx].alpha, vectors[idx], old_bundle
+                )
+                prev_values = previous[idx].values
+                prev_total = prev_values.sum()
+                if prev_total > 0.0:
+                    baselines[idx] = residual_vector(
+                        old_bundle,
+                        prev_values / prev_total,
+                        t_norm,
+                        queries[idx].alpha,
+                        dangling,
+                    )
+        graph.apply_delta(delta)
+
+    out: list = [None] * len(previous)
+    for key, indices in groups.items():
+        weighted, dangling, beta, p = key
+        bundle = d2pr_operator(
             graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
         )
-        _, t_norm = _validate_common(None, alpha, teleport_vec, old_bundle)
-        prev_values = previous.values
-        prev_total = prev_values.sum()
-        if prev_total > 0.0:
-            baseline = residual_vector(
-                old_bundle, prev_values / prev_total, t_norm, alpha, dangling
+        for idx in indices:
+            result = incremental_update(
+                None,
+                previous[idx].values,
+                alpha=queries[idx].alpha,
+                teleport=vectors[idx],
+                dangling=dangling,
+                tol=tol,
+                max_iter=max_iter,
+                frontier_cap=frontier_cap,
+                operator=bundle,
+                baseline_residual=baselines[idx],
             )
-        graph.apply_delta(delta)
-    bundle = d2pr_operator(
-        graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
-    )
-    result = incremental_update(
-        None,
-        previous.values,
-        alpha=alpha,
-        teleport=teleport_vec,
-        dangling=dangling,
-        tol=tol,
-        max_iter=max_iter,
-        frontier_cap=frontier_cap,
-        operator=bundle,
-        baseline_residual=baseline,
-    )
-    return NodeScores(graph, result.scores, result)
+            out[idx] = NodeScores(graph, result.scores, result)
+    return out
 
 
 def adjacency_and_theta(

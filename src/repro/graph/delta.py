@@ -426,6 +426,10 @@ class _RefreshPlan:
         self.touched = touched
         self._scan: tuple | None = None
         self._thetas: dict[bool, np.ndarray] = {}
+        # Correction matrices remembered per transition cache key, so the
+        # operator-bundle refresh can patch the cached transpose in place
+        # (old.t_csr + D.T) instead of lazily rebuilding it from scratch.
+        self._corrections: dict[tuple, sparse.csr_matrix] = {}
 
     # -- changed-row scan ------------------------------------------------
     def _ensure_scan(self) -> tuple:
@@ -479,13 +483,21 @@ class _RefreshPlan:
         return self._scan
 
     # -- building blocks -------------------------------------------------
-    def patched(self, mat: sparse.csr_matrix, new_vals: np.ndarray):
+    def patched(
+        self,
+        mat: sparse.csr_matrix,
+        new_vals: np.ndarray,
+        remember: tuple | None = None,
+    ):
         """``mat`` with the changed rows replaced by ``new_vals``.
 
         Assembled as ``mat + D`` with ``D = new_rows − old_rows`` — one
         scipy C merge over the stored entries; exact cancellations
         (rows recomputed without an actual change, deleted entries) are
         pruned so row emptiness still identifies dangling nodes.
+        ``remember`` keeps the correction ``D`` under a cache key so the
+        matching operator-bundle refresh can patch its cached transpose
+        as ``old.t_csr + D.T`` (see :func:`_refresh_bundle`).
         """
         changed, r_sub, c_sub, _, _, _, _, _ = self._ensure_scan()
         old_sub = mat[changed].tocoo()
@@ -495,9 +507,15 @@ class _RefreshPlan:
         correction = sparse.csr_matrix(
             (d_data, (d_rows, d_cols)), shape=mat.shape
         )
+        if remember is not None:
+            self._corrections[remember] = correction
         out = mat + correction
         out.eliminate_zeros()
         return out
+
+    def correction(self, key: tuple) -> sparse.csr_matrix | None:
+        """The remembered correction ``D`` of a refreshed transition."""
+        return self._corrections.get(key)
 
     def theta(self, weighted: bool, old_theta: np.ndarray | None):
         got = self._thetas.get(weighted)
@@ -569,6 +587,26 @@ def _resolve_entry(graph, key: tuple):
     value = _resolve(graph._cache[key])
     graph._cache[key] = value
     return value
+
+
+def _refresh_bundle(graph, plan: _RefreshPlan, trans_key: tuple, old_bundle):
+    """Rebuild an operator bundle over its refreshed transition.
+
+    Resolving the transition entry first materialises its patched matrix
+    (and remembers the correction ``D`` on the plan); if the predecessor
+    bundle had already built its CSR transpose, the new bundle's is
+    seeded in place as ``old.t_csr + D.T`` — the ROADMAP follow-up that
+    spares the power-iteration fallback the full post-delta
+    ``P.T.tocsr()`` rebuild.
+    """
+    from repro.linalg.operator import LinearOperatorBundle
+
+    mat = _resolve_entry(graph, trans_key)
+    bundle = LinearOperatorBundle.of(mat)
+    correction = plan.correction(trans_key)
+    if correction is not None:
+        bundle.seed_transpose_from(old_bundle, correction)
+    return bundle
 
 
 def _refresh_caches(graph, touched: np.ndarray, stats: dict) -> None:
@@ -645,7 +683,8 @@ def _refresh_caches(graph, touched: np.ndarray, stats: dict) -> None:
                 transition_keys.add(key)
                 new_value = defer(
                     lambda value=value, key=key: plan.patched(
-                        _resolve(value), plan.transition_vals(key)
+                        _resolve(value), plan.transition_vals(key),
+                        remember=key,
                     )
                 )
         elif kind == "operator":
@@ -658,8 +697,8 @@ def _refresh_caches(graph, touched: np.ndarray, stats: dict) -> None:
                 trans_key = None
             if trans_key in transition_keys:
                 new_value = defer(
-                    lambda trans_key=trans_key: LinearOperatorBundle.of(
-                        _resolve_entry(graph, trans_key)
+                    lambda trans_key=trans_key, old=value: _refresh_bundle(
+                        graph, plan, trans_key, old
                     )
                 )
         if new_value is None:

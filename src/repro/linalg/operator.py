@@ -297,6 +297,43 @@ class LinearOperatorBundle:
             self._t_csr = self._mat.T.tocsr()
         return self._t_csr
 
+    def seed_transpose_from(
+        self,
+        old_bundle: "LinearOperatorBundle | object",
+        correction: sparse.spmatrix,
+    ) -> bool:
+        """Patch the cached ``P.T`` from a predecessor bundle's transpose.
+
+        The streaming-refresh fast path: when this bundle wraps
+        ``old.mat + correction`` (the invariant of the graph's
+        delta-aware cache refresh, see ``graph/delta.py``) and the old
+        bundle had already built its transpose, the new transpose is
+        exactly ``old.t_csr + correction.T`` — one sparse merge over the
+        stored entries plus an O(correction-nnz) conversion, instead of
+        the full CSC→CSR transpose rebuild the first post-delta power
+        sweep used to pay.  Entry values match the lazy rebuild exactly:
+        both sides add the same float pairs the forward patch added.
+
+        Returns ``True`` when the transpose is (or already was) seeded;
+        ``False`` when the predecessor never built its transpose or a
+        consistency check fails — in either case the lazy rebuild on
+        first access still applies, so this method can never serve a
+        wrong view, only decline to pre-build one.
+        """
+        if self._t_csr is not None:
+            return True
+        if not isinstance(old_bundle, LinearOperatorBundle):
+            return False
+        old_t = old_bundle._t_csr
+        if old_t is None or old_bundle.shape != self.shape:
+            return False
+        patched = (old_t + correction.T.tocsr()).tocsr()
+        patched.eliminate_zeros()
+        if patched.nnz != self._mat.nnz:  # pragma: no cover - defensive
+            return False
+        self._t_csr = patched
+        return True
+
     @property
     def t_csc(self) -> sparse.csc_matrix:
         """``P.T`` as the free CSC view of the CSR buffers."""

@@ -41,6 +41,7 @@ from repro.errors import ParameterError, ReproError
 from repro.graph.base import BaseGraph, Node
 from repro.linalg.push import forward_push
 from repro.metrics.correlation import spearman
+from repro.serving import RankingService, RankRequest
 
 __all__ = ["D2PRRecommender", "RecommenderConfig"]
 
@@ -86,6 +87,19 @@ class RecommenderConfig:
 class D2PRRecommender:
     """Graph recommender built on degree de-coupled PageRank.
 
+    An injected :class:`~repro.serving.RankingService` turns the
+    recommender into a *client* of the serving layer: global rankings,
+    per-user personalised queries, bulk cohorts and streaming updates
+    all route through the service's one planner, microbatch coalescer
+    and delta-aware result cache — instead of each method carrying its
+    own private solving state.  Several recommenders (or any other
+    consumer) sharing one service share one cache.  Without a service
+    the recommender keeps its self-contained direct-solve behaviour;
+    service mode accepts the ``solver="power"`` (default) and
+    ``solver="push"`` configurations — the service's planner makes the
+    power/push/batched call itself — while ``gauss_seidel``/``direct``
+    semantics require dropping the injection.
+
     Examples
     --------
     >>> from repro.datasets import load
@@ -96,6 +110,7 @@ class D2PRRecommender:
     """
 
     config: RecommenderConfig = field(default_factory=RecommenderConfig)
+    service: RankingService | None = None
     _graph: BaseGraph | None = field(default=None, repr=False)
     _global_scores: NodeScores | None = field(default=None, repr=False)
 
@@ -103,9 +118,31 @@ class D2PRRecommender:
     # fitting
     # ------------------------------------------------------------------
     def fit(self, graph: BaseGraph) -> "D2PRRecommender":
-        """Attach a graph and precompute the global significance ranking."""
+        """Attach a graph and precompute the global significance ranking.
+
+        With an injected :class:`~repro.serving.RankingService` the
+        global ranking is served (and cached) by the service, which must
+        have been constructed over the same graph object; the
+        recommender then shares the service's planner/cache for every
+        query and update path.
+        """
         self.config.validate()
         graph.require_nonempty()
+        if self.service is not None:
+            if self.config.solver not in ("power", "push"):
+                raise ParameterError(
+                    "a RankingService plans power/push/batched execution "
+                    f"itself; solver={self.config.solver!r} is not served "
+                    "(drop the service injection to use it)"
+                )
+            if self.service.graph is not graph:
+                raise ParameterError(
+                    "the injected RankingService serves a different graph "
+                    "object; construct the service over the fitted graph"
+                )
+            self._graph = graph
+            self._global_scores = self.service.rank(self._request()).scores
+            return self
         self._graph = graph
         self._global_scores = d2pr(
             graph,
@@ -116,6 +153,23 @@ class D2PRRecommender:
             solver=self.config.solver,
         )
         return self
+
+    def _request(
+        self,
+        *,
+        seeds: Mapping[Node, float] | Sequence[Node] | None = None,
+        tol: float = 1e-10,
+    ) -> RankRequest:
+        """The service-layer request describing this recommender's query."""
+        return RankRequest(
+            method="d2pr",
+            p=self.config.p,
+            alpha=self.config.alpha,
+            beta=self.config.beta if self.config.weighted else 0.0,
+            weighted=self.config.weighted,
+            seeds=seed_weights(seeds) if seeds is not None else None,
+            tol=tol,
+        )
 
     def update(self, delta, *, tol: float = 1e-10) -> "D2PRRecommender":
         """Absorb a :class:`~repro.graph.delta.GraphDelta` without a refit.
@@ -131,9 +185,22 @@ class D2PRRecommender:
         raises :class:`~repro.errors.FrozenGraphError` (fit a private
         ``graph.copy()`` to serve a mutable stream).
 
+        With an injected service the delta routes through
+        :meth:`~repro.serving.RankingService.apply_delta`, so *every*
+        cached answer the service holds (this recommender's and any
+        other client's) is corrected instead of evicted; the global
+        ranking refresh is then itself an ``"incremental"``-planned
+        cache correction.
+
         Returns ``self`` for chaining.
         """
         _graph, scores = self._require_fitted()
+        if self.service is not None:
+            self.service.apply_delta(delta)
+            self._global_scores = self.service.rank(
+                self._request(tol=tol)
+            ).scores
+            return self
         self._global_scores = update_scores(
             scores,
             delta,
@@ -245,6 +312,11 @@ class D2PRRecommender:
         keeps the solver default; the direct solver is exact regardless).
         """
         graph, _scores = self._require_fitted()
+        if self.service is not None:
+            seeded = self.service.rank(
+                self._request(seeds=seeds, tol=tol if tol is not None else 1e-10)
+            ).scores
+            return self._top_k(seeded, set(seeds), k, include_seeds)
         extra = {} if tol is None else {"tol": tol}
         seeded = personalized_d2pr(
             graph,
@@ -286,6 +358,13 @@ class D2PRRecommender:
         at the default 1e-8 are negligible.
         """
         graph, _scores = self._require_fitted()
+        if self.service is not None:
+            # The service's planner makes the push-vs-batch call (and its
+            # cache makes repeat queries free).
+            seeded = self.service.rank(
+                self._request(seeds=seeds, tol=tol)
+            ).scores
+            return self._top_k(seeded, set(seeds), k, include_seeds)
         if self.config.solver != "power":
             # Keep the configured solver's semantics (and honour tol).
             return self.recommend_for(
@@ -346,6 +425,13 @@ class D2PRRecommender:
         call: one solver call holds the full ``n × K`` teleport and score
         blocks in memory, so the slice size caps peak memory at roughly
         ``5 · 8 · n · batch_size`` bytes regardless of cohort size.
+
+        With an injected :class:`~repro.serving.RankingService` the
+        service's coalescer ``window`` (default 16) takes over that
+        memory-capping role and ``batch_size`` is not used; ``precision``
+        must match the service's configured precision (a conflict
+        raises, since precision is a property of the serving stack, not
+        of one call).
         """
         graph, _scores = self._require_fitted()
         if batch_size < 1:
@@ -353,6 +439,27 @@ class D2PRRecommender:
         users = list(users)
         if not users:
             return []
+        if self.service is not None:
+            # One burst through the service: the microbatch coalescer
+            # windows the batched columns (its window, not batch_size,
+            # caps block memory) and repeat users hit the result cache.
+            # Solve precision is a property of the service's coalescer,
+            # so a conflicting per-call request must fail loudly rather
+            # than silently serve the other accuracy mode.
+            if precision != self.service.precision:
+                raise ParameterError(
+                    f"precision={precision!r} conflicts with the injected "
+                    f"RankingService (precision="
+                    f"{self.service.precision!r}); construct the service "
+                    "with the precision to serve under"
+                )
+            results = self.service.rank_many(
+                [self._request(seeds=seeds) for seeds in users]
+            )
+            return [
+                self._top_k(served.scores, set(seeds), k, include_seeds)
+                for seeds, served in zip(users, results)
+            ]
         if self.config.solver != "power":
             return [
                 self.recommend_for(seeds, k, include_seeds=include_seeds)
@@ -474,7 +581,8 @@ class D2PRRecommender:
                 beta=self.config.beta,
                 weighted=self.config.weighted,
                 solver=self.config.solver,
-            )
+            ),
+            service=self.service,
         )
         if self._graph is not None:
             new.fit(self._graph)

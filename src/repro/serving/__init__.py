@@ -1,0 +1,39 @@
+"""Ranking service layer: query planning, microbatching, result caching.
+
+The first layer of the library that owns *requests* rather than solves
+— the ROADMAP's "serve heavy traffic" step.  :class:`RankingService` is
+the front door; :mod:`~repro.serving.planner`,
+:mod:`~repro.serving.coalescer` and :mod:`~repro.serving.cache` are its
+injectable components.  See ``docs/serving.md`` for the serving
+contract.
+"""
+
+from repro.serving.cache import CacheEntry, ResultCache
+from repro.serving.coalescer import CoalescerTicket, MicrobatchCoalescer
+from repro.serving.planner import (
+    METHODS,
+    STRATEGIES,
+    CanonicalQuery,
+    QueryPlan,
+    QueryPlanner,
+    RankRequest,
+    canonical_query,
+)
+from repro.serving.service import RankingService, ServedResult, ServingTicket
+
+__all__ = [
+    "METHODS",
+    "STRATEGIES",
+    "CacheEntry",
+    "CanonicalQuery",
+    "CoalescerTicket",
+    "MicrobatchCoalescer",
+    "QueryPlan",
+    "QueryPlanner",
+    "RankRequest",
+    "RankingService",
+    "ResultCache",
+    "ServedResult",
+    "ServingTicket",
+    "canonical_query",
+]

@@ -1,0 +1,259 @@
+"""Delta-aware result cache for served ranking answers.
+
+Classic result caching dies on streaming graphs: any edit invalidates
+every entry, so a workload with even a trickle of deltas never sees a
+hit.  This cache keeps entries *alive across localized deltas* instead:
+
+* entries are keyed by the planner's **canonical query digest**
+  (:func:`~repro.serving.planner.canonical_query`) and tagged with the
+  graph's ``mutation_count`` and the tolerance they were solved to — a
+  lookup serves only entries certified at the current graph version for
+  at least the requested accuracy;
+* when the service routes a :class:`~repro.graph.delta.GraphDelta`
+  through :meth:`~repro.serving.RankingService.apply_delta` and the
+  delta is localized, each live entry is **marked pending** with a
+  reference to its still-cached pre-delta operator, instead of being
+  evicted — an O(1) capture per entry.  The next lookup reports
+  ``"pending"`` and the service corrects the entry by residual push
+  (:func:`~repro.linalg.incremental.incremental_update` — the
+  ``update_scores`` machinery, with the baseline residual derived
+  lazily from the retained pre-delta operator), re-certifying it at
+  the new graph version for a small fraction of a cold solve;
+* an entry still pending when a *second* delta lands was not read in
+  between — it is evicted rather than chained, mirroring the one-layer
+  rule of the graph's own delta-aware matrix refresh;
+* capacity is bounded LRU; storing past capacity evicts the
+  least-recently-served digest.
+
+Entries hold the **full certified score vector** (as served
+:class:`~repro.core.results.NodeScores`); top-k requests slice it on the
+way out, so one entry answers every ``k`` — and a corrected entry
+re-certifies every slice at once.  Cached vectors are shared with
+callers under the library's read-only contract.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import NodeScores
+from repro.errors import ParameterError
+from repro.serving.planner import RankRequest
+
+__all__ = ["CacheEntry", "ResultCache"]
+
+#: Relative slack when comparing tolerances, so an entry solved at
+#: exactly the requested tol is never rejected over float noise.
+_TOL_SLACK = 1e-9
+
+
+@dataclass
+class CacheEntry:
+    """One cached answer: the certified vector plus its provenance."""
+
+    scores: NodeScores
+    tol: float
+    mutation: int
+    request: RankRequest
+    #: Sparse canonical teleport — a sorted ``(indices, unit-normalised
+    #: weights)`` pair, or ``None`` for uniform.  O(seeds) resident
+    #: memory per entry; the service materialises the dense vector only
+    #: when a correction actually solves.
+    teleport: tuple[np.ndarray, np.ndarray] | None
+    #: Correction token captured by the service before a localized delta
+    #: was applied (opaque to the cache — in practice a reference to the
+    #: pre-delta operator bundle, from which the baseline residual is
+    #: derived lazily at correction time).  Non-``None`` marks the entry
+    #: as awaiting incremental correction.
+    pending: object | None = None
+    hits: int = 0
+
+
+class ResultCache:
+    """Bounded LRU of certified ranking answers, corrected across deltas."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._lookups = 0
+        self._hits = 0
+        self._misses = 0
+        self._corrections = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    # ------------------------------------------------------------------
+    # lookup / store
+    # ------------------------------------------------------------------
+    def lookup(
+        self, digest: str, *, mutation: int, tol: float
+    ) -> tuple[str, CacheEntry | None]:
+        """Classify ``digest`` for a request at ``(mutation, tol)``.
+
+        Returns ``("hit", entry)`` for a servable certified entry,
+        ``("pending", entry)`` for a pre-delta entry awaiting incremental
+        correction (still at the post-delta mutation count), and
+        ``("miss", None)`` otherwise.  An entry from a *different* graph
+        version with no pending correction — the graph mutated behind
+        the service's back — is evicted on sight; an entry that merely
+        fails the tolerance gate is left in place (it still serves
+        looser requests) and the miss's fresh solve will overwrite it.
+        """
+        self._lookups += 1
+        entry = self._entries.get(digest)
+        if entry is None:
+            self._misses += 1
+            return "miss", None
+        if entry.mutation != mutation:
+            # Mutated outside the service's apply_delta path: the entry
+            # has no correction route, so it can never serve again.
+            self._evict(digest)
+            self._misses += 1
+            return "miss", None
+        if entry.tol > tol * (1.0 + _TOL_SLACK):
+            self._misses += 1
+            return "miss", None
+        self._entries.move_to_end(digest)
+        if entry.pending is not None:
+            return "pending", entry
+        entry.hits += 1
+        self._hits += 1
+        return "hit", entry
+
+    def peek(self, digest: str, *, mutation: int, tol: float) -> str:
+        """Classify like :meth:`lookup` without counters, LRU or eviction.
+
+        The dry-run used by :meth:`~repro.serving.RankingService.plan`.
+        """
+        entry = self._entries.get(digest)
+        if (
+            entry is None
+            or entry.mutation != mutation
+            or entry.tol > tol * (1.0 + _TOL_SLACK)
+        ):
+            return "miss"
+        return "pending" if entry.pending is not None else "hit"
+
+    def store(
+        self,
+        digest: str,
+        *,
+        scores: NodeScores,
+        tol: float,
+        mutation: int,
+        request: RankRequest,
+        teleport: tuple[np.ndarray, np.ndarray] | None,
+    ) -> CacheEntry:
+        """Insert (or overwrite) the certified answer for ``digest``."""
+        entry = CacheEntry(
+            scores=scores,
+            tol=float(tol),
+            mutation=int(mutation),
+            request=request,
+            teleport=teleport,
+        )
+        if digest in self._entries:
+            del self._entries[digest]
+        self._entries[digest] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # delta lifecycle
+    # ------------------------------------------------------------------
+    def live_entries(self) -> list[tuple[str, CacheEntry]]:
+        """Digest/entry pairs eligible for baseline capture (not pending)."""
+        return [
+            (digest, entry)
+            for digest, entry in self._entries.items()
+            if entry.pending is None
+        ]
+
+    def pending_digests(self) -> list[str]:
+        """Digests still awaiting correction from an earlier delta."""
+        return [
+            digest
+            for digest, entry in self._entries.items()
+            if entry.pending is not None
+        ]
+
+    def mark_pending(
+        self, digest: str, token: object, *, mutation: int
+    ) -> None:
+        """Flag ``digest`` as awaiting correction at graph version ``mutation``.
+
+        ``token`` is whatever the service needs to derive the correction
+        later — in practice a reference to the entry's *pre-delta*
+        operator bundle, from which the baseline residual (the part the
+        incremental solver freezes as dust; see ``linalg/incremental.py``)
+        is computed lazily on first post-delta access.
+        """
+        entry = self._entries.get(digest)
+        if entry is None:  # pragma: no cover - defensive
+            return
+        entry.pending = token
+        entry.mutation = int(mutation)
+
+    def resolve_pending(
+        self, digest: str, *, scores: NodeScores, tol: float, mutation: int
+    ) -> CacheEntry:
+        """Replace a pending entry with its corrected, re-certified answer."""
+        entry = self._entries.get(digest)
+        if entry is None:  # pragma: no cover - defensive
+            raise ParameterError(f"no cache entry for digest {digest!r}")
+        entry.scores = scores
+        entry.tol = float(tol)
+        entry.mutation = int(mutation)
+        entry.pending = None
+        self._corrections += 1
+        self._entries.move_to_end(digest)
+        return entry
+
+    def evict(self, digest: str) -> None:
+        """Drop one entry (counted in the eviction stats)."""
+        if digest in self._entries:
+            self._evict(digest)
+
+    def evict_all(self) -> int:
+        """Drop every entry (de-localised delta / external mutation path)."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._evictions += dropped
+        return dropped
+
+    def _evict(self, digest: str) -> None:
+        del self._entries[digest]
+        self._evictions += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Hit/miss/correction/eviction counters plus occupancy."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "pending": sum(
+                1
+                for entry in self._entries.values()
+                if entry.pending is not None
+            ),
+            "lookups": self._lookups,
+            "hits": self._hits,
+            "misses": self._misses,
+            "corrections": self._corrections,
+            "evictions": self._evictions,
+            "hit_rate": self._hits / self._lookups if self._lookups else 0.0,
+        }

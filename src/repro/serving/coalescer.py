@@ -1,0 +1,313 @@
+"""Microbatch coalescing of concurrent ranking requests.
+
+One personalised query against a 20M-edge graph streams the whole
+transition once per power sweep; sixteen queries against the *same*
+transition can share every one of those streams
+(:func:`~repro.linalg.power_iteration_batch` advances an ``n × K`` block
+with one sparse·dense multiply per sweep).  The coalescer is the serving
+piece that turns request traffic into those blocks:
+
+* :meth:`MicrobatchCoalescer.submit` files one column — a ``(teleport,
+  alpha)`` pair under a transition-group key — and returns a
+  :class:`CoalescerTicket` immediately;
+* a group **auto-flushes** when it reaches the configured ``window``
+  (the flush threshold / maximum block width, which also caps the dense
+  block memory at ``O(n · window)``);
+* :meth:`flush` (or reading an unflushed ticket's :meth:`~CoalescerTicket.
+  result`, which flushes its group on demand) drains partial windows, so
+  a caller can never deadlock on an underfull batch;
+* before solving, the pending columns are **ordered by (teleport digest,
+  alpha)** so columns sharing a teleport sit adjacent — when a whole
+  flush shares one teleport, the batch solver's α-family fast path
+  reconstructs the entire block from a single power sequence; and when
+  two consecutive flushes of one group have identical column structure
+  (the shape of parameter sweeps), the later flush **warm-starts** from
+  the earlier block's solutions, mirroring
+  :func:`~repro.core.engine.solve_many`.
+
+The coalescer is synchronous and single-threaded by design — it batches
+*call-pattern* concurrency (a service loop submitting many requests
+before reading any result), not thread concurrency, which is the shape
+of every bulk path in this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import _teleport_digest
+from repro.errors import ParameterError, ReproError
+from repro.graph.base import BaseGraph
+from repro.linalg.batch import power_iteration_batch
+from repro.linalg.solvers import PageRankResult
+
+__all__ = ["CoalescerTicket", "MicrobatchCoalescer"]
+
+
+@dataclass
+class _Column:
+    teleport: np.ndarray | None
+    alpha: float
+    digest: bytes | None
+    ticket: "CoalescerTicket"
+
+
+class CoalescerTicket:
+    """Handle for one submitted column; resolves when its group flushes."""
+
+    __slots__ = ("_coalescer", "_group", "_result", "_mutation")
+
+    def __init__(self, coalescer: "MicrobatchCoalescer", group: tuple) -> None:
+        self._coalescer = coalescer
+        self._group = group
+        self._result: PageRankResult | None = None
+        self._mutation: int | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the column's batch has been solved."""
+        return self._result is not None
+
+    @property
+    def mutation(self) -> int:
+        """Graph mutation count the column was **solved** at.
+
+        Captured inside the flush, so an answer computed before a
+        mutation landed is never mistaken for one certified after it —
+        the result-cache stamps entries with this, not with whatever the
+        counter says when the ticket happens to be read.
+        """
+        if self._mutation is None:
+            self.result()
+        return self._mutation
+
+    def result(self) -> PageRankResult:
+        """The column's solution, flushing its group first if needed."""
+        if self._result is None:
+            self._coalescer.flush(self._group)
+        if self._result is None:  # pragma: no cover - defensive
+            raise ReproError("coalescer flush did not resolve this ticket")
+        return self._result
+
+
+@dataclass
+class _GroupState:
+    pending: list[_Column] = field(default_factory=list)
+    # Warm-start memory: the previous flush's (column signature, scores
+    # block) — reused when the next flush has identical structure.
+    prev_signature: tuple | None = None
+    prev_scores: np.ndarray | None = None
+
+
+class MicrobatchCoalescer:
+    """Collects same-transition ranking requests into batched solves.
+
+    Parameters
+    ----------
+    graph:
+        The served graph; transition matrices and operator bundles
+        resolve through its mutation-aware cache, so a flush after a
+        :class:`~repro.graph.delta.GraphDelta` transparently uses the
+        delta-refreshed operator.
+    window:
+        Flush threshold and maximum block width (K) per solve.  Also the
+        dense-memory cap: one flush holds ``O(n · window)`` floats.
+    precision:
+        Forwarded to :func:`~repro.linalg.power_iteration_batch`
+        (``"double"`` or the float32-sweep ``"mixed"`` serving mode).
+    max_iter:
+        Per-flush iteration budget.
+    max_groups:
+        Retained group states (LRU by last submit/flush).  Each flushed
+        group keeps its previous block as warm-start memory — an
+        ``n × window`` float64 array, ~128 MB at n = 1M / window = 16 —
+        so idle groups past this bound are dropped (losing only their
+        warm start, never pending columns: groups with unflushed
+        columns are exempt from eviction).
+    """
+
+    def __init__(
+        self,
+        graph: BaseGraph,
+        *,
+        window: int = 16,
+        precision: str = "double",
+        max_iter: int = 1000,
+        clamp_min: float | None = None,
+        max_groups: int = 8,
+    ) -> None:
+        if window < 1:
+            raise ParameterError(f"window must be >= 1, got {window}")
+        if precision not in ("double", "mixed"):
+            raise ParameterError(
+                f"precision must be 'double' or 'mixed', got {precision!r}"
+            )
+        if max_groups < 1:
+            raise ParameterError(
+                f"max_groups must be >= 1, got {max_groups}"
+            )
+        self._graph = graph
+        self.window = window
+        self.precision = precision
+        self.max_iter = max_iter
+        self.clamp_min = clamp_min
+        self.max_groups = max_groups
+        self._groups: dict[tuple, _GroupState] = {}
+        self._flushes = 0
+        self._columns = 0
+        self._max_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        group_key: tuple,
+        *,
+        teleport: np.ndarray | None,
+        alpha: float,
+        tol: float,
+    ) -> CoalescerTicket:
+        """File one column under ``group_key`` and return its ticket.
+
+        ``group_key`` is the planner's transition-group key
+        ``(p, beta, weighted, dangling)``; ``tol`` joins it internally so
+        columns solved to different accuracies never share a block (a
+        block converges per column, but its certificate is per flush).
+        Reaching ``window`` pending columns auto-flushes the group.
+        """
+        if not (np.isfinite(tol) and tol > 0.0):
+            raise ParameterError(f"tol must be positive, got {tol}")
+        if not 0.0 <= alpha < 1.0:
+            # Validate here, not at flush: a bad column must fail its
+            # own submit instead of poisoning a whole batched block.
+            raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
+        key = (*group_key, float(tol))
+        state = self._groups.setdefault(key, _GroupState())
+        self._touch(key)
+        ticket = CoalescerTicket(self, key)
+        state.pending.append(
+            _Column(
+                teleport=teleport,
+                alpha=float(alpha),
+                digest=_teleport_digest(teleport),
+                ticket=ticket,
+            )
+        )
+        if len(state.pending) >= self.window:
+            self._flush_group(key)
+        return ticket
+
+    @property
+    def pending(self) -> int:
+        """Columns filed but not yet solved, across all groups."""
+        return sum(len(s.pending) for s in self._groups.values())
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    def flush(self, group: tuple | None = None) -> None:
+        """Solve pending columns — one group, or every group."""
+        if group is not None:
+            self._flush_group(group)
+            return
+        for key in list(self._groups):
+            self._flush_group(key)
+
+    def _flush_group(self, key: tuple) -> None:
+        from repro.core.d2pr import d2pr_operator  # local: avoids cycle
+
+        state = self._groups.get(key)
+        if state is None or not state.pending:
+            return
+        p, beta, weighted, dangling, tol = key
+        columns = state.pending
+        state.pending = []
+        # Adjacent shared-teleport columns let the batch solver's
+        # α-family fast path fire on family-shaped flushes; the sort key
+        # also makes the flush signature deterministic for warm-start
+        # matching across flushes.
+        columns.sort(key=lambda c: (c.digest or b"", c.alpha))
+        try:
+            bundle = d2pr_operator(
+                self._graph,
+                p,
+                beta=beta,
+                weighted=weighted,
+                clamp_min=self.clamp_min,
+            )
+            signature = tuple((c.alpha, c.digest) for c in columns)
+            warm = (
+                state.prev_scores
+                if state.prev_signature == signature
+                and state.prev_scores is not None
+                and state.prev_scores.shape[0] == bundle.n
+                else None
+            )
+            batch = power_iteration_batch(
+                bundle.mat,
+                teleports=[c.teleport for c in columns],
+                alphas=np.array([c.alpha for c in columns]),
+                tol=tol,
+                max_iter=self.max_iter,
+                dangling=dangling,
+                warm_start=warm,
+                precision=self.precision,
+                operator=bundle,
+            )
+        except BaseException:
+            # Restore the columns so a failed solve (solver error,
+            # interrupt) never strands unresolved tickets; the next
+            # flush retries them.
+            state.pending = columns + state.pending
+            raise
+        solved_at = self._graph.mutation_count
+        for j, column in enumerate(columns):
+            column.ticket._result = batch.column(j)
+            column.ticket._mutation = solved_at
+        state.prev_signature = signature
+        state.prev_scores = batch.scores
+        self._touch(key)
+        self._flushes += 1
+        self._columns += len(columns)
+        self._max_occupancy = max(self._max_occupancy, len(columns))
+        self._evict_idle_groups()
+
+    def _touch(self, key: tuple) -> None:
+        """Move ``key`` to the recently-used end of the group table."""
+        state = self._groups.pop(key)
+        self._groups[key] = state
+
+    def _evict_idle_groups(self) -> None:
+        """Drop the oldest idle groups past ``max_groups``.
+
+        Only their warm-start memory is lost; a group holding pending
+        (unflushed) columns is never evicted.
+        """
+        if len(self._groups) <= self.max_groups:
+            return
+        excess = len(self._groups) - self.max_groups
+        for key in list(self._groups):
+            if excess <= 0:
+                break
+            if not self._groups[key].pending:
+                del self._groups[key]
+                excess -= 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Flush counters and batch-occupancy summary (O(1) state)."""
+        return {
+            "window": self.window,
+            "flushes": self._flushes,
+            "columns": self._columns,
+            "pending": self.pending,
+            "mean_occupancy": (
+                self._columns / self._flushes if self._flushes else 0.0
+            ),
+            "max_occupancy": self._max_occupancy,
+        }

@@ -1,0 +1,560 @@
+"""The ranking service façade: one front door for ranking traffic.
+
+:class:`RankingService` is the first layer of the library that owns
+*requests* rather than solves.  It wires the serving pieces together —
+:class:`~repro.serving.planner.QueryPlanner` (strategy choice),
+:class:`~repro.serving.coalescer.MicrobatchCoalescer` (pooled batched
+solves) and :class:`~repro.serving.cache.ResultCache` (delta-aware
+result reuse) — over the cached-operator compute core built in the
+earlier layers:
+
+* :meth:`RankingService.rank` answers one request; :meth:`rank_many`
+  answers a burst, coalescing the pooled ones into shared batched
+  blocks; :meth:`submit` exposes the underlying ticket interface for
+  callers that interleave submission and consumption.
+* :meth:`RankingService.apply_delta` is the **one mutation door** for a
+  served graph: it applies the :class:`~repro.graph.delta.GraphDelta`
+  through the graph's delta-aware matrix refresh and, for localized
+  deltas, captures each cached answer's baseline residual against the
+  still-cached pre-delta operator so the cache can *correct* entries by
+  residual push on next access instead of evicting them.
+* :meth:`RankingService.stats` reports the serving health: plan mix,
+  cache hit rate and corrections, microbatch occupancy, delta counts.
+
+Every answer the service returns — cached, coalesced, pushed or
+incrementally corrected — carries the same solver-tolerance certificate
+as a cold solve of the same request (see ``docs/serving.md`` for the
+exact contract).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import NodeScores
+from repro.errors import ParameterError, ReproError
+from repro.graph.base import BaseGraph, Node
+from repro.graph.delta import GraphDelta
+from repro.linalg.incremental import incremental_update, residual_vector
+from repro.linalg.push import forward_push
+from repro.linalg.solvers import _validate_common
+from repro.serving.cache import CacheEntry, ResultCache
+from repro.serving.coalescer import CoalescerTicket, MicrobatchCoalescer
+from repro.serving.planner import (
+    CanonicalQuery,
+    QueryPlan,
+    QueryPlanner,
+    RankRequest,
+    canonical_query,
+    dense_teleport,
+)
+
+__all__ = ["RankingService", "ServedResult", "ServingTicket"]
+
+
+@dataclass(frozen=True)
+class _PendingCorrection:
+    """Correction token: the pre-delta operator an entry was solved on.
+
+    Holding the bundle (not a precomputed residual) keeps
+    :meth:`RankingService.apply_delta` at O(1) per cached entry; the
+    bundle is immutable, so the baseline residual derived from it at
+    correction time equals the one a pre-delta capture would have
+    produced.  Its memory is one retained matrix per delta layer per
+    transition group — released as entries are corrected or evicted.
+    """
+
+    old_bundle: object
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One served answer: scores plus the plan that produced them."""
+
+    scores: NodeScores
+    plan: QueryPlan
+    request: RankRequest
+
+    @property
+    def topk(self) -> list[tuple[Node, float]] | None:
+        """The request's top-``k`` slice of the certified vector."""
+        if self.request.top_k is None:
+            return None
+        return self.scores.top(self.request.top_k)
+
+
+class ServingTicket:
+    """Deferred handle for a submitted request.
+
+    Cached / pushed / incrementally-corrected requests resolve at
+    submission time; coalesced (``"batch"``) requests resolve when their
+    microbatch flushes — reading :meth:`result` flushes on demand, so a
+    ticket can always be consumed immediately.
+    """
+
+    __slots__ = ("plan", "request", "_result", "_resolver")
+
+    def __init__(
+        self,
+        request: RankRequest,
+        plan: QueryPlan,
+        *,
+        result: ServedResult | None = None,
+        resolver=None,
+    ) -> None:
+        self.request = request
+        self.plan = plan
+        self._result = result
+        self._resolver = resolver
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    def result(self) -> ServedResult:
+        """The served answer (resolving the pending microbatch if needed)."""
+        if self._result is None:
+            if self._resolver is None:  # pragma: no cover - defensive
+                raise ReproError("ticket has neither result nor resolver")
+            self._result = self._resolver()
+            self._resolver = None
+        return self._result
+
+
+class RankingService:
+    """Serve ranking queries over one graph with planning, batching, caching.
+
+    Parameters
+    ----------
+    graph:
+        The served graph.  Mutations must flow through
+        :meth:`apply_delta`; a mutation behind the service's back is
+        detected by the mutation counter and simply evicts affected
+        cache entries (never serves stale answers).
+    planner / cache / coalescer:
+        Injectable components; defaults are constructed from the scalar
+        options below.
+    window:
+        Microbatch flush threshold (see
+        :class:`~repro.serving.coalescer.MicrobatchCoalescer`).
+    cache_capacity:
+        Result-cache LRU bound.
+    precision:
+        Batched-solve precision (``"double"`` or the float32-sweep
+        ``"mixed"`` serving mode).
+    localized_fraction:
+        A delta naming at most this fraction of the nodes is treated as
+        localized: cached entries are corrected by residual push instead
+        of evicted.  Larger deltas evict (a correction whose support is
+        a sizeable fraction of the graph contracts no faster than the
+        warm re-solve it would fall back to).
+    max_iter:
+        Iteration budget forwarded to every solver.
+    """
+
+    def __init__(
+        self,
+        graph: BaseGraph,
+        *,
+        planner: QueryPlanner | None = None,
+        cache: ResultCache | None = None,
+        coalescer: MicrobatchCoalescer | None = None,
+        window: int = 16,
+        cache_capacity: int = 128,
+        precision: str = "double",
+        localized_fraction: float = 0.05,
+        max_iter: int = 1000,
+        clamp_min: float | None = None,
+    ) -> None:
+        graph.require_nonempty()
+        if not 0.0 <= localized_fraction <= 1.0:
+            raise ParameterError(
+                f"localized_fraction must be in [0, 1], "
+                f"got {localized_fraction}"
+            )
+        self._graph = graph
+        self._planner = planner or QueryPlanner()
+        self._cache = cache or ResultCache(capacity=cache_capacity)
+        self._coalescer = coalescer or MicrobatchCoalescer(
+            graph,
+            window=window,
+            precision=precision,
+            max_iter=max_iter,
+            clamp_min=clamp_min,
+        )
+        self._clamp_min = clamp_min
+        self._localized_fraction = localized_fraction
+        self._max_iter = max_iter
+        self._requests = 0
+        self._plan_mix: dict[str, int] = {}
+        self._deltas = {"applied": 0, "localized": 0, "evicting": 0}
+        self._outstanding: list[ServingTicket] = []
+        # digest -> (tol, ticket) of not-yet-resolved batch submissions,
+        # so identical queries in one burst share a single column.
+        self._inflight: dict[str, tuple[float, ServingTicket]] = {}
+
+    @property
+    def graph(self) -> BaseGraph:
+        """The served graph (mutate only through :meth:`apply_delta`)."""
+        return self._graph
+
+    @property
+    def precision(self) -> str:
+        """The batched-solve precision the coalescer serves under."""
+        return self._coalescer.precision
+
+    # ------------------------------------------------------------------
+    # request intake
+    # ------------------------------------------------------------------
+    def _coerce(self, request, kwargs) -> RankRequest:
+        if request is None:
+            return RankRequest(**kwargs)
+        if kwargs:
+            raise ParameterError(
+                "pass either a RankRequest or keyword fields, not both"
+            )
+        if not isinstance(request, RankRequest):
+            raise ParameterError(
+                f"expected a RankRequest, got {type(request).__name__}"
+            )
+        return request
+
+    def plan(self, request: RankRequest | None = None, **kwargs) -> QueryPlan:
+        """Dry-run planning: explain how a request *would* be served.
+
+        Consults the cache without counting a lookup or touching LRU
+        order, and executes nothing.
+        """
+        request = self._coerce(request, kwargs)
+        query = canonical_query(self._graph, request)
+        state = self._cache.peek(
+            query.digest,
+            mutation=self._graph.mutation_count,
+            tol=request.tol,
+        )
+        return self._planner.plan(
+            self._graph,
+            query,
+            cache_state=None if state == "miss" else state,
+        )
+
+    def submit(
+        self, request: RankRequest | None = None, **kwargs
+    ) -> ServingTicket:
+        """Plan and dispatch one request, returning its ticket.
+
+        ``"batch"``-planned requests are filed with the microbatch
+        coalescer and resolve when their window flushes (or on first
+        :meth:`ServingTicket.result` read); every other strategy
+        resolves immediately.
+        """
+        request = self._coerce(request, kwargs)
+        query = canonical_query(self._graph, request)
+        state, entry = self._cache.lookup(
+            query.digest,
+            mutation=self._graph.mutation_count,
+            tol=request.tol,
+        )
+        plan = self._planner.plan(
+            self._graph,
+            query,
+            cache_state=None if state == "miss" else state,
+        )
+        self._requests += 1
+        self._plan_mix[plan.strategy] = (
+            self._plan_mix.get(plan.strategy, 0) + 1
+        )
+
+        if plan.strategy == "cached":
+            return ServingTicket(
+                request,
+                plan,
+                result=ServedResult(entry.scores, plan, request),
+            )
+        if plan.strategy == "incremental":
+            scores = self._correct_entry(query.digest, entry)
+            return ServingTicket(
+                request, plan, result=ServedResult(scores, plan, request)
+            )
+        if plan.strategy == "push":
+            scores = self._serve_push(query)
+            return ServingTicket(
+                request, plan, result=ServedResult(scores, plan, request)
+            )
+        return self._submit_batch(query, plan)
+
+    def rank(
+        self, request: RankRequest | None = None, **kwargs
+    ) -> ServedResult:
+        """Answer one request synchronously."""
+        return self.submit(request, **kwargs).result()
+
+    def rank_many(
+        self, requests: Sequence[RankRequest]
+    ) -> list[ServedResult]:
+        """Answer a burst of requests, coalescing the pooled ones.
+
+        All requests are submitted before any result is read, so
+        ``"batch"``-planned requests against one transition fill shared
+        microbatch windows (the coalescer auto-flushes full windows and
+        the final reads drain partial ones).
+        """
+        tickets = [self.submit(request) for request in requests]
+        return [ticket.result() for ticket in tickets]
+
+    # ------------------------------------------------------------------
+    # strategy execution
+    # ------------------------------------------------------------------
+    def _bundle(self, group_key: tuple):
+        from repro.core.d2pr import d2pr_operator  # local: avoids cycle
+
+        p, beta, weighted, _dangling = group_key
+        return d2pr_operator(
+            self._graph,
+            p,
+            beta=beta,
+            weighted=weighted,
+            clamp_min=self._clamp_min,
+        )
+
+    @staticmethod
+    def _sparse_pair(
+        query: CanonicalQuery,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """The cache-resident form of a query's teleport (O(seeds))."""
+        if query.seed_idx is None:
+            return None
+        return (query.seed_idx, query.seed_weights)
+
+    def _dense_teleport(
+        self, pair: tuple[np.ndarray, np.ndarray] | None
+    ) -> np.ndarray | None:
+        if pair is None:
+            return None
+        return dense_teleport(self._graph.number_of_nodes, pair[0], pair[1])
+
+    def _serve_push(self, query: CanonicalQuery) -> NodeScores:
+        request = query.request
+        bundle = self._bundle(query.group_key)
+        result = forward_push(
+            None,
+            (query.seed_idx, query.seed_weights),
+            alpha=request.alpha,
+            tol=request.tol,
+            max_iter=self._max_iter,
+            dangling=request.dangling,
+            operator=bundle,
+        )
+        scores = NodeScores(self._graph, result.scores, result)
+        self._cache.store(
+            query.digest,
+            scores=scores,
+            tol=request.tol,
+            mutation=self._graph.mutation_count,
+            request=request,
+            teleport=self._sparse_pair(query),
+        )
+        return scores
+
+    def _correct_entry(self, digest: str, entry: CacheEntry) -> NodeScores:
+        request = entry.request
+        bundle = self._bundle(request.group_key)
+        teleport = self._dense_teleport(entry.teleport)
+        # The baseline residual — the previous solve's own truncation
+        # dust, frozen by the incremental solver — is derived lazily
+        # here from the pre-delta operator retained at delta time, so
+        # apply_delta stays O(1) per cached entry.
+        pending = entry.pending
+        baseline = None
+        if isinstance(pending, _PendingCorrection):
+            values = entry.scores.values
+            total = values.sum()
+            _, t_norm = _validate_common(
+                None, request.alpha, teleport, pending.old_bundle
+            )
+            if total > 0.0:
+                baseline = residual_vector(
+                    pending.old_bundle,
+                    values / total,
+                    t_norm,
+                    request.alpha,
+                    request.dangling,
+                )
+        result = incremental_update(
+            None,
+            entry.scores.values,
+            alpha=request.alpha,
+            teleport=teleport,
+            dangling=request.dangling,
+            tol=entry.tol,
+            max_iter=self._max_iter,
+            operator=bundle,
+            baseline_residual=baseline,
+        )
+        scores = NodeScores(self._graph, result.scores, result)
+        self._cache.resolve_pending(
+            digest,
+            scores=scores,
+            tol=entry.tol,
+            mutation=self._graph.mutation_count,
+        )
+        return scores
+
+    def _submit_batch(
+        self, query: CanonicalQuery, plan: QueryPlan
+    ) -> ServingTicket:
+        request = query.request
+        inflight = self._inflight.get(query.digest)
+        if inflight is not None and inflight[0] <= request.tol:
+            # An identical (or stricter) query is already filed in this
+            # burst: share its column instead of solving a redundant
+            # one.  The wrapper re-labels the shared answer with this
+            # request's own plan/top_k.
+            shared = inflight[1]
+            return ServingTicket(
+                request,
+                plan,
+                resolver=lambda: ServedResult(
+                    shared.result().scores, plan, request
+                ),
+            )
+        cticket: CoalescerTicket = self._coalescer.submit(
+            query.group_key,
+            teleport=query.dense_teleport(),
+            alpha=request.alpha,
+            tol=request.tol,
+        )
+        ticket = ServingTicket(request, plan, resolver=None)
+
+        def resolve() -> ServedResult:
+            result = cticket.result()
+            scores = NodeScores(self._graph, result.scores, result)
+            # Certify at the version the column was *solved* at (the
+            # flush may long precede this read — and a mutation in
+            # between must not let pre-mutation scores masquerade as
+            # post-mutation answers).
+            self._cache.store(
+                query.digest,
+                scores=scores,
+                tol=request.tol,
+                mutation=cticket.mutation,
+                request=request,
+                teleport=self._sparse_pair(query),
+            )
+            # Identity-guarded: a later submission at a stricter tol
+            # may have replaced this digest's inflight entry with its
+            # own still-unresolved ticket, which must keep deduping.
+            current = self._inflight.get(query.digest)
+            if current is not None and current[1] is ticket:
+                del self._inflight[query.digest]
+            if ticket in self._outstanding:
+                self._outstanding.remove(ticket)
+            return ServedResult(scores, plan, request)
+
+        ticket._resolver = resolve
+        self._inflight[query.digest] = (request.tol, ticket)
+        self._outstanding.append(ticket)
+        return ticket
+
+    def _drain(self) -> None:
+        """Resolve every outstanding coalesced ticket (pre-delta barrier)."""
+        for ticket in list(self._outstanding):
+            ticket.result()
+        self._coalescer.flush()
+        self._inflight.clear()
+
+    # ------------------------------------------------------------------
+    # streaming mutations
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta) -> dict:
+        """Apply a :class:`~repro.graph.delta.GraphDelta` through the service.
+
+        The serving-layer mutation door: outstanding microbatches are
+        drained (their answers belong to the pre-delta graph and are
+        cached as such), then, for a **localized** delta (touching at
+        most ``localized_fraction`` of the nodes), each live cached
+        answer retains a reference to its still-cached pre-delta
+        operator *before* the delta lands (an O(1) capture) — the next
+        request for that answer derives its baseline residual from it
+        and corrects by residual push at a fraction of a cold solve.
+        De-localised deltas evict the cache instead
+        (classic semantics), and entries still pending from a previous
+        delta are evicted rather than chained.  The delta itself goes
+        through :meth:`~repro.graph.base.BaseGraph.apply_delta`, so the
+        graph's cached matrices and operator bundles are surgically
+        refreshed too.
+
+        Raises exactly what ``graph.apply_delta`` raises (frozen graph,
+        missing edges, bad indices); on any failure the graph and every
+        cached answer are unchanged.  The frozen-graph check runs before
+        outstanding microbatches are drained; a delta rejected by deeper
+        validation (e.g. deleting a missing edge) may still have drained
+        them first — the drained answers are valid pre-delta results and
+        are cached as such, so no stale data can be served either way.
+        Returns the graph-level delta stats.
+        """
+        if not isinstance(delta, GraphDelta):
+            raise ParameterError(
+                f"apply_delta expects a GraphDelta, got {type(delta).__name__}"
+            )
+        if delta.size == 0:
+            return self._graph.apply_delta(delta)
+        self._graph._check_mutable()  # fail before paying the drain
+        self._drain()
+        graph = self._graph
+        n = graph.number_of_nodes
+        touched = delta.endpoints()
+        localized = touched.size <= max(1.0, self._localized_fraction * n)
+
+        prepared: list[tuple[str, _PendingCorrection]] = []
+        stale: list[str] = []
+        if localized:
+            mutation = graph.mutation_count
+            for digest, entry in self._cache.live_entries():
+                if entry.mutation != mutation:
+                    stale.append(digest)
+                    continue
+                # O(1) per entry: retain the (still-cached, immutable)
+                # pre-delta bundle; the baseline residual is derived
+                # from it lazily when the entry is next requested.
+                prepared.append(
+                    (
+                        digest,
+                        _PendingCorrection(
+                            self._bundle(entry.request.group_key)
+                        ),
+                    )
+                )
+            pending = self._cache.pending_digests()
+
+        stats = graph.apply_delta(delta)  # raises → nothing committed
+        self._deltas["applied"] += 1
+        if localized:
+            self._deltas["localized"] += 1
+            mutation = graph.mutation_count
+            for digest in pending + stale:
+                self._cache.evict(digest)
+            for digest, token in prepared:
+                self._cache.mark_pending(digest, token, mutation=mutation)
+        else:
+            self._deltas["evicting"] += 1
+            self._cache.evict_all()
+        return stats
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving health: plan mix, cache hit rate, batch occupancy, deltas."""
+        cache = self._cache.stats()
+        return {
+            "requests": self._requests,
+            "plan_mix": dict(self._plan_mix),
+            "cache": cache,
+            "hit_rate": cache["hit_rate"],
+            "coalescer": self._coalescer.stats(),
+            "deltas": dict(self._deltas),
+        }

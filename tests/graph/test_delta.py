@@ -422,3 +422,61 @@ class TestDanglingTransitions:
         np.testing.assert_allclose(
             d2pr(dg, 0.5).values, d2pr(fresh, 0.5).values, atol=1e-12
         )
+
+
+class TestTransposePatch:
+    """The operator-bundle refresh patches the cached transpose in place."""
+
+    def _delta(self, rng, graph):
+        er, ec, _ = graph.edge_arrays()
+        n = graph.number_of_nodes
+        sel = rng.choice(er.shape[0], 3, replace=False)
+        ins_r = rng.integers(0, n, 5)
+        ins_c = rng.integers(0, n, 5)
+        keep = ins_r != ins_c
+        return GraphDelta.delete(er[sel], ec[sel]) | GraphDelta.insert(
+            ins_r[keep], ins_c[keep]
+        )
+
+    @pytest.mark.parametrize("cls", [Graph, DiGraph])
+    def test_built_transpose_is_patched_not_rebuilt(self, cls, rng):
+        rows = rng.integers(0, 200, 2000)
+        cols = rng.integers(0, 200, 2000)
+        keep = rows != cols
+        graph = cls.from_arrays(rows[keep], cols[keep], num_nodes=200)
+        bundle = d2pr_operator(graph, 1.0)
+        bundle.t_csr  # build the transpose view
+        graph.apply_delta(self._delta(rng, graph))
+        refreshed = d2pr_operator(graph, 1.0)
+        assert refreshed is not bundle
+        # Seeded at refresh time, before any solver touched it.
+        assert refreshed._t_csr is not None
+        reference = refreshed.mat.T.tocsr()
+        assert refreshed.t_csr.nnz == reference.nnz
+        assert (refreshed.t_csr != reference).nnz == 0
+
+    def test_unbuilt_transpose_stays_lazy(self, rng):
+        rows = rng.integers(0, 100, 800)
+        cols = rng.integers(0, 100, 800)
+        keep = rows != cols
+        graph = Graph.from_arrays(rows[keep], cols[keep], num_nodes=100)
+        d2pr_operator(graph, 1.0)  # bundle exists, transpose never built
+        graph.apply_delta(self._delta(rng, graph))
+        refreshed = d2pr_operator(graph, 1.0)
+        assert refreshed._t_csr is None  # no eager cost
+        reference = refreshed.mat.T.tocsr()
+        assert (refreshed.t_csr != reference).nnz == 0
+
+    def test_chained_deltas_keep_patching(self, rng):
+        rows = rng.integers(0, 150, 1200)
+        cols = rng.integers(0, 150, 1200)
+        keep = rows != cols
+        graph = Graph.from_arrays(rows[keep], cols[keep], num_nodes=150)
+        d2pr_operator(graph, 1.0).t_csr
+        for _ in range(3):
+            graph.apply_delta(self._delta(rng, graph))
+            bundle = d2pr_operator(graph, 1.0)
+            assert bundle._t_csr is not None
+            reference = bundle.mat.T.tocsr()
+            assert (bundle.t_csr != reference).nnz == 0
+            bundle.t_csr  # keep it built for the next round

@@ -1,0 +1,150 @@
+"""Property tests: cache correctness under interleaved deltas.
+
+The serving layer's one non-negotiable invariant: whatever mix of
+``rank()`` / ``apply_delta()`` calls a stream throws at the service —
+cache hits, incremental corrections, evictions, pooled batches, push
+serving — every answer matches a cold solve of the same query on the
+current graph within the solver-tolerance certificate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import d2pr
+from repro.errors import FrozenGraphError
+from repro.graph import DiGraph, Graph, GraphDelta
+from repro.serving import RankingService, RankRequest
+
+#: Certified L1 distance of an incremental correction from the cold
+#: fixed point is <= 3·tol·α/(1−α) (see linalg/incremental.py); with
+#: tol=1e-8 and α=0.85 that is ~1.7e-7.  Comparing two tol-certified
+#: answers doubles it; 1e-5 leaves an order of magnitude of slack.
+TOL = 1e-8
+BOUND = 1e-5
+
+
+def _random_graph(cls, rng, n=220, m=2200):
+    rows = rng.integers(0, n, m)
+    cols = rng.integers(0, n, m)
+    keep = rows != cols
+    return cls.from_arrays(rows[keep], cols[keep], num_nodes=n)
+
+
+def _random_delta(graph, rng, *, max_ops=6):
+    er, ec, _ = graph.edge_arrays()
+    n = graph.number_of_nodes
+    deletes = int(rng.integers(0, min(max_ops, er.shape[0] // 4) + 1))
+    inserts = int(rng.integers(1, max_ops + 1))
+    sel = rng.choice(er.shape[0], deletes, replace=False)
+    ins_r = rng.integers(0, n, inserts)
+    ins_c = rng.integers(0, n, inserts)
+    keep = ins_r != ins_c
+    delta = GraphDelta.insert(ins_r[keep], ins_c[keep])
+    if deletes:
+        delta = delta | GraphDelta.delete(er[sel], ec[sel])
+    return delta
+
+
+def _random_request(graph, rng):
+    nodes = graph.nodes()
+    p = float(rng.choice([0.0, 0.5, 1.0]))
+    alpha = float(rng.choice([0.6, 0.85]))
+    roll = rng.random()
+    if roll < 0.4:
+        seeds = None  # global ranking
+    elif roll < 0.8:
+        k = int(rng.integers(1, 4))
+        seeds = [nodes[i] for i in rng.choice(len(nodes), k, replace=False)]
+    else:
+        k = int(rng.integers(8, 20))  # wide: planner pools these
+        seeds = [nodes[i] for i in rng.choice(len(nodes), k, replace=False)]
+    return RankRequest(method="d2pr", p=p, alpha=alpha, seeds=seeds, tol=TOL)
+
+
+def _check(service, request, graph):
+    served = service.rank(request)
+    cold = d2pr(
+        graph,
+        request.p,
+        alpha=request.alpha,
+        teleport=request.seeds,
+        tol=TOL,
+    )
+    diff = np.abs(served.scores.values - cold.values).sum()
+    assert diff < BOUND, (
+        f"served answer drifted {diff:.3g} from cold solve "
+        f"(plan={served.plan.strategy}, request={request})"
+    )
+    return served
+
+
+@pytest.mark.parametrize("cls", [Graph, DiGraph])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_interleaved_rank_delta_stream_matches_cold_solves(cls, seed):
+    rng = np.random.default_rng(20260729 + seed)
+    graph = _random_graph(cls, rng)
+    service = RankingService(graph)
+    # A small request vocabulary so repeats (cache hits) and corrected
+    # entries (delta-then-repeat) both occur often.
+    vocabulary = [_random_request(graph, rng) for _ in range(6)]
+    strategies = set()
+    for _ in range(30):
+        roll = rng.random()
+        if roll < 0.2:
+            service.apply_delta(_random_delta(graph, rng))
+        else:
+            request = vocabulary[int(rng.integers(0, len(vocabulary)))]
+            served = _check(service, request, graph)
+            strategies.add(served.plan.strategy)
+    stats = service.stats()
+    assert stats["deltas"]["applied"] >= 1
+    # The stream must actually exercise the serving paths, not fall
+    # into one degenerate strategy.
+    assert "cached" in strategies
+    assert {"push", "batch"} & strategies
+
+
+def test_eviction_path_stays_correct_under_tiny_capacity():
+    rng = np.random.default_rng(7)
+    graph = _random_graph(Graph, rng)
+    service = RankingService(graph, cache_capacity=2)
+    vocabulary = [_random_request(graph, rng) for _ in range(5)]
+    for step in range(25):
+        if step % 6 == 5:
+            service.apply_delta(_random_delta(graph, rng))
+        else:
+            _check(service, vocabulary[step % len(vocabulary)], graph)
+    stats = service.stats()["cache"]
+    assert stats["entries"] <= 2
+    assert stats["evictions"] > 0  # capacity pressure actually happened
+
+
+def test_delocalised_deltas_interleaved():
+    rng = np.random.default_rng(11)
+    graph = _random_graph(Graph, rng)
+    # localized_fraction=0 forces the evicting delta path every time.
+    service = RankingService(graph, localized_fraction=0.0)
+    request = RankRequest(method="d2pr", p=1.0, tol=TOL)
+    for _ in range(4):
+        _check(service, request, graph)
+        service.apply_delta(_random_delta(graph, rng))
+        _check(service, request, graph)
+    assert service.stats()["deltas"]["evicting"] == 4
+
+
+def test_frozen_graph_stream_raises_but_stays_consistent():
+    rng = np.random.default_rng(13)
+    graph = _random_graph(Graph, rng)
+    service = RankingService(graph)
+    request = RankRequest(method="d2pr", p=1.0, tol=TOL)
+    _check(service, request, graph)
+    graph.freeze()
+    for _ in range(3):
+        with pytest.raises(FrozenGraphError):
+            service.apply_delta(_random_delta(graph, rng))
+        # The failed delta must not have disturbed the cache: the
+        # answer still serves, still correct.
+        served = _check(service, request, graph)
+        assert served.plan.strategy == "cached"

@@ -22,7 +22,13 @@ synthetic graph (default 100k nodes / 1M candidate edges):
 * **dynamic_update** — streaming graph updates: localized edge deltas
   (0.1% / 1% of edges) absorbed by ``update_scores`` (delta-aware cache
   refresh + residual-correction push) vs the pre-streaming behaviour of
-  evicting every cache and re-solving cold.
+  evicting every cache and re-solving cold;
+* **serving** — the ranking service layer end to end: a mixed request
+  stream (70% sparse personalised queries, 20% cached repeats, 10%
+  localized deltas) answered by ``RankingService`` (planner + microbatch
+  coalescer + delta-aware result cache) vs naive per-request
+  ``solve_transition`` calls at equal tolerance, with p50/p95 request
+  latency, cache hit rate and plan mix recorded.
 
 Results are written to ``BENCH_core.json`` so the perf trajectory is
 tracked across PRs.  ``--quick`` shrinks the workload for CI smoke runs;
@@ -48,7 +54,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.d2pr import d2pr, d2pr_transition  # noqa: E402
-from repro.core.engine import RankQuery, solve_many, update_scores  # noqa: E402
+from repro.core.engine import (  # noqa: E402
+    RankQuery,
+    build_teleport,
+    solve_many,
+    solve_transition,
+    update_scores,
+)
 from repro.core.pagerank import pagerank  # noqa: E402
 from repro.core.personalized import personalized_d2pr  # noqa: E402
 from repro.core.walkers import simulate_walk  # noqa: E402
@@ -59,6 +71,7 @@ from repro.linalg import (  # noqa: E402
     forward_push,
     power_iteration,
 )
+from repro.serving import RankingService, RankRequest  # noqa: E402
 
 SEED = 20160315
 
@@ -508,6 +521,206 @@ def _bench_dynamic_update(
     return out
 
 
+def _make_serving_stream(
+    sim: Graph, community: int, n_events: int, tol: float,
+    rng: np.random.Generator,
+):
+    """Concretise the mixed request stream against an evolving replica.
+
+    70% fresh sparse personalised queries (1–3 seeds), 20% repeats of
+    earlier queries, 10% localized deltas (~0.2% of edges each).  Deltas
+    are generated sequentially against ``sim`` (and applied to it) so a
+    later delta never names an edge an earlier one deleted — both timed
+    passes replay the identical event list on identical rebuilt graphs.
+    Returns ``(events, cold_flags)`` where ``cold_flags[i]`` marks rank
+    events that pay a one-time matrix build on the naive side — the
+    *first* rank of the stream (cold transition build on a fresh graph)
+    and the first rank after each delta (cold rebuild after the naive
+    evict-everything).  Cold events are always executed and never
+    scaled, so the warm-sample extrapolation stays honest.
+    """
+    n = sim.number_of_nodes
+    n_delta = max(1, round(0.1 * n_events))
+    n_repeat = round(0.2 * n_events)
+    n_fresh = n_events - n_delta - n_repeat
+    kinds = (
+        ["fresh"] * n_fresh + ["repeat"] * n_repeat + ["delta"] * n_delta
+    )
+    rng.shuffle(kinds)
+    events: list[tuple[str, object]] = []
+    fresh_requests: list[RankRequest] = []
+    cold_flags: dict[int, bool] = {}
+    after_delta = True  # the stream's first rank pays the cold build
+    for kind in kinds:
+        if kind == "delta":
+            delta = _make_dynamic_delta(sim, 0.002, community, rng)
+            sim.apply_delta(delta)
+            events.append(("delta", delta))
+            after_delta = True
+            continue
+        if kind == "repeat" and fresh_requests:
+            request = fresh_requests[
+                int(rng.integers(0, len(fresh_requests)))
+            ]
+        else:
+            seeds = rng.choice(n, int(rng.integers(1, 4)), replace=False)
+            request = RankRequest(
+                method="d2pr",
+                p=1.0,
+                seeds=[int(s) for s in seeds],
+                tol=tol,
+            )
+            fresh_requests.append(request)
+        cold_flags[len(events)] = after_delta
+        after_delta = False
+        events.append(("rank", request))
+    return events, cold_flags
+
+
+def _bench_serving(
+    base: Graph,
+    community: int,
+    n_events: int,
+    tol: float,
+    warm_sample: int | None,
+    rounds: int = 2,
+) -> dict:
+    """Mixed-stream serving: RankingService vs naive per-request solves.
+
+    Both sides replay one identical event stream on identically rebuilt
+    graphs, in alternating rounds.  The naive side is the pre-serving
+    call pattern — one ``solve_transition`` per request at the same
+    tolerance, deltas absorbed by evict-everything + cold rebuild — and
+    is measured in three buckets so sampling stays honest: delta
+    application, the cold first-solve after each delta (always
+    executed), and warm solves (``warm_sample`` of them executed, scaled
+    to the full count; ``None`` executes all).  The service side times
+    every request end to end and reports p50/p95 latency, hit rate and
+    plan mix from ``RankingService.stats()``.
+    """
+    rows, cols, _ = base.edge_arrays()
+    n = base.number_of_nodes
+    rng = np.random.default_rng(SEED + 4)
+    events, cold_flags = _make_serving_stream(
+        base, community, n_events, tol, rng
+    )
+    rank_idx = [i for i, (kind, _) in enumerate(events) if kind == "rank"]
+    warm_idx = [i for i in rank_idx if not cold_flags[i]]
+    n_warm = len(warm_idx)
+    if warm_sample is None or warm_sample >= n_warm:
+        sample_idx = set(warm_idx)
+    else:
+        stride = max(1, n_warm // warm_sample)
+        sample_idx = set(warm_idx[::stride][:warm_sample])
+    executed = sorted(
+        {i for i in rank_idx if cold_flags[i]} | sample_idx
+    )
+    compare_idx = set(executed[:12])  # bound the kept full vectors
+
+    def rebuild() -> Graph:
+        return Graph.from_arrays(rows, cols, num_nodes=n)
+
+    def naive_pass():
+        graph = rebuild()
+        t_delta = t_cold = t_warm = 0.0
+        warm_ran = 0
+        kept = {}
+        for i, (kind, payload) in enumerate(events):
+            if kind == "delta":
+                t0 = time.perf_counter()
+                graph.apply_delta(payload)
+                graph.invalidate_caches()  # pre-serving eviction semantics
+                t_delta += time.perf_counter() - t0
+                continue
+            cold = cold_flags[i]
+            if not cold and i not in sample_idx:
+                continue
+            t0 = time.perf_counter()
+            transition = d2pr_transition(graph, 1.0)
+            teleport = build_teleport(graph, payload.seeds)
+            result = solve_transition(
+                transition,
+                solver="power",
+                alpha=payload.alpha,
+                teleport=teleport,
+                tol=tol,
+            )
+            dt = time.perf_counter() - t0
+            if cold:
+                t_cold += dt
+            else:
+                t_warm += dt
+                warm_ran += 1
+            if i in compare_idx:
+                kept[i] = result.scores
+        scaled_warm = t_warm * (n_warm / warm_ran) if warm_ran else 0.0
+        return t_delta + t_cold + scaled_warm, kept
+
+    def service_pass():
+        graph = rebuild()
+        service = RankingService(graph)
+        latencies = []
+        kept = {}
+        t0_all = time.perf_counter()
+        for i, (kind, payload) in enumerate(events):
+            t0 = time.perf_counter()
+            if kind == "delta":
+                service.apply_delta(payload)
+            else:
+                served = service.rank(payload)
+                if i in compare_idx:
+                    kept[i] = served.scores.values
+                latencies.append(time.perf_counter() - t0)
+        return (
+            time.perf_counter() - t0_all, service, latencies, kept
+        )
+
+    naive_times, service_times, speedups, diffs = [], [], [], []
+    latencies: list[float] = []
+    stats: dict = {}
+    for _ in range(rounds):
+        naive_s, naive_kept = naive_pass()
+        service_s, service, latencies, service_kept = service_pass()
+        naive_times.append(naive_s)
+        service_times.append(service_s)
+        speedups.append(naive_s / service_s)
+        diffs.append(
+            max(
+                float(np.abs(naive_kept[i] - service_kept[i]).sum())
+                for i in naive_kept
+            )
+        )
+        stats = service.stats()
+    lat = np.array(latencies)
+    n_delta = sum(1 for kind, _ in events if kind == "delta")
+    return {
+        "nodes": n,
+        "edges": base.number_of_edges,
+        "tol": tol,
+        "events": {
+            "total": n_events,
+            "rank": len(rank_idx),
+            "repeat": n_events - n_delta - len(
+                {id(p) for k, p in events if k == "rank"}
+            ),
+            "delta": n_delta,
+        },
+        "warm_solves_sampled": len(sample_idx),
+        "warm_solves_total": n_warm,
+        "naive_s": min(naive_times),
+        "service_s": min(service_times),
+        "round_speedups": speedups,
+        "speedup": float(np.mean(speedups)),
+        "service_p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "service_p95_ms": float(np.percentile(lat, 95) * 1e3),
+        "max_l1_diff": max(diffs),
+        "hit_rate": stats["hit_rate"],
+        "plan_mix": stats["plan_mix"],
+        "corrections": stats["cache"]["corrections"],
+        "batch_occupancy": stats["coalescer"]["mean_occupancy"],
+    }
+
+
 def run(
     n: int,
     m: int,
@@ -699,6 +912,33 @@ def run(
         report["dynamic_update"] = _bench_dynamic_update(
             dyn_graph, dyn_comm, fracs, 1e-10
         )
+
+    if want("serving"):
+        # The service-layer scenario: same community-structured serving
+        # regime as single_query/dynamic_update (localized personalised
+        # mass, the push/incremental sweet spot), mixed request stream
+        # at the serving tolerance 1e-8.
+        if quick:
+            srv_graph = _community_graph(5_000, 20, 10, rng)
+            srv_comm, srv_events, srv_sample = 20, 24, None
+        else:
+            print("serving: building community serving graph")
+            srv_graph = _community_graph(1_000_000, 64, 31, rng)
+            srv_comm, srv_events, srv_sample = 64, 60, 9
+        print(
+            f"serving: {srv_events} mixed events over "
+            f"{srv_graph.number_of_edges:,} edges"
+        )
+        report["serving"] = _bench_serving(
+            srv_graph, srv_comm, srv_events, 1e-8, srv_sample
+        )
+        srv = report["serving"]
+        print(
+            f"  naive {srv['naive_s']:.3f}s  service {srv['service_s']:.3f}s  "
+            f"({srv['speedup']:.1f}x)  p50 {srv['service_p50_ms']:.1f}ms  "
+            f"p95 {srv['service_p95_ms']:.1f}ms  "
+            f"hit rate {srv['hit_rate']:.2f}  plans {srv['plan_mix']}"
+        )
     return report
 
 
@@ -722,7 +962,8 @@ def main() -> int:
         default=None,
         help="comma-separated scenario subset to run (graph_build, "
         "pagerank, d2pr, simulate_walk, ppr_batch, sweep, single_query, "
-        "dynamic_update); results are merged into the existing JSON",
+        "dynamic_update, serving); results are merged into the existing "
+        "JSON",
     )
     args = parser.parse_args()
     only = (

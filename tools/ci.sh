@@ -2,11 +2,13 @@
 # Tier-1 CI gate: full test suite plus a smoke run of the perf benchmark.
 # The --quick bench exercises every scenario — the batched multi-query
 # engine (ppr_batch, sweep), the single-query serving path
-# (single_query: cached operator bundle + forward push) and the
+# (single_query: cached operator bundle + forward push), the
 # streaming-update path (dynamic_update: GraphDelta apply + delta-aware
 # cache refresh + incremental residual-correction solve vs cold
-# re-solve) — so a broken batch, operator-cache, push or streaming path
-# fails CI even before the full-size numbers are regenerated.
+# re-solve) and the ranking service layer (serving: planner + microbatch
+# coalescer + delta-aware result cache over a mixed request stream) — so
+# a broken batch, operator-cache, push, streaming or serving path fails
+# CI even before the full-size numbers are regenerated.
 # Mirrors what .github/workflows/ci.yml executes on every push; run it
 # locally before sending a PR.
 set -euo pipefail

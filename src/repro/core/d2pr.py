@@ -47,6 +47,7 @@ __all__ = [
     "d2pr",
     "d2pr_transition",
     "d2pr_operator",
+    "d2pr_sharded_operator",
     "transition_probabilities",
 ]
 
@@ -139,6 +140,62 @@ def d2pr_operator(
         lambda: d2pr_transition(
             graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
         ),
+    )
+
+
+def d2pr_sharded_operator(
+    graph: BaseGraph,
+    p: float = 0.0,
+    *,
+    beta: float = 0.0,
+    weighted: bool = False,
+    clamp_min: float | None = None,
+    n_shards: int = 8,
+    method: str = "auto",
+    size_floor: int | None = None,
+    force: bool = False,
+):
+    """Graph-cached block-partitioned operator for the D2PR transition.
+
+    Wraps :func:`d2pr_operator` (same parameters, same cached bundle) in
+    a :class:`~repro.shard.operator.ShardedOperator` over the graph's
+    memoised :meth:`~repro.graph.base.BaseGraph.shard_plan`, and memoises
+    the result on the mutation-aware cache: repeated sharded solves and
+    the serving layer's shard-local push path share one set of diagonal /
+    coupling blocks per graph version.  Below the size floor the
+    constructor refuses unless ``force=True`` — callers wanting the
+    transparent fallback should go through
+    :func:`~repro.shard.solver.sharded_solve` instead.
+
+    Note the sharded operator owns no shared-memory segments itself;
+    those belong to worker pools (created on demand via ``.pool()`` and
+    released by ``.close()`` or interpreter exit).
+    """
+    from repro.shard.operator import DEFAULT_SIZE_FLOOR, ShardedOperator
+
+    floor = DEFAULT_SIZE_FLOOR if size_floor is None else int(size_floor)
+
+    def build():
+        bundle = d2pr_operator(
+            graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
+        )
+        plan = graph.shard_plan(n_shards, method=method)
+        return ShardedOperator(
+            bundle, plan, size_floor=floor, force=force
+        )
+
+    return graph.cached(
+        (
+            "sharded_operator",
+            "d2pr",
+            float(p),
+            float(beta),
+            bool(weighted),
+            clamp_min,
+            int(n_shards),
+            str(method),
+        ),
+        build,
     )
 
 

@@ -48,7 +48,7 @@ __all__ = [
     "adjacency_and_theta",
 ]
 
-SOLVERS = ("power", "gauss_seidel", "direct", "push")
+SOLVERS = ("power", "gauss_seidel", "direct", "push", "sharded")
 
 
 def build_teleport(
@@ -123,6 +123,15 @@ def solve_transition(
     the low-latency path for sparse personalised teleports; a ``None``
     (uniform) teleport or a non-localized query falls back to power
     iteration inside the push solver itself.
+
+    ``solver="sharded"`` routes to
+    :func:`~repro.shard.solver.sharded_solve` — block relaxation with the
+    aggregation/disaggregation coarse correction over a
+    :class:`~repro.shard.operator.ShardedOperator`.  Sharding options
+    (``sharded``, ``n_shards``, ``method``, ``workers``,
+    ``inner_sweeps``, ``precision``, ``aggregate``, ``size_floor``) pass
+    through ``extra``; below the size floor it falls back transparently
+    to the monolithic power path.
     """
     if warm_from is not None and solver == "push":
         raise ParameterError(
@@ -190,6 +199,22 @@ def solve_transition(
             max_iter=max_iter,
             dangling=dangling,
             operator=operator,
+            **extra,
+        )
+    if solver == "sharded":
+        from repro.shard.solver import sharded_solve  # local: keep the
+        # shard package (and its multiprocessing import) off the default
+        # import path of every non-sharded caller.
+
+        return sharded_solve(
+            transition,
+            alpha=alpha,
+            teleport=teleport,
+            dangling=dangling,
+            tol=tol,
+            max_iter=max_iter,
+            operator=operator,
+            x0=warm_from if warm_from is not None else extra.pop("x0", None),
             **extra,
         )
     raise ParameterError(
@@ -283,6 +308,9 @@ def solve_many(
     clamp_min: float | None = None,
     warm_start: bool = True,
     precision: str = "double",
+    solver: str = "batch",
+    n_shards: int = 8,
+    shard_workers: int | None = None,
     raise_on_failure: bool = False,
 ) -> list:
     """Solve many ranking queries against one graph in batched passes.
@@ -320,6 +348,18 @@ def solve_many(
         ``"mixed"`` (float32 sweeps + float64 polish to ``tol`` — the
         serving configuration; see
         :func:`~repro.linalg.power_iteration_batch`).
+    solver:
+        ``"batch"`` (default) advances each group as one ``n × K`` block
+        through :func:`~repro.linalg.power_iteration_batch`;
+        ``"sharded"`` solves each group's queries through one
+        graph-cached :class:`~repro.shard.operator.ShardedOperator`
+        (:func:`~repro.core.d2pr.d2pr_sharded_operator`) — the
+        block-partitioned path for graphs too large to stream whole,
+        falling back to the monolithic path below the sharding size
+        floor.
+    n_shards, shard_workers:
+        Shard count and worker-pool size of the ``"sharded"`` solver
+        (``None``/``1`` workers = serial block Gauss–Seidel).
     raise_on_failure:
         Raise :class:`~repro.errors.ConvergenceError` if any column fails
         to converge.
@@ -332,6 +372,10 @@ def solve_many(
     from repro.core.d2pr import d2pr_operator  # local: avoids cycle
     from repro.core.results import NodeScores
 
+    if solver not in ("batch", "sharded"):
+        raise ParameterError(
+            f"solver must be 'batch' or 'sharded', got {solver!r}"
+        )
     queries = list(queries)
     if not queries:
         return []
@@ -372,6 +416,34 @@ def solve_many(
         transition = bundle.mat
         teleports = [vectors[i] for i in indices]
         alphas = np.array([queries[i].alpha for i in indices])
+        if solver == "sharded":
+            from repro.core.d2pr import d2pr_sharded_operator  # local
+            from repro.shard.solver import sharded_solve
+
+            sharded = d2pr_sharded_operator(
+                graph,
+                p,
+                beta=beta,
+                weighted=weighted,
+                clamp_min=clamp_min,
+                n_shards=n_shards,
+                force=True,
+            )
+            for j, idx in enumerate(indices):
+                result = sharded_solve(
+                    alpha=float(alphas[j]),
+                    teleport=teleports[j],
+                    dangling=dangling,
+                    tol=tol,
+                    max_iter=max_iter,
+                    operator=bundle,
+                    sharded=sharded,
+                    workers=shard_workers,
+                    precision=precision,
+                    raise_on_failure=raise_on_failure,
+                )
+                out[idx] = NodeScores(graph, result.scores, result)
+            continue
         signature = (
             tuple((float(queries[i].alpha), digests[i]) for i in indices)
             if digests is not None

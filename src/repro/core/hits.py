@@ -65,13 +65,21 @@ def hits(
     graph.require_nonempty()
     if max_iter <= 0:
         raise ParameterError(f"max_iter must be positive, got {max_iter}")
-    adjacency = graph.to_csr(weighted=weighted)
+    # The bundle is a view cache, not a stochastic-matrix contract: it
+    # memoises the CSR transpose per graph version, so repeated HITS runs
+    # (and anything else iterating Aᵀ) stop paying the conversion.
+    bundle = graph.operator_bundle(
+        ("hits_adjacency", bool(weighted)),
+        lambda: graph.to_csr(weighted=weighted),
+    )
+    adjacency = bundle.mat
+    adjacency_t = bundle.t_csr
     n = adjacency.shape[0]
     authorities = np.full(n, 1.0 / n)
     hubs_vec = np.full(n, 1.0 / n)
     converged = False
     for _ in range(max_iter):
-        new_auth = adjacency.T @ hubs_vec
+        new_auth = adjacency_t @ hubs_vec
         total = new_auth.sum()
         if total == 0.0:  # graph with no edges
             new_auth = np.full(n, 1.0 / n)

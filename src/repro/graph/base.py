@@ -209,6 +209,28 @@ class BaseGraph:
             lambda: LinearOperatorBundle.of(transition_builder()),
         )
 
+    def shard_plan(self, n_shards: int, *, method: str = "auto"):
+        """Memoised block partition of this graph's nodes into shards.
+
+        Returns the :class:`~repro.shard.plan.ShardPlan` produced by
+        :func:`~repro.shard.plan.plan_shards` over the unweighted CSR
+        export, memoised on this graph's mutation-aware cache under
+        ``("shard_plan", n_shards, method)``.  The plan's node relabeling
+        depends only on structure, so it is shared by every sharded
+        operator built at the same shard count; it is an *unrecognised*
+        key for :meth:`apply_delta` and is therefore dropped (not
+        refreshed) on streaming mutation — a shard layout tuned for the
+        pre-delta community structure must not silently survive.
+        """
+        from repro.shard.plan import plan_shards
+
+        return self.cached(
+            ("shard_plan", int(n_shards), str(method)),
+            lambda: plan_shards(
+                self.to_csr(weighted=False), n_shards, method=method
+            ),
+        )
+
     def invalidate_caches(self) -> None:
         """Drop all cached derived objects and bump the mutation counter.
 

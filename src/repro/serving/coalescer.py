@@ -12,7 +12,13 @@ piece that turns request traffic into those blocks:
   :class:`CoalescerTicket` immediately;
 * a group **auto-flushes** when it reaches the configured ``window``
   (the flush threshold / maximum block width, which also caps the dense
-  block memory at ``O(n · window)``);
+  block memory at ``O(n · window)``); two optional triggers bound how
+  long a column can sit in an underfull window: ``max_age`` flushes a
+  group whose oldest pending column has waited longer than the budget
+  (checked on every submit and by :meth:`MicrobatchCoalescer.poll`),
+  and ``backlog`` flushes everything once the *total* pending count
+  across groups reaches the bound — many sparse groups each one column
+  short of its window must not pin unbounded dense memory;
 * :meth:`flush` (or reading an unflushed ticket's :meth:`~CoalescerTicket.
   result`, which flushes its group on demand) drains partial windows, so
   a caller can never deadlock on an underfull batch;
@@ -52,6 +58,7 @@ class _Column:
     alpha: float
     digest: bytes | None
     ticket: "CoalescerTicket"
+    filed_at: float
 
 
 class CoalescerTicket:
@@ -126,6 +133,23 @@ class MicrobatchCoalescer:
         so idle groups past this bound are dropped (losing only their
         warm start, never pending columns: groups with unflushed
         columns are exempt from eviction).
+    max_age:
+        Latency budget in seconds: a group whose **oldest** pending
+        column has waited longer than this is flushed underfull.  The
+        check runs on every :meth:`submit` and on :meth:`poll` (for
+        callers with idle periods between submissions).  ``None``
+        (default) disables the trigger — columns then wait for a full
+        window or an on-demand read, which is correct for tight
+        submit-then-read loops but lets a steady trickle of distinct
+        groups serve every request at occupancy 1.
+    backlog:
+        Total-pending bound across *all* groups: reaching it flushes
+        everything.  Many sparse groups each one column short of a
+        window otherwise pin ``O(n · pending)`` dense memory with no
+        flush in sight.  ``None`` (default) disables the trigger.
+    clock:
+        Monotonic time source for the age trigger (injectable for
+        deterministic tests); defaults to :func:`time.monotonic`.
     """
 
     def __init__(
@@ -137,6 +161,9 @@ class MicrobatchCoalescer:
         max_iter: int = 1000,
         clamp_min: float | None = None,
         max_groups: int = 8,
+        max_age: float | None = None,
+        backlog: int | None = None,
+        clock=None,
     ) -> None:
         if window < 1:
             raise ParameterError(f"window must be >= 1, got {window}")
@@ -148,16 +175,37 @@ class MicrobatchCoalescer:
             raise ParameterError(
                 f"max_groups must be >= 1, got {max_groups}"
             )
+        if max_age is not None and not (
+            np.isfinite(max_age) and max_age >= 0.0
+        ):
+            raise ParameterError(
+                f"max_age must be a non-negative number, got {max_age}"
+            )
+        if backlog is not None and backlog < 1:
+            raise ParameterError(f"backlog must be >= 1, got {backlog}")
         self._graph = graph
         self.window = window
         self.precision = precision
         self.max_iter = max_iter
         self.clamp_min = clamp_min
         self.max_groups = max_groups
+        self.max_age = max_age
+        self.backlog = backlog
+        if clock is None:
+            import time
+
+            clock = time.monotonic
+        self._clock = clock
         self._groups: dict[tuple, _GroupState] = {}
         self._flushes = 0
         self._columns = 0
         self._max_occupancy = 0
+        self._flush_causes = {
+            "window": 0,
+            "age": 0,
+            "backlog": 0,
+            "demand": 0,
+        }
 
     # ------------------------------------------------------------------
     # submission
@@ -176,7 +224,8 @@ class MicrobatchCoalescer:
         ``(p, beta, weighted, dangling)``; ``tol`` joins it internally so
         columns solved to different accuracies never share a block (a
         block converges per column, but its certificate is per flush).
-        Reaching ``window`` pending columns auto-flushes the group.
+        Reaching ``window`` pending columns auto-flushes the group;
+        the ``max_age``/``backlog`` triggers are also checked here.
         """
         if not (np.isfinite(tol) and tol > 0.0):
             raise ParameterError(f"tol must be positive, got {tol}")
@@ -194,16 +243,43 @@ class MicrobatchCoalescer:
                 alpha=float(alpha),
                 digest=_teleport_digest(teleport),
                 ticket=ticket,
+                filed_at=self._clock(),
             )
         )
         if len(state.pending) >= self.window:
-            self._flush_group(key)
+            self._flush_group(key, cause="window")
+        elif self.backlog is not None and self.pending >= self.backlog:
+            for gkey in list(self._groups):
+                self._flush_group(gkey, cause="backlog")
+        else:
+            self.poll()
         return ticket
 
     @property
     def pending(self) -> int:
         """Columns filed but not yet solved, across all groups."""
         return sum(len(s.pending) for s in self._groups.values())
+
+    def poll(self) -> int:
+        """Flush groups whose oldest pending column exceeds ``max_age``.
+
+        Submission already runs this check, so a steadily-fed coalescer
+        needs no polling; call it from service idle loops when traffic
+        can stop with columns in flight.  Returns the number of groups
+        flushed.  No-op when ``max_age`` is ``None``.
+        """
+        if self.max_age is None:
+            return 0
+        now = self._clock()
+        flushed = 0
+        for key in list(self._groups):
+            state = self._groups.get(key)
+            if state is None or not state.pending:
+                continue
+            if now - state.pending[0].filed_at >= self.max_age:
+                self._flush_group(key, cause="age")
+                flushed += 1
+        return flushed
 
     # ------------------------------------------------------------------
     # flushing
@@ -216,7 +292,7 @@ class MicrobatchCoalescer:
         for key in list(self._groups):
             self._flush_group(key)
 
-    def _flush_group(self, key: tuple) -> None:
+    def _flush_group(self, key: tuple, cause: str = "demand") -> None:
         from repro.core.d2pr import d2pr_operator  # local: avoids cycle
 
         state = self._groups.get(key)
@@ -273,6 +349,7 @@ class MicrobatchCoalescer:
         self._flushes += 1
         self._columns += len(columns)
         self._max_occupancy = max(self._max_occupancy, len(columns))
+        self._flush_causes[cause] = self._flush_causes.get(cause, 0) + 1
         self._evict_idle_groups()
 
     def _touch(self, key: tuple) -> None:
@@ -310,4 +387,5 @@ class MicrobatchCoalescer:
                 self._columns / self._flushes if self._flushes else 0.0
             ),
             "max_occupancy": self._max_occupancy,
+            "flush_causes": dict(self._flush_causes),
         }

@@ -29,8 +29,19 @@ the planner's contract:
     :func:`~repro.linalg.push.forward_push` (which still falls back to
     power iteration on its own if the frontier de-localises, so a
     mis-planned push is never wrong, only slower);
-  - ``"batch"``       — everything else (uniform/dense teleports, wide
-    seed sets, pooled cohorts): pooled
+  - ``"shard_push"``  — push-eligible *and* the service holds a
+    block-partitioned operator (``shard_state``) whose plan maps every
+    seed into one shard with no foreign dangling rows: run the push
+    against that shard's small diagonal block plus a ghost absorber
+    (:meth:`~repro.shard.operator.ShardedOperator.push_context`) — the
+    service certifies the answer with the escaped-mass bound and falls
+    back to a global push when too much mass leaves the shard;
+  - ``"sharded"``     — uniform-teleport (global) rankings when a
+    sharded operator is held: fan the block-relaxation rounds of
+    :func:`~repro.shard.solver.sharded_solve` across its worker pool
+    instead of streaming the monolithic matrix;
+  - ``"batch"``       — everything else (dense teleports, wide seed
+    sets, pooled cohorts): pooled
     :func:`~repro.linalg.power_iteration_batch` blocks through the
     microbatch coalescer.
 
@@ -64,7 +75,14 @@ __all__ = [
 ]
 
 METHODS = ("pagerank", "d2pr")
-STRATEGIES = ("cached", "incremental", "push", "batch")
+STRATEGIES = (
+    "cached",
+    "incremental",
+    "shard_push",
+    "push",
+    "sharded",
+    "batch",
+)
 
 
 @dataclass(frozen=True)
@@ -377,6 +395,7 @@ class QueryPlanner:
         query: CanonicalQuery,
         *,
         cache_state: str | None = None,
+        shard_state=None,
     ) -> QueryPlan:
         """Plan one canonical query.
 
@@ -384,6 +403,16 @@ class QueryPlanner:
         query's digest: ``"hit"`` (certified answer at the current graph
         version), ``"pending"`` (pre-delta answer plus captured baseline
         residual awaiting incremental correction) or ``None`` (miss).
+
+        ``shard_state`` is the service's block-partitioned operator for
+        the query's transition group (a
+        :class:`~repro.shard.operator.ShardedOperator`), or ``None`` when
+        the service is not sharding.  It upgrades two decisions:
+        push-eligible queries whose seeds land in a single shard become
+        ``"shard_push"``, and uniform-teleport global rankings become
+        ``"sharded"``.  Wide-seed personalised queries stay ``"batch"``
+        regardless — pooling cohorts through the coalescer beats solving
+        them one sharded system at a time.
         """
         request = query.request
         n = graph.number_of_nodes
@@ -439,6 +468,25 @@ class QueryPlanner:
                 support <= self.push_max_seeds
                 and localization <= self.push_localization
             ):
+                shard = self._local_shard(shard_state, query)
+                if shard is not None:
+                    estimates.update(
+                        shard=float(shard),
+                        shard_nodes=float(
+                            shard_state.plan.sizes[shard]
+                        ),
+                    )
+                    return QueryPlan(
+                        strategy="shard_push",
+                        reason=(
+                            f"{support} seed(s) fall in shard {shard} "
+                            "with no foreign dangling rows: shard-local "
+                            "forward push with escaped-mass certificate"
+                        ),
+                        digest=query.digest,
+                        group_key=query.group_key,
+                        estimates=estimates,
+                    )
                 return QueryPlan(
                     strategy="push",
                     reason=(
@@ -466,6 +514,19 @@ class QueryPlanner:
                 estimates=estimates,
             )
 
+        if shard_state is not None:
+            estimates["n_shards"] = float(shard_state.n_shards)
+            return QueryPlan(
+                strategy="sharded",
+                reason=(
+                    "uniform teleport (global ranking) with a "
+                    "block-partitioned operator: sharded block "
+                    "relaxation"
+                ),
+                digest=query.digest,
+                group_key=query.group_key,
+                estimates=estimates,
+            )
         return QueryPlan(
             strategy="batch",
             reason="uniform teleport (global ranking): pooled power "
@@ -474,3 +535,25 @@ class QueryPlanner:
             group_key=query.group_key,
             estimates=estimates,
         )
+
+    @staticmethod
+    def _local_shard(shard_state, query: CanonicalQuery) -> int | None:
+        """The single shard a push-eligible query is local to, or ``None``.
+
+        Local means every seed lands in one shard **and** local push can
+        be exact about dangling mass: either the request already keeps
+        dangling mass in place (``dangling="self"``, which the ghost
+        system models directly) or the shard contains no dangling rows at
+        all — genuine in-shard dangling under ``"teleport"``/``"uniform"``
+        redistributes mass globally, which a shard-local system cannot
+        represent.
+        """
+        if shard_state is None or query.seed_idx is None:
+            return None
+        shards = shard_state.plan.shards_of(query.seed_idx)
+        if np.unique(shards).size != 1:
+            return None
+        shard = int(shards[0])
+        if query.request.dangling == "self":
+            return shard
+        return shard if shard_state.local_dangle[shard].size == 0 else None

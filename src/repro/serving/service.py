@@ -153,6 +153,20 @@ class RankingService:
         warm re-solve it would fall back to).
     max_iter:
         Iteration budget forwarded to every solver.
+    sharding:
+        Serve through block-partitioned operators
+        (:func:`~repro.core.d2pr.d2pr_sharded_operator`): global
+        rankings run the sharded block-relaxation solver, and
+        push-eligible queries whose seeds land in one shard run
+        **shard-local push** against that shard's small diagonal block —
+        certified by the escaped-mass bound, falling back to a global
+        push when the certificate fails (counted in :meth:`stats`).
+        Graphs below ``shard_size_floor`` nodes serve exactly as with
+        ``sharding=False``.
+    n_shards / shard_workers / shard_method / shard_size_floor:
+        Shard count, worker-pool size (``None``/``1`` = serial),
+        partitioning method and the size floor below which sharding is
+        bypassed (``None`` = the library default).
     """
 
     def __init__(
@@ -168,6 +182,11 @@ class RankingService:
         localized_fraction: float = 0.05,
         max_iter: int = 1000,
         clamp_min: float | None = None,
+        sharding: bool = False,
+        n_shards: int = 8,
+        shard_workers: int | None = None,
+        shard_method: str = "auto",
+        shard_size_floor: int | None = None,
     ) -> None:
         graph.require_nonempty()
         if not 0.0 <= localized_fraction <= 1.0:
@@ -175,6 +194,8 @@ class RankingService:
                 f"localized_fraction must be in [0, 1], "
                 f"got {localized_fraction}"
             )
+        if n_shards < 1:
+            raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
         self._graph = graph
         self._planner = planner or QueryPlanner()
         self._cache = cache or ResultCache(capacity=cache_capacity)
@@ -188,6 +209,21 @@ class RankingService:
         self._clamp_min = clamp_min
         self._localized_fraction = localized_fraction
         self._max_iter = max_iter
+        self._sharding = bool(sharding)
+        self._n_shards = int(n_shards)
+        self._shard_workers = shard_workers
+        self._shard_method = shard_method
+        self._shard_size_floor = shard_size_floor
+        # Transition group -> ShardedOperator (or None when the graph is
+        # below the size floor).  Mirrors the graph-level cache so the
+        # service can close stale operators on delta instead of leaving
+        # worker pools to garbage collection.
+        self._shard_ops: dict[tuple, object | None] = {}
+        self._shard_stats = {
+            "shard_push_local": 0,
+            "shard_push_fallback": 0,
+            "sharded_solves": 0,
+        }
         self._requests = 0
         self._plan_mix: dict[str, int] = {}
         self._deltas = {"applied": 0, "localized": 0, "evicting": 0}
@@ -239,6 +275,7 @@ class RankingService:
             self._graph,
             query,
             cache_state=None if state == "miss" else state,
+            shard_state=self._sharded(query.group_key),
         )
 
     def submit(
@@ -262,6 +299,7 @@ class RankingService:
             self._graph,
             query,
             cache_state=None if state == "miss" else state,
+            shard_state=self._sharded(query.group_key),
         )
         self._requests += 1
         self._plan_mix[plan.strategy] = (
@@ -279,8 +317,18 @@ class RankingService:
             return ServingTicket(
                 request, plan, result=ServedResult(scores, plan, request)
             )
+        if plan.strategy == "shard_push":
+            scores = self._serve_shard_push(query, plan)
+            return ServingTicket(
+                request, plan, result=ServedResult(scores, plan, request)
+            )
         if plan.strategy == "push":
             scores = self._serve_push(query)
+            return ServingTicket(
+                request, plan, result=ServedResult(scores, plan, request)
+            )
+        if plan.strategy == "sharded":
+            scores = self._serve_sharded(query)
             return ServingTicket(
                 request, plan, result=ServedResult(scores, plan, request)
             )
@@ -320,6 +368,46 @@ class RankingService:
             clamp_min=self._clamp_min,
         )
 
+    def _sharded(self, group_key: tuple):
+        """The block-partitioned operator for ``group_key``, or ``None``.
+
+        ``None`` when sharding is off or the graph sits below the size
+        floor — the planner then never chooses a shard strategy, so the
+        service degrades to exactly the unsharded behaviour.  Built
+        operators are memoised both on the graph's mutation-aware cache
+        (via :func:`~repro.core.d2pr.d2pr_sharded_operator`) and in a
+        service-side table, so :meth:`apply_delta` can close stale
+        worker pools instead of leaving them to garbage collection.
+        """
+        if not self._sharding:
+            return None
+        if group_key in self._shard_ops:
+            return self._shard_ops[group_key]
+        from repro.core.d2pr import d2pr_sharded_operator
+        from repro.shard.operator import DEFAULT_SIZE_FLOOR
+
+        floor = (
+            DEFAULT_SIZE_FLOOR
+            if self._shard_size_floor is None
+            else self._shard_size_floor
+        )
+        if self._graph.number_of_nodes < floor:
+            sharded = None
+        else:
+            p, beta, weighted, _dangling = group_key
+            sharded = d2pr_sharded_operator(
+                self._graph,
+                p,
+                beta=beta,
+                weighted=weighted,
+                clamp_min=self._clamp_min,
+                n_shards=self._n_shards,
+                method=self._shard_method,
+                size_floor=floor,
+            )
+        self._shard_ops[group_key] = sharded
+        return sharded
+
     @staticmethod
     def _sparse_pair(
         query: CanonicalQuery,
@@ -348,6 +436,99 @@ class RankingService:
             dangling=request.dangling,
             operator=bundle,
         )
+        scores = NodeScores(self._graph, result.scores, result)
+        self._cache.store(
+            query.digest,
+            scores=scores,
+            tol=request.tol,
+            mutation=self._graph.mutation_count,
+            request=request,
+            teleport=self._sparse_pair(query),
+        )
+        return scores
+
+    def _serve_shard_push(
+        self, query: CanonicalQuery, plan: QueryPlan
+    ) -> NodeScores:
+        """Serve a single-shard localized query by shard-local push.
+
+        Runs forward push on the shard's ghost-augmented local system
+        (at a tolerance split so the certificate below can still pass)
+        and accepts the answer only when
+
+            local residual + 3 · ghost mass <= tol
+
+        — the ghost's settled mass bounds the walk's out-of-shard
+        probability, and each unit of escaped mass costs at most one
+        unit of un-returned score, one unit of unrepresented off-shard
+        score and one unit of renormalisation shift.  On certificate
+        failure (or a local solver fallback) the query re-runs as a
+        plain global push — never wrong, only slower — and the fallback
+        is counted in :meth:`stats`.
+        """
+        request = query.request
+        sharded = self._sharded(query.group_key)
+        shard = int(plan.estimates["shard"])
+        splan = sharded.plan
+        lo = int(splan.bounds[shard])
+        hi = int(splan.bounds[shard + 1])
+        local_bundle, ghost = sharded.push_context(shard)
+        local_idx = splan.ranks[query.seed_idx] - lo
+        result = forward_push(
+            None,
+            (local_idx, query.seed_weights),
+            alpha=request.alpha,
+            tol=request.tol / 4.0,
+            max_iter=self._max_iter,
+            dangling="self",
+            operator=local_bundle,
+        )
+        # The local solve is certified by its own residual whether push
+        # stayed localized or de-localized into its internal power
+        # fallback — both end below the local tolerance; only the
+        # escaped (ghost) mass separates the local from the global
+        # answer.
+        residual = float(result.residuals[-1]) if result.residuals else 0.0
+        ghost_mass = float(result.scores[ghost])
+        certified = residual + 3.0 * ghost_mass <= request.tol
+        if not certified:
+            self._shard_stats["shard_push_fallback"] += 1
+            return self._serve_push(query)
+        self._shard_stats["shard_push_local"] += 1
+        full = np.zeros(self._graph.number_of_nodes)
+        full[splan.order[lo:hi]] = result.scores[:ghost]
+        total = full.sum()
+        if total > 0.0:
+            full /= total
+        scores = NodeScores(self._graph, full, result)
+        self._cache.store(
+            query.digest,
+            scores=scores,
+            tol=request.tol,
+            mutation=self._graph.mutation_count,
+            request=request,
+            teleport=self._sparse_pair(query),
+        )
+        return scores
+
+    def _serve_sharded(self, query: CanonicalQuery) -> NodeScores:
+        """Serve a global ranking through the sharded block solver."""
+        from repro.shard.solver import sharded_solve
+
+        request = query.request
+        sharded = self._sharded(query.group_key)
+        result = sharded_solve(
+            alpha=request.alpha,
+            teleport=self._dense_teleport(self._sparse_pair(query)),
+            dangling=request.dangling,
+            tol=request.tol,
+            max_iter=self._max_iter,
+            operator=self._bundle(query.group_key),
+            sharded=sharded,
+            workers=self._shard_workers,
+            precision=self.precision,
+        )
+        self._shard_stats["sharded_solves"] += 1
         scores = NodeScores(self._graph, result.scores, result)
         self._cache.store(
             query.digest,
@@ -531,6 +712,14 @@ class RankingService:
             pending = self._cache.pending_digests()
 
         stats = graph.apply_delta(delta)  # raises → nothing committed
+        # The graph cache just dropped its shard plans and sharded
+        # operators (unrecognised keys are never refreshed); close the
+        # stale operators' worker pools now instead of waiting for
+        # garbage collection to release their shared-memory segments.
+        for sharded in self._shard_ops.values():
+            if sharded is not None:
+                sharded.close()
+        self._shard_ops.clear()
         self._deltas["applied"] += 1
         if localized:
             self._deltas["localized"] += 1
@@ -557,4 +746,22 @@ class RankingService:
             "hit_rate": cache["hit_rate"],
             "coalescer": self._coalescer.stats(),
             "deltas": dict(self._deltas),
+            "sharding": {
+                "enabled": self._sharding,
+                **self._shard_stats,
+            },
         }
+
+    def close(self) -> None:
+        """Release sharding worker pools and shared-memory segments.
+
+        Idempotent; a service without sharding (or whose pools were
+        never spun up) is a no-op.  Cached answers and the coalescer's
+        warm-start memory are untouched — only process/segment resources
+        are released, and a later sharded request transparently rebuilds
+        them.
+        """
+        for sharded in self._shard_ops.values():
+            if sharded is not None:
+                sharded.close()
+        self._shard_ops.clear()

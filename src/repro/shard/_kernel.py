@@ -1,0 +1,80 @@
+"""The per-shard inner relaxation kernel.
+
+One function shared verbatim by the serial Gauss–Seidel schedule
+(:mod:`repro.shard.solver`) and the pool workers
+(:mod:`repro.shard.pool`), so the two schedules can never drift apart in
+dangling handling or mixed-precision semantics — they differ only in
+*which iterate* the frozen coupling term ``g`` was computed against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["relax_block"]
+
+
+def relax_block(
+    intra: sparse.csr_matrix,
+    intra32: sparse.csr_matrix | None,
+    local_dangle: np.ndarray,
+    xs: np.ndarray,
+    g: np.ndarray,
+    target_slice: np.ndarray | None,
+    *,
+    alpha: float,
+    inner_sweeps: int,
+    use_f32: bool,
+    self_dangling: bool,
+) -> np.ndarray:
+    """Relax one diagonal block for ``inner_sweeps`` sweeps.
+
+    Iterates ``y ← α · (A_ss y + dangling(y)) + g`` from ``y = xs`` with
+    the coupling term ``g`` (boundary matvec + off-shard dangling mass +
+    teleport) frozen, and returns the new float64 block iterate.
+    ``dangling(y)`` is the *local* dangling contribution: mass of the
+    shard's own dangling rows redistributed through the global target
+    restricted to this shard (``target_slice``, **not** renormalised —
+    the escaping remainder is other shards' coupling), or kept in place
+    under ``self_dangling``.
+
+    The float32 phase sweeps a float32 iterate against the float32 block
+    copy; scalar reductions still accumulate in float64 (a float32 sum
+    over 10^6 entries drifts at ~1e-4 relative — same rationale as the
+    batch solver's mixed mode).
+    """
+    ld = local_dangle
+    if use_f32:
+        y32 = xs.astype(np.float32)
+        g32 = g.astype(np.float32)
+        a32 = np.float32(alpha)
+        t32 = (
+            target_slice.astype(np.float32)
+            if (target_slice is not None and ld.size)
+            else None
+        )
+        for _ in range(inner_sweeps):
+            z = intra32 @ y32
+            if ld.size:
+                if self_dangling:
+                    z[ld] += y32[ld]
+                elif t32 is not None:
+                    m_loc = float(y32[ld].sum(dtype=np.float64))
+                    if m_loc > 0.0:
+                        z += np.float32(m_loc) * t32
+            y32 = a32 * z + g32
+        return y32.astype(np.float64)
+
+    y = xs.copy()
+    for _ in range(inner_sweeps):
+        z = intra @ y
+        if ld.size:
+            if self_dangling:
+                z[ld] += y[ld]
+            elif target_slice is not None:
+                m_loc = float(y[ld].sum())
+                if m_loc > 0.0:
+                    z += m_loc * target_slice
+        y = alpha * z + g
+    return y

@@ -1,0 +1,373 @@
+"""Persistent shared-memory worker pool for pooled sharded solves.
+
+A :class:`ShardWorkerPool` packs every per-shard block of a
+:class:`~repro.shard.operator.ShardedOperator` — diagonal-block and
+coupling-block CSR buffers (float64 data, float32 diagonal copies,
+int32/int64 indices), dangling offsets, the teleport/target vectors and
+a ping-pong pair of iterate buffers — into **one**
+:class:`multiprocessing.shared_memory.SharedMemory` segment, then forks
+one worker process per requested slot.  Workers wrap the segment's
+buffers in zero-copy numpy/CSR views at startup: no matrix bytes ever
+cross a pipe, and a solve's per-round traffic is three scalars per
+worker each way.
+
+Lifecycle
+---------
+
+* Workers are forked once and persist across solves (the pool is cached
+  on the operator, see :meth:`ShardedOperator.pool`).
+* The parent creates — and alone unlinks — the segment; workers inherit
+  the parent's already-attached mapping through ``fork``, so they never
+  register with (or leak into) the interpreter's ``resource_tracker``.
+* :meth:`close` is idempotent and also runs from a ``weakref.finalize``
+  at garbage collection / interpreter exit, so an abandoned pool cannot
+  leave processes or ``/dev/shm`` segments behind (the test suite's
+  shard fixture asserts exactly this).
+
+Round protocol (block Jacobi / additive Schwarz)
+------------------------------------------------
+
+Each round the parent broadcasts ``(read-buffer selector, α, flags,
+off-shard dangling mass)``; every worker relaxes its shards against the
+read buffer via :func:`repro.shard._kernel.relax_block`, writes the new
+block iterates into the write buffer, and replies with its shards' raw
+L1 change, mass sum and dangling mass.  The parent reduces the replies,
+normalises the write buffer in place (both buffers are mapped in the
+parent too) and swaps the selector — workers never synchronise with
+each other, only with the parent's round barrier.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import secrets
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ParameterError, ReproError
+from repro.shard._kernel import relax_block
+
+__all__ = ["SHM_PREFIX", "ShardWorkerPool"]
+
+#: Shared-memory segment name prefix.  Recognisable on purpose: the test
+#: suite asserts no ``/dev/shm/repro_shard_*`` files survive the suite.
+SHM_PREFIX = "repro_shard_"
+
+_ALIGN = 64  # cache-line alignment of every packed array
+
+
+def _pack_layout(arrays: dict[str, np.ndarray]) -> tuple[dict, int]:
+    """Compute ``name -> (offset, dtype, shape)`` plus the total size."""
+    spec: dict[str, tuple[int, str, tuple]] = {}
+    offset = 0
+    for name, arr in arrays.items():
+        offset = -(-offset // _ALIGN) * _ALIGN
+        spec[name] = (offset, arr.dtype.str, arr.shape)
+        offset += arr.nbytes
+    return spec, max(offset, 1)
+
+
+def _view(shm: shared_memory.SharedMemory, spec_entry: tuple) -> np.ndarray:
+    offset, dtype, shape = spec_entry
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf,
+                      offset=offset)
+
+
+def _csr_from_views(
+    data: np.ndarray, indices: np.ndarray, indptr: np.ndarray, shape: tuple
+) -> sparse.csr_matrix:
+    """Wrap shared buffers as CSR without copying or validation."""
+    mat = sparse.csr_matrix(shape)
+    mat.data, mat.indices, mat.indptr = data, indices, indptr
+    return mat
+
+
+def _worker_main(conn, shm, spec, bounds, own_shards, dangle_spec) -> None:
+    """Worker loop: build zero-copy views once, relax on demand.
+
+    Runs in a forked child.  ``shm`` is the parent's SharedMemory object
+    inherited through ``fork`` — the child never re-attaches by name, so
+    the resource tracker only ever sees the parent's single registration.
+    """
+    n = int(bounds[-1])
+    x_bufs = (_view(shm, spec["x0"]), _view(shm, spec["x1"]))
+    t_vec = _view(shm, spec["t"])
+    target_vec = _view(shm, spec["target"])
+    blocks = {}
+    for s in own_shards:
+        intra = _csr_from_views(
+            _view(shm, spec[f"intra_data:{s}"]),
+            _view(shm, spec[f"intra_indices:{s}"]),
+            _view(shm, spec[f"intra_indptr:{s}"]),
+            (int(bounds[s + 1] - bounds[s]),) * 2,
+        )
+        intra32 = _csr_from_views(
+            _view(shm, spec[f"intra_data32:{s}"]),
+            intra.indices,
+            intra.indptr,
+            intra.shape,
+        )
+        ext = _csr_from_views(
+            _view(shm, spec[f"ext_data:{s}"]),
+            _view(shm, spec[f"ext_indices:{s}"]),
+            _view(shm, spec[f"ext_indptr:{s}"]),
+            (intra.shape[0], n),
+        )
+        ld = _view(shm, spec[dangle_spec[s]]) if s in dangle_spec else (
+            np.empty(0, dtype=np.int64)
+        )
+        blocks[s] = (intra, intra32, ext, ld)
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            (_, read_sel, alpha, self_dangling, has_target, inner,
+             use_f32, m_total) = msg
+            x = x_bufs[read_sel]
+            x_out = x_bufs[1 - read_sel]
+            one_minus_alpha = 1.0 - alpha
+            diff = mass = dmass = 0.0
+            for s in own_shards:
+                lo, hi = int(bounds[s]), int(bounds[s + 1])
+                if hi == lo:
+                    continue
+                intra, intra32, ext, ld = blocks[s]
+                xs = x[lo:hi]
+                g = alpha * (ext @ x)
+                g += one_minus_alpha * t_vec[lo:hi]
+                target_slice = target_vec[lo:hi] if has_target else None
+                if has_target:
+                    m_ext = m_total - (
+                        float(xs[ld].sum()) if ld.size else 0.0
+                    )
+                    if m_ext > 0.0:
+                        g += (alpha * m_ext) * target_slice
+                y = relax_block(
+                    intra, intra32, ld, xs, g,
+                    target_slice if has_target else None,
+                    alpha=alpha,
+                    inner_sweeps=inner,
+                    use_f32=use_f32,
+                    self_dangling=self_dangling,
+                )
+                x_out[lo:hi] = y
+                diff += float(np.abs(y - xs).sum())
+                mass += float(y.sum())
+                if ld.size:
+                    dmass += float(y[ld].sum())
+            conn.send((diff, mass, dmass))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+        pass
+    finally:
+        conn.close()
+    # No shm.close()/unlink here: the mapping dies with the process and
+    # the parent owns the segment's lifetime.
+
+
+def _release(procs, conns, shm) -> None:
+    """Idempotent teardown shared by close() and the GC finalizer."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5.0)
+    for proc in procs:
+        if proc.is_alive():  # pragma: no cover - wedged worker
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    if shm is not None:
+        try:
+            shm.close()
+        except BufferError:
+            # A live numpy view (the parent's buffer views, or a caller
+            # still holding a read_view) pins the mapping; unlinking
+            # below still removes the segment name, and the memory is
+            # reclaimed when the last view dies.
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class ShardWorkerPool:
+    """Forked worker processes attached to one packed shard segment."""
+
+    def __init__(self, sharded, *, workers: int) -> None:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+            raise ReproError(
+                "sharded worker pools need the 'fork' start method; "
+                "use workers=1 (serial sharded solve) on this platform"
+            ) from exc
+        k = sharded.n_shards
+        workers = int(workers)
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        workers = min(workers, k)
+
+        plan = sharded.plan
+        arrays: dict[str, np.ndarray] = {}
+        dangle_spec: dict[int, str] = {}
+        for s in range(k):
+            intra = sharded.intra[s]
+            ext = sharded.ext[s]
+            arrays[f"intra_data:{s}"] = intra.data
+            arrays[f"intra_data32:{s}"] = sharded.intra_f32(s).data
+            arrays[f"intra_indices:{s}"] = intra.indices
+            arrays[f"intra_indptr:{s}"] = intra.indptr
+            arrays[f"ext_data:{s}"] = ext.data
+            arrays[f"ext_indices:{s}"] = ext.indices
+            arrays[f"ext_indptr:{s}"] = ext.indptr
+            ld = sharded.local_dangle[s]
+            if ld.size:
+                name = f"dangle:{s}"
+                arrays[name] = ld
+                dangle_spec[s] = name
+        n = sharded.n
+        for name in ("x0", "x1", "t", "target"):
+            arrays[name] = np.empty(n, dtype=np.float64)
+
+        spec, size = _pack_layout(arrays)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=size, name=SHM_PREFIX + secrets.token_hex(6)
+        )
+        for name, arr in arrays.items():
+            if name in ("x0", "x1", "t", "target"):
+                continue  # iterate/vector slots are filled per solve
+            _view(self._shm, spec[name])[:] = arr
+        self._spec = spec
+        self._bounds = np.asarray(plan.bounds)
+        self._x = (
+            _view(self._shm, spec["x0"]),
+            _view(self._shm, spec["x1"]),
+        )
+        self._t = _view(self._shm, spec["t"])
+        self._target = _view(self._shm, spec["target"])
+        self._read_sel = 0
+        self._has_target = False
+
+        self._procs = []
+        self._conns = []
+        for w in range(workers):
+            own = list(range(w, k, workers))
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn, self._shm, spec, self._bounds, own,
+                    dangle_spec,
+                ),
+                daemon=True,
+                name=f"repro-shard-worker-{w}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self.workers = workers
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _release, self._procs, self._conns, self._shm
+        )
+
+    # ------------------------------------------------------------------
+    # solve-time interface (driven by sharded_solve)
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return not self._closed and all(p.is_alive() for p in self._procs)
+
+    @property
+    def segment_name(self) -> str:
+        """The shared-memory segment's name (diagnostics / leak checks)."""
+        return self._shm.name
+
+    def load_vectors(
+        self, t_p: np.ndarray, target_p: np.ndarray | None
+    ) -> None:
+        """Install the permuted teleport / dangling-target for one solve."""
+        self._t[:] = t_p
+        if target_p is not None:
+            self._target[:] = target_p
+        self._has_target = target_p is not None
+
+    def seed(self, x: np.ndarray) -> None:
+        """Load the initial iterate into the current read buffer."""
+        self._read_sel = 0
+        self._x[0][:] = x
+
+    def read_view(self) -> np.ndarray:
+        """The buffer the *next* round reads (the latest iterate)."""
+        return self._x[self._read_sel]
+
+    def write_view(self) -> np.ndarray:
+        """The buffer the round just wrote (pre-swap)."""
+        return self._x[1 - self._read_sel]
+
+    def swap(self) -> None:
+        """Make the just-written buffer the next round's read buffer."""
+        self._read_sel = 1 - self._read_sel
+
+    def round(
+        self,
+        *,
+        alpha: float,
+        self_dangling: bool,
+        inner_sweeps: int,
+        use_f32: bool,
+        m_total: float,
+    ) -> tuple[float, float, float]:
+        """Run one block-Jacobi round across the workers.
+
+        Returns ``(raw L1 change, mass of the written iterate, dangling
+        mass of the written iterate)`` reduced over all shards.  The
+        caller normalises the write buffer and calls :meth:`swap`.
+        """
+        if self._closed:
+            raise ReproError("worker pool is closed")
+        msg = (
+            "round", self._read_sel, float(alpha), bool(self_dangling),
+            self._has_target, int(inner_sweeps), bool(use_f32),
+            float(m_total),
+        )
+        for conn in self._conns:
+            conn.send(msg)
+        diff = mass = dmass = 0.0
+        for conn in self._conns:
+            d, m, dm = conn.recv()
+            diff += d
+            mass += m
+            dmass += dm
+        return diff, mass, dmass
+
+    def close(self) -> None:
+        """Stop workers and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        # Drop the parent's own buffer views first so the segment can
+        # usually be closed cleanly (see _release's BufferError note).
+        self._x = ()
+        self._t = self._target = None
+        _release(self._procs, self._conns, self._shm)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "alive"
+        return (
+            f"<ShardWorkerPool workers={self.workers} "
+            f"segment={self._shm.name!r} {state}>"
+        )

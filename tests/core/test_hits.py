@@ -78,3 +78,35 @@ class TestAgainstNetworkx:
         theirs_auth /= theirs_auth.sum()
         result = hits(g, tol=1e-12)
         assert np.allclose(result.authorities.values, theirs_auth, atol=1e-6)
+
+
+class TestHitsOperatorBundle:
+    def test_reuses_cached_transpose(self):
+        """HITS routes through the graph's operator-bundle cache."""
+        g = DiGraph.from_edges(
+            [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c"), ("d", "c")]
+        )
+        first = hits(g, tol=1e-10)
+        bundle = g.cached(
+            ("operator", "hits_adjacency", False), lambda: None
+        )
+        assert bundle is not None  # built by the hits() call above
+        hits_before = g._cache_hits
+        second = hits(g, tol=1e-10)
+        assert g._cache_hits > hits_before
+        assert np.allclose(
+            first.authorities.values, second.authorities.values
+        )
+
+    def test_weighted_and_unweighted_bundles_distinct(self):
+        g = DiGraph.from_edges([("a", "b", 2.0), ("b", "c", 1.0)])
+        hits(g, tol=1e-10)
+        hits(g, tol=1e-10, weighted=True)
+        unweighted = g.cached(
+            ("operator", "hits_adjacency", False), lambda: None
+        )
+        weighted = g.cached(
+            ("operator", "hits_adjacency", True), lambda: None
+        )
+        assert unweighted is not None and weighted is not None
+        assert unweighted is not weighted

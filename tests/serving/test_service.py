@@ -281,7 +281,13 @@ class TestStats:
         assert stats["plan_mix"] == {"batch": 1, "cached": 1, "push": 1}
         assert set(stats) == {
             "requests", "plan_mix", "cache", "hit_rate", "coalescer",
-            "deltas",
+            "deltas", "sharding",
+        }
+        assert stats["sharding"] == {
+            "enabled": False,
+            "shard_push_local": 0,
+            "shard_push_fallback": 0,
+            "sharded_solves": 0,
         }
 
 

@@ -1,0 +1,141 @@
+"""Serving-layer sharding: planner routes, local push certificate, stats."""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.d2pr import d2pr
+from repro.graph import DiGraph
+from repro.graph.delta import GraphDelta
+from repro.serving import QueryPlanner, RankingService
+from repro.serving.planner import RankRequest, canonical_query
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = set(glob.glob("/dev/shm/repro_shard_*"))
+    yield
+    leaked = set(glob.glob("/dev/shm/repro_shard_*")) - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def _community_digraph(closed_first=True, n_comm=4, csize=120, seed=2):
+    """Ring communities; community 0 optionally has no outgoing cross edge."""
+    rng = np.random.default_rng(seed)
+    edges = []
+    for c in range(n_comm):
+        base = c * csize
+        for i in range(csize):
+            for off in (1, 2, 7):
+                edges.append((base + i, base + (i + off) % csize))
+    n = n_comm * csize
+    lo_src = csize if closed_first else 0
+    for _ in range(40):
+        u = int(rng.integers(lo_src, n))
+        v = int(rng.integers(0, n))
+        if u != v:
+            edges.append((u, v))
+    return DiGraph.from_edges(list(dict.fromkeys(edges)))
+
+
+@pytest.fixture
+def service():
+    svc = RankingService(
+        _community_digraph(),
+        sharding=True,
+        n_shards=4,
+        shard_size_floor=0,
+    )
+    yield svc
+    svc.close()
+
+
+def test_planner_shard_routes(service):
+    graph = service.graph
+    shard_state = service._sharded((0.0, 0.0, False, "teleport"))
+    planner = QueryPlanner()
+
+    q_global = canonical_query(graph, RankRequest(method="pagerank"))
+    plan = planner.plan(graph, q_global, shard_state=shard_state)
+    assert plan.strategy == "sharded"
+    # without shard state the same query pools through the coalescer
+    assert planner.plan(graph, q_global).strategy == "batch"
+
+    q_local = canonical_query(
+        graph, RankRequest(method="pagerank", seeds=[3, 9])
+    )
+    plan = planner.plan(graph, q_local, shard_state=shard_state)
+    assert plan.strategy == "shard_push"
+    assert "shard" in plan.estimates
+    assert planner.plan(graph, q_local).strategy == "push"
+
+    # seeds straddling two shards stay on the global push path
+    q_wide = canonical_query(
+        graph, RankRequest(method="pagerank", seeds=[3, 130])
+    )
+    assert (
+        planner.plan(graph, q_wide, shard_state=shard_state).strategy
+        == "push"
+    )
+
+
+def test_local_push_certificate_and_fallback(service):
+    graph = service.graph
+    # seeds in the closed community certify locally
+    local = service.rank(RankRequest(method="pagerank", seeds=[5], tol=1e-8))
+    assert local.plan.strategy == "shard_push"
+    ref = d2pr(graph, 0.0, alpha=0.85, teleport=[5], tol=1e-12)
+    assert np.abs(local.scores.values - ref.values).sum() < 1e-6
+    # seeds in an open community fail the escaped-mass certificate and
+    # fall back to a global push — still correct
+    open_seed = 120 + 5
+    fallback = service.rank(
+        RankRequest(method="pagerank", seeds=[open_seed], tol=1e-8)
+    )
+    assert fallback.plan.strategy == "shard_push"
+    ref = d2pr(graph, 0.0, alpha=0.85, teleport=[open_seed], tol=1e-12)
+    assert np.abs(fallback.scores.values - ref.values).sum() < 1e-6
+    stats = service.stats()["sharding"]
+    assert stats["enabled"]
+    assert stats["shard_push_local"] == 1
+    assert stats["shard_push_fallback"] == 1
+
+
+def test_sharded_global_solve_and_cache(service):
+    request = RankRequest(method="pagerank", tol=1e-10)
+    first = service.rank(request)
+    assert first.plan.strategy == "sharded"
+    ref = d2pr(service.graph, 0.0, alpha=0.85, tol=1e-12)
+    assert np.abs(first.scores.values - ref.values).sum() < 1e-7
+    # the sharded answer is cached like any other certified answer
+    second = service.rank(request)
+    assert second.plan.strategy == "cached"
+    assert service.stats()["sharding"]["sharded_solves"] == 1
+
+
+def test_below_floor_serves_unsharded():
+    svc = RankingService(
+        _community_digraph(), sharding=True, n_shards=4
+    )  # default floor is far above 480 nodes
+    try:
+        result = svc.rank(RankRequest(method="pagerank"))
+        assert result.plan.strategy == "batch"
+        assert svc.stats()["sharding"]["sharded_solves"] == 0
+    finally:
+        svc.close()
+
+
+def test_delta_closes_and_rebuilds_shard_operators(service):
+    service.rank(RankRequest(method="pagerank", tol=1e-10))
+    old = service._sharded((0.0, 0.0, False, "teleport"))
+    assert old is not None
+    service.apply_delta(GraphDelta.insert(np.array([0]), np.array([50])))
+    rebuilt = service._sharded((0.0, 0.0, False, "teleport"))
+    assert rebuilt is not None and rebuilt is not old
+    # post-delta answers stay correct through the rebuilt operator
+    result = service.rank(RankRequest(method="pagerank", tol=1e-10))
+    ref = d2pr(service.graph, 0.0, alpha=0.85, tol=1e-12)
+    assert np.abs(result.scores.values - ref.values).sum() < 1e-7

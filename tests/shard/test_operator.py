@@ -1,0 +1,128 @@
+"""Tests for the block-partitioned operator views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.d2pr import d2pr_operator, d2pr_sharded_operator
+from repro.errors import ParameterError
+from repro.shard import DEFAULT_SIZE_FLOOR, ShardedOperator, plan_shards
+
+
+def _sharded(graph, k=4, **kw):
+    kw.setdefault("force", True)
+    bundle = d2pr_operator(graph, 0.0)
+    return ShardedOperator(bundle, n_shards=k, **kw)
+
+
+def test_split_is_exact(community_digraph):
+    """intra + ext scattered back equals the permuted solve operand."""
+    op = _sharded(community_digraph)
+    plan = op.plan
+    a = op.bundle.t_csr  # A = P.T, original labels
+    perm = a[plan.order][:, plan.order].tocsr()
+    rebuilt = sparse.vstack(
+        [
+            op.ext[s]
+            + sparse.hstack(
+                [
+                    sparse.csr_matrix(
+                        (op.intra[s].shape[0], int(plan.bounds[s]))
+                    ),
+                    op.intra[s],
+                    sparse.csr_matrix(
+                        (
+                            op.intra[s].shape[0],
+                            plan.n - int(plan.bounds[s + 1]),
+                        )
+                    ),
+                ],
+                format="csr",
+            )
+            for s in range(op.n_shards)
+        ],
+        format="csr",
+    )
+    assert abs(perm - rebuilt).sum() < 1e-12
+
+
+def test_ext_has_no_inshard_columns(community_digraph):
+    op = _sharded(community_digraph)
+    plan = op.plan
+    for s in range(op.n_shards):
+        lo, hi = int(plan.bounds[s]), int(plan.bounds[s + 1])
+        ext = op.ext[s].tocoo()
+        assert not ((ext.col >= lo) & (ext.col < hi)).any()
+
+
+def test_dangling_bookkeeping(dangling_digraph):
+    op = _sharded(dangling_digraph, k=3)
+    plan = op.plan
+    dangle = op.bundle.dangle_mask
+    # permuted mask matches per-shard local indices
+    for s in range(op.n_shards):
+        lo = int(plan.bounds[s])
+        local = op.local_dangle[s]
+        original = plan.order[lo + local]
+        assert dangle[original].all()
+    assert sum(ld.size for ld in op.local_dangle) == int(dangle.sum())
+
+
+def test_coarse_ctx_matches_dense(community_digraph):
+    """Coupling column sums reproduce the dense cross-flow matrix."""
+    op = _sharded(community_digraph)
+    plan = op.plan
+    k = op.n_shards
+    rng = np.random.default_rng(5)
+    x = rng.random(plan.n)
+    dense = np.zeros((k, k))
+    for s in range(k):
+        # independent dense route: total mass arriving in shard s from
+        # each source shard q is the coupling block restricted to q's
+        # columns applied to the iterate
+        for q in range(k):
+            lo, hi = int(plan.bounds[q]), int(plan.bounds[q + 1])
+            dense[s, q] = float(
+                (op.ext[s][:, lo:hi] @ x[lo:hi]).sum()
+            )
+        assert np.isclose(
+            dense[s].sum(), float(np.asarray(op.ext[s] @ x).sum())
+        )
+    fast = np.zeros((k, k))
+    for s, (js, vs, qs) in enumerate(op.coarse_ctx):
+        np.add.at(fast[s], qs, vs * x[js])
+    assert np.allclose(fast, dense)
+
+
+def test_size_floor_refusal_and_force(path_graph):
+    bundle = d2pr_operator(path_graph, 0.0)
+    with pytest.raises(ParameterError):
+        ShardedOperator(bundle, n_shards=2)
+    op = ShardedOperator(bundle, n_shards=2, force=True)
+    assert op.n_shards == 2
+    assert DEFAULT_SIZE_FLOOR > path_graph.number_of_nodes
+
+
+def test_push_context_ghost_absorbs_leak(community_digraph):
+    op = _sharded(community_digraph)
+    local, ghost = op.push_context(1)
+    ns = op.intra[1].shape[0]
+    assert ghost == ns
+    mat = local.mat
+    assert mat.shape == (ns + 1, ns + 1)
+    row_sums = np.asarray(mat.sum(axis=1)).ravel()
+    # every non-ghost local row is stochastic (leak routed to ghost);
+    # the ghost row is empty (dangling)
+    assert np.allclose(row_sums[:ns], 1.0)
+    assert row_sums[ns] == 0.0
+
+
+def test_cached_sharded_operator(community_digraph):
+    g = community_digraph
+    a = d2pr_sharded_operator(g, 0.0, n_shards=4, force=True)
+    b = d2pr_sharded_operator(g, 0.0, n_shards=4, force=True)
+    assert a is b
+    assert d2pr_sharded_operator(g, 0.5, n_shards=4, force=True) is not a
+    assert a.plan is g.shard_plan(4)

@@ -1,0 +1,88 @@
+"""Tests for the shard partitioner and its relabeling plan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.shard import ShardPlan, intra_fraction, plan_shards
+
+
+def _structure(graph):
+    return graph.to_csr(weighted=False)
+
+
+def _check_invariants(plan: ShardPlan, n: int, k: int):
+    assert plan.n == n
+    assert plan.n_shards == k
+    # order/ranks are inverse permutations
+    assert np.array_equal(np.sort(plan.order), np.arange(n))
+    assert np.array_equal(plan.ranks[plan.order], np.arange(n))
+    # bounds partition [0, n] and agree with assign
+    assert plan.bounds[0] == 0 and plan.bounds[-1] == n
+    assert (np.diff(plan.bounds) >= 0).all()
+    for s in range(k):
+        sl = plan.shard_slice(s)
+        assert (plan.assign[plan.order[sl]] == s).all()
+    assert int(plan.sizes.sum()) == n
+
+
+@pytest.mark.parametrize("method", ["blocked", "labelprop", "auto"])
+@pytest.mark.parametrize("k", [1, 3, 8])
+def test_plan_invariants(community_digraph, method, k):
+    plan = plan_shards(_structure(community_digraph), k, method=method)
+    _check_invariants(plan, community_digraph.number_of_nodes, k)
+
+
+def test_more_shards_than_nodes_clamps():
+    import scipy.sparse as sp
+
+    mat = sp.csr_matrix((np.ones(3), ([0, 1, 2], [1, 2, 0])), shape=(3, 3))
+    plan = plan_shards(mat, 100)
+    _check_invariants(plan, 3, 3)
+    assert (plan.sizes == 1).all()
+
+
+def test_zero_shards_rejected(community_digraph):
+    with pytest.raises(ParameterError):
+        plan_shards(_structure(community_digraph), 0)
+
+
+def test_unknown_method_rejected(community_digraph):
+    with pytest.raises(ParameterError):
+        plan_shards(_structure(community_digraph), 4, method="metis")
+
+
+def test_labelprop_recovers_communities(community_digraph):
+    """Label propagation at the community count is near-perfectly intra."""
+    mat = _structure(community_digraph)
+    lp = plan_shards(mat, 4, method="labelprop")
+    blocked = plan_shards(mat, 4, method="blocked")
+    assert intra_fraction(mat, lp) >= intra_fraction(mat, blocked) - 1e-12
+    assert intra_fraction(mat, lp) > 0.9
+
+
+def test_permute_roundtrip(community_digraph):
+    plan = plan_shards(_structure(community_digraph), 4)
+    vec = np.random.default_rng(0).random(plan.n)
+    assert np.array_equal(plan.unpermute(plan.permute(vec)), vec)
+
+
+def test_shards_of_bounds(community_digraph):
+    plan = plan_shards(_structure(community_digraph), 4)
+    with pytest.raises(ParameterError):
+        plan.shards_of(np.array([plan.n]))
+    shards = plan.shards_of(np.arange(plan.n))
+    assert set(shards.tolist()) == set(range(4))
+
+
+def test_graph_shard_plan_cached(community_digraph):
+    g = community_digraph
+    p1 = g.shard_plan(4)
+    p2 = g.shard_plan(4)
+    assert p1 is p2
+    assert g.shard_plan(2) is not p1
+    # mutation drops the cached plan
+    g.add_edge(0, 999999)
+    assert g.shard_plan(4) is not p1

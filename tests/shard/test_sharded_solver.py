@@ -1,0 +1,203 @@
+"""Property suite: sharded solves match the monolithic solver.
+
+The contract under test is ISSUE-level: for every graph shape, dangling
+strategy, seed spelling and shard count (including the degenerate 1 and
+more-shards-than-nodes cases), :func:`repro.shard.solver.sharded_solve`
+converges to the same certified tolerance as monolithic
+:func:`repro.linalg.power_iteration` on the same operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.d2pr import d2pr_operator
+from repro.core.engine import RankQuery, solve_many, solve_transition
+from repro.errors import ConvergenceError, ParameterError
+from repro.graph import DiGraph, Graph
+from repro.linalg import power_iteration
+from repro.shard import ShardedOperator, sharded_solve
+from tests.shard.conftest import community_edges
+
+TOL = 1e-11
+MATCH = 5e-9
+
+
+def _graphs():
+    edges, _ = community_edges(n_comm=3, csize=50, cross=25, seed=11)
+    yield "digraph", DiGraph.from_edges(edges)
+    yield "graph", Graph.from_edges(edges)
+    # digraph with dangling sinks
+    g = DiGraph.from_edges(edges)
+    g.add_edge(4, 7001)
+    g.add_edge(61, 7002)
+    yield "dangling", g
+
+
+GRAPHS = dict(_graphs())
+
+
+def _solve_pair(graph, *, dangling, teleport=None, n_shards=4, **kw):
+    bundle = d2pr_operator(graph, 0.0)
+    reference = power_iteration(
+        None,
+        alpha=0.85,
+        teleport=teleport,
+        dangling=dangling,
+        tol=TOL,
+        operator=bundle,
+    )
+    result = sharded_solve(
+        alpha=0.85,
+        teleport=teleport,
+        dangling=dangling,
+        tol=TOL,
+        operator=bundle,
+        n_shards=n_shards,
+        size_floor=0,
+        **kw,
+    )
+    return reference, result
+
+
+@pytest.mark.parametrize("name", list(GRAPHS))
+@pytest.mark.parametrize("dangling", ["teleport", "uniform", "self"])
+@pytest.mark.parametrize("n_shards", [1, 4])
+def test_matches_power_iteration(name, dangling, n_shards):
+    graph = GRAPHS[name]
+    reference, result = _solve_pair(
+        graph, dangling=dangling, n_shards=n_shards
+    )
+    assert result.converged
+    assert np.abs(result.scores - reference.scores).sum() < MATCH
+    assert result.method.startswith("sharded")
+
+
+@pytest.mark.parametrize("spelling", ["array", "sparse"])
+def test_seed_spellings(community_digraph, spelling):
+    n = community_digraph.number_of_nodes
+    teleport = np.zeros(n)
+    teleport[[3, 80, 200]] = [0.2, 0.5, 0.3]
+    if spelling == "sparse":
+        # an equivalent scaled spelling must produce the same scores
+        arg = teleport * 7.0
+    else:
+        arg = teleport
+    reference, result = _solve_pair(
+        community_digraph, dangling="teleport", teleport=arg
+    )
+    assert np.abs(result.scores - reference.scores).sum() < MATCH
+
+
+def test_more_shards_than_nodes():
+    g = DiGraph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 0)])
+    reference, result = _solve_pair(g, dangling="teleport", n_shards=50)
+    assert np.abs(result.scores - reference.scores).sum() < MATCH
+
+
+def test_pooled_matches_serial(community_digraph):
+    bundle = d2pr_operator(community_digraph, 0.0)
+    sharded = ShardedOperator(bundle, n_shards=4, force=True)
+    try:
+        serial = sharded_solve(
+            alpha=0.85, dangling="teleport", tol=TOL,
+            operator=bundle, sharded=sharded, workers=1,
+        )
+        pooled = sharded_solve(
+            alpha=0.85, dangling="teleport", tol=TOL,
+            operator=bundle, sharded=sharded, workers=2,
+        )
+        assert pooled.converged
+        assert np.abs(pooled.scores - serial.scores).sum() < MATCH
+        # pool persists between solves at the same worker count
+        pool = sharded.pool(2)
+        assert pool.alive
+        again = sharded_solve(
+            alpha=0.85, dangling="self", tol=TOL,
+            operator=bundle, sharded=sharded, workers=2,
+        )
+        assert again.converged
+        assert sharded.pool(2) is pool
+    finally:
+        sharded.close()
+    assert not pool.alive
+
+
+def test_below_floor_falls_back(path_graph):
+    bundle = d2pr_operator(path_graph, 0.0)
+    result = sharded_solve(
+        alpha=0.85, dangling="teleport", tol=TOL, operator=bundle
+    )
+    assert result.method == "sharded_fallback_power"
+    reference = power_iteration(
+        None, alpha=0.85, dangling="teleport", tol=TOL, operator=bundle
+    )
+    assert np.abs(result.scores - reference.scores).sum() < MATCH
+
+
+def test_warm_start_x0(community_digraph):
+    bundle = d2pr_operator(community_digraph, 0.0)
+    cold = sharded_solve(
+        alpha=0.85, dangling="teleport", tol=TOL,
+        operator=bundle, size_floor=0, n_shards=4,
+    )
+    warm = sharded_solve(
+        alpha=0.85, dangling="teleport", tol=TOL,
+        operator=bundle, size_floor=0, n_shards=4, x0=cold.scores,
+    )
+    assert warm.iterations <= cold.iterations
+    assert np.abs(warm.scores - cold.scores).sum() < MATCH
+
+
+def test_budget_exhaustion_raises(community_digraph):
+    bundle = d2pr_operator(community_digraph, 0.0)
+    with pytest.raises(ConvergenceError):
+        sharded_solve(
+            alpha=0.85, dangling="teleport", tol=1e-14, max_iter=1,
+            operator=bundle, size_floor=0, n_shards=4,
+            raise_on_failure=True,
+        )
+
+
+def test_parameter_validation(community_digraph):
+    bundle = d2pr_operator(community_digraph, 0.0)
+    with pytest.raises(ParameterError):
+        sharded_solve(alpha=1.5, operator=bundle, size_floor=0)
+    with pytest.raises(ParameterError):
+        sharded_solve(
+            alpha=0.85, dangling="nope", operator=bundle, size_floor=0
+        )
+
+
+def test_engine_dispatch(community_digraph):
+    bundle = d2pr_operator(community_digraph, 0.0)
+    via_engine = solve_transition(
+        bundle.mat,
+        solver="sharded",
+        alpha=0.85,
+        tol=TOL,
+        operator=bundle,
+        size_floor=0,
+        n_shards=4,
+    )
+    direct = sharded_solve(
+        alpha=0.85, tol=TOL, operator=bundle, size_floor=0, n_shards=4
+    )
+    assert np.abs(via_engine.scores - direct.scores).sum() < MATCH
+
+
+def test_solve_many_sharded(community_digraph):
+    queries = [
+        RankQuery(alpha=0.85, p=0.0),
+        RankQuery(alpha=0.9, p=0.5, teleport=[3, 8]),
+    ]
+    sharded = solve_many(
+        community_digraph, queries, tol=TOL, solver="sharded", n_shards=4
+    )
+    batch = solve_many(community_digraph, queries, tol=TOL)
+    for a, b in zip(sharded, batch):
+        assert np.abs(a.values - b.values).sum() < MATCH
+        assert a.solver_result.method.startswith("sharded")
+    with pytest.raises(ParameterError):
+        solve_many(community_digraph, queries, solver="bogus")

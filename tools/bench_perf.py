@@ -24,11 +24,22 @@ synthetic graph (default 100k nodes / 1M candidate edges):
   refresh + residual-correction push) vs the pre-streaming behaviour of
   evicting every cache and re-solving cold;
 * **serving** — the ranking service layer end to end: a mixed request
-  stream (70% sparse personalised queries, 20% cached repeats, 10%
-  localized deltas) answered by ``RankingService`` (planner + microbatch
-  coalescer + delta-aware result cache) vs naive per-request
+  stream (sparse personalised queries, cached repeats, wide-seed batch
+  bursts, global ranks, localized deltas) answered by a *sharded*
+  ``RankingService`` (planner + microbatch coalescer + delta-aware
+  result cache + block-partitioned operators) vs naive per-request
   ``solve_transition`` calls at equal tolerance, with p50/p95 request
-  latency, cache hit rate and plan mix recorded.
+  latency, cache hit rate, plan mix, coalescer occupancy and shard-route
+  hit counts recorded;
+* **sharded_solve** — global PageRank on a ≥20M-edge community-structured
+  graph: monolithic power iteration vs the block-partitioned
+  aggregation/disaggregation solver (``sharded_solve``) on the *same*
+  cached operator at the same certified tolerance.  The win is
+  algorithmic — per-shard relaxation plus a k×k coarse balance solve
+  converges at the inter-shard coupling rate instead of the α-rate —
+  so it holds even on the single-core CI host (worker pools add
+  zero-copy parallelism on multi-core machines; ``--quick`` exercises
+  the pooled path with 2 workers).
 
 Results are written to ``BENCH_core.json`` so the perf trajectory is
 tracked across PRs.  ``--quick`` shrinks the workload for CI smoke runs;
@@ -43,7 +54,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import glob
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -53,7 +66,12 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.d2pr import d2pr, d2pr_transition  # noqa: E402
+from repro.core.d2pr import (  # noqa: E402
+    d2pr,
+    d2pr_operator,
+    d2pr_sharded_operator,
+    d2pr_transition,
+)
 from repro.core.engine import (  # noqa: E402
     RankQuery,
     build_teleport,
@@ -64,7 +82,7 @@ from repro.core.engine import (  # noqa: E402
 from repro.core.pagerank import pagerank  # noqa: E402
 from repro.core.personalized import personalized_d2pr  # noqa: E402
 from repro.core.walkers import simulate_walk  # noqa: E402
-from repro.graph.base import Graph  # noqa: E402
+from repro.graph.base import DiGraph, Graph  # noqa: E402
 from repro.graph.delta import GraphDelta  # noqa: E402
 from repro.linalg import (  # noqa: E402
     LinearOperatorBundle,
@@ -72,6 +90,7 @@ from repro.linalg import (  # noqa: E402
     power_iteration,
 )
 from repro.serving import RankingService, RankRequest  # noqa: E402
+from repro.shard import sharded_solve  # noqa: E402
 
 SEED = 20160315
 
@@ -521,60 +540,215 @@ def _bench_dynamic_update(
     return out
 
 
+def _directed_community_graph(
+    n: int, k_comm: int, deg: int, cross: float, rng: np.random.Generator
+) -> DiGraph:
+    """Directed community graph at solver-benchmark scale.
+
+    ``n`` (a multiple of ``k_comm``) nodes in ``k_comm`` equal
+    index-contiguous communities; every node gets ``deg`` out-edges to
+    random peers inside its community, a ``cross`` fraction of which are
+    rewired to uniform random targets.  This is the regime the
+    block-partitioned solver targets: a ``"blocked"`` shard plan at the
+    community count captures ~98% of the transition mass on the block
+    diagonal, so the coarse balance solve absorbs the slow inter-shard
+    mode.  Shard granularity matters — fewer shards than communities
+    merge blocks and leave a second near-Perron mode inside a shard,
+    defeating aggregation (see ``docs/performance.md``).
+    """
+    csize = n // k_comm
+    src = np.tile(np.arange(n, dtype=np.int64), deg)
+    base = (src // csize) * csize
+    off = rng.integers(1, csize, size=src.size)
+    dst = base + (src - base + off) % csize
+    stray = rng.random(src.size) < cross
+    dst[stray] = rng.integers(0, n, size=int(stray.sum()))
+    keep = src != dst
+    return DiGraph.from_arrays(src[keep], dst[keep], num_nodes=n)
+
+
+def _bench_sharded_solve(
+    graph: DiGraph,
+    *,
+    alpha: float,
+    tol: float,
+    n_shards: int,
+    workers: int | None,
+    rounds: int = 2,
+) -> dict:
+    """Global solve: monolithic power iteration vs block-relaxation.
+
+    Both sides stream the same warmed operator bundle and stop at the
+    same successive-L1 certificate (``tol``), so each answer is within
+    ``tol * alpha / (1 - alpha)`` of the fixed point and the two score
+    vectors must agree within twice that — asserted below, not just
+    recorded.  The sharded side is timed through the public
+    ``sharded_solve`` entry point on the graph-cached
+    ``d2pr_sharded_operator`` (plan + blocks memoised, as in serving);
+    the one-time plan/block build is reported separately since a served
+    workload amortises it across every subsequent solve and delta-free
+    query.  ``workers=None`` runs the in-process path (the honest
+    configuration for this single-core CI host — ``host_cores`` is
+    recorded next to it); a worker count exercises the zero-copy
+    shared-memory pool.
+    """
+    shm_before = set(glob.glob("/dev/shm/repro_shard_*"))
+    bundle = d2pr_operator(graph, 1.0)
+    bundle.t_csr  # warm: both sides stream the same operand
+    t0 = time.perf_counter()
+    sharded = d2pr_sharded_operator(
+        graph, 1.0, n_shards=n_shards, method="blocked"
+    )
+    build_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sharded.coarse_ctx  # coupling column sums for the coarse solve
+    for s in range(sharded.n_shards):
+        sharded.intra_f32(s)  # mixed-precision diagonal blocks
+    warm_s = time.perf_counter() - t0
+
+    def by_power():
+        return power_iteration(
+            None, alpha=alpha, tol=tol, operator=bundle
+        )
+
+    def by_shard():
+        return sharded_solve(
+            alpha=alpha,
+            tol=tol,
+            operator=bundle,
+            sharded=sharded,
+            workers=workers,
+        )
+
+    try:
+        timing = _interleaved_rounds(by_power, by_shard, 1.0, rounds=rounds)
+    finally:
+        sharded.close()
+    leaked = set(glob.glob("/dev/shm/repro_shard_*")) - shm_before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+    power_res, shard_res = timing["seq_result"], timing["bat_result"]
+    assert shard_res.converged, "sharded solve missed its certificate"
+    l1 = float(np.abs(power_res.scores - shard_res.scores).sum())
+    certificate = 2.0 * tol * alpha / (1.0 - alpha)
+    assert l1 <= certificate, (
+        f"sharded scores drifted outside the certificate: "
+        f"L1={l1:.3e} > {certificate:.3e}"
+    )
+    return {
+        "nodes": graph.number_of_nodes,
+        "edges": graph.number_of_edges,
+        "alpha": alpha,
+        "tol": tol,
+        "n_shards": sharded.n_shards,
+        "partition": "blocked",
+        "workers": workers,
+        "host_cores": os.cpu_count(),
+        "shard_build_s": build_s,
+        "shard_warm_s": warm_s,
+        "power_s": timing["seq_s"],
+        "power_iterations": power_res.iterations,
+        "sharded_s": timing["bat_s"],
+        "sharded_rounds": shard_res.iterations,
+        "sharded_method": shard_res.method,
+        "round_speedups": timing["round_speedups"],
+        "speedup": timing["speedup"],
+        "max_l1_diff": l1,
+        "l1_certificate": certificate,
+    }
+
+
 def _make_serving_stream(
     sim: Graph, community: int, n_events: int, tol: float,
     rng: np.random.Generator,
 ):
     """Concretise the mixed request stream against an evolving replica.
 
-    70% fresh sparse personalised queries (1–3 seeds), 20% repeats of
-    earlier queries, 10% localized deltas (~0.2% of edges each).  Deltas
-    are generated sequentially against ``sim`` (and applied to it) so a
-    later delta never names an edge an earlier one deleted — both timed
-    passes replay the identical event list on identical rebuilt graphs.
-    Returns ``(events, cold_flags)`` where ``cold_flags[i]`` marks rank
-    events that pay a one-time matrix build on the naive side — the
-    *first* rank of the stream (cold transition build on a fresh graph)
-    and the first rank after each delta (cold rebuild after the naive
-    evict-everything).  Cold events are always executed and never
-    scaled, so the warm-sample extrapolation stays honest.
+    ~55% fresh sparse personalised queries (1–3 seeds drawn inside one
+    community — the shard-local regime), ~15% repeats of earlier
+    queries, ~10% wide-seed **bursts** (six 36-seed requests filed
+    together, the batch-planned shape that fills coalescer windows),
+    ~5% global ranks (uniform teleport, the sharded-solve route), ~10%
+    localized deltas (~0.2% of edges each).  Deltas are generated
+    sequentially against ``sim`` (and applied to it) so a later delta
+    never names an edge an earlier one deleted — both timed passes
+    replay the identical event list on identical rebuilt graphs.
+    Returns ``(events, cold_flags, mix)`` where ``cold_flags[i]`` marks
+    rank/burst events that pay a one-time matrix build on the naive
+    side — the *first* solve of the stream (cold transition build on a
+    fresh graph) and the first solve after each delta (cold rebuild
+    after the naive evict-everything).  Cold events are always executed
+    and never scaled, so the warm-sample extrapolation stays honest.
     """
     n = sim.number_of_nodes
+    n_blocks = n // community
     n_delta = max(1, round(0.1 * n_events))
-    n_repeat = round(0.2 * n_events)
-    n_fresh = n_events - n_delta - n_repeat
+    n_repeat = round(0.15 * n_events)
+    n_burst = max(1, round(0.1 * n_events))
+    n_global = max(1, round(0.05 * n_events))
+    n_fresh = n_events - n_delta - n_repeat - n_burst - n_global
     kinds = (
-        ["fresh"] * n_fresh + ["repeat"] * n_repeat + ["delta"] * n_delta
+        ["fresh"] * n_fresh
+        + ["repeat"] * n_repeat
+        + ["burst"] * n_burst
+        + ["global"] * n_global
+        + ["delta"] * n_delta
     )
     rng.shuffle(kinds)
     events: list[tuple[str, object]] = []
     fresh_requests: list[RankRequest] = []
     cold_flags: dict[int, bool] = {}
-    after_delta = True  # the stream's first rank pays the cold build
+    mix: dict[str, int] = {}
+    after_delta = True  # the stream's first solve pays the cold build
     for kind in kinds:
         if kind == "delta":
             delta = _make_dynamic_delta(sim, 0.002, community, rng)
             sim.apply_delta(delta)
             events.append(("delta", delta))
+            mix["delta"] = mix.get("delta", 0) + 1
             after_delta = True
             continue
-        if kind == "repeat" and fresh_requests:
-            request = fresh_requests[
+        if kind == "burst":
+            # six wide personalised requests filed together: each is
+            # over the planner's push seed limit, so all six pool into
+            # one coalescer window and flush as a single batched solve
+            payload: object = [
+                RankRequest(
+                    method="d2pr",
+                    p=1.0,
+                    seeds=[
+                        int(s) for s in rng.choice(n, 36, replace=False)
+                    ],
+                    tol=tol,
+                )
+                for _ in range(6)
+            ]
+        elif kind == "global":
+            payload = RankRequest(method="d2pr", p=1.0, tol=tol)
+        elif kind == "repeat" and fresh_requests:
+            payload = fresh_requests[
                 int(rng.integers(0, len(fresh_requests)))
             ]
         else:
-            seeds = rng.choice(n, int(rng.integers(1, 4)), replace=False)
-            request = RankRequest(
+            kind = "fresh"
+            # sparse seeds inside one community: personalised mass stays
+            # local, the planner's shard-resident check passes, and the
+            # local push certificate usually certifies
+            block = int(rng.integers(0, n_blocks)) * community
+            seeds = block + rng.choice(
+                community, int(rng.integers(1, 4)), replace=False
+            )
+            payload = RankRequest(
                 method="d2pr",
                 p=1.0,
                 seeds=[int(s) for s in seeds],
                 tol=tol,
             )
-            fresh_requests.append(request)
+            fresh_requests.append(payload)
         cold_flags[len(events)] = after_delta
         after_delta = False
-        events.append(("rank", request))
-    return events, cold_flags
+        events.append(("burst" if kind == "burst" else "rank", payload))
+        mix[kind] = mix.get(kind, 0) + 1
+    return events, cold_flags, mix
 
 
 def _bench_serving(
@@ -583,9 +757,10 @@ def _bench_serving(
     n_events: int,
     tol: float,
     warm_sample: int | None,
+    n_shards: int,
     rounds: int = 2,
 ) -> dict:
-    """Mixed-stream serving: RankingService vs naive per-request solves.
+    """Mixed-stream serving: sharded RankingService vs naive solves.
 
     Both sides replay one identical event stream on identically rebuilt
     graphs, in alternating rounds.  The naive side is the pre-serving
@@ -593,27 +768,41 @@ def _bench_serving(
     tolerance, deltas absorbed by evict-everything + cold rebuild — and
     is measured in three buckets so sampling stays honest: delta
     application, the cold first-solve after each delta (always
-    executed), and warm solves (``warm_sample`` of them executed, scaled
-    to the full count; ``None`` executes all).  The service side times
-    every request end to end and reports p50/p95 latency, hit rate and
-    plan mix from ``RankingService.stats()``.
+    executed), and warm solves (``warm_sample`` of the warm rank/burst
+    events executed, scaled by *request count* to the full stream;
+    ``None`` executes all).  The service side runs with sharding
+    enabled (blocked plan at the community count), times every request
+    end to end — including the post-delta shard-operator rebuilds —
+    and reports p50/p95 latency, hit rate, plan mix, coalescer
+    occupancy/flush causes and shard-route counters from
+    ``RankingService.stats()``.  The wide-seed bursts are what give the
+    coalescer real windows to fill, so a non-zero mean occupancy is
+    asserted, as is at least one certified shard-local push.
     """
+    shm_before = set(glob.glob("/dev/shm/repro_shard_*"))
     rows, cols, _ = base.edge_arrays()
     n = base.number_of_nodes
     rng = np.random.default_rng(SEED + 4)
-    events, cold_flags = _make_serving_stream(
+    events, cold_flags, mix = _make_serving_stream(
         base, community, n_events, tol, rng
     )
-    rank_idx = [i for i, (kind, _) in enumerate(events) if kind == "rank"]
-    warm_idx = [i for i in rank_idx if not cold_flags[i]]
-    n_warm = len(warm_idx)
-    if warm_sample is None or warm_sample >= n_warm:
+    solve_idx = [
+        i for i, (kind, _) in enumerate(events) if kind != "delta"
+    ]
+
+    def requests_of(i: int) -> list[RankRequest]:
+        kind, payload = events[i]
+        return list(payload) if kind == "burst" else [payload]
+
+    warm_idx = [i for i in solve_idx if not cold_flags[i]]
+    warm_units = sum(len(requests_of(i)) for i in warm_idx)
+    if warm_sample is None or warm_sample >= len(warm_idx):
         sample_idx = set(warm_idx)
     else:
-        stride = max(1, n_warm // warm_sample)
+        stride = max(1, len(warm_idx) // warm_sample)
         sample_idx = set(warm_idx[::stride][:warm_sample])
     executed = sorted(
-        {i for i in rank_idx if cold_flags[i]} | sample_idx
+        {i for i in solve_idx if cold_flags[i]} | sample_idx
     )
     compare_idx = set(executed[:12])  # bound the kept full vectors
 
@@ -635,30 +824,42 @@ def _bench_serving(
             cold = cold_flags[i]
             if not cold and i not in sample_idx:
                 continue
+            requests = requests_of(i)
             t0 = time.perf_counter()
-            transition = d2pr_transition(graph, 1.0)
-            teleport = build_teleport(graph, payload.seeds)
-            result = solve_transition(
-                transition,
-                solver="power",
-                alpha=payload.alpha,
-                teleport=teleport,
-                tol=tol,
-            )
+            first = None
+            for request in requests:
+                transition = d2pr_transition(graph, 1.0)
+                teleport = build_teleport(graph, request.seeds)
+                result = solve_transition(
+                    transition,
+                    solver="power",
+                    alpha=request.alpha,
+                    teleport=teleport,
+                    tol=tol,
+                )
+                if first is None:
+                    first = result.scores
             dt = time.perf_counter() - t0
             if cold:
                 t_cold += dt
             else:
                 t_warm += dt
-                warm_ran += 1
+                warm_ran += len(requests)
             if i in compare_idx:
-                kept[i] = result.scores
-        scaled_warm = t_warm * (n_warm / warm_ran) if warm_ran else 0.0
+                kept[i] = first
+        scaled_warm = (
+            t_warm * (warm_units / warm_ran) if warm_ran else 0.0
+        )
         return t_delta + t_cold + scaled_warm, kept
 
     def service_pass():
         graph = rebuild()
-        service = RankingService(graph)
+        service = RankingService(
+            graph,
+            sharding=True,
+            n_shards=n_shards,
+            shard_method="blocked",
+        )
         latencies = []
         kept = {}
         t0_all = time.perf_counter()
@@ -666,6 +867,12 @@ def _bench_serving(
             t0 = time.perf_counter()
             if kind == "delta":
                 service.apply_delta(payload)
+            elif kind == "burst":
+                served_burst = service.rank_many(payload)
+                dt = time.perf_counter() - t0
+                latencies.extend([dt / len(payload)] * len(payload))
+                if i in compare_idx:
+                    kept[i] = served_burst[0].scores.values
             else:
                 served = service.rank(payload)
                 if i in compare_idx:
@@ -681,6 +888,8 @@ def _bench_serving(
     for _ in range(rounds):
         naive_s, naive_kept = naive_pass()
         service_s, service, latencies, service_kept = service_pass()
+        stats = service.stats()
+        service.close()
         naive_times.append(naive_s)
         service_times.append(service_s)
         speedups.append(naive_s / service_s)
@@ -690,23 +899,26 @@ def _bench_serving(
                 for i in naive_kept
             )
         )
-        stats = service.stats()
+    leaked = set(glob.glob("/dev/shm/repro_shard_*")) - shm_before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+    occupancy = stats["coalescer"]["mean_occupancy"]
+    assert occupancy > 0.0, (
+        "coalescer never batched a window — the wide-seed bursts must "
+        "reach the pooled path"
+    )
+    sharding = stats["sharding"]
+    assert sharding["enabled"] and sharding["shard_push_local"] > 0, (
+        f"no certified shard-local push was served: {sharding}"
+    )
     lat = np.array(latencies)
-    n_delta = sum(1 for kind, _ in events if kind == "delta")
     return {
         "nodes": n,
         "edges": base.number_of_edges,
         "tol": tol,
-        "events": {
-            "total": n_events,
-            "rank": len(rank_idx),
-            "repeat": n_events - n_delta - len(
-                {id(p) for k, p in events if k == "rank"}
-            ),
-            "delta": n_delta,
-        },
-        "warm_solves_sampled": len(sample_idx),
-        "warm_solves_total": n_warm,
+        "n_shards": n_shards,
+        "events": {"total": n_events, **mix},
+        "warm_events_sampled": len(sample_idx),
+        "warm_events_total": len(warm_idx),
         "naive_s": min(naive_times),
         "service_s": min(service_times),
         "round_speedups": speedups,
@@ -717,7 +929,9 @@ def _bench_serving(
         "hit_rate": stats["hit_rate"],
         "plan_mix": stats["plan_mix"],
         "corrections": stats["cache"]["corrections"],
-        "batch_occupancy": stats["coalescer"]["mean_occupancy"],
+        "batch_occupancy": occupancy,
+        "flush_causes": stats["coalescer"]["flush_causes"],
+        "sharding": sharding,
     }
 
 
@@ -916,28 +1130,70 @@ def run(
     if want("serving"):
         # The service-layer scenario: same community-structured serving
         # regime as single_query/dynamic_update (localized personalised
-        # mass, the push/incremental sweet spot), mixed request stream
-        # at the serving tolerance 1e-8.
+        # mass, the push/shard-push/incremental sweet spot), mixed
+        # request stream at the serving tolerance 1e-8, sharding on.
+        # The graph is sized so the post-delta shard-operator rebuild
+        # (a real cost of sharded serving under streaming mutation, and
+        # timed inside the service pass) stays proportionate to the
+        # per-delta cold re-solve the naive side pays.
         if quick:
             srv_graph = _community_graph(5_000, 20, 10, rng)
-            srv_comm, srv_events, srv_sample = 20, 24, None
+            srv_comm, srv_events, srv_sample, srv_shards = 20, 24, None, 10
         else:
             print("serving: building community serving graph")
-            srv_graph = _community_graph(1_000_000, 64, 31, rng)
-            srv_comm, srv_events, srv_sample = 64, 60, 9
+            srv_graph = _community_graph(400_000, 64, 15, rng)
+            srv_comm, srv_events, srv_sample, srv_shards = 64, 60, 9, 64
         print(
             f"serving: {srv_events} mixed events over "
-            f"{srv_graph.number_of_edges:,} edges"
+            f"{srv_graph.number_of_edges:,} edges ({srv_shards} shards)"
         )
         report["serving"] = _bench_serving(
-            srv_graph, srv_comm, srv_events, 1e-8, srv_sample
+            srv_graph, srv_comm, srv_events, 1e-8, srv_sample, srv_shards
         )
         srv = report["serving"]
         print(
             f"  naive {srv['naive_s']:.3f}s  service {srv['service_s']:.3f}s  "
             f"({srv['speedup']:.1f}x)  p50 {srv['service_p50_ms']:.1f}ms  "
             f"p95 {srv['service_p95_ms']:.1f}ms  "
-            f"hit rate {srv['hit_rate']:.2f}  plans {srv['plan_mix']}"
+            f"hit rate {srv['hit_rate']:.2f}  plans {srv['plan_mix']}\n"
+            f"  occupancy {srv['batch_occupancy']:.1f}  "
+            f"shards {srv['sharding']}"
+        )
+
+    if want("sharded_solve"):
+        # Global-solve scenario at the ISSUE's target scale: ≥20M edges,
+        # blocked shards at the community count (granularity must
+        # resolve the community structure — see docs/performance.md).
+        # --quick shrinks the graph and routes through a 2-worker
+        # zero-copy pool so CI exercises the shared-memory path.
+        if quick:
+            shard_graph = _directed_community_graph(
+                20_000, 8, 8, 0.02, rng
+            )
+            shard_k, shard_workers = 8, 2
+        else:
+            print("sharded_solve: building 1.3M-node community graph")
+            shard_graph = _directed_community_graph(
+                1_310_720, 64, 16, 0.02, rng
+            )
+            shard_k, shard_workers = 64, None
+        print(
+            f"sharded_solve: {shard_graph.number_of_edges:,} edges, "
+            f"{shard_k} blocked shards, workers={shard_workers}"
+        )
+        report["sharded_solve"] = _bench_sharded_solve(
+            shard_graph,
+            alpha=0.9,
+            tol=1e-8,
+            n_shards=shard_k,
+            workers=shard_workers,
+        )
+        sh = report["sharded_solve"]
+        print(
+            f"  power {sh['power_s']:.3f}s ({sh['power_iterations']} it)  "
+            f"sharded {sh['sharded_s']:.3f}s ({sh['sharded_rounds']} "
+            f"rounds)  ({sh['speedup']:.1f}x)  L1 {sh['max_l1_diff']:.1e} "
+            f"<= {sh['l1_certificate']:.1e}"
         )
     return report
 
@@ -962,8 +1218,8 @@ def main() -> int:
         default=None,
         help="comma-separated scenario subset to run (graph_build, "
         "pagerank, d2pr, simulate_walk, ppr_batch, sweep, single_query, "
-        "dynamic_update, serving); results are merged into the existing "
-        "JSON",
+        "dynamic_update, serving, sharded_solve); results are merged "
+        "into the existing JSON",
     )
     args = parser.parse_args()
     only = (

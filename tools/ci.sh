@@ -5,10 +5,15 @@
 # (single_query: cached operator bundle + forward push), the
 # streaming-update path (dynamic_update: GraphDelta apply + delta-aware
 # cache refresh + incremental residual-correction solve vs cold
-# re-solve) and the ranking service layer (serving: planner + microbatch
-# coalescer + delta-aware result cache over a mixed request stream) — so
-# a broken batch, operator-cache, push, streaming or serving path fails
-# CI even before the full-size numbers are regenerated.
+# re-solve), the ranking service layer (serving: planner + microbatch
+# coalescer + delta-aware result cache + shard routing over a mixed
+# request stream, with non-zero coalescer occupancy and a certified
+# shard-local push asserted in-process) and the block-partitioned
+# solver (sharded_solve: blocked shard plan + aggregation/
+# disaggregation rounds through a 2-worker zero-copy shared-memory
+# pool) — so a broken batch, operator-cache, push, streaming, serving
+# or sharding path fails CI even before the full-size numbers are
+# regenerated.
 # Mirrors what .github/workflows/ci.yml executes on every push; run it
 # locally before sending a PR.
 set -euo pipefail
@@ -16,5 +21,16 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Snapshot shared-memory segments so a leaked shard pool fails the run.
+shm_before=$(ls /dev/shm 2>/dev/null | grep '^repro_shard_' || true)
+
 python -m pytest -x -q
 python tools/bench_perf.py --quick
+
+shm_after=$(ls /dev/shm 2>/dev/null | grep '^repro_shard_' || true)
+leaked=$(comm -13 <(sort <<<"$shm_before") <(sort <<<"$shm_after") | grep . || true)
+if [ -n "$leaked" ]; then
+    echo "FAIL: leaked shared-memory segments:" >&2
+    echo "$leaked" >&2
+    exit 1
+fi

@@ -37,6 +37,7 @@ from repro.core import (
     weighted_pagerank,
 )
 from repro.errors import (
+    AdmissionError,
     ConvergenceError,
     DatasetError,
     EdgeError,
@@ -50,7 +51,7 @@ from repro.errors import (
 )
 from repro.graph import BipartiteGraph, DiGraph, Graph, graph_statistics, project
 from repro.metrics import kendall, pearson, rank_data, spearman
-from repro.serving import RankingService, RankRequest
+from repro.serving import RankingService, RankRequest, ServingFront
 
 __all__ = [
     "__version__",
@@ -73,6 +74,7 @@ __all__ = [
     # serving
     "RankingService",
     "RankRequest",
+    "ServingFront",
     # graphs
     "Graph",
     "DiGraph",
@@ -93,6 +95,7 @@ __all__ = [
     "FrozenGraphError",
     "ConvergenceError",
     "ParameterError",
+    "AdmissionError",
     "DatasetError",
     "ExperimentError",
 ]

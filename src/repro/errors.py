@@ -63,6 +63,20 @@ class ParameterError(ReproError, ValueError):
     """A numeric/algorithmic parameter is outside its documented domain."""
 
 
+class AdmissionError(ReproError):
+    """A request was rejected at the serving front's admission gate.
+
+    Rejection is always explicit — the request was never enqueued and no
+    work was started on its behalf.  ``reason`` is a stable machine-readable
+    token (``"queue_full"``, ``"shutdown"``); the stats of the rejecting
+    :class:`~repro.serving.front.ServingFront` count rejections per reason.
+    """
+
+    def __init__(self, message: str, *, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class DatasetError(ReproError):
     """A synthetic dataset could not be generated or validated."""
 

@@ -47,6 +47,7 @@ contract.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Hashable, Iterable, Iterator, Mapping
 from itertools import chain
 from typing import Any
@@ -136,6 +137,13 @@ class BaseGraph:
         # version and clears the cache.
         self._version = 0
         self._cache: dict[tuple, Any] = {}
+        # Serialises derived-object cache access so concurrent readers
+        # (the serving layer's worker threads) can share one graph.
+        # Crucial for PendingRefresh resolution: a deferred delta patch
+        # may mutate a retained object in place exactly once — two
+        # threads racing into the same first access must not both apply
+        # it.  Reentrant because builders may consult the cache.
+        self._cache_lock = threading.RLock()
         self._cache_hits = 0
         self._cache_misses = 0
         # Shared-instance guard: freeze() flips this and every mutator
@@ -170,21 +178,22 @@ class BaseGraph:
         always consistent with the current structure.  Cached values are
         shared between callers and must be treated as read-only.
         """
-        try:
-            value = self._cache[key]
-        except KeyError:
-            self._cache_misses += 1
-            value = builder()
-            self._cache[key] = value
+        with self._cache_lock:
+            try:
+                value = self._cache[key]
+            except KeyError:
+                self._cache_misses += 1
+                value = builder()
+                self._cache[key] = value
+                return value
+            if type(value) is PendingRefresh:
+                # A delta-aware patch queued by apply_delta: materialise
+                # it now (still far cheaper than builder() from scratch)
+                # and keep the result for everyone else.
+                value = value.resolve()
+                self._cache[key] = value
+            self._cache_hits += 1
             return value
-        if type(value) is PendingRefresh:
-            # A delta-aware patch queued by apply_delta: materialise it
-            # now (still far cheaper than builder() from scratch) and
-            # keep the result for everyone else.
-            value = value.resolve()
-            self._cache[key] = value
-        self._cache_hits += 1
-        return value
 
     def operator_bundle(
         self, key: tuple, transition_builder: Callable[[], Any]
@@ -317,9 +326,10 @@ class BaseGraph:
         }
 
     def _invalidate(self) -> None:
-        self._version += 1
-        if self._cache:
-            self._cache.clear()
+        with self._cache_lock:
+            self._version += 1
+            if self._cache:
+                self._cache.clear()
 
     # ------------------------------------------------------------------
     # freezing (shared-instance protection)

@@ -393,10 +393,15 @@ def apply_graph_delta(graph, delta: GraphDelta) -> dict:
         w0[pos] = rew_w
         stats["reweighted"] = int(rew_keys.shape[0])
 
-    # Commit the new canonical store (key-sorted, each edge once).
+    # Commit the new canonical store (key-sorted, each edge once), and
+    # swap the derived-object cache under the graph's cache lock so a
+    # concurrent reader resolving a cached entry never observes the
+    # half-rewritten table (the serving layer additionally excludes
+    # solves during a delta via its own write barrier).
     touched = np.unique(np.concatenate(graph._delta_touched(delta)))
-    graph._set_edge_store(rows0, cols0, w0)
-    _refresh_caches(graph, touched, stats)
+    with graph._cache_lock:
+        graph._set_edge_store(rows0, cols0, w0)
+        _refresh_caches(graph, touched, stats)
     return stats
 
 

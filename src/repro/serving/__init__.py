@@ -4,12 +4,17 @@ The first layer of the library that owns *requests* rather than solves
 — the ROADMAP's "serve heavy traffic" step.  :class:`RankingService` is
 the front door; :mod:`~repro.serving.planner`,
 :mod:`~repro.serving.coalescer` and :mod:`~repro.serving.cache` are its
-injectable components.  See ``docs/serving.md`` for the serving
-contract.
+injectable components.  :class:`ServingFront` puts a concurrent request
+path — bounded admission queue, worker pool, flush timer — in front of
+the (thread-safe) service.  See ``docs/serving.md`` for the serving and
+concurrency contracts.
 """
 
+from repro.serving.admission import AdmissionController
 from repro.serving.cache import CacheEntry, ResultCache
 from repro.serving.coalescer import CoalescerTicket, MicrobatchCoalescer
+from repro.serving.front import FrontTicket, ServingFront
+from repro.serving.latency import LatencyRecorder
 from repro.serving.planner import (
     METHODS,
     STRATEGIES,
@@ -20,13 +25,17 @@ from repro.serving.planner import (
     canonical_query,
 )
 from repro.serving.service import RankingService, ServedResult, ServingTicket
+from repro.serving.sync import ReadWriteLock
 
 __all__ = [
     "METHODS",
     "STRATEGIES",
+    "AdmissionController",
     "CacheEntry",
     "CanonicalQuery",
     "CoalescerTicket",
+    "FrontTicket",
+    "LatencyRecorder",
     "MicrobatchCoalescer",
     "QueryPlan",
     "QueryPlanner",
@@ -34,6 +43,7 @@ __all__ = [
     "RankingService",
     "ResultCache",
     "ServedResult",
+    "ServingFront",
     "ServingTicket",
     "canonical_query",
 ]

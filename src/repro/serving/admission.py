@@ -1,0 +1,195 @@
+"""Queue-based admission control for the concurrent serving front.
+
+A serving process under more load than it can absorb has exactly three
+honest options: queue the request, serve it now, or **refuse it with a
+reason**.  :class:`AdmissionController` implements that contract as a
+bounded FIFO ingress queue plus per-class concurrency limits:
+
+* **Bounded queue** — an offer beyond ``capacity`` raises
+  :class:`~repro.errors.AdmissionError` with ``reason="queue_full"``.
+  Backpressure is *explicit*: the client learns immediately that the
+  front is saturated instead of watching its request age in an
+  unbounded queue.
+* **Per-class concurrency limits** — each queued item carries a class
+  label (the serving front uses the planner's strategy name), and
+  ``limits`` caps how many items of a class may be *running* at once.
+  :meth:`take` hands out the **first queued item whose class has a free
+  slot**, skipping over blocked ones — an expensive class (a global
+  ``sharded`` solve) saturating its slots cannot starve the cheap
+  pushes queued behind it; they jump ahead while the heavy slot drains.
+  FIFO order is preserved *within* a class.
+* **Explicit shutdown** — :meth:`close` rejects everything still queued
+  with ``reason="shutdown"`` and returns the rejected items so the
+  caller can fail their tickets loudly.  Nothing is ever dropped
+  silently.
+
+Thread safety: one condition variable guards all state; ``offer`` /
+``take`` / ``release`` / ``close`` may be called from any thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import AdmissionError, ParameterError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded ingress queue with per-class concurrency limits.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued (admitted but not yet running) items.
+    limits:
+        ``{class_label: max_concurrent}`` — classes absent from the map
+        are unlimited.  Limits bound *running* items (between
+        :meth:`take` and :meth:`release`), not queued ones.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        *,
+        limits: dict[str, int] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        limits = dict(limits or {})
+        for label, limit in limits.items():
+            if limit < 1:
+                raise ParameterError(
+                    f"limit for class {label!r} must be >= 1, got {limit}"
+                )
+        self.capacity = capacity
+        self.limits = limits
+        self._cv = threading.Condition()
+        self._queue: deque[tuple[object, str]] = deque()
+        self._running: dict[str, int] = {}
+        self._closed = False
+        self._admitted = 0
+        self._rejected: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def offer(self, item: object, cls: str = "default") -> None:
+        """Admit ``item`` or raise :class:`AdmissionError` with a reason."""
+        with self._cv:
+            if self._closed:
+                self._rejected["shutdown"] = (
+                    self._rejected.get("shutdown", 0) + 1
+                )
+                raise AdmissionError(
+                    "serving front is shut down", reason="shutdown"
+                )
+            if len(self._queue) >= self.capacity:
+                self._rejected["queue_full"] = (
+                    self._rejected.get("queue_full", 0) + 1
+                )
+                raise AdmissionError(
+                    f"ingress queue is full ({self.capacity} deep); "
+                    "retry later or raise capacity",
+                    reason="queue_full",
+                )
+            self._queue.append((item, cls))
+            self._admitted += 1
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def _eligible(self) -> int | None:
+        """Index of the first queued item whose class has a free slot."""
+        for i, (_item, cls) in enumerate(self._queue):
+            limit = self.limits.get(cls)
+            if limit is None or self._running.get(cls, 0) < limit:
+                return i
+        return None
+
+    def take(
+        self, timeout: float | None = None
+    ) -> tuple[object, str] | None:
+        """The next runnable ``(item, class)``, or ``None``.
+
+        Blocks until an item whose class has a free concurrency slot is
+        available (claiming its slot), the controller is closed
+        (returns ``None`` once the queue is empty), or ``timeout``
+        elapses (``None``; ``timeout=0`` polls).  Pair every successful
+        take with a :meth:`release` of the returned class.
+        """
+        with self._cv:
+            while True:
+                index = self._eligible()
+                if index is not None:
+                    item, cls = self._queue[index]
+                    del self._queue[index]
+                    self._running[cls] = self._running.get(cls, 0) + 1
+                    return item, cls
+                if self._closed and not self._queue:
+                    return None
+                if timeout == 0:
+                    return None
+                if not self._cv.wait(timeout=timeout):
+                    return None
+
+    def release(self, cls: str) -> None:
+        """Return the concurrency slot claimed by a :meth:`take`."""
+        with self._cv:
+            count = self._running.get(cls, 0)
+            if count <= 0:
+                raise ParameterError(
+                    f"release of class {cls!r} without a matching take"
+                )
+            if count == 1:
+                del self._running[cls]
+            else:
+                self._running[cls] = count - 1
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self) -> list[tuple[object, str]]:
+        """Stop admitting; return still-queued items for explicit rejection.
+
+        Waiting :meth:`take` calls wake and drain what remains already
+        taken; the *queued* backlog is handed back to the caller, whose
+        job is to fail each item loudly (the serving front rejects their
+        tickets with ``reason="shutdown"``).  Idempotent.
+        """
+        with self._cv:
+            self._closed = True
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._rejected["shutdown"] = (
+                self._rejected.get("shutdown", 0) + len(leftovers)
+            )
+            self._cv.notify_all()
+            return leftovers
+
+    @property
+    def closed(self) -> bool:
+        with self._cv:
+            return self._closed
+
+    def depth(self) -> int:
+        """Currently queued (admitted, not yet running) items."""
+        with self._cv:
+            return len(self._queue)
+
+    def stats(self) -> dict:
+        """Admission health: depth, running per class, rejections by reason."""
+        with self._cv:
+            return {
+                "capacity": self.capacity,
+                "depth": len(self._queue),
+                "admitted": self._admitted,
+                "rejected": dict(self._rejected),
+                "running": dict(self._running),
+                "limits": dict(self.limits),
+                "closed": self._closed,
+            }

@@ -30,10 +30,30 @@ Entries hold the **full certified score vector** (as served
 way out, so one entry answers every ``k`` — and a corrected entry
 re-certifies every slice at once.  Cached vectors are shared with
 callers under the library's read-only contract.
+
+Thread safety
+-------------
+Every public method holds one internal :class:`threading.RLock` for its
+whole critical section, so the cache can sit behind the concurrent
+serving front (:class:`~repro.serving.front.ServingFront`) without
+external locking.  The lock is held only for O(entries) bookkeeping —
+never during a solve — so it is not a throughput bottleneck.  The
+delta-pending correction path is made atomic by **token identity**:
+
+* :meth:`lookup` returns the pending token alongside the entry, and the
+  corrector must hand the same token back to :meth:`resolve_pending`;
+* resolving with a token that is no longer the entry's current pending
+  marker means a delta landed (or the entry was re-marked) while the
+  correction solved — the stale corrected answer is **discarded and the
+  entry evicted**, never stored;
+* resolving an entry whose token was already cleared by an identical
+  concurrent correction is idempotent: the first resolution wins, the
+  second is reported as already applied and nothing changes.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -67,7 +87,8 @@ class CacheEntry:
     #: was applied (opaque to the cache — in practice a reference to the
     #: pre-delta operator bundle, from which the baseline residual is
     #: derived lazily at correction time).  Non-``None`` marks the entry
-    #: as awaiting incremental correction.
+    #: as awaiting incremental correction; its *identity* is the
+    #: atomicity handle of the correction lifecycle (see module docs).
     pending: object | None = None
     hits: int = 0
 
@@ -79,18 +100,22 @@ class ResultCache:
         if capacity < 1:
             raise ParameterError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self._lock = threading.RLock()
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
         self._lookups = 0
         self._hits = 0
         self._misses = 0
         self._corrections = 0
+        self._stale_corrections = 0
         self._evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, digest: str) -> bool:
-        return digest in self._entries
+        with self._lock:
+            return digest in self._entries
 
     # ------------------------------------------------------------------
     # lookup / store
@@ -108,41 +133,48 @@ class ResultCache:
         the service's back — is evicted on sight; an entry that merely
         fails the tolerance gate is left in place (it still serves
         looser requests) and the miss's fresh solve will overwrite it.
+
+        A ``"pending"`` caller that goes on to correct the entry must
+        capture ``entry.pending`` under this call and pass it back to
+        :meth:`resolve_pending` as the token.
         """
-        self._lookups += 1
-        entry = self._entries.get(digest)
-        if entry is None:
-            self._misses += 1
-            return "miss", None
-        if entry.mutation != mutation:
-            # Mutated outside the service's apply_delta path: the entry
-            # has no correction route, so it can never serve again.
-            self._evict(digest)
-            self._misses += 1
-            return "miss", None
-        if entry.tol > tol * (1.0 + _TOL_SLACK):
-            self._misses += 1
-            return "miss", None
-        self._entries.move_to_end(digest)
-        if entry.pending is not None:
-            return "pending", entry
-        entry.hits += 1
-        self._hits += 1
-        return "hit", entry
+        with self._lock:
+            self._lookups += 1
+            entry = self._entries.get(digest)
+            if entry is None:
+                self._misses += 1
+                return "miss", None
+            if entry.mutation != mutation:
+                # Mutated outside the service's apply_delta path: the
+                # entry has no correction route, so it can never serve
+                # again.
+                self._evict(digest)
+                self._misses += 1
+                return "miss", None
+            if entry.tol > tol * (1.0 + _TOL_SLACK):
+                self._misses += 1
+                return "miss", None
+            self._entries.move_to_end(digest)
+            if entry.pending is not None:
+                return "pending", entry
+            entry.hits += 1
+            self._hits += 1
+            return "hit", entry
 
     def peek(self, digest: str, *, mutation: int, tol: float) -> str:
         """Classify like :meth:`lookup` without counters, LRU or eviction.
 
         The dry-run used by :meth:`~repro.serving.RankingService.plan`.
         """
-        entry = self._entries.get(digest)
-        if (
-            entry is None
-            or entry.mutation != mutation
-            or entry.tol > tol * (1.0 + _TOL_SLACK)
-        ):
-            return "miss"
-        return "pending" if entry.pending is not None else "hit"
+        with self._lock:
+            entry = self._entries.get(digest)
+            if (
+                entry is None
+                or entry.mutation != mutation
+                or entry.tol > tol * (1.0 + _TOL_SLACK)
+            ):
+                return "miss"
+            return "pending" if entry.pending is not None else "hit"
 
     def store(
         self,
@@ -162,32 +194,35 @@ class ResultCache:
             request=request,
             teleport=teleport,
         )
-        if digest in self._entries:
-            del self._entries[digest]
-        self._entries[digest] = entry
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._evictions += 1
-        return entry
+        with self._lock:
+            if digest in self._entries:
+                del self._entries[digest]
+            self._entries[digest] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return entry
 
     # ------------------------------------------------------------------
     # delta lifecycle
     # ------------------------------------------------------------------
     def live_entries(self) -> list[tuple[str, CacheEntry]]:
         """Digest/entry pairs eligible for baseline capture (not pending)."""
-        return [
-            (digest, entry)
-            for digest, entry in self._entries.items()
-            if entry.pending is None
-        ]
+        with self._lock:
+            return [
+                (digest, entry)
+                for digest, entry in self._entries.items()
+                if entry.pending is None
+            ]
 
     def pending_digests(self) -> list[str]:
         """Digests still awaiting correction from an earlier delta."""
-        return [
-            digest
-            for digest, entry in self._entries.items()
-            if entry.pending is not None
-        ]
+        with self._lock:
+            return [
+                digest
+                for digest, entry in self._entries.items()
+                if entry.pending is not None
+            ]
 
     def mark_pending(
         self, digest: str, token: object, *, mutation: int
@@ -198,40 +233,86 @@ class ResultCache:
         later — in practice a reference to the entry's *pre-delta*
         operator bundle, from which the baseline residual (the part the
         incremental solver freezes as dust; see ``linalg/incremental.py``)
-        is computed lazily on first post-delta access.
+        is computed lazily on first post-delta access.  The token's
+        identity also guards the correction lifecycle: an in-flight
+        correction holding the *previous* token (or none) can no longer
+        resolve into this entry once it is re-marked.
         """
-        entry = self._entries.get(digest)
-        if entry is None:  # pragma: no cover - defensive
-            return
-        entry.pending = token
-        entry.mutation = int(mutation)
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:  # pragma: no cover - defensive
+                return
+            entry.pending = token
+            entry.mutation = int(mutation)
 
     def resolve_pending(
-        self, digest: str, *, scores: NodeScores, tol: float, mutation: int
-    ) -> CacheEntry:
-        """Replace a pending entry with its corrected, re-certified answer."""
-        entry = self._entries.get(digest)
-        if entry is None:  # pragma: no cover - defensive
-            raise ParameterError(f"no cache entry for digest {digest!r}")
-        entry.scores = scores
-        entry.tol = float(tol)
-        entry.mutation = int(mutation)
-        entry.pending = None
-        self._corrections += 1
-        self._entries.move_to_end(digest)
-        return entry
+        self,
+        digest: str,
+        *,
+        scores: NodeScores,
+        tol: float,
+        mutation: int,
+        token: object | None = None,
+    ) -> tuple[str, CacheEntry | None]:
+        """Land a correction computed for the pending marker ``token``.
+
+        The atomic commit point of the correction lifecycle.  Returns a
+        ``(state, entry)`` pair:
+
+        * ``("resolved", entry)`` — ``token`` is the entry's current
+          pending marker (or ``token is None``, the pre-concurrency
+          trusting form): the corrected answer replaces the entry and it
+          is re-certified at ``mutation``.
+        * ``("already", entry)`` — the entry is no longer pending but
+          sits at the same ``mutation`` the correction targeted: an
+          identical concurrent correction (or a fresh solve) landed
+          first.  Idempotent — nothing changes, the resident answer is
+          equally certified and the caller may serve its own.
+        * ``("stale", None)`` — the entry vanished, was re-marked by a
+          newer delta, or moved to a different mutation while the
+          correction solved.  The corrected answer no longer describes
+          the current graph: it is **not** stored and any conflicting
+          entry is evicted (never served stale).  The caller must
+          re-plan the request.
+        """
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                return "stale", None
+            if entry.pending is None:
+                if entry.mutation == int(mutation):
+                    return "already", entry
+                return "stale", None
+            if token is not None and entry.pending is not token:
+                # A newer delta re-marked the entry while this correction
+                # solved: its answer belongs to a superseded graph
+                # version, and the entry's retained scores were already
+                # consumed by that re-mark's capture assumptions — drop
+                # both rather than risk serving either.
+                self._evict(digest)
+                self._stale_corrections += 1
+                return "stale", None
+            entry.scores = scores
+            entry.tol = float(tol)
+            entry.mutation = int(mutation)
+            entry.pending = None
+            self._corrections += 1
+            self._entries.move_to_end(digest)
+            return "resolved", entry
 
     def evict(self, digest: str) -> None:
         """Drop one entry (counted in the eviction stats)."""
-        if digest in self._entries:
-            self._evict(digest)
+        with self._lock:
+            if digest in self._entries:
+                self._evict(digest)
 
     def evict_all(self) -> int:
         """Drop every entry (de-localised delta / external mutation path)."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self._evictions += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._evictions += dropped
+            return dropped
 
     def _evict(self, digest: str) -> None:
         del self._entries[digest]
@@ -242,18 +323,22 @@ class ResultCache:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Hit/miss/correction/eviction counters plus occupancy."""
-        return {
-            "capacity": self.capacity,
-            "entries": len(self._entries),
-            "pending": sum(
-                1
-                for entry in self._entries.values()
-                if entry.pending is not None
-            ),
-            "lookups": self._lookups,
-            "hits": self._hits,
-            "misses": self._misses,
-            "corrections": self._corrections,
-            "evictions": self._evictions,
-            "hit_rate": self._hits / self._lookups if self._lookups else 0.0,
-        }
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "pending": sum(
+                    1
+                    for entry in self._entries.values()
+                    if entry.pending is not None
+                ),
+                "lookups": self._lookups,
+                "hits": self._hits,
+                "misses": self._misses,
+                "corrections": self._corrections,
+                "stale_corrections": self._stale_corrections,
+                "evictions": self._evictions,
+                "hit_rate": (
+                    self._hits / self._lookups if self._lookups else 0.0
+                ),
+            }

@@ -31,14 +31,33 @@ piece that turns request traffic into those blocks:
   the earlier block's solutions, mirroring
   :func:`~repro.core.engine.solve_many`.
 
-The coalescer is synchronous and single-threaded by design — it batches
-*call-pattern* concurrency (a service loop submitting many requests
-before reading any result), not thread concurrency, which is the shape
-of every bulk path in this library.
+Thread safety
+-------------
+The coalescer serves two call patterns.  The original synchronous one —
+a single loop submitting many requests before reading any result — still
+works unchanged.  Under the concurrent front
+(:class:`~repro.serving.front.ServingFront`) several worker threads
+submit, flush and read tickets at once; the coalescer is safe for that
+because all bookkeeping (group tables, pending lists, ticket resolution,
+warm-start memory, counters) happens under one internal condition
+variable, while the **batched solves themselves run outside the lock**:
+a flush atomically takes ownership of its group's pending columns, marks
+the group *solving*, releases the lock for the solve, and re-acquires it
+to deliver results and wake waiters.  Consequences worth knowing:
+
+* two threads can solve two different flushes concurrently (even of the
+  same group, when columns arrived between the takes — the warm-start
+  signature check keeps the blocks independent);
+* a thread reading a ticket whose column is being solved by another
+  thread's flush **waits** on the condition variable instead of
+  double-solving;
+* submission during a flush files into the group's fresh pending list
+  and never blocks on the solve.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -75,7 +94,8 @@ class CoalescerTicket:
     @property
     def done(self) -> bool:
         """Whether the column's batch has been solved."""
-        return self._result is not None
+        with self._coalescer._cv:
+            return self._result is not None
 
     @property
     def mutation(self) -> int:
@@ -91,17 +111,42 @@ class CoalescerTicket:
         return self._mutation
 
     def result(self) -> PageRankResult:
-        """The column's solution, flushing its group first if needed."""
-        if self._result is None:
-            self._coalescer.flush(self._group)
-        if self._result is None:  # pragma: no cover - defensive
-            raise ReproError("coalescer flush did not resolve this ticket")
-        return self._result
+        """The column's solution, flushing its group first if needed.
+
+        When another thread's in-flight flush already owns this column,
+        the call waits for that solve instead of starting a second one.
+        """
+        coalescer = self._coalescer
+        while True:
+            with coalescer._cv:
+                if self._result is not None:
+                    return self._result
+                state = coalescer._groups.get(self._group)
+                mine_pending = state is not None and any(
+                    column.ticket is self for column in state.pending
+                )
+                if not mine_pending:
+                    if state is not None and state.solving > 0:
+                        # Another thread's flush took my column; wait for
+                        # its delivery instead of re-solving.
+                        coalescer._cv.wait()
+                        continue
+                    raise ReproError(  # pragma: no cover - defensive
+                        "coalescer flush did not resolve this ticket"
+                    )
+            # My column is still pending: drive the flush ourselves (the
+            # solve runs outside the condition variable; if another
+            # thread races us to it, the next loop iteration waits).
+            coalescer._flush_group(self._group)
 
 
 @dataclass
 class _GroupState:
     pending: list[_Column] = field(default_factory=list)
+    #: Number of in-flight flush solves currently owning columns of this
+    #: group; ticket readers wait while non-zero, and the group is never
+    #: evicted from the LRU table while a solve is out.
+    solving: int = 0
     # Warm-start memory: the previous flush's (column signature, scores
     # block) — reused when the next flush has identical structure.
     prev_signature: tuple | None = None
@@ -132,12 +177,13 @@ class MicrobatchCoalescer:
         ``n × window`` float64 array, ~128 MB at n = 1M / window = 16 —
         so idle groups past this bound are dropped (losing only their
         warm start, never pending columns: groups with unflushed
-        columns are exempt from eviction).
+        columns or an in-flight solve are exempt from eviction).
     max_age:
         Latency budget in seconds: a group whose **oldest** pending
         column has waited longer than this is flushed underfull.  The
         check runs on every :meth:`submit` and on :meth:`poll` (for
-        callers with idle periods between submissions).  ``None``
+        callers with idle periods between submissions — the serving
+        front drives :meth:`poll` from a timer thread).  ``None``
         (default) disables the trigger — columns then wait for a full
         window or an on-demand read, which is correct for tight
         submit-then-read loops but lets a steady trickle of distinct
@@ -196,6 +242,10 @@ class MicrobatchCoalescer:
 
             clock = time.monotonic
         self._clock = clock
+        # One condition variable (over a non-reentrant lock: no method
+        # nests acquisition) guards every piece of mutable state below;
+        # flush solves run outside it and notify on delivery.
+        self._cv = threading.Condition()
         self._groups: dict[tuple, _GroupState] = {}
         self._flushes = 0
         self._columns = 0
@@ -234,50 +284,67 @@ class MicrobatchCoalescer:
             # own submit instead of poisoning a whole batched block.
             raise ParameterError(f"alpha must be in [0, 1), got {alpha}")
         key = (*group_key, float(tol))
-        state = self._groups.setdefault(key, _GroupState())
-        self._touch(key)
-        ticket = CoalescerTicket(self, key)
-        state.pending.append(
-            _Column(
-                teleport=teleport,
-                alpha=float(alpha),
-                digest=_teleport_digest(teleport),
-                ticket=ticket,
-                filed_at=self._clock(),
+        flush_all = False
+        with self._cv:
+            state = self._groups.setdefault(key, _GroupState())
+            self._touch(key)
+            ticket = CoalescerTicket(self, key)
+            state.pending.append(
+                _Column(
+                    teleport=teleport,
+                    alpha=float(alpha),
+                    digest=_teleport_digest(teleport),
+                    ticket=ticket,
+                    filed_at=self._clock(),
+                )
             )
-        )
-        if len(state.pending) >= self.window:
+            window_full = len(state.pending) >= self.window
+            if not window_full and self.backlog is not None:
+                flush_all = self._pending_locked() >= self.backlog
+        if window_full:
             self._flush_group(key, cause="window")
-        elif self.backlog is not None and self.pending >= self.backlog:
-            for gkey in list(self._groups):
+        elif flush_all:
+            for gkey in self._group_keys():
                 self._flush_group(gkey, cause="backlog")
         else:
             self.poll()
         return ticket
 
+    def _pending_locked(self) -> int:
+        return sum(len(s.pending) for s in self._groups.values())
+
+    def _group_keys(self) -> list[tuple]:
+        with self._cv:
+            return list(self._groups)
+
     @property
     def pending(self) -> int:
         """Columns filed but not yet solved, across all groups."""
-        return sum(len(s.pending) for s in self._groups.values())
+        with self._cv:
+            return self._pending_locked()
 
     def poll(self) -> int:
         """Flush groups whose oldest pending column exceeds ``max_age``.
 
         Submission already runs this check, so a steadily-fed coalescer
-        needs no polling; call it from service idle loops when traffic
-        can stop with columns in flight.  Returns the number of groups
-        flushed.  No-op when ``max_age`` is ``None``.
+        needs no polling; call it from service idle loops — or let a
+        :class:`~repro.serving.front.ServingFront` poller thread drive
+        it — when traffic can stop with columns in flight.  Returns the
+        number of groups flushed.  No-op when ``max_age`` is ``None``.
         """
         if self.max_age is None:
             return 0
-        now = self._clock()
+        with self._cv:
+            now = self._clock()
+            due = [
+                key
+                for key, state in self._groups.items()
+                if state.pending
+                and now - state.pending[0].filed_at >= self.max_age
+            ]
         flushed = 0
-        for key in list(self._groups):
-            state = self._groups.get(key)
-            if state is None or not state.pending:
-                continue
-            if now - state.pending[0].filed_at >= self.max_age:
-                self._flush_group(key, cause="age")
+        for key in due:
+            if self._flush_group(key, cause="age"):
                 flushed += 1
         return flushed
 
@@ -289,23 +356,40 @@ class MicrobatchCoalescer:
         if group is not None:
             self._flush_group(group)
             return
-        for key in list(self._groups):
+        for key in self._group_keys():
             self._flush_group(key)
 
-    def _flush_group(self, key: tuple, cause: str = "demand") -> None:
+    def _flush_group(self, key: tuple, cause: str = "demand") -> bool:
+        """Take ownership of ``key``'s pending columns and solve them.
+
+        Returns whether any columns were actually flushed.  The solve
+        runs outside the condition variable: concurrent submits keep
+        filing into the group, concurrent flushes of *other* pending
+        columns proceed independently, and ticket readers wait on the
+        ``solving`` marker.
+        """
         from repro.core.d2pr import d2pr_operator  # local: avoids cycle
 
-        state = self._groups.get(key)
-        if state is None or not state.pending:
-            return
+        with self._cv:
+            state = self._groups.get(key)
+            if state is None or not state.pending:
+                return False
+            columns = state.pending
+            state.pending = []
+            state.solving += 1
+            # Adjacent shared-teleport columns let the batch solver's
+            # α-family fast path fire on family-shaped flushes; the sort
+            # key also makes the flush signature deterministic for
+            # warm-start matching across flushes.
+            columns.sort(key=lambda c: (c.digest or b"", c.alpha))
+            signature = tuple((c.alpha, c.digest) for c in columns)
+            warm = (
+                state.prev_scores
+                if state.prev_signature == signature
+                and state.prev_scores is not None
+                else None
+            )
         p, beta, weighted, dangling, tol = key
-        columns = state.pending
-        state.pending = []
-        # Adjacent shared-teleport columns let the batch solver's
-        # α-family fast path fire on family-shaped flushes; the sort key
-        # also makes the flush signature deterministic for warm-start
-        # matching across flushes.
-        columns.sort(key=lambda c: (c.digest or b"", c.alpha))
         try:
             bundle = d2pr_operator(
                 self._graph,
@@ -314,14 +398,8 @@ class MicrobatchCoalescer:
                 weighted=weighted,
                 clamp_min=self.clamp_min,
             )
-            signature = tuple((c.alpha, c.digest) for c in columns)
-            warm = (
-                state.prev_scores
-                if state.prev_signature == signature
-                and state.prev_scores is not None
-                and state.prev_scores.shape[0] == bundle.n
-                else None
-            )
+            if warm is not None and warm.shape[0] != bundle.n:
+                warm = None
             batch = power_iteration_batch(
                 bundle.mat,
                 teleports=[c.teleport for c in columns],
@@ -333,24 +411,32 @@ class MicrobatchCoalescer:
                 precision=self.precision,
                 operator=bundle,
             )
+            solved_at = self._graph.mutation_count
         except BaseException:
             # Restore the columns so a failed solve (solver error,
             # interrupt) never strands unresolved tickets; the next
             # flush retries them.
-            state.pending = columns + state.pending
+            with self._cv:
+                state.pending = columns + state.pending
+                state.solving -= 1
+                self._cv.notify_all()
             raise
-        solved_at = self._graph.mutation_count
-        for j, column in enumerate(columns):
-            column.ticket._result = batch.column(j)
-            column.ticket._mutation = solved_at
-        state.prev_signature = signature
-        state.prev_scores = batch.scores
-        self._touch(key)
-        self._flushes += 1
-        self._columns += len(columns)
-        self._max_occupancy = max(self._max_occupancy, len(columns))
-        self._flush_causes[cause] = self._flush_causes.get(cause, 0) + 1
-        self._evict_idle_groups()
+        with self._cv:
+            for j, column in enumerate(columns):
+                column.ticket._result = batch.column(j)
+                column.ticket._mutation = solved_at
+            state.prev_signature = signature
+            state.prev_scores = batch.scores
+            state.solving -= 1
+            if key in self._groups:
+                self._touch(key)
+            self._flushes += 1
+            self._columns += len(columns)
+            self._max_occupancy = max(self._max_occupancy, len(columns))
+            self._flush_causes[cause] = self._flush_causes.get(cause, 0) + 1
+            self._evict_idle_groups()
+            self._cv.notify_all()
+        return True
 
     def _touch(self, key: tuple) -> None:
         """Move ``key`` to the recently-used end of the group table."""
@@ -361,7 +447,7 @@ class MicrobatchCoalescer:
         """Drop the oldest idle groups past ``max_groups``.
 
         Only their warm-start memory is lost; a group holding pending
-        (unflushed) columns is never evicted.
+        (unflushed) columns or an in-flight solve is never evicted.
         """
         if len(self._groups) <= self.max_groups:
             return
@@ -369,7 +455,8 @@ class MicrobatchCoalescer:
         for key in list(self._groups):
             if excess <= 0:
                 break
-            if not self._groups[key].pending:
+            state = self._groups[key]
+            if not state.pending and state.solving == 0:
                 del self._groups[key]
                 excess -= 1
 
@@ -378,14 +465,15 @@ class MicrobatchCoalescer:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Flush counters and batch-occupancy summary (O(1) state)."""
-        return {
-            "window": self.window,
-            "flushes": self._flushes,
-            "columns": self._columns,
-            "pending": self.pending,
-            "mean_occupancy": (
-                self._columns / self._flushes if self._flushes else 0.0
-            ),
-            "max_occupancy": self._max_occupancy,
-            "flush_causes": dict(self._flush_causes),
-        }
+        with self._cv:
+            return {
+                "window": self.window,
+                "flushes": self._flushes,
+                "columns": self._columns,
+                "pending": self._pending_locked(),
+                "mean_occupancy": (
+                    self._columns / self._flushes if self._flushes else 0.0
+                ),
+                "max_occupancy": self._max_occupancy,
+                "flush_causes": dict(self._flush_causes),
+            }

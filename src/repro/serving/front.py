@@ -1,0 +1,330 @@
+"""The concurrent serving front: workers, admission, timed flushes.
+
+:class:`~repro.serving.RankingService` is thread-safe but *passive* —
+every caller brings its own thread and blocks through its own solve.
+:class:`ServingFront` puts an active request path in front of it:
+
+* **admission** — each incoming request is dry-run planned and offered
+  to an :class:`~repro.serving.admission.AdmissionController` under its
+  strategy label: a full ingress queue or a closed front rejects with
+  an explicit :class:`~repro.errors.AdmissionError` (never silently),
+  and per-strategy concurrency limits keep expensive ``sharded`` solves
+  from starving the cheap pushes queued behind them;
+* **a worker pool** — ``workers`` threads drain the queue and execute
+  requests through the service, fulfilling each request's
+  :class:`FrontTicket`;
+* **microbatch-aware scheduling** — workers *file* ``batch``-planned
+  requests with the coalescer and keep draining the queue instead of
+  resolving immediately, so concurrent pooled requests fill shared
+  windows (the whole point of coalescing); parked tickets resolve when
+  the queue goes momentarily idle or a window's worth has accumulated;
+* **a flush timer** — a daemon thread calls
+  :meth:`RankingService.poll` every ``poll_interval`` seconds so
+  age-bounded flushing (``max_age``) holds even when every client is
+  parked waiting and no new request would trigger a flush.
+
+The front is a context manager; :meth:`close` stops intake, fails
+every queued-but-unstarted request with ``reason="shutdown"``, drains
+the workers and stops the timer.  It does **not** close the underlying
+service (whose sharding pools may outlive several fronts).
+
+Latency contract: a client thread calling ``front.submit(...).result()``
+observes queueing + solve time; the service records per-strategy solve
+latencies which feed the planner's self-tuning (see
+``docs/serving.md`` for the full concurrency contract).
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+from repro.errors import AdmissionError, ParameterError, ReproError
+from repro.serving.admission import AdmissionController
+from repro.serving.planner import RankRequest
+from repro.serving.service import RankingService, ServedResult
+
+__all__ = ["FrontTicket", "ServingFront"]
+
+
+class FrontTicket:
+    """Future-style handle for a request admitted to the front.
+
+    Fulfilled by a worker thread with either a
+    :class:`~repro.serving.ServedResult` or the exception the solve
+    raised (including the explicit shutdown rejection); any number of
+    threads may block in :meth:`result`.
+    """
+
+    __slots__ = ("request", "strategy", "_cond", "_result", "_error")
+
+    def __init__(self, request: RankRequest, strategy: str) -> None:
+        self.request = request
+        #: The dry-run planned strategy the request was admitted under
+        #: (advisory: the serving-time plan may differ if e.g. a cache
+        #: entry appeared in between).
+        self.strategy = strategy
+        self._cond = threading.Condition()
+        self._result: ServedResult | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        with self._cond:
+            return self._result is not None or self._error is not None
+
+    def _fulfill(self, result: ServedResult) -> None:
+        with self._cond:
+            if self._result is None and self._error is None:
+                self._result = result
+                self._cond.notify_all()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._cond:
+            if self._result is None and self._error is None:
+                self._error = error
+                self._cond.notify_all()
+
+    def result(self, timeout: float | None = None) -> ServedResult:
+        """Block for the served answer; re-raises the worker's exception."""
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._result is not None or self._error is not None,
+                timeout=timeout,
+            ):
+                raise ReproError(
+                    f"ticket not fulfilled within {timeout} s"
+                )
+            if self._error is not None:
+                raise self._error
+            return self._result
+
+
+class ServingFront:
+    """Queue-fed worker pool over a :class:`RankingService`.
+
+    Parameters
+    ----------
+    service:
+        The (thread-safe) service to execute against.
+    workers:
+        Worker threads draining the ingress queue.
+    capacity:
+        Ingress queue bound; an offer beyond it raises
+        :class:`~repro.errors.AdmissionError` (``reason="queue_full"``).
+    limits:
+        Per-strategy concurrency limits, e.g. ``{"sharded": 1}`` —
+        strategies absent from the map are unlimited.  Defaults to
+        ``{"sharded": max(1, workers // 2)}`` so global solves can never
+        occupy the whole pool.  Pass ``{}`` to disable.
+    poll_interval:
+        Period of the flush-timer thread driving
+        :meth:`RankingService.poll`.  Defaults to half the coalescer's
+        ``max_age`` (no timer when the service has no age bound).
+    """
+
+    def __init__(
+        self,
+        service: RankingService,
+        *,
+        workers: int = 4,
+        capacity: int = 64,
+        limits: dict[str, int] | None = None,
+        poll_interval: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if poll_interval is not None and poll_interval <= 0:
+            raise ParameterError(
+                f"poll_interval must be > 0, got {poll_interval}"
+            )
+        self._service = service
+        self.workers = workers
+        if limits is None:
+            limits = {"sharded": max(1, workers // 2)}
+        self._admission = AdmissionController(capacity, limits=limits)
+        max_age = service.coalescer.max_age
+        if poll_interval is None and max_age is not None:
+            poll_interval = max(max_age / 2.0, 1e-3)
+        self.poll_interval = poll_interval
+        self._window = service.coalescer.window
+        self._polls = 0
+        self._served = 0
+        self._failed = 0
+        self._stats_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        for i in range(workers):
+            t = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-front-worker-{i}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+        self._timer: threading.Thread | None = None
+        if self.poll_interval is not None:
+            self._timer = threading.Thread(
+                target=self._timer_loop,
+                name="repro-front-poll",
+                daemon=True,
+            )
+            self._timer.start()
+
+    @property
+    def service(self) -> RankingService:
+        return self._service
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: RankRequest | None = None, **kwargs
+    ) -> FrontTicket:
+        """Admit one request, returning its ticket without blocking.
+
+        Raises :class:`~repro.errors.AdmissionError` when the ingress
+        queue is full or the front is shut down — backpressure is the
+        *caller's* signal to shed or retry, never a silent drop.
+        """
+        plan = self._service.plan(request, **kwargs)
+        if request is None:
+            request = RankRequest(**kwargs)
+        ticket = FrontTicket(request, plan.strategy)
+        self._admission.offer(ticket, plan.strategy)
+        return ticket
+
+    def rank(
+        self, request: RankRequest | None = None, **kwargs
+    ) -> ServedResult:
+        """Admit one request and block for its answer (closed-loop client)."""
+        return self.submit(request, **kwargs).result()
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _execute(self, ticket: FrontTicket) -> None:
+        try:
+            ticket._fulfill(self._service.rank(ticket.request))
+            with self._stats_lock:
+                self._served += 1
+        except BaseException as exc:  # noqa: BLE001 - fulfil with any error
+            ticket._fail(exc)
+            with self._stats_lock:
+                self._failed += 1
+
+    def _resolve_parked(
+        self, parked: list[tuple[FrontTicket, object]]
+    ) -> None:
+        for fticket, sticket in parked:
+            try:
+                fticket._fulfill(sticket.result())
+                with self._stats_lock:
+                    self._served += 1
+            except BaseException as exc:  # noqa: BLE001
+                fticket._fail(exc)
+                with self._stats_lock:
+                    self._failed += 1
+        parked.clear()
+
+    def _worker_loop(self) -> None:
+        # Tickets whose columns are filed with the coalescer but whose
+        # resolution is deferred so concurrent submissions can pool.
+        # Parking is time-bounded: under a sustained non-batch stream
+        # the queue never goes idle, so age alone must force a resolve.
+        parked: list[tuple[FrontTicket, object]] = []
+        parked_since = 0.0
+        park_bound = (
+            self.poll_interval if self.poll_interval is not None else 0.05
+        )
+        while True:
+            if parked and perf_counter() - parked_since > park_bound:
+                self._resolve_parked(parked)
+            # With parked work, only poll the queue — an empty instant
+            # means the burst is over and the partial window should
+            # flush rather than age out.
+            taken = self._admission.take(timeout=0 if parked else 0.05)
+            if taken is None:
+                if parked:
+                    self._resolve_parked(parked)
+                    continue
+                if self._admission.closed:
+                    return
+                if self._stop.is_set():
+                    return
+                continue
+            ticket, cls = taken
+            try:
+                if cls == "batch":
+                    # File the column now (cheap); defer the resolve so
+                    # other workers' pooled columns share the window.
+                    try:
+                        sticket = self._service.submit(ticket.request)
+                    except BaseException as exc:  # noqa: BLE001
+                        ticket._fail(exc)
+                        with self._stats_lock:
+                            self._failed += 1
+                    else:
+                        if not parked:
+                            parked_since = perf_counter()
+                        parked.append((ticket, sticket))
+                        if len(parked) >= self._window:
+                            self._resolve_parked(parked)
+                else:
+                    self._execute(ticket)
+            finally:
+                self._admission.release(cls)
+
+    def _timer_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self._service.poll()
+                with self._stats_lock:
+                    self._polls += 1
+            except Exception:  # pragma: no cover - poll must never kill
+                pass
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Stop intake, reject the queued backlog, drain workers and timer.
+
+        Every admitted-but-unstarted request fails its ticket with an
+        explicit ``AdmissionError(reason="shutdown")`` — a client
+        blocked in :meth:`FrontTicket.result` sees the rejection, not a
+        hang.  In-flight requests finish normally.  Idempotent; does not
+        close the underlying service.
+        """
+        leftovers = self._admission.close()
+        for item, _cls in leftovers:
+            item._fail(
+                AdmissionError(
+                    "serving front shut down before this request started",
+                    reason="shutdown",
+                )
+            )
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        if self._timer is not None:
+            self._timer.join(timeout=timeout)
+
+    def __enter__(self) -> "ServingFront":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Front health: admission state, served/failed counts, poll count."""
+        with self._stats_lock:
+            out = {
+                "workers": self.workers,
+                "served": self._served,
+                "failed": self._failed,
+                "polls": self._polls,
+                "poll_interval": self.poll_interval,
+            }
+        out["admission"] = self._admission.stats()
+        return out

@@ -1,0 +1,90 @@
+"""Per-strategy latency observation for the serving layer.
+
+The query planner's cost model starts from static constants (seed-count
+windows, a crude frontier-reach estimate).  Under real traffic the
+service *observes* what each strategy actually costs on this graph, on
+this hardware, at this load — the :class:`LatencyRecorder` is where
+those observations live, and
+:meth:`~repro.serving.planner.QueryPlanner.observe` is how they flow
+back into planning (see the planner's self-tuning contract).
+
+The recorder keeps one bounded **ring buffer per key** (strategy name):
+O(window) memory per strategy, O(1) amortised per observation, and
+quantiles computed over the *recent* window rather than all of history —
+a strategy whose cost regime shifted (graph grew, cache warmed, worker
+pool saturated) is re-estimated within ``window`` requests.  Total
+counts are kept separately and never truncated.
+
+All methods are thread-safe; the serving front's worker threads record
+into one shared instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["LatencyRecorder"]
+
+
+class LatencyRecorder:
+    """Bounded per-key latency rings with count/p50/p95 summaries."""
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 1:
+            raise ParameterError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._lock = threading.Lock()
+        self._rings: dict[str, deque[float]] = {}
+        self._counts: dict[str, int] = {}
+
+    def observe(self, key: str, seconds: float) -> None:
+        """Record one observed latency for ``key`` (negatives are clamped)."""
+        value = max(0.0, float(seconds))
+        with self._lock:
+            ring = self._rings.get(key)
+            if ring is None:
+                ring = deque(maxlen=self.window)
+                self._rings[key] = ring
+                self._counts[key] = 0
+            ring.append(value)
+            self._counts[key] += 1
+
+    def count(self, key: str) -> int:
+        """Total observations ever recorded for ``key``."""
+        with self._lock:
+            return self._counts.get(key, 0)
+
+    def quantile(self, key: str, q: float) -> float | None:
+        """The ``q``-quantile of the recent window, or ``None`` if empty."""
+        with self._lock:
+            ring = self._rings.get(key)
+            if not ring:
+                return None
+            values = list(ring)
+        return float(np.percentile(values, 100.0 * q))
+
+    def summary(self) -> dict:
+        """``{key: {count, window, p50, p95, mean, last}}`` for every key."""
+        with self._lock:
+            snapshot = {
+                key: (self._counts[key], list(ring))
+                for key, ring in self._rings.items()
+                if ring
+            }
+        out = {}
+        for key, (count, values) in snapshot.items():
+            arr = np.asarray(values)
+            out[key] = {
+                "count": count,
+                "window": len(values),
+                "p50": float(np.percentile(arr, 50)),
+                "p95": float(np.percentile(arr, 95)),
+                "mean": float(arr.mean()),
+                "last": float(arr[-1]),
+            }
+        return out

@@ -19,18 +19,44 @@ earlier layers:
   still-cached pre-delta operator so the cache can *correct* entries by
   residual push on next access instead of evicting them.
 * :meth:`RankingService.stats` reports the serving health: plan mix,
-  cache hit rate and corrections, microbatch occupancy, delta counts.
+  cache hit rate and corrections, microbatch occupancy, delta counts,
+  and per-strategy observed latencies.
 
 Every answer the service returns — cached, coalesced, pushed or
 incrementally corrected — carries the same solver-tolerance certificate
 as a cold solve of the same request (see ``docs/serving.md`` for the
 exact contract).
+
+Thread safety
+-------------
+The service is safe to drive from many threads (the
+:class:`~repro.serving.front.ServingFront` worker pool does exactly
+that).  The concurrency model is a **readers/writer barrier** over the
+graph plus small per-component locks:
+
+* every solve path — :meth:`submit`, :meth:`rank`, ticket resolution,
+  :meth:`poll` — holds the shared (read) side of a
+  :class:`~repro.serving.sync.ReadWriteLock`, because solves read
+  operator bundles that the delta path patches *in place*;
+* :meth:`apply_delta` holds the exclusive (write) side: it waits for
+  in-flight solves to drain and blocks new ones while the graph, the
+  operator caches and the result cache move to the next version
+  together.  Draining outstanding microbatches from inside the write
+  hold re-enters the read side, which is a no-op for the writer thread.
+
+Lock ordering (outermost first): RW barrier → service bookkeeping lock
+→ leaf locks (cache, coalescer, graph matrix cache).  The coalescer's
+condition variable is never held while acquiring the bookkeeping lock,
+and vice versa — service code calls into the coalescer only outside its
+own bookkeeping lock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -43,6 +69,7 @@ from repro.linalg.push import forward_push
 from repro.linalg.solvers import _validate_common
 from repro.serving.cache import CacheEntry, ResultCache
 from repro.serving.coalescer import CoalescerTicket, MicrobatchCoalescer
+from repro.serving.latency import LatencyRecorder
 from repro.serving.planner import (
     CanonicalQuery,
     QueryPlan,
@@ -51,6 +78,7 @@ from repro.serving.planner import (
     canonical_query,
     dense_teleport,
 )
+from repro.serving.sync import ReadWriteLock
 
 __all__ = ["RankingService", "ServedResult", "ServingTicket"]
 
@@ -65,6 +93,11 @@ class _PendingCorrection:
     correction time equals the one a pre-delta capture would have
     produced.  Its memory is one retained matrix per delta layer per
     transition group — released as entries are corrected or evicted.
+
+    The token's *identity* also guards the correction commit: the cache
+    stores a corrected answer only when the entry is still pending on
+    this very token (see :meth:`ResultCache.resolve_pending`), so a
+    delta landing between solve and commit can never be papered over.
     """
 
     old_bundle: object
@@ -93,9 +126,15 @@ class ServingTicket:
     submission time; coalesced (``"batch"``) requests resolve when their
     microbatch flushes — reading :meth:`result` flushes on demand, so a
     ticket can always be consumed immediately.
+
+    Thread-safe: any number of threads may read :meth:`result`
+    concurrently (e.g. a client thread racing the mutation path's
+    pre-delta drain).  Resolution is idempotent — the coalescer hands
+    every resolver the same solved column — and exactly one computed
+    answer is committed; later readers observe it.
     """
 
-    __slots__ = ("plan", "request", "_result", "_resolver")
+    __slots__ = ("plan", "request", "_result", "_resolver", "_cond")
 
     def __init__(
         self,
@@ -109,19 +148,35 @@ class ServingTicket:
         self.plan = plan
         self._result = result
         self._resolver = resolver
+        self._cond = threading.Condition()
 
     @property
     def done(self) -> bool:
-        return self._result is not None
+        with self._cond:
+            return self._result is not None
+
+    def _set_resolver(self, resolver) -> None:
+        with self._cond:
+            self._resolver = resolver
+            self._cond.notify_all()
 
     def result(self) -> ServedResult:
         """The served answer (resolving the pending microbatch if needed)."""
-        if self._result is None:
-            if self._resolver is None:  # pragma: no cover - defensive
-                raise ReproError("ticket has neither result nor resolver")
-            self._result = self._resolver()
-            self._resolver = None
-        return self._result
+        with self._cond:
+            # A shared (deduplicated) ticket can be handed out in the
+            # narrow window before its submitter attaches the resolver;
+            # wait for one rather than failing.
+            while self._result is None and self._resolver is None:
+                self._cond.wait()
+            if self._result is not None:
+                return self._result
+            resolver = self._resolver
+        value = resolver()
+        with self._cond:
+            if self._result is None:
+                self._result = value
+                self._resolver = None
+            return self._result
 
 
 class RankingService:
@@ -136,10 +191,20 @@ class RankingService:
         cache entries (never serves stale answers).
     planner / cache / coalescer:
         Injectable components; defaults are constructed from the scalar
-        options below.
+        options below.  The default planner is wired to the service's
+        latency recorder so its push/batch decision boundary self-tunes
+        under traffic; an injected planner without a recorder gets the
+        service's recorder attached.
     window:
         Microbatch flush threshold (see
         :class:`~repro.serving.coalescer.MicrobatchCoalescer`).
+    max_age / backlog / clock:
+        Forwarded to the default coalescer: the age bound on underfull
+        windows (drained by :meth:`poll`), the total-pending-columns
+        flush trigger, and the injectable monotonic clock that makes
+        age-based behaviour deterministic in tests.  Ignored (with an
+        error) when an explicit ``coalescer`` is injected — configure
+        that coalescer directly instead.
     cache_capacity:
         Result-cache LRU bound.
     precision:
@@ -167,6 +232,9 @@ class RankingService:
         Shard count, worker-pool size (``None``/``1`` = serial),
         partitioning method and the size floor below which sharding is
         bypassed (``None`` = the library default).
+
+    The service is a context manager: ``with RankingService(g) as svc:``
+    releases sharding worker pools on exit (see :meth:`close`).
     """
 
     def __init__(
@@ -177,6 +245,9 @@ class RankingService:
         cache: ResultCache | None = None,
         coalescer: MicrobatchCoalescer | None = None,
         window: int = 16,
+        max_age: float | None = None,
+        backlog: int | None = None,
+        clock=None,
         cache_capacity: int = 128,
         precision: str = "double",
         localized_fraction: float = 0.05,
@@ -196,8 +267,18 @@ class RankingService:
             )
         if n_shards < 1:
             raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
+        if coalescer is not None and (
+            max_age is not None or backlog is not None or clock is not None
+        ):
+            raise ParameterError(
+                "max_age/backlog/clock configure the default coalescer; "
+                "with an injected coalescer, set them on it directly"
+            )
         self._graph = graph
         self._planner = planner or QueryPlanner()
+        if self._planner.latency is None:
+            self._planner.latency = LatencyRecorder()
+        self._latency = self._planner.latency
         self._cache = cache or ResultCache(capacity=cache_capacity)
         self._coalescer = coalescer or MicrobatchCoalescer(
             graph,
@@ -205,6 +286,9 @@ class RankingService:
             precision=precision,
             max_iter=max_iter,
             clamp_min=clamp_min,
+            max_age=max_age,
+            backlog=backlog,
+            clock=clock,
         )
         self._clamp_min = clamp_min
         self._localized_fraction = localized_fraction
@@ -214,6 +298,12 @@ class RankingService:
         self._shard_workers = shard_workers
         self._shard_method = shard_method
         self._shard_size_floor = shard_size_floor
+        # Readers/writer barrier: solves share, apply_delta excludes
+        # (delta refresh patches cached operator bundles in place).
+        self._rw = ReadWriteLock()
+        # Bookkeeping lock (leaf relative to the RW barrier): counters,
+        # the inflight-dedup table, outstanding tickets, shard-op memo.
+        self._lock = threading.RLock()
         # Transition group -> ShardedOperator (or None when the graph is
         # below the size floor).  Mirrors the graph-level cache so the
         # service can close stale operators on delta instead of leaving
@@ -242,6 +332,11 @@ class RankingService:
         """The batched-solve precision the coalescer serves under."""
         return self._coalescer.precision
 
+    @property
+    def coalescer(self) -> MicrobatchCoalescer:
+        """The microbatch coalescer (the front reads its age bound)."""
+        return self._coalescer
+
     # ------------------------------------------------------------------
     # request intake
     # ------------------------------------------------------------------
@@ -265,18 +360,19 @@ class RankingService:
         order, and executes nothing.
         """
         request = self._coerce(request, kwargs)
-        query = canonical_query(self._graph, request)
-        state = self._cache.peek(
-            query.digest,
-            mutation=self._graph.mutation_count,
-            tol=request.tol,
-        )
-        return self._planner.plan(
-            self._graph,
-            query,
-            cache_state=None if state == "miss" else state,
-            shard_state=self._sharded(query.group_key),
-        )
+        with self._rw.read():
+            query = canonical_query(self._graph, request)
+            state = self._cache.peek(
+                query.digest,
+                mutation=self._graph.mutation_count,
+                tol=request.tol,
+            )
+            return self._planner.plan(
+                self._graph,
+                query,
+                cache_state=None if state == "miss" else state,
+                shard_state=self._sharded(query.group_key),
+            )
 
     def submit(
         self, request: RankRequest | None = None, **kwargs
@@ -286,53 +382,48 @@ class RankingService:
         ``"batch"``-planned requests are filed with the microbatch
         coalescer and resolve when their window flushes (or on first
         :meth:`ServingTicket.result` read); every other strategy
-        resolves immediately.
+        resolves immediately.  Observed latencies are recorded per
+        strategy and fed back into the planner's cost model.
         """
         request = self._coerce(request, kwargs)
-        query = canonical_query(self._graph, request)
-        state, entry = self._cache.lookup(
-            query.digest,
-            mutation=self._graph.mutation_count,
-            tol=request.tol,
-        )
-        plan = self._planner.plan(
-            self._graph,
-            query,
-            cache_state=None if state == "miss" else state,
-            shard_state=self._sharded(query.group_key),
-        )
-        self._requests += 1
-        self._plan_mix[plan.strategy] = (
-            self._plan_mix.get(plan.strategy, 0) + 1
-        )
+        with self._rw.read():
+            query = canonical_query(self._graph, request)
+            state, entry = self._cache.lookup(
+                query.digest,
+                mutation=self._graph.mutation_count,
+                tol=request.tol,
+            )
+            plan = self._planner.plan(
+                self._graph,
+                query,
+                cache_state=None if state == "miss" else state,
+                shard_state=self._sharded(query.group_key),
+            )
+            with self._lock:
+                self._requests += 1
+                self._plan_mix[plan.strategy] = (
+                    self._plan_mix.get(plan.strategy, 0) + 1
+                )
 
-        if plan.strategy == "cached":
-            return ServingTicket(
-                request,
-                plan,
-                result=ServedResult(entry.scores, plan, request),
-            )
-        if plan.strategy == "incremental":
-            scores = self._correct_entry(query.digest, entry)
-            return ServingTicket(
-                request, plan, result=ServedResult(scores, plan, request)
-            )
-        if plan.strategy == "shard_push":
-            scores = self._serve_shard_push(query, plan)
-            return ServingTicket(
-                request, plan, result=ServedResult(scores, plan, request)
-            )
-        if plan.strategy == "push":
-            scores = self._serve_push(query)
+            if plan.strategy == "batch":
+                return self._submit_batch(query, plan)
+            start = perf_counter()
+            if plan.strategy == "cached":
+                scores = entry.scores
+            elif plan.strategy == "incremental":
+                scores = self._correct_entry(query.digest, entry)
+            elif plan.strategy == "shard_push":
+                scores = self._serve_shard_push(query, plan)
+            elif plan.strategy == "push":
+                scores = self._serve_push(query)
+            elif plan.strategy == "sharded":
+                scores = self._serve_sharded(query)
+            else:  # pragma: no cover - planner strategies are closed
+                raise ReproError(f"unknown strategy {plan.strategy!r}")
+            self._planner.observe(plan.strategy, perf_counter() - start)
             return ServingTicket(
                 request, plan, result=ServedResult(scores, plan, request)
             )
-        if plan.strategy == "sharded":
-            scores = self._serve_sharded(query)
-            return ServingTicket(
-                request, plan, result=ServedResult(scores, plan, request)
-            )
-        return self._submit_batch(query, plan)
 
     def rank(
         self, request: RankRequest | None = None, **kwargs
@@ -352,6 +443,17 @@ class RankingService:
         """
         tickets = [self.submit(request) for request in requests]
         return [ticket.result() for ticket in tickets]
+
+    def poll(self) -> int:
+        """Flush microbatch groups whose oldest column exceeds ``max_age``.
+
+        The serving front's timer thread calls this so latency-bounded
+        coalescing works without any client blocking in
+        :meth:`ServingTicket.result`.  Returns the number of groups
+        flushed; a service without ``max_age`` is a no-op.
+        """
+        with self._rw.read():
+            return self._coalescer.poll()
 
     # ------------------------------------------------------------------
     # strategy execution
@@ -378,35 +480,38 @@ class RankingService:
         (via :func:`~repro.core.d2pr.d2pr_sharded_operator`) and in a
         service-side table, so :meth:`apply_delta` can close stale
         worker pools instead of leaving them to garbage collection.
+        The build runs under the bookkeeping lock so concurrent first
+        requests cannot race two worker pools into existence.
         """
         if not self._sharding:
             return None
-        if group_key in self._shard_ops:
-            return self._shard_ops[group_key]
-        from repro.core.d2pr import d2pr_sharded_operator
-        from repro.shard.operator import DEFAULT_SIZE_FLOOR
+        with self._lock:
+            if group_key in self._shard_ops:
+                return self._shard_ops[group_key]
+            from repro.core.d2pr import d2pr_sharded_operator
+            from repro.shard.operator import DEFAULT_SIZE_FLOOR
 
-        floor = (
-            DEFAULT_SIZE_FLOOR
-            if self._shard_size_floor is None
-            else self._shard_size_floor
-        )
-        if self._graph.number_of_nodes < floor:
-            sharded = None
-        else:
-            p, beta, weighted, _dangling = group_key
-            sharded = d2pr_sharded_operator(
-                self._graph,
-                p,
-                beta=beta,
-                weighted=weighted,
-                clamp_min=self._clamp_min,
-                n_shards=self._n_shards,
-                method=self._shard_method,
-                size_floor=floor,
+            floor = (
+                DEFAULT_SIZE_FLOOR
+                if self._shard_size_floor is None
+                else self._shard_size_floor
             )
-        self._shard_ops[group_key] = sharded
-        return sharded
+            if self._graph.number_of_nodes < floor:
+                sharded = None
+            else:
+                p, beta, weighted, _dangling = group_key
+                sharded = d2pr_sharded_operator(
+                    self._graph,
+                    p,
+                    beta=beta,
+                    weighted=weighted,
+                    clamp_min=self._clamp_min,
+                    n_shards=self._n_shards,
+                    method=self._shard_method,
+                    size_floor=floor,
+                )
+            self._shard_ops[group_key] = sharded
+            return sharded
 
     @staticmethod
     def _sparse_pair(
@@ -492,9 +597,11 @@ class RankingService:
         ghost_mass = float(result.scores[ghost])
         certified = residual + 3.0 * ghost_mass <= request.tol
         if not certified:
-            self._shard_stats["shard_push_fallback"] += 1
+            with self._lock:
+                self._shard_stats["shard_push_fallback"] += 1
             return self._serve_push(query)
-        self._shard_stats["shard_push_local"] += 1
+        with self._lock:
+            self._shard_stats["shard_push_local"] += 1
         full = np.zeros(self._graph.number_of_nodes)
         full[splan.order[lo:hi]] = result.scores[:ghost]
         total = full.sum()
@@ -528,7 +635,8 @@ class RankingService:
             workers=self._shard_workers,
             precision=self.precision,
         )
-        self._shard_stats["sharded_solves"] += 1
+        with self._lock:
+            self._shard_stats["sharded_solves"] += 1
         scores = NodeScores(self._graph, result.scores, result)
         self._cache.store(
             query.digest,
@@ -576,11 +684,19 @@ class RankingService:
             baseline_residual=baseline,
         )
         scores = NodeScores(self._graph, result.scores, result)
+        # Token-identity commit: stores only if the entry is still
+        # pending on *this* correction token.  The RW barrier already
+        # excludes a delta landing mid-correction, so in-service use
+        # always resolves cleanly; the token guard is what makes
+        # standalone/concurrent cache use safe, and on "stale" the
+        # computed answer is still returned (it was solved against the
+        # current graph under the read hold) — only caching is skipped.
         self._cache.resolve_pending(
             digest,
             scores=scores,
             tol=entry.tol,
             mutation=self._graph.mutation_count,
+            token=pending,
         )
         return scores
 
@@ -588,64 +704,78 @@ class RankingService:
         self, query: CanonicalQuery, plan: QueryPlan
     ) -> ServingTicket:
         request = query.request
-        inflight = self._inflight.get(query.digest)
-        if inflight is not None and inflight[0] <= request.tol:
-            # An identical (or stricter) query is already filed in this
-            # burst: share its column instead of solving a redundant
-            # one.  The wrapper re-labels the shared answer with this
-            # request's own plan/top_k.
-            shared = inflight[1]
-            return ServingTicket(
-                request,
-                plan,
-                resolver=lambda: ServedResult(
-                    shared.result().scores, plan, request
-                ),
-            )
+        ticket = ServingTicket(request, plan, resolver=None)
+        with self._lock:
+            inflight = self._inflight.get(query.digest)
+            if inflight is not None and inflight[0] <= request.tol:
+                # An identical (or stricter) query is already filed in
+                # this burst: share its column instead of solving a
+                # redundant one.  The wrapper re-labels the shared
+                # answer with this request's own plan/top_k.
+                shared = inflight[1]
+                ticket._set_resolver(
+                    lambda: ServedResult(
+                        shared.result().scores, plan, request
+                    )
+                )
+                return ticket
+            # Reserve the dedup slot before filing the column (outside
+            # this lock), so a concurrent identical submission shares
+            # this ticket instead of filing a duplicate.
+            self._inflight[query.digest] = (request.tol, ticket)
+            self._outstanding.append(ticket)
         cticket: CoalescerTicket = self._coalescer.submit(
             query.group_key,
             teleport=query.dense_teleport(),
             alpha=request.alpha,
             tol=request.tol,
         )
-        ticket = ServingTicket(request, plan, resolver=None)
 
         def resolve() -> ServedResult:
-            result = cticket.result()
-            scores = NodeScores(self._graph, result.scores, result)
-            # Certify at the version the column was *solved* at (the
-            # flush may long precede this read — and a mutation in
-            # between must not let pre-mutation scores masquerade as
-            # post-mutation answers).
-            self._cache.store(
-                query.digest,
-                scores=scores,
-                tol=request.tol,
-                mutation=cticket.mutation,
-                request=request,
-                teleport=self._sparse_pair(query),
-            )
-            # Identity-guarded: a later submission at a stricter tol
-            # may have replaced this digest's inflight entry with its
-            # own still-unresolved ticket, which must keep deduping.
-            current = self._inflight.get(query.digest)
-            if current is not None and current[1] is ticket:
-                del self._inflight[query.digest]
-            if ticket in self._outstanding:
-                self._outstanding.remove(ticket)
+            with self._rw.read():
+                start = perf_counter()
+                result = cticket.result()
+                scores = NodeScores(self._graph, result.scores, result)
+                # Certify at the version the column was *solved* at (the
+                # flush may long precede this read — and a mutation in
+                # between must not let pre-mutation scores masquerade as
+                # post-mutation answers).
+                self._cache.store(
+                    query.digest,
+                    scores=scores,
+                    tol=request.tol,
+                    mutation=cticket.mutation,
+                    request=request,
+                    teleport=self._sparse_pair(query),
+                )
+                self._planner.observe("batch", perf_counter() - start)
+            with self._lock:
+                # Identity-guarded: a later submission at a stricter tol
+                # may have replaced this digest's inflight entry with
+                # its own still-unresolved ticket, which must keep
+                # deduping.
+                current = self._inflight.get(query.digest)
+                if current is not None and current[1] is ticket:
+                    del self._inflight[query.digest]
+                if ticket in self._outstanding:
+                    self._outstanding.remove(ticket)
             return ServedResult(scores, plan, request)
 
-        ticket._resolver = resolve
-        self._inflight[query.digest] = (request.tol, ticket)
-        self._outstanding.append(ticket)
+        ticket._set_resolver(resolve)
         return ticket
 
     def _drain(self) -> None:
         """Resolve every outstanding coalesced ticket (pre-delta barrier)."""
-        for ticket in list(self._outstanding):
-            ticket.result()
+        while True:
+            with self._lock:
+                outstanding = list(self._outstanding)
+            if not outstanding:
+                break
+            for ticket in outstanding:
+                ticket.result()
         self._coalescer.flush()
-        self._inflight.clear()
+        with self._lock:
+            self._inflight.clear()
 
     # ------------------------------------------------------------------
     # streaming mutations
@@ -653,20 +783,22 @@ class RankingService:
     def apply_delta(self, delta: GraphDelta) -> dict:
         """Apply a :class:`~repro.graph.delta.GraphDelta` through the service.
 
-        The serving-layer mutation door: outstanding microbatches are
-        drained (their answers belong to the pre-delta graph and are
-        cached as such), then, for a **localized** delta (touching at
-        most ``localized_fraction`` of the nodes), each live cached
-        answer retains a reference to its still-cached pre-delta
-        operator *before* the delta lands (an O(1) capture) — the next
-        request for that answer derives its baseline residual from it
-        and corrects by residual push at a fraction of a cold solve.
-        De-localised deltas evict the cache instead
-        (classic semantics), and entries still pending from a previous
-        delta are evicted rather than chained.  The delta itself goes
-        through :meth:`~repro.graph.base.BaseGraph.apply_delta`, so the
-        graph's cached matrices and operator bundles are surgically
-        refreshed too.
+        The serving-layer mutation door: the exclusive side of the
+        readers/writer barrier is taken (in-flight solves finish, new
+        ones wait), outstanding microbatches are drained (their answers
+        belong to the pre-delta graph and are cached as such), then, for
+        a **localized** delta (touching at most ``localized_fraction``
+        of the nodes), each live cached answer retains a reference to
+        its still-cached pre-delta operator *before* the delta lands (an
+        O(1) capture) — the next request for that answer derives its
+        baseline residual from it and corrects by residual push at a
+        fraction of a cold solve.  De-localised deltas evict the cache
+        instead (classic semantics), and entries still pending from a
+        previous delta are evicted rather than chained.  The delta
+        itself goes through
+        :meth:`~repro.graph.base.BaseGraph.apply_delta`, so the graph's
+        cached matrices and operator bundles are surgically refreshed
+        too.
 
         Raises exactly what ``graph.apply_delta`` raises (frozen graph,
         missing edges, bad indices); on any failure the graph and every
@@ -683,72 +815,90 @@ class RankingService:
             )
         if delta.size == 0:
             return self._graph.apply_delta(delta)
-        self._graph._check_mutable()  # fail before paying the drain
-        self._drain()
-        graph = self._graph
-        n = graph.number_of_nodes
-        touched = delta.endpoints()
-        localized = touched.size <= max(1.0, self._localized_fraction * n)
+        with self._rw.write():
+            self._graph._check_mutable()  # fail before paying the drain
+            self._drain()
+            graph = self._graph
+            n = graph.number_of_nodes
+            touched = delta.endpoints()
+            localized = touched.size <= max(
+                1.0, self._localized_fraction * n
+            )
 
-        prepared: list[tuple[str, _PendingCorrection]] = []
-        stale: list[str] = []
-        if localized:
-            mutation = graph.mutation_count
-            for digest, entry in self._cache.live_entries():
-                if entry.mutation != mutation:
-                    stale.append(digest)
-                    continue
-                # O(1) per entry: retain the (still-cached, immutable)
-                # pre-delta bundle; the baseline residual is derived
-                # from it lazily when the entry is next requested.
-                prepared.append(
-                    (
-                        digest,
-                        _PendingCorrection(
-                            self._bundle(entry.request.group_key)
-                        ),
+            prepared: list[tuple[str, _PendingCorrection]] = []
+            stale: list[str] = []
+            if localized:
+                mutation = graph.mutation_count
+                for digest, entry in self._cache.live_entries():
+                    if entry.mutation != mutation:
+                        stale.append(digest)
+                        continue
+                    # O(1) per entry: retain the (still-cached,
+                    # immutable) pre-delta bundle; the baseline residual
+                    # is derived from it lazily when the entry is next
+                    # requested.
+                    prepared.append(
+                        (
+                            digest,
+                            _PendingCorrection(
+                                self._bundle(entry.request.group_key)
+                            ),
+                        )
                     )
-                )
-            pending = self._cache.pending_digests()
+                pending = self._cache.pending_digests()
 
-        stats = graph.apply_delta(delta)  # raises → nothing committed
-        # The graph cache just dropped its shard plans and sharded
-        # operators (unrecognised keys are never refreshed); close the
-        # stale operators' worker pools now instead of waiting for
-        # garbage collection to release their shared-memory segments.
-        for sharded in self._shard_ops.values():
-            if sharded is not None:
-                sharded.close()
-        self._shard_ops.clear()
-        self._deltas["applied"] += 1
-        if localized:
-            self._deltas["localized"] += 1
-            mutation = graph.mutation_count
-            for digest in pending + stale:
-                self._cache.evict(digest)
-            for digest, token in prepared:
-                self._cache.mark_pending(digest, token, mutation=mutation)
-        else:
-            self._deltas["evicting"] += 1
-            self._cache.evict_all()
-        return stats
+            stats = graph.apply_delta(delta)  # raises → nothing committed
+            # The graph cache just dropped its shard plans and sharded
+            # operators (unrecognised keys are never refreshed); close
+            # the stale operators' worker pools now instead of waiting
+            # for garbage collection to release their shared-memory
+            # segments.
+            with self._lock:
+                shard_ops = list(self._shard_ops.values())
+                self._shard_ops.clear()
+                self._deltas["applied"] += 1
+                if localized:
+                    self._deltas["localized"] += 1
+                else:
+                    self._deltas["evicting"] += 1
+            for sharded in shard_ops:
+                if sharded is not None:
+                    sharded.close()
+            if localized:
+                mutation = graph.mutation_count
+                for digest in pending + stale:
+                    self._cache.evict(digest)
+                for digest, token in prepared:
+                    self._cache.mark_pending(
+                        digest, token, mutation=mutation
+                    )
+            else:
+                self._cache.evict_all()
+            return stats
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Serving health: plan mix, cache hit rate, batch occupancy, deltas."""
+        """Serving health: plan mix, cache, batching, deltas, latencies."""
         cache = self._cache.stats()
+        with self._lock:
+            plan_mix = dict(self._plan_mix)
+            requests = self._requests
+            deltas = dict(self._deltas)
+            shard_stats = dict(self._shard_stats)
         return {
-            "requests": self._requests,
-            "plan_mix": dict(self._plan_mix),
+            "requests": requests,
+            "plan_mix": plan_mix,
             "cache": cache,
             "hit_rate": cache["hit_rate"],
             "coalescer": self._coalescer.stats(),
-            "deltas": dict(self._deltas),
+            "deltas": deltas,
+            "latency": self._latency.summary(),
+            "planner": self._planner.tuning(),
             "sharding": {
                 "enabled": self._sharding,
-                **self._shard_stats,
+                **shard_stats,
             },
         }
 
@@ -761,7 +911,15 @@ class RankingService:
         are released, and a later sharded request transparently rebuilds
         them.
         """
-        for sharded in self._shard_ops.values():
+        with self._lock:
+            shard_ops = list(self._shard_ops.values())
+            self._shard_ops.clear()
+        for sharded in shard_ops:
             if sharded is not None:
                 sharded.close()
-        self._shard_ops.clear()
+
+    def __enter__(self) -> "RankingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -148,3 +148,142 @@ class TestCapacity:
             "capacity", "entries", "pending", "lookups", "hits",
             "misses", "corrections", "evictions", "hit_rate",
         }
+
+
+class TestAtomicCorrection:
+    """Token-identity commit semantics of resolve_pending."""
+
+    def test_resolved_with_matching_token(self, graph):
+        cache = ResultCache()
+        _store(cache, graph, "q1", mutation=0)
+        token = object()
+        cache.mark_pending("q1", token, mutation=1)
+        corrected = _scores(graph, seed=3)
+        status, entry = cache.resolve_pending(
+            "q1", scores=corrected, tol=1e-10, mutation=1, token=token
+        )
+        assert status == "resolved"
+        assert entry.scores is corrected
+        assert entry.pending is None
+
+    def test_double_correction_is_idempotent(self, graph):
+        cache = ResultCache()
+        _store(cache, graph, "q1", mutation=0)
+        token = object()
+        cache.mark_pending("q1", token, mutation=1)
+        first = _scores(graph, seed=3)
+        second = _scores(graph, seed=4)
+        cache.resolve_pending(
+            "q1", scores=first, tol=1e-10, mutation=1, token=token
+        )
+        status, entry = cache.resolve_pending(
+            "q1", scores=second, tol=1e-10, mutation=1, token=token
+        )
+        assert status == "already"
+        # the first committed answer stands; the duplicate is dropped
+        assert entry.scores is first
+        assert cache.stats()["corrections"] == 1
+
+    def test_wrong_token_evicts_never_stores(self, graph):
+        """An entry re-marked while a correction was in flight: the stale
+        correction must evict the conflicting entry, not overwrite it."""
+        cache = ResultCache()
+        _store(cache, graph, "q1", mutation=0)
+        cache.mark_pending("q1", object(), mutation=1)
+        stale_answer = _scores(graph, seed=5)
+        # a *different* delta re-marked the entry in between
+        cache.mark_pending("q1", object(), mutation=2)
+        status, entry = cache.resolve_pending(
+            "q1",
+            scores=stale_answer,
+            tol=1e-10,
+            mutation=1,
+            token="not-the-current-token",
+        )
+        assert status == "stale"
+        assert entry is None
+        assert "q1" not in cache  # evicted, never served stale
+        assert cache.stats()["stale_corrections"] == 1
+
+    def test_resolve_after_eviction_is_stale(self, graph):
+        cache = ResultCache()
+        _store(cache, graph, "q1", mutation=0)
+        token = object()
+        cache.mark_pending("q1", token, mutation=1)
+        cache.evict("q1")
+        status, entry = cache.resolve_pending(
+            "q1",
+            scores=_scores(graph, seed=6),
+            tol=1e-10,
+            mutation=1,
+            token=token,
+        )
+        assert status == "stale"
+        assert entry is None
+        assert "q1" not in cache
+
+    def test_fresh_store_at_newer_mutation_wins_over_old_correction(
+        self, graph
+    ):
+        cache = ResultCache()
+        _store(cache, graph, "q1", mutation=0)
+        token = object()
+        cache.mark_pending("q1", token, mutation=1)
+        # a fresh solve replaced the pending entry at a newer version
+        fresh = _scores(graph, seed=8)
+        cache.store(
+            "q1",
+            scores=fresh,
+            tol=1e-10,
+            mutation=3,
+            request=None,
+            teleport=None,
+        )
+        status, entry = cache.resolve_pending(
+            "q1",
+            scores=_scores(graph, seed=7),
+            tol=1e-10,
+            mutation=1,  # the correction targeted the superseded version
+            token=token,
+        )
+        assert status == "stale"
+        assert entry is None
+        # the fresh entry survives; the outdated correction is dropped
+        state, entry = cache.lookup("q1", mutation=3, tol=1e-10)
+        assert state == "hit"
+        assert entry.scores is fresh
+
+    def test_concurrent_resolvers_commit_exactly_once(self, graph):
+        import threading
+
+        cache = ResultCache()
+        _store(cache, graph, "q1", mutation=0)
+        token = object()
+        cache.mark_pending("q1", token, mutation=1)
+        answers = [_scores(graph, seed=10 + i) for i in range(4)]
+        statuses = []
+        barrier = threading.Barrier(4)
+
+        def resolver(i):
+            barrier.wait(timeout=5)
+            status, _ = cache.resolve_pending(
+                "q1",
+                scores=answers[i],
+                tol=1e-10,
+                mutation=1,
+                token=token,
+            )
+            statuses.append(status)
+
+        threads = [
+            threading.Thread(target=resolver, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sorted(statuses) == ["already"] * 3 + ["resolved"]
+        assert cache.stats()["corrections"] == 1
+        state, entry = cache.lookup("q1", mutation=1, tol=1e-10)
+        assert state == "hit"
+        assert entry.scores in answers

@@ -1,0 +1,244 @@
+"""Tests for the concurrent serving front: workers, admission, timer."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import d2pr, personalized_d2pr
+from repro.errors import AdmissionError, ParameterError
+from repro.graph import Graph
+from repro.serving import RankRequest, RankingService, ServingFront
+
+
+def _graph(n=250, m=2500, seed=5):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, m)
+    cols = rng.integers(0, n, m)
+    keep = rows != cols
+    return Graph.from_arrays(rows[keep], cols[keep], num_nodes=n)
+
+
+class _GatedService:
+    """Service wrapper whose rank() blocks until a gate opens.
+
+    Lets tests hold a worker busy deterministically (to fill the ingress
+    queue or observe class limits) without sleeping on real solve times.
+    """
+
+    def __init__(self, inner: RankingService, gate: threading.Event):
+        self._inner = inner
+        self._gate = gate
+
+    def plan(self, *args, **kwargs):
+        return self._inner.plan(*args, **kwargs)
+
+    def submit(self, *args, **kwargs):
+        return self._inner.submit(*args, **kwargs)
+
+    def rank(self, *args, **kwargs):
+        assert self._gate.wait(timeout=30), "test gate never opened"
+        return self._inner.rank(*args, **kwargs)
+
+    def poll(self):
+        return self._inner.poll()
+
+    @property
+    def coalescer(self):
+        return self._inner.coalescer
+
+
+class TestServing:
+    def test_answers_match_direct_solves(self):
+        graph = _graph()
+        seed = graph.nodes()[3]
+        with RankingService(graph) as service:
+            with ServingFront(service, workers=3) as front:
+                tickets = [
+                    front.submit(method="d2pr", p=1.0),
+                    front.submit(method="d2pr", p=1.0, seeds=[seed]),
+                    front.submit(method="d2pr", p=1.0),  # repeat: cache
+                ]
+                results = [t.result(timeout=30) for t in tickets]
+        ref_global = d2pr(graph, 1.0)
+        ref_seed = personalized_d2pr(graph, [seed], 1.0, tol=1e-10)
+        assert (
+            np.abs(results[0].scores.values - ref_global.values).max() < 1e-8
+        )
+        assert (
+            np.abs(results[1].scores.values - ref_seed.values).sum() < 1e-6
+        )
+        assert (
+            np.abs(results[2].scores.values - ref_global.values).max() < 1e-8
+        )
+
+    def test_many_clients_many_queries(self):
+        graph = _graph()
+        nodes = graph.nodes()
+        refs = {
+            i: personalized_d2pr(graph, [nodes[i]], 1.0, tol=1e-10)
+            for i in range(8)
+        }
+        errors = []
+        with RankingService(graph) as service:
+            with ServingFront(service, workers=4, capacity=128) as front:
+
+                def client(offset):
+                    try:
+                        for i in range(12):
+                            idx = (offset + i) % 8
+                            res = front.rank(
+                                method="d2pr",
+                                p=1.0,
+                                seeds=[nodes[idx]],
+                                tol=1e-10,
+                            )
+                            diff = np.abs(
+                                res.scores.values - refs[idx].values
+                            ).sum()
+                            assert diff < 1e-6, diff
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=client, args=(k,))
+                    for k in range(4)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=60)
+                    assert not t.is_alive(), "client thread deadlocked"
+        assert not errors
+
+    def test_batch_requests_pool_across_the_queue(self):
+        graph = _graph()
+        gate = threading.Event()
+        with RankingService(graph, window=16) as service:
+            gated = _GatedService(service, gate)
+            with ServingFront(gated, workers=1, capacity=32) as front:
+                # Hold the single worker on a push request...
+                blocker = front.submit(
+                    method="d2pr", p=1.0, seeds=[graph.nodes()[0]]
+                )
+                # ...while six distinct pooled queries queue up behind it.
+                tickets = [
+                    front.submit(method="d2pr", p=1.0, alpha=a)
+                    for a in (0.7, 0.75, 0.8, 0.85, 0.9, 0.95)
+                ]
+                gate.set()
+                blocker.result(timeout=30)
+                results = [t.result(timeout=30) for t in tickets]
+        for a, res in zip((0.7, 0.75, 0.8, 0.85, 0.9, 0.95), results):
+            ref = d2pr(graph, 1.0, alpha=a)
+            assert np.abs(res.scores.values - ref.values).max() < 1e-8
+        # All six were filed before any resolve, so they share windows:
+        # the flush occupancy must beat the synchronous one-per-flush.
+        stats = service.stats()["coalescer"]
+        assert stats["max_occupancy"] >= 2
+
+
+class TestAdmission:
+    def test_queue_full_is_explicit(self):
+        graph = _graph()
+        gate = threading.Event()
+        with RankingService(graph) as service:
+            gated = _GatedService(service, gate)
+            front = ServingFront(gated, workers=1, capacity=2)
+            try:
+                seeds = [graph.nodes()[0]]
+                first = front.submit(method="d2pr", p=1.0, seeds=seeds)
+                # wait until the worker owns it (queue drained)
+                deadline = time.monotonic() + 10
+                while front.stats()["admission"]["running"] == {}:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+                queued = [
+                    front.submit(method="d2pr", p=1.0, seeds=seeds)
+                    for _ in range(2)
+                ]
+                with pytest.raises(AdmissionError) as err:
+                    front.submit(method="d2pr", p=1.0, seeds=seeds)
+                assert err.value.reason == "queue_full"
+                gate.set()
+                first.result(timeout=30)
+                for t in queued:
+                    t.result(timeout=30)
+                assert (
+                    front.stats()["admission"]["rejected"]["queue_full"] == 1
+                )
+            finally:
+                gate.set()
+                front.close()
+
+    def test_shutdown_rejects_queued_and_new(self):
+        graph = _graph()
+        gate = threading.Event()
+        with RankingService(graph) as service:
+            gated = _GatedService(service, gate)
+            front = ServingFront(gated, workers=1, capacity=8)
+            seeds = [graph.nodes()[1]]
+            first = front.submit(method="d2pr", p=1.0, seeds=seeds)
+            deadline = time.monotonic() + 10
+            while front.stats()["admission"]["running"] == {}:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            stranded = front.submit(method="d2pr", p=1.0, seeds=seeds)
+            closer = threading.Thread(target=front.close)
+            closer.start()
+            gate.set()  # let the in-flight request finish
+            closer.join(timeout=30)
+            assert not closer.is_alive()
+            # in-flight finished normally; queued failed loudly
+            first.result(timeout=30)
+            with pytest.raises(AdmissionError) as err:
+                stranded.result(timeout=30)
+            assert err.value.reason == "shutdown"
+            with pytest.raises(AdmissionError) as err:
+                front.submit(method="d2pr", p=1.0, seeds=seeds)
+            assert err.value.reason == "shutdown"
+
+    def test_default_limits_cap_sharded(self):
+        graph = _graph()
+        with RankingService(graph) as service:
+            front = ServingFront(service, workers=4)
+            try:
+                assert front.stats()["admission"]["limits"] == {"sharded": 2}
+            finally:
+                front.close()
+
+
+class TestTimerAndLifecycle:
+    def test_poll_timer_runs(self):
+        graph = _graph()
+        with RankingService(graph, max_age=0.02) as service:
+            with ServingFront(service, workers=1) as front:
+                assert front.poll_interval == pytest.approx(0.01)
+                deadline = time.monotonic() + 10
+                while front.stats()["polls"] == 0:
+                    assert time.monotonic() < deadline, "timer never fired"
+                    time.sleep(0.005)
+
+    def test_no_timer_without_max_age(self):
+        graph = _graph()
+        with RankingService(graph) as service:
+            with ServingFront(service, workers=1) as front:
+                assert front.poll_interval is None
+
+    def test_close_is_idempotent(self):
+        graph = _graph()
+        with RankingService(graph) as service:
+            front = ServingFront(service, workers=2)
+            front.close()
+            front.close()
+
+    def test_validation(self):
+        graph = _graph()
+        with RankingService(graph) as service:
+            with pytest.raises(ParameterError):
+                ServingFront(service, workers=0)
+            with pytest.raises(ParameterError):
+                ServingFront(service, poll_interval=0.0)

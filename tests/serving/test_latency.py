@@ -1,0 +1,64 @@
+"""Unit tests for the per-strategy latency recorder."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.serving.latency import LatencyRecorder
+
+
+class TestRecorder:
+    def test_empty(self):
+        rec = LatencyRecorder()
+        assert rec.count("push") == 0
+        assert rec.quantile("push", 0.5) is None
+        assert rec.summary() == {}
+
+    def test_counts_and_quantiles(self):
+        rec = LatencyRecorder()
+        for v in (0.1, 0.2, 0.3):
+            rec.observe("push", v)
+        assert rec.count("push") == 3
+        assert rec.quantile("push", 0.5) == pytest.approx(0.2)
+        summary = rec.summary()["push"]
+        assert summary["count"] == 3
+        assert summary["window"] == 3
+        assert summary["p50"] == pytest.approx(0.2)
+        assert summary["p95"] >= summary["p50"]
+        assert summary["last"] == pytest.approx(0.3)
+
+    def test_window_bounds_memory_but_not_count(self):
+        rec = LatencyRecorder(window=4)
+        for i in range(100):
+            rec.observe("batch", float(i))
+        assert rec.count("batch") == 100
+        summary = rec.summary()["batch"]
+        assert summary["window"] == 4
+        # quantiles reflect only the recent window (96..99)
+        assert rec.quantile("batch", 0.0) == pytest.approx(96.0)
+
+    def test_negative_clamped(self):
+        rec = LatencyRecorder()
+        rec.observe("push", -1.0)
+        assert rec.quantile("push", 0.5) == 0.0
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ParameterError):
+            LatencyRecorder(window=0)
+
+    def test_concurrent_observe(self):
+        rec = LatencyRecorder(window=1024)
+
+        def hammer():
+            for _ in range(500):
+                rec.observe("k", 0.01)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert rec.count("k") == 2000

@@ -1,0 +1,134 @@
+"""Unit tests for the readers/writer barrier."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serving.sync import ReadWriteLock
+
+
+class TestReadSide:
+    def test_many_concurrent_readers(self):
+        lock = ReadWriteLock()
+        inside = []
+        barrier = threading.Barrier(4)
+
+        def reader():
+            with lock.read():
+                barrier.wait(timeout=5)  # all four hold the lock at once
+                inside.append(1)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(inside) == 4
+
+    def test_reentrant_read(self):
+        lock = ReadWriteLock()
+        with lock.read():
+            with lock.read():
+                pass
+        # fully released: a writer can now get in without blocking
+        with lock.write():
+            pass
+
+    def test_release_without_acquire_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(ReproError):
+            lock.release_read()
+
+
+class TestWriteSide:
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        ready = threading.Event()
+
+        def reader():
+            ready.set()
+            with lock.read():
+                order.append("read")
+
+        lock.acquire_write()
+        t = threading.Thread(target=reader)
+        t.start()
+        ready.wait(timeout=5)
+        time.sleep(0.05)  # give the reader a chance to (incorrectly) enter
+        order.append("write-done")
+        lock.release_write()
+        t.join(timeout=5)
+        assert order == ["write-done", "read"]
+
+    def test_writer_waits_for_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        acquired = threading.Event()
+
+        def writer():
+            with lock.write():
+                order.append("write")
+            acquired.set()
+
+        with lock.read():
+            t = threading.Thread(target=writer)
+            t.start()
+            time.sleep(0.05)
+            order.append("read-done")
+        acquired.wait(timeout=5)
+        t.join(timeout=5)
+        assert order == ["read-done", "write"]
+
+    def test_reentrant_write_and_nested_read(self):
+        lock = ReadWriteLock()
+        with lock.write():
+            with lock.write():
+                # the writer may re-enter read-guarded helpers
+                with lock.read():
+                    pass
+        with lock.read():
+            pass  # fully released afterwards
+
+    def test_upgrade_raises(self):
+        lock = ReadWriteLock()
+        with lock.read():
+            with pytest.raises(ReproError):
+                lock.acquire_write()
+
+    def test_release_without_acquire_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(ReproError):
+            lock.release_write()
+
+    def test_writer_preference_blocks_new_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        writer_waiting = threading.Event()
+
+        def writer():
+            writer_waiting.set()
+            with lock.write():
+                order.append("write")
+
+        def late_reader():
+            with lock.read():
+                order.append("late-read")
+
+        lock.acquire_read()
+        wt = threading.Thread(target=writer)
+        wt.start()
+        writer_waiting.wait(timeout=5)
+        time.sleep(0.05)  # writer is now queued behind our read hold
+        rt = threading.Thread(target=late_reader)
+        rt.start()
+        time.sleep(0.05)  # the late reader must queue behind the writer
+        assert order == []
+        lock.release_read()
+        wt.join(timeout=5)
+        rt.join(timeout=5)
+        assert order == ["write", "late-read"]

@@ -8,12 +8,16 @@
 # re-solve), the ranking service layer (serving: planner + microbatch
 # coalescer + delta-aware result cache + shard routing over a mixed
 # request stream, with non-zero coalescer occupancy and a certified
-# shard-local push asserted in-process) and the block-partitioned
+# shard-local push asserted in-process), the concurrent serving front
+# (serving_front: N closed-loop client threads through the bounded
+# admission queue + worker pool vs a synchronous baseline, answers
+# cross-checked within the certificate bound and admission rejections
+# asserted zero at provisioned capacity) and the block-partitioned
 # solver (sharded_solve: blocked shard plan + aggregation/
 # disaggregation rounds through a 2-worker zero-copy shared-memory
-# pool) — so a broken batch, operator-cache, push, streaming, serving
-# or sharding path fails CI even before the full-size numbers are
-# regenerated.
+# pool) — so a broken batch, operator-cache, push, streaming, serving,
+# front or sharding path fails CI even before the full-size numbers
+# are regenerated.
 # Mirrors what .github/workflows/ci.yml executes on every push; run it
 # locally before sending a PR.
 set -euo pipefail
@@ -25,6 +29,21 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 shm_before=$(ls /dev/shm 2>/dev/null | grep '^repro_shard_' || true)
 
 python -m pytest -x -q
+
+# Re-run the multi-threaded stress suite under a hard watchdog: a
+# deadlock in the serving front must fail CI with stack dumps, not hang
+# it.  pytest-timeout (per-test timeouts) is used when installed; the
+# fallback is pytest's built-in faulthandler (all-thread stack dump
+# after the timeout) fenced by coreutils `timeout` to actually kill the
+# run.
+if python -c "import pytest_timeout" 2>/dev/null; then
+    timeout 300 python -m pytest tests/serving/test_stress.py -q \
+        --timeout=120 --timeout-method=thread
+else
+    timeout 300 python -m pytest tests/serving/test_stress.py -q \
+        -o faulthandler_timeout=120
+fi
+
 python tools/bench_perf.py --quick
 
 shm_after=$(ls /dev/shm 2>/dev/null | grep '^repro_shard_' || true)

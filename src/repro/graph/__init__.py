@@ -13,9 +13,15 @@ Public surface:
 * Edge-list and JSON IO.
 """
 
+from repro.graph.backends import (
+    GraphBackend,
+    InMemoryBackend,
+    MmapBackend,
+)
 from repro.graph.base import DiGraph, Graph, Node
 from repro.graph.bipartite import BipartiteGraph, project
 from repro.graph.delta import GraphDelta
+from repro.graph.persist import DeltaLog, load_snapshot, save_snapshot
 from repro.graph.centrality import (
     betweenness_centrality,
     closeness_centrality,
@@ -58,6 +64,12 @@ __all__ = [
     "Graph",
     "DiGraph",
     "GraphDelta",
+    "GraphBackend",
+    "InMemoryBackend",
+    "MmapBackend",
+    "DeltaLog",
+    "save_snapshot",
+    "load_snapshot",
     "Node",
     "BipartiteGraph",
     "project",

@@ -1,0 +1,53 @@
+"""Pluggable storage backends for the graph substrate.
+
+``Graph(backend=...)`` / ``DiGraph(backend=...)`` accept a registry name
+(``"memory"``, ``"mmap"``), a backend *instance*, or a backend class;
+:func:`resolve_backend` is the single normalisation point.  See
+``docs/storage.md`` for the contract and trade-offs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.graph.backends.base import GraphBackend
+from repro.graph.backends.memory import InMemoryBackend
+from repro.graph.backends.mmapped import MMAP_DIR_PREFIX, MmapBackend
+
+__all__ = [
+    "BACKENDS",
+    "GraphBackend",
+    "InMemoryBackend",
+    "MMAP_DIR_PREFIX",
+    "MmapBackend",
+    "resolve_backend",
+]
+
+#: Registry of named backends.
+BACKENDS: dict[str, type[GraphBackend]] = {
+    InMemoryBackend.name: InMemoryBackend,
+    MmapBackend.name: MmapBackend,
+}
+
+
+def resolve_backend(
+    spec: str | GraphBackend | type[GraphBackend] | None,
+) -> GraphBackend:
+    """Turn a backend spec into an unbound :class:`GraphBackend` instance."""
+    if spec is None:
+        return InMemoryBackend()
+    if isinstance(spec, GraphBackend):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, GraphBackend):
+        return spec()
+    if isinstance(spec, str):
+        try:
+            return BACKENDS[spec]()
+        except KeyError:
+            raise ParameterError(
+                f"unknown graph backend {spec!r}; "
+                f"expected one of {sorted(BACKENDS)}"
+            ) from None
+    raise ParameterError(
+        f"backend must be a name, GraphBackend instance or class, "
+        f"got {type(spec).__name__}"
+    )

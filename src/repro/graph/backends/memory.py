@@ -1,0 +1,46 @@
+"""The default in-RAM storage backend (pre-backend behaviour, extracted)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.backends.base import Columnar, GraphBackend, _as_columnar
+
+__all__ = ["InMemoryBackend"]
+
+
+class InMemoryBackend(GraphBackend):
+    """Columnar edge store held as plain numpy arrays in RAM.
+
+    A pure extraction of the storage that used to live inline in
+    ``BaseGraph``: :meth:`set_columnar` retains the (canonicalised)
+    arrays by reference, so the zero-copy aliasing contracts of
+    ``BaseGraph._canonical_edges`` and ``apply_delta`` are exactly what
+    they were before the backend split.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._columnar: Columnar | None = None
+
+    @property
+    def columnar(self) -> Columnar | None:
+        return self._columnar
+
+    def set_columnar(
+        self, rows: np.ndarray, cols: np.ndarray, data: np.ndarray
+    ) -> None:
+        self._columnar = _as_columnar(rows, cols, data)
+
+    def clear_columnar(self) -> None:
+        self._columnar = None
+
+    def describe(self) -> dict:
+        info = {"backend": self.name, "resident": "ram"}
+        if self._columnar is not None:
+            info["columnar_bytes"] = int(
+                sum(arr.nbytes for arr in self._columnar)
+            )
+        return info

@@ -116,22 +116,17 @@ class BaseGraph:
     #: Whether edges are directed.  Set by subclasses.
     directed: bool = False
 
-    def __init__(self) -> None:
+    def __init__(self, *, backend=None) -> None:
+        from repro.graph.backends import resolve_backend
+
         self._index: dict[Node, int] = {}
         self._nodes: list[Node] = []
-        # _succ[i][j] = weight of edge i -> j.  For undirected graphs the
-        # structure is symmetric (both directions stored).
-        self._succ: list[dict[int, float]] = []
-        self._node_attrs: dict[str, dict[int, Any]] = {}
+        # Storage engine: owns the dict adjacency (_succ/_pred views), the
+        # node-attribute columns and the canonical columnar edge store.
+        # ``backend`` accepts a registry name ("memory", "mmap"), an
+        # instance or a class; see repro.graph.backends.
+        self._store = resolve_backend(backend).bind(directed=self.directed)
         self._num_edges = 0
-        # Canonical columnar edge store for bulk-ingested graphs: while set,
-        # the dict adjacency above is empty and all edges live in these
-        # de-duplicated arrays (one entry per edge; ``(lo, hi, w)`` with
-        # lo < hi for undirected graphs, ``(rows, cols, w)`` for directed).
-        # Dict-style accessors call _materialize() to fold them in lazily,
-        # so array-only pipelines (build -> to_csr -> solve) never pay for
-        # dict construction at all.
-        self._lazy: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         # Structural version counter + derived-object cache (COO arrays,
         # CSR matrices, transition matrices).  Any mutation bumps the
         # version and clears the cache.
@@ -149,6 +144,44 @@ class BaseGraph:
         # Shared-instance guard: freeze() flips this and every mutator
         # raises FrozenGraphError from then on (see BaseGraph.freeze).
         self._frozen = False
+
+    # ------------------------------------------------------------------
+    # storage delegation
+    # ------------------------------------------------------------------
+    @property
+    def backend(self):
+        """The :class:`~repro.graph.backends.GraphBackend` storing this graph."""
+        return self._store
+
+    @property
+    def _succ(self) -> list[dict[int, float]]:
+        # _succ[i][j] = weight of edge i -> j.  For undirected graphs the
+        # structure is symmetric (both directions stored).
+        return self._store.succ
+
+    @property
+    def _node_attrs(self) -> dict[str, dict[int, Any]]:
+        return self._store.node_attrs
+
+    @property
+    def _lazy(self) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        # Canonical columnar edge store for bulk-ingested graphs: while
+        # set, the dict adjacency is empty and all edges live in these
+        # de-duplicated arrays (one entry per edge; ``(lo, hi, w)`` with
+        # lo < hi for undirected graphs, ``(rows, cols, w)`` for
+        # directed).  Dict-style accessors call _materialize() to fold
+        # them in lazily, so array-only pipelines (build -> to_csr ->
+        # solve) never pay for dict construction at all.
+        return self._store.columnar
+
+    @_lazy.setter
+    def _lazy(
+        self, value: tuple[np.ndarray, np.ndarray, np.ndarray] | None
+    ) -> None:
+        if value is None:
+            self._store.clear_columnar()
+        else:
+            self._store.set_columnar(*value)
 
     # ------------------------------------------------------------------
     # cache plumbing
@@ -248,7 +281,7 @@ class BaseGraph:
         """
         self._invalidate()
 
-    def apply_delta(self, delta) -> dict:
+    def apply_delta(self, delta, *, log=None) -> dict:
         """Apply a batched :class:`~repro.graph.delta.GraphDelta`.
 
         The streaming mutation path: edge inserts (upserts), deletes and
@@ -260,18 +293,25 @@ class BaseGraph:
         delta actually touches are recomputed, untouched rows are
         block-copied.  ``mutation_count`` still bumps once, cached objects
         are never mutated (holders of pre-delta matrices stay consistent),
-        and unrecognised cache entries are dropped.
+        and unrecognised cache entries are dropped.  Node-level ops
+        (insert/delete) change the index space and therefore evict the
+        derived-object cache wholesale instead of refreshing it.
+
+        When ``log`` (a :class:`~repro.graph.persist.DeltaLog`) is given,
+        the delta is appended to it *after* a successful apply, so the
+        log replays to exactly the committed state.
 
         Returns a stats dict with op counts and the refreshed/dropped
         cache keys.  Raises :class:`~repro.errors.FrozenGraphError` on
         frozen (shared) graphs, :class:`~repro.errors.EdgeError` for
         deletes/re-weights of missing edges, and the usual validation
         errors for bad indices or weights.  See
-        ``docs/performance.md`` ("Streaming updates") for the contract.
+        ``docs/performance.md`` ("Streaming updates") and
+        ``docs/storage.md`` (delta log) for the contract.
         """
         from repro.graph.delta import apply_graph_delta
 
-        return apply_graph_delta(self, delta)
+        return apply_graph_delta(self, delta, log=log)
 
     def _canonical_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Canonical ``(rows, cols, weights)`` with each edge stored once.
@@ -312,7 +352,7 @@ class BaseGraph:
         if self._lazy is None:
             # Dicts were materialised and now hold stale edges; reset
             # them (columnar mode keeps them empty by invariant).
-            self._succ = [{} for _ in range(self.number_of_nodes)]
+            self._store.reset_slots(self.number_of_nodes)
         self._lazy = (rows, cols, data)
         self._num_edges = rows.shape[0]
 
@@ -387,7 +427,7 @@ class BaseGraph:
 
     def _grow_adjacency(self) -> None:
         """Append adjacency slots for one newly added node."""
-        self._succ.append({})
+        self._store.grow_slot()
 
     def add_nodes_from(self, nodes: Iterable[Node]) -> None:
         """Add every node in ``nodes``."""
@@ -404,7 +444,7 @@ class BaseGraph:
         ids = range(n)
         self._nodes = list(ids)
         self._index = {i: i for i in ids}
-        self._succ = [{} for _ in ids]
+        self._store.reset_slots(n)
         self._invalidate()
 
     def has_node(self, node: Node) -> bool:
@@ -658,14 +698,17 @@ class BaseGraph:
         *,
         nodes: Iterable[Node] | None = None,
         num_nodes: int | None = None,
+        backend=None,
     ):
         """Build a graph directly from COO-style numpy arrays.
 
         ``nodes`` supplies node objects (indices refer to positions in the
         iterable); ``num_nodes`` creates integer nodes ``0 .. num_nodes-1``;
         with neither, integer nodes up to the largest index are created.
+        ``backend`` selects the storage backend (name, instance or class;
+        default in-memory — see :mod:`repro.graph.backends`).
         """
-        g = cls()
+        g = cls(backend=backend)
         if nodes is not None:
             g.add_nodes_from(nodes)
         else:
@@ -1030,25 +1073,12 @@ class DiGraph(BaseGraph):
 
     directed = True
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._pred: list[dict[int, float]] = []
-
-    def _grow_adjacency(self) -> None:
-        super()._grow_adjacency()
-        self._pred.append({})
-
-    def _add_integer_nodes(self, n: int) -> None:
-        super()._add_integer_nodes(n)
-        self._pred = [{} for _ in range(n)]
-
-    def _set_edge_store(
-        self, rows: np.ndarray, cols: np.ndarray, data: np.ndarray
-    ) -> None:
-        materialised = self._lazy is None
-        super()._set_edge_store(rows, cols, data)
-        if materialised:
-            self._pred = [{} for _ in range(self.number_of_nodes)]
+    @property
+    def _pred(self) -> list[dict[int, float]]:
+        # Reverse adjacency: _pred[j][i] = weight of edge i -> j.  The
+        # backend maintains it in lock-step with _succ (grow_slot /
+        # reset_slots) because the graph declared itself directed.
+        return self._store.pred
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
         """Add (or re-weight) the directed edge ``u -> v``.
@@ -1126,6 +1156,10 @@ class DiGraph(BaseGraph):
     def _coo_from_lazy(
         self, rows: np.ndarray, cols: np.ndarray, data: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if not rows.flags.writeable:
+            # Already-immutable views (mmap backend): alias them, the
+            # read-only COO contract holds without a copy.
+            return rows, cols, data
         return rows.copy(), cols.copy(), data.copy()
 
     def edges(self) -> Iterator[tuple[Node, Node, float]]:

@@ -151,8 +151,22 @@ class GraphDelta:
       contract that a bare upsert cannot express.
 
     For undirected graphs each pair is canonicalised (order-insensitive),
-    exactly like :meth:`Graph.add_edge`.  All indices refer to existing
-    nodes; deltas never create nodes.
+    exactly like :meth:`Graph.add_edge`.
+
+    **Node-level ops** (so the delta log can express every mutation the
+    classic API allows):
+
+    * **node inserts** apply before everything else and append new node
+      objects (with optional attributes) at the next free indices — edge
+      ops in the same delta may therefore reference them;
+    * **node deletes** apply last; indices refer to the *post-insert*
+      numbering, incident edges are dropped and the surviving nodes are
+      compacted (indices above a deleted node shift down, preserving
+      relative order).
+
+    Node ops change the index space, so applying a delta that carries
+    them evicts the graph's derived-object cache wholesale instead of
+    refreshing it.
     """
 
     insert_rows: np.ndarray = field(default_factory=_empty_i)
@@ -163,6 +177,12 @@ class GraphDelta:
     reweight_rows: np.ndarray = field(default_factory=_empty_i)
     reweight_cols: np.ndarray = field(default_factory=_empty_i)
     reweight_weights: np.ndarray = field(default_factory=_empty_f)
+    #: ``((node, attrs_dict), ...)`` appended in order at the next free
+    #: indices (before any other op in the delta is applied).
+    node_inserts: tuple = ()
+    #: Post-insert node indices to remove (incident edges dropped,
+    #: survivors compacted).
+    node_deletes: np.ndarray = field(default_factory=_empty_i)
 
     @classmethod
     def insert(
@@ -191,6 +211,53 @@ class GraphDelta:
             reweight_rows=rows, reweight_cols=cols, reweight_weights=data
         )
 
+    @classmethod
+    def add_nodes(cls, nodes, attrs=None) -> "GraphDelta":
+        """Delta appending new ``nodes`` (each with an optional attr dict).
+
+        ``attrs`` is ``None`` or a sequence of ``{name: value}`` dicts
+        aligned with ``nodes``.  The nodes must not already exist on the
+        target graph; they receive the next free indices in order, so
+        edge ops in the same delta may reference them.
+        """
+        nodes = list(nodes)
+        if attrs is None:
+            attrs = [{}] * len(nodes)
+        else:
+            attrs = [dict(a) if a else {} for a in attrs]
+            if len(attrs) != len(nodes):
+                raise ParameterError(
+                    f"attrs must align with nodes: got {len(attrs)} attr "
+                    f"dicts for {len(nodes)} nodes"
+                )
+        for node in nodes:
+            try:
+                hash(node)  # unhashable objects fail here, not at apply
+            except TypeError:
+                raise ParameterError(
+                    f"node names must be hashable, got {type(node).__name__}"
+                ) from None
+        return cls(
+            node_inserts=tuple(zip(nodes, attrs)),
+        )
+
+    @classmethod
+    def remove_nodes(cls, indices) -> "GraphDelta":
+        """Delta deleting the nodes at ``indices`` (post-insert numbering).
+
+        Incident edges are dropped and the surviving nodes are compacted.
+        """
+        indices = np.atleast_1d(np.asarray(indices))
+        if indices.ndim != 1:
+            raise ParameterError(
+                f"node indices must be 1-D, got shape {indices.shape}"
+            )
+        if indices.size and not np.issubdtype(indices.dtype, np.integer):
+            raise ParameterError(
+                f"node indices must be integers, got dtype {indices.dtype}"
+            )
+        return cls(node_deletes=indices.astype(np.int64, copy=False))
+
     def __or__(self, other: "GraphDelta") -> "GraphDelta":
         if not isinstance(other, GraphDelta):
             return NotImplemented
@@ -211,16 +278,27 @@ class GraphDelta:
             reweight_weights=np.concatenate(
                 [self.reweight_weights, other.reweight_weights]
             ),
+            node_inserts=self.node_inserts + other.node_inserts,
+            node_deletes=np.concatenate(
+                [self.node_deletes, other.node_deletes]
+            ),
         )
 
     @property
     def size(self) -> int:
-        """Total number of edge operations in the delta."""
+        """Total number of operations (edge and node) in the delta."""
         return (
             self.insert_rows.shape[0]
             + self.delete_rows.shape[0]
             + self.reweight_rows.shape[0]
+            + len(self.node_inserts)
+            + self.node_deletes.shape[0]
         )
+
+    @property
+    def has_node_ops(self) -> bool:
+        """Whether the delta inserts or deletes nodes (index-space change)."""
+        return bool(self.node_inserts) or self.node_deletes.shape[0] > 0
 
     def endpoints(self) -> np.ndarray:
         """Sorted unique node indices named by any operation."""
@@ -241,7 +319,9 @@ class GraphDelta:
         return (
             f"<GraphDelta insert={self.insert_rows.shape[0]} "
             f"delete={self.delete_rows.shape[0]} "
-            f"reweight={self.reweight_rows.shape[0]}>"
+            f"reweight={self.reweight_rows.shape[0]} "
+            f"node_insert={len(self.node_inserts)} "
+            f"node_delete={self.node_deletes.shape[0]}>"
         )
 
 
@@ -256,27 +336,32 @@ def _require_positive_weights(data: np.ndarray, what: str) -> None:
             raise EdgeError(f"{what} weights must be positive")
 
 
-def _check_indices(graph, rows: np.ndarray, cols: np.ndarray) -> None:
+def _check_indices(
+    graph, rows: np.ndarray, cols: np.ndarray, n_total: int, name_of
+) -> None:
     from repro.errors import NodeNotFoundError
 
-    n = graph.number_of_nodes
     if rows.size == 0:
         return
     low = min(int(rows.min()), int(cols.min()))
     high = max(int(rows.max()), int(cols.max()))
-    if low < 0 or high >= n:
+    if low < 0 or high >= n_total:
         raise NodeNotFoundError(low if low < 0 else high)
     loops = rows == cols
     if loops.any():
-        offender = graph.node_at(int(rows[np.argmax(loops)]))
+        offender = name_of(int(rows[np.argmax(loops)]))
         raise EdgeError(f"self-loop on {offender!r} is not allowed")
 
 
 def _positions_of(
-    graph, keys_sorted: np.ndarray, want: np.ndarray, what: str
+    keys_sorted: np.ndarray,
+    want: np.ndarray,
+    what: str,
+    n_total: int,
+    name_of,
 ) -> np.ndarray:
     """Positions of ``want`` keys in ``keys_sorted``, raising on absences."""
-    n = np.int64(graph.number_of_nodes)
+    n = np.int64(n_total)
     pos = np.searchsorted(keys_sorted, want)
     pos_c = np.minimum(pos, keys_sorted.size - 1)
     ok = (
@@ -286,19 +371,23 @@ def _positions_of(
     )
     if not ok.all():
         bad = want[int(np.flatnonzero(~ok)[0])]
-        u = graph.node_at(int(bad // n))
-        v = graph.node_at(int(bad % n))
+        u = name_of(int(bad // n))
+        v = name_of(int(bad % n))
         raise EdgeError(f"cannot {what} missing edge {u!r} -> {v!r}")
     return pos
 
 
-def apply_graph_delta(graph, delta: GraphDelta) -> dict:
+def apply_graph_delta(graph, delta: GraphDelta, *, log=None) -> dict:
     """Apply ``delta`` to ``graph`` with delta-aware cache refresh.
 
     Implementation of :meth:`repro.graph.base.BaseGraph.apply_delta`;
     see :class:`GraphDelta` for the operation semantics and the module
     docstring for the refresh contract.  Returns a small stats dict
     (op counts plus which cache entries were refreshed vs dropped).
+
+    When ``log`` is given (a :class:`~repro.graph.persist.DeltaLog`),
+    the delta is appended to it after — and only after — a successful
+    commit, so replaying the log reproduces exactly the committed state.
     """
     graph._check_mutable()
     if not isinstance(delta, GraphDelta):
@@ -309,6 +398,8 @@ def apply_graph_delta(graph, delta: GraphDelta) -> dict:
         "inserted": 0,
         "deleted": 0,
         "reweighted": 0,
+        "nodes_inserted": 0,
+        "nodes_deleted": 0,
         "refreshed": [],
         "dropped": [],
     }
@@ -316,16 +407,50 @@ def apply_graph_delta(graph, delta: GraphDelta) -> dict:
         return stats
     n = graph.number_of_nodes
 
+    # -- node-op validation (pure: nothing is committed yet) -----------
+    ins_nodes = delta.node_inserts
+    for entry in ins_nodes:
+        if not (isinstance(entry, tuple) and len(entry) == 2):
+            raise ParameterError(
+                "node_inserts entries must be (node, attrs) pairs; "
+                "build them with GraphDelta.add_nodes"
+            )
+    seen: set = set()
+    for node, _attrs in ins_nodes:
+        if node in graph._index:
+            raise ParameterError(
+                f"cannot insert node {node!r}: it already exists"
+            )
+        if node in seen:
+            raise ParameterError(f"duplicate node insert {node!r}")
+        seen.add(node)
+    # All edge-op indices live in the post-insert space of n_total nodes.
+    n_total = n + len(ins_nodes)
+    del_idx = delta.node_deletes
+    if del_idx.size:
+        del_idx = np.unique(del_idx)
+        if int(del_idx[0]) < 0 or int(del_idx[-1]) >= n_total:
+            from repro.errors import NodeNotFoundError
+
+            bad = int(del_idx[0]) if int(del_idx[0]) < 0 else int(del_idx[-1])
+            raise NodeNotFoundError(bad)
+
+    def name_of(idx: int):
+        return (
+            graph.node_at(idx) if idx < n else ins_nodes[idx - n][0]
+        )
+
     ins_r, ins_c = graph._canonical_pairs(delta.insert_rows, delta.insert_cols)
     del_r, del_c = graph._canonical_pairs(delta.delete_rows, delta.delete_cols)
     rew_r, rew_c = graph._canonical_pairs(
         delta.reweight_rows, delta.reweight_cols
     )
     for r, c in ((ins_r, ins_c), (del_r, del_c), (rew_r, rew_c)):
-        _check_indices(graph, r, c)
+        _check_indices(graph, r, c, n_total, name_of)
     _require_positive_weights(delta.insert_weights, "insert")
     _require_positive_weights(delta.reweight_weights, "reweight")
 
+    n = n_total
     rows0, cols0, w0 = graph._canonical_edges()
     keys0 = rows0 * np.int64(n) + cols0
     if keys0.size and (keys0[:-1] > keys0[1:]).any():
@@ -343,7 +468,7 @@ def apply_graph_delta(graph, delta: GraphDelta) -> dict:
     # 1. deletes (must exist)
     if del_r.size:
         del_keys = np.unique(del_r * np.int64(n) + del_c)
-        pos = _positions_of(graph, keys0, del_keys, "delete")
+        pos = _positions_of(keys0, del_keys, "delete", n, name_of)
         keep = np.ones(keys0.shape[0], dtype=bool)
         keep[pos] = False
         keys0, rows0, cols0, w0 = (
@@ -386,7 +511,7 @@ def apply_graph_delta(graph, delta: GraphDelta) -> dict:
         rew_keys = rew_r * np.int64(n) + rew_c
         sel = graph._dedup_last_wins(rew_keys)
         rew_keys, rew_w = rew_keys[sel], delta.reweight_weights[sel]
-        pos = _positions_of(graph, keys0, rew_keys, "reweight")
+        pos = _positions_of(keys0, rew_keys, "reweight", n, name_of)
         if not w_owned:
             w0 = w0.copy()
             w_owned = True
@@ -398,11 +523,72 @@ def apply_graph_delta(graph, delta: GraphDelta) -> dict:
     # concurrent reader resolving a cached entry never observes the
     # half-rewritten table (the serving layer additionally excludes
     # solves during a delta via its own write barrier).
-    touched = np.unique(np.concatenate(graph._delta_touched(delta)))
-    with graph._cache_lock:
-        graph._set_edge_store(rows0, cols0, w0)
-        _refresh_caches(graph, touched, stats)
+    if delta.has_node_ops:
+        _commit_with_node_ops(graph, delta, del_idx, rows0, cols0, w0, stats)
+    else:
+        touched = np.unique(np.concatenate(graph._delta_touched(delta)))
+        with graph._cache_lock:
+            graph._set_edge_store(rows0, cols0, w0)
+            _refresh_caches(graph, touched, stats)
+    if log is not None:
+        log.append(delta)
     return stats
+
+
+def _commit_with_node_ops(
+    graph,
+    delta: GraphDelta,
+    del_idx: np.ndarray,
+    rows0: np.ndarray,
+    cols0: np.ndarray,
+    w0: np.ndarray,
+    stats: dict,
+) -> None:
+    """Commit a node-op delta: grow/compact the node table, swap the store.
+
+    Node ops change the index space, so every cached derived object
+    (including score vectors held by callers) is keyed to a dead
+    numbering: the cache is evicted wholesale — no surgical refresh.
+    The surviving-node remap is monotone, which keeps the merged edge
+    arrays key-sorted (and ``lo < hi`` for undirected graphs) after
+    re-indexing.
+    """
+    new_nodes = list(graph._nodes)
+    attrs = graph._node_attrs
+    for node, node_attrs in delta.node_inserts:
+        idx = len(new_nodes)
+        new_nodes.append(node)
+        for name, value in node_attrs.items():
+            attrs.setdefault(name, {})[idx] = value
+    stats["nodes_inserted"] = len(delta.node_inserts)
+
+    if del_idx.size:
+        n_total = len(new_nodes)
+        keep = np.ones(n_total, dtype=bool)
+        keep[del_idx] = False
+        remap = np.cumsum(keep, dtype=np.int64) - 1
+        edge_keep = keep[rows0] & keep[cols0]
+        rows0 = remap[rows0[edge_keep]]
+        cols0 = remap[cols0[edge_keep]]
+        w0 = w0[edge_keep]
+        kept_idx = np.flatnonzero(keep)
+        new_nodes = [new_nodes[i] for i in kept_idx.tolist()]
+        for name in list(attrs):
+            col = attrs[name]
+            attrs[name] = {
+                int(remap[i]): v for i, v in col.items() if keep[i]
+            }
+        stats["nodes_deleted"] = int(del_idx.shape[0])
+
+    with graph._cache_lock:
+        graph._nodes = new_nodes
+        graph._index = {node: i for i, node in enumerate(new_nodes)}
+        graph._store.reset_slots(len(new_nodes))
+        graph._store.set_columnar(rows0, cols0, w0)
+        graph._num_edges = rows0.shape[0]
+        stats["dropped"].extend(graph._cache)
+        graph._cache.clear()
+        graph._version += 1
 
 
 class _RefreshPlan:

@@ -90,35 +90,64 @@ def read_edge_list(
     return graph
 
 
+_WRITE_CHUNK = 65_536
+
+
 def write_edge_list(graph: BaseGraph, path: str | Path) -> None:
-    """Write ``graph`` as ``u v weight`` lines (one per edge)."""
+    """Write ``graph`` as ``u v weight`` lines (one per edge).
+
+    Streams the canonical columnar arrays in chunks — no dict
+    materialisation, no per-edge ``write`` call — so dumping a
+    bulk-ingested graph never pulls the whole edge list through Python
+    objects at once.
+    """
     path = Path(path)
+    rows, cols, data = graph._canonical_edges()
+    nodes = graph.nodes()
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(f"# nodes={graph.number_of_nodes} edges={graph.number_of_edges}\n")
+        handle.write(
+            f"# nodes={graph.number_of_nodes} edges={graph.number_of_edges}\n"
+        )
         handle.write(f"# directed={graph.directed}\n")
-        for u, v, w in graph.edges():  # type: ignore[attr-defined]
-            handle.write(f"{u}\t{v}\t{w:g}\n")
+        for start in range(0, rows.shape[0], _WRITE_CHUNK):
+            stop = start + _WRITE_CHUNK
+            handle.write(
+                "".join(
+                    f"{nodes[i]}\t{nodes[j]}\t{w:g}\n"
+                    for i, j, w in zip(
+                        rows[start:stop].tolist(),
+                        cols[start:stop].tolist(),
+                        data[start:stop].tolist(),
+                    )
+                )
+            )
 
 
 def write_json_graph(graph: BaseGraph, path: str | Path) -> None:
-    """Serialise ``graph`` (structure + node attributes) to JSON."""
+    """Serialise ``graph`` (structure + node attributes) to JSON.
+
+    Edges are read straight from the canonical columnar arrays (one
+    ``tolist`` per column) and attributes from the per-name columns, so
+    serialisation does no dict materialisation and no per-node
+    ``node_attr`` lookups; JSON stays the small-graph interchange
+    format, :func:`repro.graph.persist.save_snapshot` the bulk one.
+    """
     nodes = graph.nodes()
+    attr_rows: list[dict] = [{} for _ in nodes]
+    for name in graph.attribute_names():
+        for idx, value in graph._node_attrs[name].items():
+            if value is not None:
+                attr_rows[idx][name] = value
+    rows, cols, data = graph._canonical_edges()
     payload = {
         "directed": graph.directed,
         "nodes": [
-            {
-                "id": node,
-                "attrs": {
-                    name: graph.node_attr(node, name)
-                    for name in graph.attribute_names()
-                    if graph.node_attr(node, name) is not None
-                },
-            }
-            for node in nodes
+            {"id": node, "attrs": attrs}
+            for node, attrs in zip(nodes, attr_rows)
         ],
         "edges": [
-            {"source": u, "target": v, "weight": w}
-            for u, v, w in graph.edges()  # type: ignore[attr-defined]
+            {"source": nodes[i], "target": nodes[j], "weight": w}
+            for i, j, w in zip(rows.tolist(), cols.tolist(), data.tolist())
         ],
     }
     Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
@@ -137,20 +166,21 @@ def read_json_graph(path: str | Path) -> Graph | DiGraph:
     graph: Graph | DiGraph = DiGraph() if directed else Graph()
     for record in node_records:
         graph.add_node(record["id"], **record.get("attrs", {}))
-    rows = np.fromiter(
-        (graph.add_node(r["source"]) for r in edge_records),
-        dtype=np.int64,
-        count=len(edge_records),
-    )
-    cols = np.fromiter(
-        (graph.add_node(r["target"]) for r in edge_records),
-        dtype=np.int64,
-        count=len(edge_records),
-    )
-    weights = np.fromiter(
-        (r.get("weight", 1.0) for r in edge_records),
-        dtype=np.float64,
-        count=len(edge_records),
-    )
+    # One pass over the records, resolving endpoints through the live
+    # index dict (add_node only for names the node table missed) instead
+    # of three generator sweeps of per-edge add_node calls.
+    index = graph._index
+    m = len(edge_records)
+    rows = np.empty(m, dtype=np.int64)
+    cols = np.empty(m, dtype=np.int64)
+    weights = np.empty(m, dtype=np.float64)
+    add_node = graph.add_node
+    for k, record in enumerate(edge_records):
+        source, target = record["source"], record["target"]
+        i = index.get(source)
+        rows[k] = add_node(source) if i is None else i
+        j = index.get(target)
+        cols[k] = add_node(target) if j is None else j
+        weights[k] = record.get("weight", 1.0)
     graph.add_edges_arrays(rows, cols, weights)
     return graph

@@ -53,9 +53,11 @@ own bookkeeping lock.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from collections.abc import Sequence
 from dataclasses import dataclass
+from pathlib import Path
 from time import perf_counter
 
 import numpy as np
@@ -64,6 +66,7 @@ from repro.core.results import NodeScores
 from repro.errors import ParameterError, ReproError
 from repro.graph.base import BaseGraph, Node
 from repro.graph.delta import GraphDelta
+from repro.graph.persist import DeltaLog, load_snapshot, save_snapshot
 from repro.linalg.incremental import incremental_update, residual_vector
 from repro.linalg.push import forward_push
 from repro.linalg.solvers import _validate_common
@@ -232,6 +235,11 @@ class RankingService:
         Shard count, worker-pool size (``None``/``1`` = serial),
         partitioning method and the size floor below which sharding is
         bypassed (``None`` = the library default).
+    delta_log:
+        Optional :class:`~repro.graph.persist.DeltaLog` the service tees
+        every applied delta into (after the graph commit), enabling
+        :meth:`warm_start` recovery of mutations a checkpoint has not
+        absorbed.  :meth:`checkpoint` arms one automatically.
 
     The service is a context manager: ``with RankingService(g) as svc:``
     releases sharding worker pools on exit (see :meth:`close`).
@@ -258,6 +266,7 @@ class RankingService:
         shard_workers: int | None = None,
         shard_method: str = "auto",
         shard_size_floor: int | None = None,
+        delta_log: DeltaLog | None = None,
     ) -> None:
         graph.require_nonempty()
         if not 0.0 <= localized_fraction <= 1.0:
@@ -298,6 +307,12 @@ class RankingService:
         self._shard_workers = shard_workers
         self._shard_method = shard_method
         self._shard_size_floor = shard_size_floor
+        # Optional write-ahead tee: every delta committed through
+        # apply_delta is appended here after the graph commit, so a
+        # later warm_start(checkpoint) can replay exactly the mutations
+        # the checkpoint has not yet absorbed.  checkpoint() arms one
+        # automatically; passing it here re-arms an existing log.
+        self._delta_log = delta_log
         # Readers/writer barrier: solves share, apply_delta excludes
         # (delta refresh patches cached operator bundles in place).
         self._rw = ReadWriteLock()
@@ -321,6 +336,8 @@ class RankingService:
         # digest -> (tol, ticket) of not-yet-resolved batch submissions,
         # so identical queries in one burst share a single column.
         self._inflight: dict[str, tuple[float, ServingTicket]] = {}
+        # Set by warm_start(): {"replayed": ..., "seeded": ...}.
+        self._warm_started: dict | None = None
 
     @property
     def graph(self) -> BaseGraph:
@@ -821,7 +838,10 @@ class RankingService:
             graph = self._graph
             n = graph.number_of_nodes
             touched = delta.endpoints()
-            localized = touched.size <= max(
+            # Node inserts/deletes renumber (or resize) the score index
+            # space, so no cached vector can be residual-corrected across
+            # them — always take the evicting path.
+            localized = not delta.has_node_ops and touched.size <= max(
                 1.0, self._localized_fraction * n
             )
 
@@ -847,7 +867,9 @@ class RankingService:
                     )
                 pending = self._cache.pending_digests()
 
-            stats = graph.apply_delta(delta)  # raises → nothing committed
+            # Raises → nothing committed (and nothing logged: the graph
+            # commit precedes the log tee inside apply_graph_delta).
+            stats = graph.apply_delta(delta, log=self._delta_log)
             # The graph cache just dropped its shard plans and sharded
             # operators (unrecognised keys are never refreshed); close
             # the stale operators' worker pools now instead of waiting
@@ -877,6 +899,172 @@ class RankingService:
             return stats
 
     # ------------------------------------------------------------------
+    # persistence: checkpoint + warm restart
+    # ------------------------------------------------------------------
+    _CHECKPOINT_FORMAT = "repro-service-checkpoint"
+    _CHECKPOINT_VERSION = 1
+
+    def checkpoint(self, path: str | Path) -> dict:
+        """Persist the served graph and warm-start state under ``path``.
+
+        Under the exclusive side of the readers/writer barrier (in-flight
+        solves finish, outstanding microbatches drain), writes:
+
+        * ``path/graph/`` — the graph snapshot
+          (:func:`~repro.graph.persist.save_snapshot`);
+        * ``path/service.pkl`` — the warm-start state: every certified
+          current-version cache entry (digest, raw score vector, tol,
+          request, sparse teleport) plus the transition group keys whose
+          operators were built, so :meth:`warm_start` can rebuild them
+          before traffic arrives;
+        * ``path/deltas.log`` — an **armed, empty**
+          :class:`~repro.graph.persist.DeltaLog`: the snapshot has
+          absorbed everything logged so far (the log is truncated), and
+          every delta applied after this checkpoint is teed into it, so
+          a warm restart replays exactly the un-checkpointed tail.  A
+          service constructed with its own ``delta_log`` keeps (and
+          truncates) that log; its path is recorded in the state file.
+
+        Returns a summary dict (nodes, edges, cached entries, log path).
+        """
+        path = Path(path)
+        with self._rw.write():
+            self._drain()
+            path.mkdir(parents=True, exist_ok=True)
+            save_snapshot(self._graph, path / "graph")
+            mutation = self._graph.mutation_count
+            entries: list[tuple[str, dict]] = []
+            group_keys: set[tuple] = set()
+            for digest, entry in self._cache.live_entries():
+                if entry.mutation != mutation:
+                    continue
+                group_keys.add(entry.request.group_key)
+                entries.append(
+                    (
+                        digest,
+                        {
+                            "values": np.array(
+                                entry.scores.values, dtype=np.float64
+                            ),
+                            "tol": float(entry.tol),
+                            "request": entry.request,
+                            "teleport": entry.teleport,
+                        },
+                    )
+                )
+            with self._lock:
+                group_keys.update(
+                    key
+                    for key, sharded in self._shard_ops.items()
+                    if sharded is not None
+                )
+            if self._delta_log is None:
+                self._delta_log = DeltaLog(path / "deltas.log")
+            self._delta_log.truncate()
+            state = {
+                "format": self._CHECKPOINT_FORMAT,
+                "version": self._CHECKPOINT_VERSION,
+                "nodes": self._graph.number_of_nodes,
+                "edges": self._graph.number_of_edges,
+                "log_path": str(self._delta_log.path),
+                "group_keys": sorted(group_keys),
+                "entries": entries,
+            }
+            tmp = path / "service.pkl.tmp"
+            with open(tmp, "wb") as handle:
+                pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path / "service.pkl")
+            return {
+                "path": str(path),
+                "nodes": state["nodes"],
+                "edges": state["edges"],
+                "entries": len(entries),
+                "group_keys": len(group_keys),
+                "log": state["log_path"],
+            }
+
+    @classmethod
+    def warm_start(
+        cls,
+        path: str | Path,
+        *,
+        backend=None,
+        **options,
+    ) -> "RankingService":
+        """Restore a service from a :meth:`checkpoint` directory.
+
+        Loads the graph snapshot (``backend`` picks the storage backend,
+        e.g. ``"mmap"`` for a zero-copy memory-mapped restore), replays
+        any deltas the checkpoint's armed log accumulated after the
+        snapshot, then constructs the service (``options`` are the
+        normal constructor options — service configuration is not
+        persisted) and **pre-builds** the operator bundles — and, with
+        ``sharding=True``, the block-partitioned operators — for every
+        transition group the checkpointed service had built, so the
+        first requests skip cold operator construction.
+
+        When *zero* deltas were replayed, the checkpointed cache entries
+        are re-seeded too: the restored graph is bit-identical to the
+        one the answers were certified on, so they serve as hits
+        immediately — a warm restart answers its previous query stream
+        without re-solving.  Any replayed delta (or a snapshot/state
+        mismatch) skips seeding; correctness never depends on it.
+
+        The restored service keeps the checkpoint's delta log armed, so
+        the checkpoint → mutate → warm-start cycle composes.
+        """
+        if "delta_log" in options:
+            raise ParameterError(
+                "warm_start re-arms the checkpoint's own delta log; "
+                "delta_log cannot be overridden here"
+            )
+        path = Path(path)
+        state_path = path / "service.pkl"
+        try:
+            with open(state_path, "rb") as handle:
+                state = pickle.load(handle)
+        except FileNotFoundError:
+            raise ReproError(
+                f"{path} is not a service checkpoint (no service.pkl)"
+            ) from None
+        if (
+            not isinstance(state, dict)
+            or state.get("format") != cls._CHECKPOINT_FORMAT
+        ):
+            raise ReproError(f"{state_path} is not a service checkpoint")
+        graph = load_snapshot(path / "graph", backend=backend)
+        log = None
+        replayed = 0
+        log_path = state.get("log_path")
+        if log_path and Path(log_path).exists():
+            log = DeltaLog(log_path)
+            replayed = int(log.replay(graph)["records"])
+        service = cls(graph, delta_log=log, **options)
+        for key in state.get("group_keys", ()):
+            key = tuple(key)
+            service._bundle(key)
+            service._sharded(key)
+        seeded = 0
+        if (
+            replayed == 0
+            and state.get("nodes") == graph.number_of_nodes
+            and state.get("edges") == graph.number_of_edges
+        ):
+            mutation = graph.mutation_count
+            for digest, record in state.get("entries", ()):
+                service._cache.store(
+                    digest,
+                    scores=NodeScores(graph, record["values"]),
+                    tol=record["tol"],
+                    mutation=mutation,
+                    request=record["request"],
+                    teleport=record["teleport"],
+                )
+                seeded += 1
+        service._warm_started = {"replayed": replayed, "seeded": seeded}
+        return service
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -900,6 +1088,7 @@ class RankingService:
                 "enabled": self._sharding,
                 **shard_stats,
             },
+            "warm_start": self._warm_started,
         }
 
     def close(self) -> None:

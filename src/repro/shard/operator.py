@@ -187,7 +187,7 @@ class ShardedOperator:
         )
         self._coarse_ctx: list[tuple] | None = None
         self._push_ctx: dict[int, tuple] = {}
-        self._pools: dict[int, object] = {}
+        self._pools: dict[tuple[int, str], object] = {}
 
     # ------------------------------------------------------------------
     # shape / diagnostics
@@ -302,13 +302,23 @@ class ShardedOperator:
     # ------------------------------------------------------------------
     # worker pools
     # ------------------------------------------------------------------
-    def pool(self, workers: int):
+    def pool(
+        self,
+        workers: int,
+        *,
+        substrate: str = "shm",
+        start_method: str | None = None,
+    ):
         """Return (building once) the persistent worker pool of this size.
 
-        Pools attach the shard blocks to shared memory and fork worker
-        processes once; subsequent solves at the same worker count reuse
-        them.  :meth:`close` (or garbage collection of the operator, via
-        each pool's finalizer) releases processes and segments.
+        Pools attach the shard blocks to one zero-copy segment —
+        ``substrate="shm"`` for a fork-inherited ``/dev/shm`` segment,
+        ``substrate="mmap"`` for a file-backed MAP_SHARED segment whose
+        workers attach by path (and may therefore use ``spawn``) — and
+        start worker processes once; subsequent solves at the same
+        ``(workers, substrate)`` reuse them.  :meth:`close` (or garbage
+        collection of the operator, via each pool's finalizer) releases
+        processes and segments.
         """
         from repro.shard.pool import ShardWorkerPool  # local: mp import
 
@@ -317,10 +327,16 @@ class ShardedOperator:
             raise ParameterError(
                 f"a worker pool needs >= 2 workers, got {workers}"
             )
-        pool = self._pools.get(workers)
+        key = (workers, str(substrate))
+        pool = self._pools.get(key)
         if pool is None or not pool.alive:
-            pool = ShardWorkerPool(self, workers=workers)
-            self._pools[workers] = pool
+            pool = ShardWorkerPool(
+                self,
+                workers=workers,
+                substrate=substrate,
+                start_method=start_method,
+            )
+            self._pools[key] = pool
         return pool
 
     def close(self) -> None:

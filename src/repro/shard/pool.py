@@ -39,10 +39,14 @@ each other, only with the parent's round barrier.
 
 from __future__ import annotations
 
+import mmap as _mmap_mod
 import multiprocessing
+import os
 import secrets
+import tempfile
 import weakref
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import numpy as np
 from scipy import sparse
@@ -50,13 +54,53 @@ from scipy import sparse
 from repro.errors import ParameterError, ReproError
 from repro.shard._kernel import relax_block
 
-__all__ = ["SHM_PREFIX", "ShardWorkerPool"]
+__all__ = ["SHM_PREFIX", "SUBSTRATES", "ShardWorkerPool"]
 
 #: Shared-memory segment name prefix.  Recognisable on purpose: the test
-#: suite asserts no ``/dev/shm/repro_shard_*`` files survive the suite.
+#: suite asserts no ``/dev/shm/repro_shard_*`` files survive the suite
+#: (and no ``repro_shard_*.mmap`` files in the temp directory for the
+#: file-backed substrate).
 SHM_PREFIX = "repro_shard_"
 
+#: Supported zero-copy segment substrates (see :class:`ShardWorkerPool`).
+SUBSTRATES = ("shm", "mmap")
+
 _ALIGN = 64  # cache-line alignment of every packed array
+
+
+class _MmapSegment:
+    """File-backed drop-in for ``SharedMemory``: one MAP_SHARED mapping.
+
+    Same ``name``/``buf``/``close``/``unlink`` surface as
+    ``multiprocessing.shared_memory.SharedMemory``, but the segment is
+    an ordinary file mapped with ``mmap(2)`` — so (a) workers can attach
+    by *path* after an exec-style ``spawn`` start (nothing needs to be
+    inherited through ``fork``), (b) segments larger than RAM page from
+    disk instead of exhausting ``/dev/shm``, and (c) there is no
+    ``resource_tracker`` involvement at all.  Writes are visible across
+    every process mapping the same file (shared page cache).
+    """
+
+    def __init__(
+        self, name: str, *, create: bool = False, size: int = 0
+    ) -> None:
+        self.name = str(name)
+        flags = os.O_RDWR | (os.O_CREAT | os.O_EXCL if create else 0)
+        fd = os.open(self.name, flags, 0o600)
+        try:
+            if create:
+                os.ftruncate(fd, size)
+            self._mmap = _mmap_mod.mmap(fd, 0)
+        finally:
+            os.close(fd)
+        self.buf = memoryview(self._mmap)
+
+    def close(self) -> None:
+        self.buf.release()
+        self._mmap.close()
+
+    def unlink(self) -> None:
+        os.unlink(self.name)
 
 
 def _pack_layout(arrays: dict[str, np.ndarray]) -> tuple[dict, int]:
@@ -88,10 +132,15 @@ def _csr_from_views(
 def _worker_main(conn, shm, spec, bounds, own_shards, dangle_spec) -> None:
     """Worker loop: build zero-copy views once, relax on demand.
 
-    Runs in a forked child.  ``shm`` is the parent's SharedMemory object
-    inherited through ``fork`` — the child never re-attaches by name, so
-    the resource tracker only ever sees the parent's single registration.
+    ``shm`` is either the parent's SharedMemory object inherited through
+    ``fork`` (substrate ``"shm"`` — the child never re-attaches by name,
+    so the resource tracker only ever sees the parent's single
+    registration) or a file *path* (substrate ``"mmap"``) that the child
+    maps itself — a plain string survives ``spawn`` pickling, so the
+    file-backed substrate works without ``fork`` at all.
     """
+    if isinstance(shm, str):
+        shm = _MmapSegment(shm)
     n = int(bounds[-1])
     x_bufs = (_view(shm, spec["x0"]), _view(shm, spec["x1"]))
     t_vec = _view(shm, spec["t"])
@@ -202,16 +251,64 @@ def _release(procs, conns, shm) -> None:
 
 
 class ShardWorkerPool:
-    """Forked worker processes attached to one packed shard segment."""
+    """Worker processes attached to one packed shard segment.
 
-    def __init__(self, sharded, *, workers: int) -> None:
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError as exc:  # pragma: no cover - non-POSIX hosts
-            raise ReproError(
-                "sharded worker pools need the 'fork' start method; "
-                "use workers=1 (serial sharded solve) on this platform"
-            ) from exc
+    ``substrate`` picks where the segment lives:
+
+    * ``"shm"`` (default): a POSIX shared-memory segment under
+      ``/dev/shm``; workers inherit the parent's mapping through
+      ``fork`` (requires the fork start method).
+    * ``"mmap"``: a ``repro_shard_*.mmap`` file in the temp directory,
+      MAP_SHARED-mapped by parent and workers independently.  Workers
+      attach by *path*, so any start method works — pass
+      ``start_method="spawn"`` for exec-style workers (fresh
+      interpreters, no inherited locks), or leave it ``None`` to use
+      fork where available.
+    """
+
+    def __init__(
+        self,
+        sharded,
+        *,
+        workers: int,
+        substrate: str = "shm",
+        start_method: str | None = None,
+    ) -> None:
+        if substrate not in SUBSTRATES:
+            raise ParameterError(
+                f"unknown pool substrate {substrate!r}; expected one of "
+                f"{SUBSTRATES}"
+            )
+        if substrate == "shm":
+            if start_method not in (None, "fork"):
+                raise ParameterError(
+                    "substrate='shm' workers inherit the parent's mapping "
+                    "and need the 'fork' start method; use "
+                    "substrate='mmap' for spawn-style workers"
+                )
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError as exc:  # pragma: no cover - non-POSIX
+                raise ReproError(
+                    "sharded worker pools need the 'fork' start method "
+                    "for substrate='shm'; use substrate='mmap' "
+                    "(spawn-capable) or workers=1 on this platform"
+                ) from exc
+        else:
+            method = start_method
+            if method is None:
+                try:
+                    multiprocessing.get_context("fork")
+                    method = "fork"
+                except ValueError:  # pragma: no cover - non-POSIX
+                    method = "spawn"
+            try:
+                ctx = multiprocessing.get_context(method)
+            except ValueError as exc:  # pragma: no cover - bad method
+                raise ReproError(
+                    f"start method {method!r} is unavailable on this "
+                    "platform"
+                ) from exc
         k = sharded.n_shards
         workers = int(workers)
         if workers < 1:
@@ -241,9 +338,14 @@ class ShardWorkerPool:
             arrays[name] = np.empty(n, dtype=np.float64)
 
         spec, size = _pack_layout(arrays)
-        self._shm = shared_memory.SharedMemory(
-            create=True, size=size, name=SHM_PREFIX + secrets.token_hex(6)
-        )
+        token = secrets.token_hex(6)
+        if substrate == "shm":
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=size, name=SHM_PREFIX + token
+            )
+        else:
+            path = Path(tempfile.gettempdir()) / f"{SHM_PREFIX}{token}.mmap"
+            self._shm = _MmapSegment(str(path), create=True, size=size)
         for name, arr in arrays.items():
             if name in ("x0", "x1", "t", "target"):
                 continue  # iterate/vector slots are filled per solve
@@ -259,6 +361,9 @@ class ShardWorkerPool:
         self._read_sel = 0
         self._has_target = False
 
+        # Fork-inherited SharedMemory travels as the object itself; the
+        # file-backed segment travels as its path (spawn-picklable).
+        seg_arg = self._shm if substrate == "shm" else self._shm.name
         self._procs = []
         self._conns = []
         for w in range(workers):
@@ -267,7 +372,7 @@ class ShardWorkerPool:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(
-                    child_conn, self._shm, spec, self._bounds, own,
+                    child_conn, seg_arg, spec, self._bounds, own,
                     dangle_spec,
                 ),
                 daemon=True,
@@ -278,6 +383,7 @@ class ShardWorkerPool:
             self._procs.append(proc)
             self._conns.append(parent_conn)
         self.workers = workers
+        self.substrate = substrate
         self._closed = False
         self._finalizer = weakref.finalize(
             self, _release, self._procs, self._conns, self._shm
@@ -369,5 +475,6 @@ class ShardWorkerPool:
         state = "closed" if self._closed else "alive"
         return (
             f"<ShardWorkerPool workers={self.workers} "
-            f"segment={self._shm.name!r} {state}>"
+            f"substrate={self.substrate} segment={self._shm.name!r} "
+            f"{state}>"
         )

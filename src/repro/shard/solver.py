@@ -230,6 +230,7 @@ def sharded_solve(
     n_shards: int = 8,
     method: str = "auto",
     workers: int | None = None,
+    pool_substrate: str = "shm",
     inner_sweeps: int = _DEFAULT_INNER_SWEEPS,
     precision: str = "mixed",
     aggregate: bool = True,
@@ -254,6 +255,11 @@ def sharded_solve(
         ``None``/``0``/``1`` → serial block Gauss–Seidel on the calling
         process; ``>= 2`` → block Jacobi across the operator's
         persistent shared-memory worker pool.
+    pool_substrate:
+        Segment substrate for the pooled path — ``"shm"`` (default,
+        fork-inherited ``/dev/shm`` segment) or ``"mmap"`` (file-backed
+        MAP_SHARED segment; spawn-capable workers).  Forwarded to
+        :meth:`ShardedOperator.pool`.
     inner_sweeps:
         Relaxation sweeps per shard per round (the outer ``max_iter``
         counts rounds).
@@ -347,7 +353,11 @@ def sharded_solve(
     aggregate_on = aggregate and plan.n_shards > 1
 
     pooled = workers is not None and int(workers) >= 2
-    pool = sharded.pool(int(workers)) if pooled else None
+    pool = (
+        sharded.pool(int(workers), substrate=pool_substrate)
+        if pooled
+        else None
+    )
 
     use_f32 = precision == "mixed" and tol < _MIXED_SWITCH_TOL
     residuals: list[float] = []

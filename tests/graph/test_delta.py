@@ -480,3 +480,113 @@ class TestTransposePatch:
             reference = bundle.mat.T.tocsr()
             assert (bundle.t_csr != reference).nnz == 0
             bundle.t_csr  # keep it built for the next round
+
+
+class TestNodeOps:
+    """Node inserts/deletes through GraphDelta."""
+
+    def test_add_nodes_constructor(self):
+        delta = GraphDelta.add_nodes(["x", "y"], attrs=[{"k": 1}, None])
+        assert delta.size == 2
+        assert delta.has_node_ops
+        assert delta.node_inserts[0] == ("x", {"k": 1})
+        assert delta.node_inserts[1][1] == {}
+
+    def test_remove_nodes_constructor(self):
+        delta = GraphDelta.remove_nodes([3, 1])
+        assert delta.size == 2
+        assert delta.has_node_ops
+        assert delta.node_deletes.dtype == np.int64
+
+    def test_add_nodes_validation(self):
+        with pytest.raises(ParameterError):
+            GraphDelta.add_nodes(["x"], attrs=[{}, {}])  # misaligned
+        with pytest.raises(ParameterError):
+            GraphDelta.add_nodes([["unhashable"]])
+
+    def test_union_carries_node_ops(self):
+        delta = GraphDelta.add_nodes(["x"]) | GraphDelta.remove_nodes([0])
+        assert len(delta.node_inserts) == 1
+        assert delta.node_deletes.tolist() == [0]
+        assert delta.size == 2
+
+    def test_insert_node_matches_add_node(self):
+        g = Graph.from_edges([("a", "b")])
+        stats = g.apply_delta(GraphDelta.add_nodes(["c"], attrs=[{"k": 7}]))
+        assert stats["nodes_inserted"] == 1
+        assert g.number_of_nodes == 3
+        assert g.has_node("c")
+        assert g.node_attr("c", "k") == 7
+        assert g.degree("c") == 0
+
+    def test_insert_then_edge_to_new_node_in_one_delta(self):
+        g = Graph.from_edges([("a", "b")])
+        # Edge indices live in the *post-insert* index space: index 2 is
+        # the node being inserted by the same delta.
+        delta = GraphDelta.add_nodes(["c"]) | GraphDelta.insert(
+            _arr(0), _arr(2), np.array([4.0])
+        )
+        g.apply_delta(delta)
+        assert g.edge_weight("a", "c") == 4.0
+        assert g.number_of_edges == 2
+
+    def test_duplicate_or_existing_node_rejected(self):
+        g = Graph.from_edges([("a", "b")])
+        with pytest.raises(ParameterError, match="already exists"):
+            g.apply_delta(GraphDelta.add_nodes(["a"]))
+        with pytest.raises(ParameterError, match="duplicate node insert"):
+            g.apply_delta(GraphDelta.add_nodes(["c", "c"]))
+
+    def test_delete_node_drops_incident_edges_and_compacts(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        stats = g.apply_delta(GraphDelta.remove_nodes([1]))  # drop "b"
+        assert stats["nodes_deleted"] == 1
+        assert g.nodes() == ["a", "c"]
+        assert g.number_of_edges == 1
+        assert g.edge_weight("a", "c") == 1.0
+        # Indices were remapped: "c" moved from 2 to 1.
+        assert g.index_of("c") == 1
+
+    def test_delete_out_of_range_rejected(self):
+        g = Graph.from_edges([("a", "b")])
+        with pytest.raises(NodeNotFoundError):
+            g.apply_delta(GraphDelta.remove_nodes([5]))
+
+    def test_node_ops_evict_caches_and_bump_version(self, grid_graph):
+        grid_graph.to_csr()
+        pagerank(grid_graph)
+        before = grid_graph.mutation_count
+        grid_graph.apply_delta(GraphDelta.add_nodes(["fresh"]))
+        assert grid_graph.mutation_count > before
+        # Matrices rebuilt at the new size.
+        assert grid_graph.to_csr().shape[0] == grid_graph.number_of_nodes
+
+    @pytest.mark.parametrize("cls", [Graph, DiGraph])
+    def test_mixed_delta_matches_rebuilt_reference(self, cls, rng):
+        rows = rng.integers(0, 40, 200)
+        cols = rng.integers(0, 40, 200)
+        keep = rows != cols
+        graph = cls.from_arrays(rows[keep], cols[keep], num_nodes=40)
+        er, ec, _ = graph.edge_arrays()
+        sel = rng.choice(er.shape[0], 3, replace=False)
+        delta = (
+            GraphDelta.delete(er[sel], ec[sel])
+            | GraphDelta.add_nodes(["n1", "n2"])
+            | GraphDelta.insert(_arr(0, 40), _arr(40, 41))
+            | GraphDelta.remove_nodes([7])
+        )
+        graph.apply_delta(delta)
+        rebuilt = _rebuilt(graph)
+        assert (graph.to_csr() != rebuilt.to_csr()).nnz == 0
+        assert graph.number_of_nodes == rebuilt.number_of_nodes
+        # Key-sort and canonical invariants survived the remap.
+        r2, c2, _ = graph._canonical_edges()
+        keys = r2 * graph.number_of_nodes + c2
+        assert np.all(np.diff(keys) > 0)
+        if not graph.directed:
+            assert np.all(r2 < c2)
+
+    def test_frozen_graph_rejects_node_ops(self, grid_graph):
+        grid_graph.freeze()
+        with pytest.raises(FrozenGraphError):
+            grid_graph.apply_delta(GraphDelta.add_nodes(["x"]))

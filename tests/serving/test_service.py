@@ -281,8 +281,9 @@ class TestStats:
         assert stats["plan_mix"] == {"batch": 1, "cached": 1, "push": 1}
         assert set(stats) == {
             "requests", "plan_mix", "cache", "hit_rate", "coalescer",
-            "deltas", "latency", "planner", "sharding",
+            "deltas", "latency", "planner", "sharding", "warm_start",
         }
+        assert stats["warm_start"] is None
         assert stats["sharding"] == {
             "enabled": False,
             "shard_push_local": 0,

@@ -9,6 +9,8 @@ which the autouse fixture turns into a hard failure.
 from __future__ import annotations
 
 import glob
+import os
+import tempfile
 
 import numpy as np
 import pytest
@@ -16,15 +18,17 @@ import pytest
 from repro.graph import DiGraph, Graph
 
 SHM_GLOB = "/dev/shm/repro_shard_*"
+MMAP_GLOB = os.path.join(tempfile.gettempdir(), "repro_shard_*.mmap")
 
 
 @pytest.fixture(autouse=True)
 def no_leaked_segments():
-    """Fail any test that leaves sharding shared-memory segments behind."""
-    before = set(glob.glob(SHM_GLOB))
+    """Fail any test that leaves sharding segments (shm or mmap) behind."""
+    before = set(glob.glob(SHM_GLOB)) | set(glob.glob(MMAP_GLOB))
     yield
-    leaked = set(glob.glob(SHM_GLOB)) - before
-    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+    now = set(glob.glob(SHM_GLOB)) | set(glob.glob(MMAP_GLOB))
+    leaked = now - before
+    assert not leaked, f"leaked shard segments: {sorted(leaked)}"
 
 
 def community_edges(n_comm=4, csize=80, cross=30, seed=7, offsets=(1, 3)):

@@ -1,0 +1,126 @@
+"""The worker pool's segment substrates: shm (fork) vs mmap (any start).
+
+``substrate="mmap"`` backs the packed shard segment with a
+``repro_shard_*.mmap`` file instead of ``/dev/shm``, and workers attach
+by *path* — which makes exec-style ``spawn`` workers possible.  The
+contract: identical solves, identical pool protocol, independent memo
+slots, and no files left behind (the package's autouse leak sentinel
+covers both substrates).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.core.d2pr import d2pr_operator
+from repro.errors import ParameterError
+from repro.shard.operator import ShardedOperator
+from repro.shard.solver import sharded_solve
+
+TOL = 1e-11
+MATCH = 1e-8
+
+
+def test_mmap_solve_matches_shm(community_digraph):
+    bundle = d2pr_operator(community_digraph, 0.0)
+    sharded = ShardedOperator(bundle, n_shards=4, force=True)
+    try:
+        serial = sharded_solve(
+            alpha=0.85, dangling="teleport", tol=TOL,
+            operator=bundle, sharded=sharded, workers=1,
+        )
+        shm = sharded_solve(
+            alpha=0.85, dangling="teleport", tol=TOL,
+            operator=bundle, sharded=sharded, workers=2,
+        )
+        mm = sharded_solve(
+            alpha=0.85, dangling="teleport", tol=TOL,
+            operator=bundle, sharded=sharded, workers=2,
+            pool_substrate="mmap",
+        )
+        assert mm.converged
+        assert np.abs(shm.scores - serial.scores).sum() < MATCH
+        assert np.abs(mm.scores - serial.scores).sum() < MATCH
+    finally:
+        sharded.close()
+
+
+def test_substrates_memoise_independently(community_digraph):
+    bundle = d2pr_operator(community_digraph, 0.0)
+    sharded = ShardedOperator(bundle, n_shards=4, force=True)
+    try:
+        shm_pool = sharded.pool(2)
+        mmap_pool = sharded.pool(2, substrate="mmap")
+        assert shm_pool is not mmap_pool
+        assert shm_pool.substrate == "shm"
+        assert mmap_pool.substrate == "mmap"
+        assert sharded.pool(2) is shm_pool
+        assert sharded.pool(2, substrate="mmap") is mmap_pool
+        # The mmap segment is a recognisable temp file while alive.
+        assert mmap_pool.segment_name.endswith(".mmap")
+        assert os.path.exists(mmap_pool.segment_name)
+    finally:
+        sharded.close()
+    assert not os.path.exists(mmap_pool.segment_name)
+
+
+def test_mmap_pool_with_spawn_workers(community_digraph):
+    bundle = d2pr_operator(community_digraph, 0.0)
+    sharded = ShardedOperator(bundle, n_shards=4, force=True)
+    try:
+        pool = sharded.pool(2, substrate="mmap", start_method="spawn")
+        assert pool.alive
+        result = sharded_solve(
+            alpha=0.85, dangling="teleport", tol=TOL,
+            operator=bundle, sharded=sharded, workers=2,
+            pool_substrate="mmap",
+        )
+        serial = sharded_solve(
+            alpha=0.85, dangling="teleport", tol=TOL,
+            operator=bundle, sharded=sharded, workers=1,
+        )
+        assert result.converged
+        assert np.abs(result.scores - serial.scores).sum() < MATCH
+    finally:
+        sharded.close()
+
+
+def test_shm_rejects_spawn(community_digraph):
+    bundle = d2pr_operator(community_digraph, 0.0)
+    sharded = ShardedOperator(bundle, n_shards=4, force=True)
+    try:
+        with pytest.raises(ParameterError, match="fork"):
+            sharded.pool(2, substrate="shm", start_method="spawn")
+    finally:
+        sharded.close()
+
+
+def test_unknown_substrate_rejected(community_digraph):
+    bundle = d2pr_operator(community_digraph, 0.0)
+    sharded = ShardedOperator(bundle, n_shards=4, force=True)
+    try:
+        with pytest.raises(ParameterError, match="substrate"):
+            sharded.pool(2, substrate="tape")
+    finally:
+        sharded.close()
+
+
+def test_close_removes_mmap_file(community_digraph):
+    before = set(
+        glob.glob(os.path.join(tempfile.gettempdir(), "repro_shard_*.mmap"))
+    )
+    bundle = d2pr_operator(community_digraph, 0.0)
+    sharded = ShardedOperator(bundle, n_shards=4, force=True)
+    pool = sharded.pool(2, substrate="mmap")
+    created = set(
+        glob.glob(os.path.join(tempfile.gettempdir(), "repro_shard_*.mmap"))
+    ) - before
+    assert created == {pool.segment_name}
+    pool.close()
+    assert not os.path.exists(pool.segment_name)
+    sharded.close()

@@ -1155,6 +1155,93 @@ def _bench_serving_front(
     return out
 
 
+def _bench_persistence(graph: Graph, n_queries: int, tol: float) -> dict:
+    """Snapshot write/load + warm restart vs cold restart.
+
+    Serves a small query stream, checkpoints the service, then compares
+    two restarts answering the same stream: **cold** (load the snapshot,
+    build a fresh service, re-solve everything) vs **warm**
+    (`warm_start`: mmap-backed zero-copy load, prebuilt operators,
+    re-seeded result cache — every replayed query must be a pure cache
+    hit).  Answers are cross-checked within the solver certificate.
+    """
+    import shutil
+    import tempfile
+
+    from repro.graph.persist import load_snapshot
+
+    nodes = graph.nodes()
+    rng = np.random.default_rng(SEED + 11)
+    stream = [RankRequest(p=0.0, tol=tol)]
+    for _ in range(n_queries - 1):
+        seed_node = nodes[int(rng.integers(0, len(nodes)))]
+        stream.append(RankRequest(p=0.0, seeds={seed_node: 1.0}, tol=tol))
+
+    service = RankingService(graph)
+    for request in stream:
+        service.rank(request)
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro_bench_persist_"))
+    try:
+        ckpt = tmp / "ckpt"
+        write_s, info = _time(lambda: service.checkpoint(ckpt))
+        snapshot_bytes = sum(
+            f.stat().st_size for f in (ckpt / "graph").iterdir()
+        )
+        load_mem_s, _ = _time(lambda: load_snapshot(ckpt / "graph"))
+        load_mmap_s, _ = _time(
+            lambda: load_snapshot(ckpt / "graph", backend="mmap")
+        )
+
+        def cold_pass():
+            g = load_snapshot(ckpt / "graph")
+            svc = RankingService(g)
+            return [svc.rank(r) for r in stream]
+
+        cold_s, cold_answers = _time(cold_pass)
+
+        def warm_pass():
+            svc = RankingService.warm_start(ckpt, backend="mmap")
+            return svc, [svc.rank(r) for r in stream]
+
+        warm_s, (warm_svc, warm_answers) = _time(warm_pass)
+
+        max_l1 = max(
+            float(np.abs(w.scores.values - c.scores.values).sum())
+            for w, c in zip(warm_answers, cold_answers)
+        )
+        # Both sides are tol-certified; the pairwise gap is bounded by
+        # the two certificates combined (alpha = 0.85 default).
+        certificate = 2.0 * tol * 0.85 / 0.15
+        assert max_l1 <= certificate, (
+            f"warm restart diverged from cold: L1 {max_l1:g} > "
+            f"{certificate:g}"
+        )
+        plan_mix = dict(warm_svc.stats()["plan_mix"])
+        assert plan_mix == {"cached": len(stream)}, (
+            f"warm restart re-solved: plan mix {plan_mix}"
+        )
+        return {
+            "nodes": graph.number_of_nodes,
+            "edges": graph.number_of_edges,
+            "queries": len(stream),
+            "tol": tol,
+            "snapshot_write_s": write_s,
+            "snapshot_bytes": snapshot_bytes,
+            "snapshot_load_memory_s": load_mem_s,
+            "snapshot_load_mmap_s": load_mmap_s,
+            "cold_restart_s": cold_s,
+            "warm_restart_s": warm_s,
+            "speedup": cold_s / warm_s,
+            "warm_plan_mix": plan_mix,
+            "warm_seeded": warm_svc._warm_started["seeded"],
+            "max_l1_diff": max_l1,
+            "l1_certificate": certificate,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def run(
     n: int,
     m: int,
@@ -1414,6 +1501,38 @@ def run(
             f"({fr['requests']} requests, {fr['cpu_count']} cores)"
         )
 
+    if want("persistence"):
+        # Storage-layer scenario: snapshot write/load and warm restart
+        # vs cold restart at serving scale — warm_start's mmap-backed
+        # zero-copy load + prebuilt operators + re-seeded cache must
+        # answer the replayed stream as pure cache hits, certificate-
+        # equal to the cold side's fresh solves.
+        if quick:
+            per_graph = _community_graph(5_000, 20, 10, rng)
+            per_queries = 5
+        else:
+            print("persistence: building community serving graph")
+            per_graph = _community_graph(1_000_000, 64, 15, rng)
+            per_queries = 8
+        print(
+            f"persistence: checkpoint + restart over "
+            f"{per_graph.number_of_edges:,} edges, {per_queries} queries"
+        )
+        report["persistence"] = _bench_persistence(
+            per_graph, per_queries, 1e-8
+        )
+        pz = report["persistence"]
+        print(
+            f"  snapshot write {pz['snapshot_write_s']:.3f}s "
+            f"({pz['snapshot_bytes'] / 1e6:.1f} MB)  "
+            f"load mem {pz['snapshot_load_memory_s']:.3f}s  "
+            f"mmap {pz['snapshot_load_mmap_s']:.3f}s\n"
+            f"  cold restart {pz['cold_restart_s']:.3f}s  "
+            f"warm restart {pz['warm_restart_s']:.3f}s  "
+            f"({pz['speedup']:.1f}x)  plans {pz['warm_plan_mix']}  "
+            f"L1 {pz['max_l1_diff']:.1e} <= {pz['l1_certificate']:.1e}"
+        )
+
     if want("sharded_solve"):
         # Global-solve scenario at the ISSUE's target scale: ≥20M edges,
         # blocked shards at the community count (granularity must
@@ -1472,8 +1591,8 @@ def main() -> int:
         default=None,
         help="comma-separated scenario subset to run (graph_build, "
         "pagerank, d2pr, simulate_walk, ppr_batch, sweep, single_query, "
-        "dynamic_update, serving, serving_front, sharded_solve); "
-        "results are merged "
+        "dynamic_update, serving, serving_front, persistence, "
+        "sharded_solve); results are merged "
         "into the existing JSON",
     )
     args = parser.parse_args()

@@ -12,12 +12,15 @@
 # (serving_front: N closed-loop client threads through the bounded
 # admission queue + worker pool vs a synchronous baseline, answers
 # cross-checked within the certificate bound and admission rejections
-# asserted zero at provisioned capacity) and the block-partitioned
+# asserted zero at provisioned capacity), the block-partitioned
 # solver (sharded_solve: blocked shard plan + aggregation/
 # disaggregation rounds through a 2-worker zero-copy shared-memory
-# pool) — so a broken batch, operator-cache, push, streaming, serving,
-# front or sharding path fails CI even before the full-size numbers
-# are regenerated.
+# pool) and the storage/persistence layer (persistence: snapshot
+# write/load on both backends, delta-log replay, service checkpoint +
+# warm_start answering the replayed query stream certificate-equal) —
+# so a broken batch, operator-cache, push, streaming, serving, front,
+# sharding or persistence path fails CI even before the full-size
+# numbers are regenerated.
 # Mirrors what .github/workflows/ci.yml executes on every push; run it
 # locally before sending a PR.
 set -euo pipefail
@@ -25,8 +28,14 @@ cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-# Snapshot shared-memory segments so a leaked shard pool fails the run.
+TMPDIR_BASE="${TMPDIR:-/tmp}"
+
+# Snapshot leakable artifacts so an unreleased resource fails the run:
+# /dev/shm segments and .mmap segment files from shard worker pools,
+# and repro_mmap_* backend directories from mmap-backed graphs.
 shm_before=$(ls /dev/shm 2>/dev/null | grep '^repro_shard_' || true)
+mmapseg_before=$(ls "$TMPDIR_BASE" 2>/dev/null | grep '^repro_shard_.*\.mmap$' || true)
+mmapdir_before=$(ls "$TMPDIR_BASE" 2>/dev/null | grep '^repro_mmap_' || true)
 
 python -m pytest -x -q
 
@@ -44,12 +53,72 @@ else
         -o faulthandler_timeout=120
 fi
 
+# Persistence roundtrip smoke: snapshot -> mutate+log -> warm restart
+# must answer the original query certificate-equal after replay.
+python - <<'EOF'
+import shutil, tempfile
+import numpy as np
+from pathlib import Path
+from repro.graph import Graph, GraphDelta
+from repro.serving import RankingService
+from repro.serving.planner import RankRequest
+
+rng = np.random.default_rng(7)
+n = 500
+rows = rng.integers(0, n, 4000); cols = rng.integers(0, n, 4000)
+keep = rows != cols
+g = Graph()
+g.add_nodes_from(range(n))
+g.add_edges_arrays(rows[keep], cols[keep], np.ones(int(keep.sum())))
+
+tmp = Path(tempfile.mkdtemp(prefix="repro_ci_persist_"))
+try:
+    svc = RankingService(g)
+    req = RankRequest(p=0.0)
+    base = svc.rank(req)
+    svc.checkpoint(tmp / "ckpt")
+    # No-delta restart serves the checkpointed answer as a pure hit.
+    # (Must run before the delta below: apply_delta tees into the log
+    # armed by checkpoint, making every later restart a replaying one.)
+    warm2 = RankingService.warm_start(tmp / "ckpt")
+    again = warm2.rank(req)
+    assert again.plan.strategy == "cached", again.plan.strategy
+    assert float(np.abs(base.scores.values - again.scores.values).sum()) == 0.0
+    svc.apply_delta(GraphDelta.insert(
+        np.array([0, 1], dtype=np.int64), np.array([9, 11], dtype=np.int64)))
+    warm = RankingService.warm_start(tmp / "ckpt", backend="mmap")
+    assert warm._warm_started["replayed"] == 1, warm._warm_started
+    live = svc.rank(req)
+    restored = warm.rank(req)
+    l1 = float(np.abs(live.scores.values - restored.scores.values).sum())
+    assert l1 <= 2 * req.tol, f"warm restart diverged: L1={l1:g}"
+    print("persistence roundtrip smoke: OK")
+finally:
+    shutil.rmtree(tmp, ignore_errors=True)
+EOF
+
 python tools/bench_perf.py --quick
 
+fail=0
 shm_after=$(ls /dev/shm 2>/dev/null | grep '^repro_shard_' || true)
 leaked=$(comm -13 <(sort <<<"$shm_before") <(sort <<<"$shm_after") | grep . || true)
 if [ -n "$leaked" ]; then
     echo "FAIL: leaked shared-memory segments:" >&2
     echo "$leaked" >&2
-    exit 1
+    fail=1
 fi
+mmapseg_after=$(ls "$TMPDIR_BASE" 2>/dev/null | grep '^repro_shard_.*\.mmap$' || true)
+leaked=$(comm -13 <(sort <<<"$mmapseg_before") <(sort <<<"$mmapseg_after") | grep . || true)
+if [ -n "$leaked" ]; then
+    echo "FAIL: leaked shard .mmap segment files in $TMPDIR_BASE:" >&2
+    echo "$leaked" >&2
+    fail=1
+fi
+mmapdir_after=$(ls "$TMPDIR_BASE" 2>/dev/null | grep '^repro_mmap_' || true)
+leaked=$(comm -13 <(sort <<<"$mmapdir_before") <(sort <<<"$mmapdir_after") | grep . || true)
+if [ -n "$leaked" ]; then
+    echo "FAIL: leaked mmap backend directories in $TMPDIR_BASE:" >&2
+    echo "$leaked" >&2
+    fail=1
+fi
+exit "$fail"

@@ -224,12 +224,15 @@ def solve_transition(
 
 @dataclass(frozen=True, eq=False)
 class RankQuery:
-    """One ranking request against a graph: ``(p, α, β, teleport)``.
+    """One ranking request against a graph: method + parameters + teleport.
 
-    Queries are the unit of work of :func:`solve_many`.  Two queries that
-    agree on ``(p, beta, weighted, dangling)`` share a transition matrix
-    and are solved together in one batched pass; ``alpha`` and ``teleport``
-    vary freely within a batch.
+    Queries are the unit of work of :func:`solve_many`.  Two queries
+    that share a transition-group key (the family-tagged tuple their
+    :class:`~repro.methods.CentralityMethod` builds from the parameters)
+    share a transition matrix and are solved together in one batched
+    pass; ``alpha`` and ``teleport`` vary freely within a batch.
+    Non-batchable (spectral) methods are solved per query through the
+    method descriptor.
 
     Attributes
     ----------
@@ -246,6 +249,11 @@ class RankQuery:
         mapping, or a sequence of seed nodes.
     dangling:
         Dangling-mass strategy: ``"teleport"``, ``"uniform"`` or ``"self"``.
+    method:
+        Registered :class:`~repro.methods.CentralityMethod` name; the
+        descriptor owns which fields above the method accepts.
+    fatigue:
+        Fatigue strength γ ∈ [0, 1) (``method="fatigued"``).
     """
 
     p: float = 0.0
@@ -254,23 +262,39 @@ class RankQuery:
     weighted: bool = False
     teleport: Mapping[Node, float] | Sequence[Node] | np.ndarray | None = None
     dangling: str = "teleport"
+    method: str = "d2pr"
+    fatigue: float = 0.0
+
+    def method_params(self):
+        """This query's parameters in the registry's normalised view."""
+        from repro.methods import MethodParams
+
+        return MethodParams(
+            p=float(self.p),
+            alpha=float(self.alpha),
+            beta=float(self.beta),
+            weighted=bool(self.weighted),
+            dangling=self.dangling,
+            fatigue=float(self.fatigue),
+            has_seeds=self.teleport is not None,
+        )
 
     def validate(self) -> None:
-        """Raise :class:`ParameterError` on out-of-domain settings."""
-        if not 0.0 <= self.alpha < 1.0:
-            raise ParameterError(f"alpha must be in [0, 1), got {self.alpha}")
-        if not np.isfinite(self.p):
-            raise ParameterError(f"p must be finite, got {self.p}")
-        if self.dangling not in DANGLING_STRATEGIES:
-            raise ParameterError(
-                f"unknown dangling strategy {self.dangling!r}; "
-                f"expected one of {DANGLING_STRATEGIES}"
-            )
-        if not self.weighted and self.beta != 0.0:
-            raise ParameterError(
-                "beta is only meaningful for weighted graphs; "
-                "pass weighted=True"
-            )
+        """Raise :class:`ParameterError` on out-of-domain settings.
+
+        Delegates to the resolved method descriptor, so the engine and
+        the serving layer enforce one parameter vocabulary.
+        """
+        from repro.methods import resolve
+
+        resolve(self.method).validate(self.method_params())
+
+    @property
+    def group_key(self) -> tuple:
+        """The family-tagged transition identity this query solves on."""
+        from repro.methods import resolve
+
+        return resolve(self.method).group_key(self.method_params())
 
 
 def _teleport_digest(vec: np.ndarray | None) -> bytes | None:
@@ -316,18 +340,24 @@ def solve_many(
     """Solve many ranking queries against one graph in batched passes.
 
     The queries are grouped by transition matrix — every distinct
-    ``(p, beta, weighted, dangling)`` combination builds (or reuses, via
-    the graph's matrix cache) one matrix — and each group is dispatched as
-    a single ``n × K`` block through
-    :func:`repro.linalg.power_iteration_batch`: one CSR·dense multiply per
-    sweep instead of K independent matvec loops.
+    family-tagged group key (built by each query's
+    :class:`~repro.methods.CentralityMethod`, e.g.
+    ``("d2pr", p, beta, weighted, dangling)``) builds (or reuses, via
+    the graph's matrix cache) one matrix — and each batchable group is
+    dispatched as a single ``n × K`` block through
+    :func:`repro.linalg.power_iteration_batch`: one CSR·dense multiply
+    per sweep instead of K independent matvec loops.  Queries of
+    non-batchable (spectral) methods are solved per query through their
+    descriptor's ``solve`` — their operator is the raw adjacency, not a
+    stochastic transition, so they cannot share a pooled block.
 
-    Groups are processed in ascending ``(weighted, dangling, beta, p)``
-    order.  When ``warm_start`` is on and two consecutive groups contain
-    structurally identical columns (same alphas, same teleports — the shape
-    of every parameter sweep), the later group starts from the earlier
-    group's solutions, which cuts iteration counts along smooth ``p``
-    grids.
+    Groups are processed in each method's declared ``sort_key`` order
+    (for the stochastic family: ``(weighted, dangling, beta, p)``
+    within the family tag).  When ``warm_start`` is on and two
+    consecutive groups contain structurally identical columns (same
+    alphas, same teleports — the shape of every parameter sweep), the
+    later group starts from the earlier group's solutions, which cuts
+    iteration counts along smooth ``p`` grids.
 
     Parameters
     ----------
@@ -369,8 +399,8 @@ def solve_many(
     list[NodeScores]
         One result per query, aligned with the input order.
     """
-    from repro.core.d2pr import d2pr_operator  # local: avoids cycle
     from repro.core.results import NodeScores
+    from repro.methods import family_method, operator_for
 
     if solver not in ("batch", "sharded"):
         raise ParameterError(
@@ -387,13 +417,7 @@ def solve_many(
 
     groups: dict[tuple, list[int]] = {}
     for idx, query in enumerate(queries):
-        key = (
-            bool(query.weighted),
-            query.dangling,
-            float(query.beta),
-            float(query.p),
-        )
-        groups.setdefault(key, []).append(idx)
+        groups.setdefault(query.group_key, []).append(idx)
 
     # Teleport digests exist only to match column structure between
     # consecutive groups for warm starting; hashing a dense vector per
@@ -407,24 +431,38 @@ def solve_many(
     out: list = [None] * len(queries)
     prev_signature: tuple | None = None
     prev_scores: np.ndarray | None = None
-    for key in sorted(groups):
-        weighted, dangling, beta, p = key
+    for key in sorted(groups, key=lambda k: family_method(k).sort_key(k)):
         indices = groups[key]
-        bundle = d2pr_operator(
-            graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
-        )
+        fam = family_method(key)
+        if not fam.batchable:
+            # Spectral methods: per-query direct solves through the
+            # descriptor (the adjacency operator is not stochastic, so
+            # a pooled power_iteration_batch block cannot serve them).
+            for idx in indices:
+                result = fam.solve(
+                    graph,
+                    key,
+                    alpha=float(queries[idx].alpha),
+                    teleport=vectors[idx],
+                    tol=tol,
+                    max_iter=max_iter,
+                    clamp_min=clamp_min,
+                    raise_on_failure=raise_on_failure,
+                )
+                out[idx] = NodeScores(graph, result.scores, result)
+            continue
+        dangling = key[-1]
+        bundle = operator_for(graph, key, clamp_min=clamp_min)
         transition = bundle.mat
         teleports = [vectors[i] for i in indices]
         alphas = np.array([queries[i].alpha for i in indices])
-        if solver == "sharded":
-            from repro.core.d2pr import d2pr_sharded_operator  # local
+        if solver == "sharded" and fam.supports_sharding:
+            from repro.methods import sharded_operator_for  # local
             from repro.shard.solver import sharded_solve
 
-            sharded = d2pr_sharded_operator(
+            sharded = sharded_operator_for(
                 graph,
-                p,
-                beta=beta,
-                weighted=weighted,
+                key,
                 clamp_min=clamp_min,
                 n_shards=n_shards,
                 force=True,
@@ -489,6 +527,8 @@ def update_scores(
     clamp_min: float | None = None,
     frontier_cap: float = 0.2,
     apply_delta: bool = True,
+    method: str = "d2pr",
+    fatigue: float = 0.0,
 ):
     """Apply a graph delta and incrementally update a previous solution.
 
@@ -532,6 +572,8 @@ def update_scores(
         weighted=weighted,
         teleport=teleport,
         dangling=dangling,
+        method=method,
+        fatigue=fatigue,
     )
     return update_scores_many(
         [previous],
@@ -603,10 +645,10 @@ def update_scores_many(
     list[NodeScores]
         Updated scores aligned with ``previous``.
     """
-    from repro.core.d2pr import d2pr_operator  # local: avoids cycle
     from repro.core.results import NodeScores
     from repro.linalg.incremental import incremental_update, residual_vector
     from repro.linalg.solvers import _validate_common
+    from repro.methods import operator_for, resolve
 
     previous = list(previous)
     if not previous:
@@ -633,17 +675,16 @@ def update_scores_many(
         )
     for query in queries:
         query.validate()
+        if not resolve(query.method).supports_incremental:
+            raise ParameterError(
+                f"method {query.method!r} does not support incremental "
+                "residual correction; re-solve it after the delta instead"
+            )
 
     vectors = [build_teleport(graph, q.teleport) for q in queries]
     groups: dict[tuple, list[int]] = {}
     for idx, query in enumerate(queries):
-        key = (
-            bool(query.weighted),
-            query.dangling,
-            float(query.beta),
-            float(query.p),
-        )
-        groups.setdefault(key, []).append(idx)
+        groups.setdefault(query.group_key, []).append(idx)
 
     baselines: list[np.ndarray | None] = [None] * len(previous)
     if apply_delta:
@@ -653,10 +694,8 @@ def update_scores_many(
         # than the global-dust cleanup it saves the push solver (see
         # ``incremental_update``'s baseline_residual).
         for key, indices in groups.items():
-            weighted, dangling, beta, p = key
-            old_bundle = d2pr_operator(
-                graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
-            )
+            dangling = key[-1]
+            old_bundle = operator_for(graph, key, clamp_min=clamp_min)
             for idx in indices:
                 _, t_norm = _validate_common(
                     None, queries[idx].alpha, vectors[idx], old_bundle
@@ -675,10 +714,8 @@ def update_scores_many(
 
     out: list = [None] * len(previous)
     for key, indices in groups.items():
-        weighted, dangling, beta, p = key
-        bundle = d2pr_operator(
-            graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
-        )
+        dangling = key[-1]
+        bundle = operator_for(graph, key, clamp_min=clamp_min)
         for idx in indices:
             result = incremental_update(
                 None,

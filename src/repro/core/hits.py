@@ -7,6 +7,10 @@ classic representative: authority scores are the dominant eigenvector of
 equal the dominant eigenvector of the adjacency matrix (eigenvector
 centrality), which — like PageRank — is strongly degree-coupled, making it
 a useful second baseline in the extension experiments.
+
+The iteration itself lives in the method registry
+(:class:`repro.methods.HitsMethod`); this module keeps the public
+hub/authority pair API and derives hubs from the served authority vector.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.results import NodeScores
-from repro.errors import ConvergenceError, ParameterError
+from repro.errors import ParameterError
 from repro.graph.base import BaseGraph
 
 __all__ = ["hits", "HitsResult"]
@@ -62,46 +66,30 @@ def hits(
         ``result.hubs`` and ``result.authorities`` as :class:`NodeScores`
         (each normalised to sum 1).
     """
+    from repro.methods import adjacency_bundle, resolve
+
     graph.require_nonempty()
     if max_iter <= 0:
         raise ParameterError(f"max_iter must be positive, got {max_iter}")
-    # The bundle is a view cache, not a stochastic-matrix contract: it
-    # memoises the CSR transpose per graph version, so repeated HITS runs
-    # (and anything else iterating Aᵀ) stop paying the conversion.
-    bundle = graph.operator_bundle(
-        ("hits_adjacency", bool(weighted)),
-        lambda: graph.to_csr(weighted=weighted),
+    method = resolve("hits")
+    result = method.solve(
+        graph,
+        ("hits", bool(weighted)),
+        tol=tol,
+        max_iter=max_iter,
+        raise_on_failure=raise_on_failure,
     )
-    adjacency = bundle.mat
-    adjacency_t = bundle.t_csr
+    authorities = result.scores
+    # Hubs are one adjacency matvec away from the authority fixed point
+    # (hubs ∝ A·auth); the bundle is the same cached view the solver used.
+    adjacency = adjacency_bundle(graph, weighted=weighted).mat
     n = adjacency.shape[0]
-    authorities = np.full(n, 1.0 / n)
-    hubs_vec = np.full(n, 1.0 / n)
-    converged = False
-    for _ in range(max_iter):
-        new_auth = adjacency_t @ hubs_vec
-        total = new_auth.sum()
-        if total == 0.0:  # graph with no edges
-            new_auth = np.full(n, 1.0 / n)
-        else:
-            new_auth /= total
-        new_hubs = adjacency @ new_auth
-        total = new_hubs.sum()
-        if total == 0.0:
-            new_hubs = np.full(n, 1.0 / n)
-        else:
-            new_hubs /= total
-        residual = float(np.abs(new_auth - authorities).sum())
-        authorities, hubs_vec = new_auth, new_hubs
-        if residual < tol:
-            converged = True
-            break
-    if not converged and raise_on_failure:
-        raise ConvergenceError(
-            f"HITS did not reach tol={tol} within {max_iter} iterations",
-            iterations=max_iter,
-            residual=residual,
-        )
+    hubs_vec = adjacency @ authorities
+    total = hubs_vec.sum()
+    if total == 0.0:  # graph with no edges
+        hubs_vec = np.full(n, 1.0 / n)
+    else:
+        hubs_vec = hubs_vec / total
     return HitsResult(
         hubs=NodeScores(graph, hubs_vec),
         authorities=NodeScores(graph, authorities),

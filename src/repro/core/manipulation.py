@@ -26,7 +26,12 @@ from repro.core.d2pr import d2pr
 from repro.errors import ParameterError
 from repro.graph.base import BaseGraph, DiGraph, Graph, Node
 
-__all__ = ["FarmAttackResult", "plant_link_farm", "rank_boost_from_farm"]
+__all__ = [
+    "FarmAttackResult",
+    "farm_rank_anomaly",
+    "plant_link_farm",
+    "rank_boost_from_farm",
+]
 
 
 @dataclass(frozen=True)
@@ -138,3 +143,46 @@ def rank_boost_from_farm(
         rank_after=rank_after,
         farm_size=farm_size,
     )
+
+
+def farm_rank_anomaly(
+    graph: Graph | DiGraph,
+    target: Node,
+    farm_size: int,
+    *,
+    p: float = 0.0,
+    alpha: float = 0.85,
+    interlink: bool = True,
+    tail_fraction: float = 0.25,
+) -> dict:
+    """Degree↔rank profile shift induced by a link farm.
+
+    The detection-side companion of :func:`rank_boost_from_farm`: spam
+    edges raise the target's degree while inflating its score, so a farm
+    drags the graph-wide degree↔score coupling and the power-law tail of
+    the score distribution in a measurable direction.  Both rankings are
+    profiled with :func:`repro.diagnostics.degree_rank_profile` (same
+    machinery the serving layer exposes as
+    :meth:`~repro.serving.RankingService.degree_rank`).
+
+    Returns a dict with the ``"before"`` / ``"after"`` profiles plus the
+    ``"spearman_shift"`` and ``"tail_exponent_shift"`` deltas
+    (after − before).
+    """
+    from repro.diagnostics import degree_rank_profile
+
+    before_scores = d2pr(graph, p, alpha=alpha)
+    before = degree_rank_profile(
+        graph, before_scores, tail_fraction=tail_fraction
+    )
+    attacked = plant_link_farm(graph, target, farm_size, interlink=interlink)
+    after_scores = d2pr(attacked, p, alpha=alpha)
+    after = degree_rank_profile(
+        attacked, after_scores, tail_fraction=tail_fraction
+    )
+    return {
+        "before": before,
+        "after": after,
+        "spearman_shift": after.spearman - before.spearman,
+        "tail_exponent_shift": after.tail.exponent - before.tail.exponent,
+    }

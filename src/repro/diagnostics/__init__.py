@@ -1,0 +1,15 @@
+"""Diagnostics: structural analytics over computed rankings."""
+
+from repro.diagnostics.degree_rank import (
+    DegreeRankProfile,
+    PowerLawTail,
+    degree_rank_profile,
+    power_law_tail,
+)
+
+__all__ = [
+    "DegreeRankProfile",
+    "PowerLawTail",
+    "degree_rank_profile",
+    "power_law_tail",
+]

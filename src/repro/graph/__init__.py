@@ -36,6 +36,7 @@ from repro.graph.generators import (
     powerlaw_degree_sequence,
     random_regular,
 )
+from repro.graph.interop import HAS_NETWORKX, from_networkx, to_networkx
 from repro.graph.io import (
     read_edge_list,
     read_json_graph,
@@ -83,6 +84,9 @@ __all__ = [
     "powerlaw_degree_sequence",
     "random_regular",
     "as_rng",
+    "HAS_NETWORKX",
+    "from_networkx",
+    "to_networkx",
     "read_edge_list",
     "write_edge_list",
     "read_json_graph",

@@ -1,0 +1,109 @@
+"""NetworkX interoperability.
+
+Bridges the repro graph types and :mod:`networkx` so graphs (and their
+node attributes) move in either direction without hand-rolled loops:
+
+* :func:`from_networkx` — bulk-import a ``networkx`` graph through the
+  vectorised :meth:`~repro.graph.base.BaseGraph.from_arrays` entry point
+  (COO arrays, not per-edge ``add_edge`` calls), onto any storage
+  backend;
+* :func:`to_networkx` — export a repro graph with its edge weights and
+  node attributes intact.
+
+``networkx`` is an *optional* dependency: this module imports cleanly
+without it and the converters raise a descriptive :class:`ImportError`
+only when actually called (``HAS_NETWORKX`` tells callers up front).
+The round trip ``from_networkx(to_networkx(g))`` preserves node order,
+edges, weights and node attributes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graph.base import BaseGraph, DiGraph, Graph
+
+__all__ = ["HAS_NETWORKX", "from_networkx", "to_networkx"]
+
+try:  # pragma: no cover - trivially true/false per environment
+    import networkx as _nx
+
+    HAS_NETWORKX = True
+except ImportError:  # pragma: no cover - exercised without networkx
+    _nx = None
+    HAS_NETWORKX = False
+
+
+def _require_networkx():
+    if _nx is None:
+        raise ImportError(
+            "networkx is not installed; the repro.graph.interop "
+            "converters need it (the rest of the library does not)"
+        )
+    return _nx
+
+
+def from_networkx(
+    nx_graph,
+    *,
+    weight: str = "weight",
+    backend=None,
+) -> BaseGraph:
+    """Convert a ``networkx`` graph to a repro :class:`Graph`/:class:`DiGraph`.
+
+    Parameters
+    ----------
+    nx_graph:
+        A ``networkx.Graph`` or ``networkx.DiGraph`` (multigraphs are
+        rejected — collapse parallel edges first).  Directedness picks
+        the repro type.
+    weight:
+        Edge-data key read as the edge weight (missing → 1.0).
+    backend:
+        Storage backend passed through to
+        :meth:`~repro.graph.base.BaseGraph.from_arrays` (name, instance
+        or class; default in-memory).
+
+    Node attributes are copied onto the repro graph
+    (:meth:`~repro.graph.base.BaseGraph.set_node_attr`), node order
+    follows ``nx_graph.nodes()``.
+    """
+    nx = _require_networkx()
+    if nx_graph.is_multigraph():
+        raise ParameterError(
+            "multigraphs are not supported; collapse parallel edges "
+            "(e.g. nx.Graph(multigraph)) before converting"
+        )
+    cls = DiGraph if nx_graph.is_directed() else Graph
+    nodes = list(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    m = nx_graph.number_of_edges()
+    rows = np.empty(m, dtype=np.int64)
+    cols = np.empty(m, dtype=np.int64)
+    weights = np.empty(m, dtype=np.float64)
+    for k, (u, v, data) in enumerate(nx_graph.edges(data=True)):
+        rows[k] = index[u]
+        cols[k] = index[v]
+        weights[k] = float(data.get(weight, 1.0))
+    graph = cls.from_arrays(rows, cols, weights, nodes=nodes, backend=backend)
+    for node, data in nx_graph.nodes(data=True):
+        for name, value in data.items():
+            graph.set_node_attr(node, name, value)
+    return graph
+
+
+def to_networkx(graph: BaseGraph, *, weight: str = "weight"):
+    """Convert a repro graph to ``networkx`` (directedness preserved).
+
+    Every edge carries its weight under the ``weight`` edge-data key
+    (1.0 for unweighted graphs) and every node its repro attributes, so
+    :func:`from_networkx` round-trips the graph exactly.
+    """
+    nx = _require_networkx()
+    out = nx.DiGraph() if graph.directed else nx.Graph()
+    for node in graph.nodes():
+        out.add_node(node, **graph.node_attrs(node))
+    for u, v, w in graph.edges():
+        out.add_edge(u, v, **{weight: float(w)})
+    return out

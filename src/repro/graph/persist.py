@@ -272,6 +272,19 @@ class DeltaLog:
             os.fsync(self._handle.fileno())
         return len(frame)
 
+    @property
+    def size(self) -> int:
+        """Record payload bytes on disk (0 right after :meth:`truncate`).
+
+        ``append`` flushes every frame, so the on-disk size is current
+        without closing the handle; the serving layer's log-compaction
+        policy compares this against the snapshot's byte size.
+        """
+        try:
+            return max(0, self.path.stat().st_size - len(_LOG_MAGIC))
+        except FileNotFoundError:
+            return 0
+
     def truncate(self) -> None:
         """Reset the log to empty (a checkpoint superseded its records)."""
         self.close()

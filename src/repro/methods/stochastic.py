@@ -1,0 +1,279 @@
+"""Stochastic (PageRank-shaped) centrality methods.
+
+These methods solve the teleport fixed point ``x = α·Tᵀx + (1−α)·t``
+against a *row-stochastic* transition ``T``, which is what makes the
+entire solver arsenal apply verbatim: batched power iteration, forward
+push, incremental residual correction after deltas and the sharded
+block solver all assume exactly that shape, and the successive-L1
+residual is a certified error bound at contraction rate α.
+
+* ``pagerank`` / ``d2pr`` — one family: conventional PageRank is the
+  ``p = 0`` point of the degree-de-coupled transition (paper Eq. 1),
+  so both names share the ``"d2pr"`` family tag, operator caches,
+  microbatch windows and cache digests.
+* ``fatigued`` — fatigued PageRank (PAPERS.md): high-degree nodes
+  "tire" and forward less of their mass.  Per-node fatigue
+  ``φ_j = γ·θ_j/θ_max`` (γ = the request's ``fatigue`` parameter,
+  θ = the paper's degree/out-weight vector) down-weights *entering*
+  node ``j`` by ``1−φ_j``; re-normalising rows keeps the transition
+  stochastic, so the method is a diagonal rescale of the cached D2PR
+  transition and reuses every solver and certificate unchanged.
+  ``γ < 1`` strictly, so no surviving entry hits zero and the dangling
+  set is exactly the base transition's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.methods.base import CentralityMethod, MethodParams
+from repro.methods.registry import register
+
+__all__ = [
+    "D2PRMethod",
+    "FatiguedMethod",
+    "PageRankMethod",
+    "fatigued_operator",
+    "fatigued_transition",
+]
+
+
+class _StochasticMethod(CentralityMethod):
+    """Shared capability surface of the row-stochastic family."""
+
+    certificate = "l1"
+    batchable = True
+    supports_push = True
+    supports_incremental = True
+    supports_sharding = True
+    supports_seeds = True
+
+
+class PageRankMethod(_StochasticMethod):
+    """Conventional PageRank — the ``p = 0`` point of the D2PR family.
+
+    Shares the ``"d2pr"`` family (and therefore transitions, cache
+    digests and microbatch windows) with :class:`D2PRMethod`; the
+    vocabulary pins ``p`` and ``beta`` at 0 so a request cannot ask
+    for de-coupling under the conventional name.
+    """
+
+    name = "pagerank"
+    family = "d2pr"
+    vocabulary = frozenset({"alpha", "dangling"})
+
+    def group_key(self, params: MethodParams) -> tuple:
+        return ("d2pr", 0.0, 0.0, bool(params.weighted), params.dangling)
+
+    def sort_key(self, group_key: tuple) -> tuple:
+        _, p, beta, weighted, dangling = group_key
+        return ("d2pr", weighted, dangling, beta, p)
+
+    def operator(self, graph, group_key: tuple, *, clamp_min=None):
+        from repro.core.d2pr import d2pr_operator
+
+        _, p, beta, weighted, _dangling = group_key
+        return d2pr_operator(
+            graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
+        )
+
+    def sharded_operator(
+        self,
+        graph,
+        group_key: tuple,
+        *,
+        clamp_min=None,
+        n_shards: int = 8,
+        method: str = "auto",
+        size_floor: int | None = None,
+        force: bool = False,
+    ):
+        from repro.core.d2pr import d2pr_sharded_operator
+
+        _, p, beta, weighted, _dangling = group_key
+        return d2pr_sharded_operator(
+            graph,
+            p,
+            beta=beta,
+            weighted=weighted,
+            clamp_min=clamp_min,
+            n_shards=n_shards,
+            method=method,
+            size_floor=size_floor,
+            force=force,
+        )
+
+
+class D2PRMethod(PageRankMethod):
+    """Degree de-coupled PageRank (paper Eq. 1) — the full vocabulary."""
+
+    name = "d2pr"
+    family = "d2pr"
+    vocabulary = frozenset({"p", "alpha", "beta", "dangling"})
+
+    def group_key(self, params: MethodParams) -> tuple:
+        return (
+            "d2pr",
+            float(params.p),
+            float(params.beta),
+            bool(params.weighted),
+            params.dangling,
+        )
+
+
+class FatiguedMethod(PageRankMethod):
+    """Fatigued PageRank: degree-proportional damping, re-normalised."""
+
+    name = "fatigued"
+    family = "fatigued"
+    vocabulary = frozenset({"p", "alpha", "beta", "dangling", "fatigue"})
+
+    def group_key(self, params: MethodParams) -> tuple:
+        return (
+            "fatigued",
+            float(params.p),
+            float(params.fatigue),
+            float(params.beta),
+            bool(params.weighted),
+            params.dangling,
+        )
+
+    def sort_key(self, group_key: tuple) -> tuple:
+        _, p, fatigue, beta, weighted, dangling = group_key
+        return ("fatigued", weighted, dangling, beta, fatigue, p)
+
+    def operator(self, graph, group_key: tuple, *, clamp_min=None):
+        _, p, fatigue, beta, weighted, _dangling = group_key
+        return fatigued_operator(
+            graph,
+            p,
+            fatigue=fatigue,
+            beta=beta,
+            weighted=weighted,
+            clamp_min=clamp_min,
+        )
+
+    def sharded_operator(
+        self,
+        graph,
+        group_key: tuple,
+        *,
+        clamp_min=None,
+        n_shards: int = 8,
+        method: str = "auto",
+        size_floor: int | None = None,
+        force: bool = False,
+    ):
+        from repro.shard.operator import DEFAULT_SIZE_FLOOR, ShardedOperator
+
+        _, p, fatigue, beta, weighted, _dangling = group_key
+        floor = DEFAULT_SIZE_FLOOR if size_floor is None else int(size_floor)
+
+        def build():
+            bundle = self.operator(graph, group_key, clamp_min=clamp_min)
+            plan = graph.shard_plan(n_shards, method=method)
+            return ShardedOperator(bundle, plan, size_floor=floor, force=force)
+
+        return graph.cached(
+            (
+                "sharded_operator",
+                "fatigued",
+                float(p),
+                float(fatigue),
+                float(beta),
+                bool(weighted),
+                clamp_min,
+                int(n_shards),
+                str(method),
+            ),
+            build,
+        )
+
+
+def fatigued_transition(
+    graph,
+    p: float,
+    *,
+    fatigue: float,
+    beta: float = 0.0,
+    weighted: bool = False,
+    clamp_min: float | None = None,
+):
+    """Row-stochastic fatigued transition, memoised on the graph cache.
+
+    Column-scales the cached D2PR transition by ``1 − φ`` (φ = per-node
+    fatigue, γ·θ/θ_max) and re-normalises rows.  γ < 1 keeps every
+    surviving entry positive, so zero rows — and hence the dangling
+    mask — are exactly those of the base transition; the delta-refresh
+    machinery does not recognise this key, so a :class:`GraphDelta`
+    evicts it and the next solve rebuilds (correct, merely colder).
+    """
+    from repro.core.d2pr import d2pr_transition
+    from repro.core.engine import adjacency_and_theta
+
+    def build():
+        base = d2pr_transition(
+            graph, p, beta=beta, weighted=weighted, clamp_min=clamp_min
+        )
+        _, theta = adjacency_and_theta(graph, weighted=weighted)
+        theta_max = float(theta.max()) if theta.size else 0.0
+        if theta_max > 0.0:
+            keep = 1.0 - float(fatigue) * (theta / theta_max)
+        else:
+            keep = np.ones_like(theta, dtype=np.float64)
+        mat = base.multiply(keep[np.newaxis, :]).tocsr()
+        row_mass = np.asarray(mat.sum(axis=1)).ravel()
+        inv = np.zeros_like(row_mass)
+        nonzero = row_mass > 0.0
+        inv[nonzero] = 1.0 / row_mass[nonzero]
+        mat = sparse.diags(inv).dot(mat).tocsr()
+        mat.sort_indices()
+        return mat
+
+    return graph.cached(
+        (
+            "fatigued_transition",
+            float(p),
+            float(fatigue),
+            float(beta),
+            bool(weighted),
+            clamp_min,
+        ),
+        build,
+    )
+
+
+def fatigued_operator(
+    graph,
+    p: float,
+    *,
+    fatigue: float,
+    beta: float = 0.0,
+    weighted: bool = False,
+    clamp_min: float | None = None,
+):
+    """Cached :class:`LinearOperatorBundle` over the fatigued transition."""
+    return graph.operator_bundle(
+        (
+            "fatigued",
+            float(p),
+            float(fatigue),
+            float(beta),
+            bool(weighted),
+            clamp_min,
+        ),
+        lambda: fatigued_transition(
+            graph,
+            p,
+            fatigue=fatigue,
+            beta=beta,
+            weighted=weighted,
+            clamp_min=clamp_min,
+        ),
+    )
+
+
+register(PageRankMethod())
+register(D2PRMethod())
+register(FatiguedMethod())

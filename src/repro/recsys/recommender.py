@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.d2pr import d2pr, d2pr_operator
+from repro.core.d2pr import d2pr
 from repro.core.engine import RankQuery, solve_many, update_scores
 from repro.core.personalized import personalized_d2pr, seed_weights
 from repro.core.results import NodeScores
@@ -52,6 +52,13 @@ class RecommenderConfig:
 
     Attributes
     ----------
+    method:
+        Registered centrality method serving the rankings (see
+        :func:`repro.methods.method_names`): ``"d2pr"`` (default),
+        ``"pagerank"``, ``"fatigued"``, ``"katz"``, ``"eigenvector"``
+        or ``"hits"``.  The method's parameter vocabulary governs which
+        of the fields below it interprets; the rest must stay at their
+        defaults.
     p:
         Degree de-coupling weight (0 = conventional PageRank).
     alpha:
@@ -61,10 +68,13 @@ class RecommenderConfig:
         ``weighted=False``).
     weighted:
         Use stored edge weights (paper §3.2.3).
+    fatigue:
+        Degree-fatigue strength γ of ``method="fatigued"``.
     solver:
         One of ``"power"``, ``"gauss_seidel"``, ``"direct"``, ``"push"``
         (the localized forward-push serving path for personalised
         queries; global rankings under it are served by power iteration).
+        Non-power solvers apply to the d2pr family only.
     """
 
     p: float = 0.0
@@ -72,15 +82,28 @@ class RecommenderConfig:
     beta: float = 0.0
     weighted: bool = False
     solver: str = "power"
+    method: str = "d2pr"
+    fatigue: float = 0.0
+
+    def method_params(self):
+        """This configuration as registry :class:`MethodParams`."""
+        from repro.methods import MethodParams
+
+        return MethodParams(
+            p=float(self.p),
+            alpha=float(self.alpha),
+            beta=float(self.beta) if self.weighted else 0.0,
+            weighted=bool(self.weighted),
+            fatigue=float(self.fatigue),
+        )
 
     def validate(self) -> None:
         """Raise :class:`ParameterError` on out-of-domain settings."""
-        if not 0.0 <= self.alpha < 1.0:
-            raise ParameterError(f"alpha must be in [0, 1), got {self.alpha}")
+        from repro.methods import resolve
+
         if not 0.0 <= self.beta <= 1.0:
             raise ParameterError(f"beta must be in [0, 1], got {self.beta}")
-        if not np.isfinite(self.p):
-            raise ParameterError(f"p must be finite, got {self.p}")
+        resolve(self.method).validate(self.method_params())
 
 
 @dataclass
@@ -144,15 +167,50 @@ class D2PRRecommender:
             self._global_scores = self.service.rank(self._request()).scores
             return self
         self._graph = graph
-        self._global_scores = d2pr(
-            graph,
-            self.config.p,
-            alpha=self.config.alpha,
-            beta=self.config.beta if self.config.weighted else 0.0,
-            weighted=self.config.weighted,
-            solver=self.config.solver,
-        )
+        self._global_scores = self._solve_global(graph)
         return self
+
+    def _method(self):
+        """The registry descriptor of the configured method."""
+        from repro.methods import resolve
+
+        return resolve(self.config.method)
+
+    def _group_key(self) -> tuple:
+        """The configured method's transition/operator group key."""
+        return self._method().group_key(self.config.method_params())
+
+    def _solve_global(self, graph: BaseGraph) -> NodeScores:
+        """Direct (service-less) global solve for the configured method."""
+        from repro.core.engine import solve_transition
+
+        method = self._method()
+        if method.family == "d2pr":
+            return d2pr(
+                graph,
+                self.config.p,
+                alpha=self.config.alpha,
+                beta=self.config.beta if self.config.weighted else 0.0,
+                weighted=self.config.weighted,
+                solver=self.config.solver,
+            )
+        if self.config.solver != "power":
+            raise ParameterError(
+                f"method {self.config.method!r} solves by power iteration; "
+                f"solver={self.config.solver!r} applies to the d2pr family "
+                "only"
+            )
+        key = self._group_key()
+        if method.batchable:
+            bundle = method.operator(graph, key)
+            result = solve_transition(
+                bundle.mat,
+                alpha=self.config.alpha,
+                operator=bundle,
+            )
+        else:
+            result = method.solve(graph, key, alpha=self.config.alpha)
+        return NodeScores(graph, result.scores, result)
 
     def _request(
         self,
@@ -162,11 +220,12 @@ class D2PRRecommender:
     ) -> RankRequest:
         """The service-layer request describing this recommender's query."""
         return RankRequest(
-            method="d2pr",
+            method=self.config.method,
             p=self.config.p,
             alpha=self.config.alpha,
             beta=self.config.beta if self.config.weighted else 0.0,
             weighted=self.config.weighted,
+            fatigue=self.config.fatigue,
             seeds=seed_weights(seeds) if seeds is not None else None,
             tol=tol,
         )
@@ -201,6 +260,12 @@ class D2PRRecommender:
                 self._request(tol=tol)
             ).scores
             return self
+        if not self._method().supports_incremental:
+            # Spectral answers carry no incremental-correction
+            # certificate; absorb the delta and re-solve directly.
+            _graph.apply_delta(delta)
+            self._global_scores = self._solve_global(_graph)
+            return self
         self._global_scores = update_scores(
             scores,
             delta,
@@ -208,6 +273,8 @@ class D2PRRecommender:
             alpha=self.config.alpha,
             beta=self.config.beta if self.config.weighted else 0.0,
             weighted=self.config.weighted,
+            method=self.config.method,
+            fatigue=self.config.fatigue,
             tol=tol,
         )
         return self
@@ -317,18 +384,70 @@ class D2PRRecommender:
                 self._request(seeds=seeds, tol=tol if tol is not None else 1e-10)
             ).scores
             return self._top_k(seeded, set(seeds), k, include_seeds)
-        extra = {} if tol is None else {"tol": tol}
-        seeded = personalized_d2pr(
-            graph,
-            seeds,
-            self.config.p,
-            alpha=self.config.alpha,
-            beta=self.config.beta if self.config.weighted else 0.0,
-            weighted=self.config.weighted,
-            solver=self.config.solver,
-            **extra,
-        )
+        method = self._method()
+        if method.family == "d2pr":
+            extra = {} if tol is None else {"tol": tol}
+            seeded = personalized_d2pr(
+                graph,
+                seeds,
+                self.config.p,
+                alpha=self.config.alpha,
+                beta=self.config.beta if self.config.weighted else 0.0,
+                weighted=self.config.weighted,
+                solver=self.config.solver,
+                **extra,
+            )
+            return self._top_k(seeded, set(seeds), k, include_seeds)
+        seeded = self._solve_personalized(graph, seeds, tol=tol)
         return self._top_k(seeded, set(seeds), k, include_seeds)
+
+    def _solve_personalized(
+        self,
+        graph: BaseGraph,
+        seeds: Mapping[Node, float] | Sequence[Node],
+        *,
+        tol: float | None,
+    ) -> NodeScores:
+        """Seeded solve for non-d2pr-family methods (service-less mode).
+
+        The registry gates eligibility: a global eigen measure rejects
+        seeds outright, a seed-capable method solves against its own
+        teleport vector — the batchable fatigued transition through the
+        shared solver dispatch, Katz through its direct power method.
+        """
+        from dataclasses import replace
+
+        from repro.core.engine import build_teleport, solve_transition
+
+        method = self._method()
+        method.validate(replace(self.config.method_params(), has_seeds=True))
+        if self.config.solver != "power":
+            raise ParameterError(
+                f"method {self.config.method!r} solves by power iteration; "
+                f"solver={self.config.solver!r} applies to the d2pr family "
+                "only"
+            )
+        teleport = build_teleport(graph, seed_weights(seeds))
+        extra = {} if tol is None else {"tol": tol}
+        key = self._group_key()
+        if method.batchable:
+            bundle = method.operator(graph, key)
+            result = solve_transition(
+                bundle.mat,
+                alpha=self.config.alpha,
+                teleport=teleport,
+                operator=bundle,
+                **extra,
+            )
+        else:
+            result = method.solve(
+                graph,
+                key,
+                alpha=self.config.alpha,
+                teleport=teleport,
+                **extra,
+            )
+        return NodeScores(graph, result.scores, result)
 
     def recommend_one(
         self,
@@ -365,17 +484,15 @@ class D2PRRecommender:
                 self._request(seeds=seeds, tol=tol)
             ).scores
             return self._top_k(seeded, set(seeds), k, include_seeds)
-        if self.config.solver != "power":
-            # Keep the configured solver's semantics (and honour tol).
+        if self.config.solver != "power" or not self._method().supports_push:
+            # Keep the configured solver's (or method's) semantics —
+            # spectral seeds go through the direct solve with tol honoured.
             return self.recommend_for(
                 seeds, k, include_seeds=include_seeds, tol=tol
             )
-        bundle = d2pr_operator(
-            graph,
-            self.config.p,
-            beta=self.config.beta if self.config.weighted else 0.0,
-            weighted=self.config.weighted,
-        )
+        from repro.methods import operator_for
+
+        bundle = operator_for(graph, self._group_key())
         # One source of truth for seed semantics: normalise through the
         # same helper recommend_for's personalised solve uses, then hand
         # push an explicit (indices, weights) pair.
@@ -476,6 +593,8 @@ class D2PRRecommender:
                     beta=beta,
                     weighted=self.config.weighted,
                     teleport=seeds,
+                    method=self.config.method,
+                    fatigue=self.config.fatigue,
                 )
                 for seeds in chunk
             ]
@@ -518,6 +637,11 @@ class D2PRRecommender:
             ``1.5000000000000004``).
         """
         graph, _ = self._require_fitted()
+        if "p" not in self._method().vocabulary:
+            raise ParameterError(
+                f"method {self.config.method!r} does not take p; tune_p "
+                "applies to the degree-de-coupled methods only"
+            )
         significance = np.asarray(significance, dtype=np.float64)
         if significance.shape != (graph.number_of_nodes,):
             raise ParameterError(
@@ -545,6 +669,8 @@ class D2PRRecommender:
                         alpha=self.config.alpha,
                         beta=beta,
                         weighted=self.config.weighted,
+                        method=self.config.method,
+                        fatigue=self.config.fatigue,
                     )
                     for p in ps
                 ],
@@ -581,6 +707,8 @@ class D2PRRecommender:
                 beta=self.config.beta,
                 weighted=self.config.weighted,
                 solver=self.config.solver,
+                method=self.config.method,
+                fatigue=self.config.fatigue,
             ),
             service=self.service,
         )

@@ -270,8 +270,10 @@ class MicrobatchCoalescer:
     ) -> CoalescerTicket:
         """File one column under ``group_key`` and return its ticket.
 
-        ``group_key`` is the planner's transition-group key
-        ``(p, beta, weighted, dangling)``; ``tol`` joins it internally so
+        ``group_key`` is the planner's family-tagged transition-group
+        key (``RankRequest.group_key``, built by the method registry —
+        e.g. ``("d2pr", p, beta, weighted, dangling)``); ``tol`` joins
+        it internally so
         columns solved to different accuracies never share a block (a
         block converges per column, but its certificate is per flush).
         Reaching ``window`` pending columns auto-flushes the group;
@@ -368,7 +370,7 @@ class MicrobatchCoalescer:
         columns proceed independently, and ticket readers wait on the
         ``solving`` marker.
         """
-        from repro.core.d2pr import d2pr_operator  # local: avoids cycle
+        from repro.methods import operator_for  # local: avoids cycle
 
         with self._cv:
             state = self._groups.get(key)
@@ -389,14 +391,11 @@ class MicrobatchCoalescer:
                 and state.prev_scores is not None
                 else None
             )
-        p, beta, weighted, dangling, tol = key
+        group_key, tol = tuple(key[:-1]), key[-1]
+        dangling = group_key[-1]
         try:
-            bundle = d2pr_operator(
-                self._graph,
-                p,
-                beta=beta,
-                weighted=weighted,
-                clamp_min=self.clamp_min,
+            bundle = operator_for(
+                self._graph, group_key, clamp_min=self.clamp_min
             )
             if warm is not None and warm.shape[0] != bundle.n:
                 warm = None

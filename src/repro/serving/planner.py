@@ -6,10 +6,16 @@ matrix, a teleport vector, a tolerance.  The serving layer owns
 first job is deciding **how** each request should be executed.  That is
 the planner's contract:
 
-* :class:`RankRequest` is the normalised request vocabulary: method
-  (``"pagerank"`` / ``"d2pr"``), de-coupling weight ``p``, ``alpha``,
-  ``beta``/``weighted``, a seed specification, dangling strategy,
-  tolerance and an optional ``top_k``.
+* :class:`RankRequest` is the normalised request vocabulary: a method
+  name resolved through the registry (:mod:`repro.methods` — the
+  stochastic ``pagerank``/``d2pr``/``fatigued`` family plus the
+  spectral ``katz``/``eigenvector``/``hits`` family), its per-method
+  parameters (``p``, ``alpha``, ``beta``/``weighted``, ``fatigue``), a
+  seed specification, dangling strategy, tolerance and an optional
+  ``top_k``.  Which parameters a method accepts — and how they fold
+  into group keys and cache digests — is owned by its
+  :class:`~repro.methods.CentralityMethod` descriptor, not by this
+  module.
 * :func:`canonical_query` resolves a request against a graph into its
   transition-group key, dense teleport vector and a **canonical digest**
   — the result-cache key, stable across equivalent spellings of the same
@@ -29,6 +35,11 @@ the planner's contract:
     :func:`~repro.linalg.push.forward_push` (which still falls back to
     power iteration on its own if the frontier de-localises, so a
     mis-planned push is never wrong, only slower);
+  - ``"spectral"``    — the method is not batchable (its operator is
+    the raw adjacency, not a stochastic transition — eigenvector/
+    Katz/HITS): solve directly through
+    :meth:`~repro.methods.CentralityMethod.solve`; the answer is still
+    cached under the method's eigen/L1 certificate;
   - ``"shard_push"``  — push-eligible *and* the service holds a
     block-partitioned operator (``shard_state``) whose plan maps every
     seed into one shard with no foreign dangling rows: run the push
@@ -61,7 +72,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.graph.base import BaseGraph, Node
-from repro.linalg.operator import DANGLING_STRATEGIES
+from repro.methods import MethodParams, method_names, resolve
 from repro.serving.latency import LatencyRecorder
 
 __all__ = [
@@ -75,10 +86,12 @@ __all__ = [
     "dense_teleport",
 ]
 
-METHODS = ("pagerank", "d2pr")
+#: Registry-derived: every registered centrality method is servable.
+METHODS = method_names()
 STRATEGIES = (
     "cached",
     "incremental",
+    "spectral",
     "shard_push",
     "push",
     "sharded",
@@ -98,16 +111,23 @@ class RankRequest:
     Attributes
     ----------
     method:
-        ``"pagerank"`` (conventional PageRank — ``p`` and ``beta`` must be
-        0) or ``"d2pr"`` (degree de-coupled, the paper's Equation 1).
+        A registered :class:`~repro.methods.CentralityMethod` name:
+        ``"pagerank"`` / ``"d2pr"`` / ``"fatigued"`` (stochastic) or
+        ``"katz"`` / ``"eigenvector"`` / ``"hits"`` (spectral).  The
+        descriptor owns which of the fields below the method accepts;
+        out-of-vocabulary fields must stay at their defaults.
     p:
-        Degree de-coupling weight (``method="d2pr"``).
+        Degree de-coupling weight (``d2pr``/``fatigued``).
     alpha:
-        Residual probability.
+        Residual probability (stochastic family and ``katz``).
     beta:
         Connection-strength blend (weighted graphs only).
     weighted:
         Honour stored edge weights.
+    fatigue:
+        Fatigue strength γ ∈ [0, 1) (``method="fatigued"``): node ``j``
+        forwards only ``1 − γ·θ_j/θ_max`` of incoming transition mass
+        before row re-normalisation.
     seeds:
         Personalisation: ``None`` (global ranking), an index-aligned
         array, a ``{node: weight}`` mapping, or a sequence of seed nodes.
@@ -127,36 +147,33 @@ class RankRequest:
     alpha: float = 0.85
     beta: float = 0.0
     weighted: bool = False
+    fatigue: float = 0.0
     seeds: Mapping[Node, float] | Sequence[Node] | np.ndarray | None = None
     dangling: str = "teleport"
     tol: float = 1e-10
     top_k: int | None = None
 
+    def method_params(self) -> MethodParams:
+        """This request's parameters in the registry's normalised view."""
+        return MethodParams(
+            p=float(self.p),
+            alpha=float(self.alpha),
+            beta=float(self.beta),
+            weighted=bool(self.weighted),
+            dangling=self.dangling,
+            fatigue=float(self.fatigue),
+            has_seeds=self.seeds is not None,
+        )
+
     def validate(self) -> None:
-        """Raise :class:`ParameterError` on out-of-domain settings."""
-        if self.method not in METHODS:
-            raise ParameterError(
-                f"unknown method {self.method!r}; expected one of {METHODS}"
-            )
-        if self.method == "pagerank" and (self.p != 0.0 or self.beta != 0.0):
-            raise ParameterError(
-                "method='pagerank' fixes p=0 and beta=0; use method='d2pr' "
-                "for degree de-coupled or blended rankings"
-            )
-        if not np.isfinite(self.p):
-            raise ParameterError(f"p must be finite, got {self.p}")
-        if not 0.0 <= self.alpha < 1.0:
-            raise ParameterError(f"alpha must be in [0, 1), got {self.alpha}")
-        if not self.weighted and self.beta != 0.0:
-            raise ParameterError(
-                "beta is only meaningful for weighted graphs; "
-                "pass weighted=True"
-            )
-        if self.dangling not in DANGLING_STRATEGIES:
-            raise ParameterError(
-                f"unknown dangling strategy {self.dangling!r}; "
-                f"expected one of {DANGLING_STRATEGIES}"
-            )
+        """Raise :class:`ParameterError` on out-of-domain settings.
+
+        Method-parameter validation (vocabulary, domains, seed support)
+        is delegated to the resolved
+        :class:`~repro.methods.CentralityMethod`; only serving-level
+        vocabulary (``tol``, ``top_k``) is checked here.
+        """
+        resolve(self.method).validate(self.method_params())
         if not (np.isfinite(self.tol) and self.tol > 0.0):
             raise ParameterError(f"tol must be positive, got {self.tol}")
         if self.top_k is not None and self.top_k < 0:
@@ -165,23 +182,24 @@ class RankRequest:
     @property
     def resolved_p(self) -> float:
         """The de-coupling weight of the transition this request solves."""
-        return 0.0 if self.method == "pagerank" else float(self.p)
+        method = resolve(self.method)
+        return float(self.p) if "p" in method.vocabulary else 0.0
 
     @property
     def group_key(self) -> tuple:
-        """The transition-matrix identity ``(p, beta, weighted, dangling)``.
+        """The transition identity ``(family, *matrix params)``.
 
-        The single construction site of the group key: the planner's
-        canonical queries, the coalescer's group table and the service's
-        bundle resolution (including pre-/post-delta corrections) all
-        read this property, so the key can never diverge between them.
+        Built by the resolved method's
+        :meth:`~repro.methods.CentralityMethod.group_key` — the single
+        construction site: the planner's canonical queries, the
+        coalescer's group table and the service's bundle resolution
+        (including pre-/post-delta corrections) all read this property,
+        so the key can never diverge between them.  The leading family
+        tag keeps different families out of each other's microbatch
+        pools while ``pagerank`` and ``d2pr`` (one family) keep
+        sharing transitions.
         """
-        return (
-            self.resolved_p,
-            float(self.beta),
-            bool(self.weighted),
-            self.dangling,
-        )
+        return resolve(self.method).group_key(self.method_params())
 
 
 @dataclass(frozen=True)
@@ -301,17 +319,16 @@ def canonical_query(graph: BaseGraph, request: RankRequest) -> CanonicalQuery:
     array.
     """
     request.validate()
-    group_key = request.group_key
+    method = resolve(request.method)
+    params = request.method_params()
+    group_key = method.group_key(params)
     seed_idx, seed_weights = _sparse_seeds(graph, request.seeds)
     h = hashlib.sha1()
-    h.update(
-        repr(
-            (
-                group_key,
-                float(request.alpha),
-            )
-        ).encode()
-    )
+    # The digest covers the group key plus the method's declared
+    # per-answer parameters (alpha for methods that use it, nothing for
+    # pure eigen methods) — fields a method ignores cannot split its
+    # cache lines.
+    h.update(repr((group_key, method.digest_params(params))).encode())
     if seed_idx is None:
         h.update(b"<uniform>")
     else:
@@ -547,6 +564,21 @@ class QueryPlanner:
                 estimates=estimates,
             )
 
+        method = resolve(request.method)
+        if not method.batchable:
+            estimates["certificate"] = method.certificate
+            return QueryPlan(
+                strategy="spectral",
+                reason=(
+                    f"{method.name} iterates the adjacency operator "
+                    f"(not a stochastic transition): direct spectral "
+                    f"solve under the {method.certificate} certificate"
+                ),
+                digest=query.digest,
+                group_key=query.group_key,
+                estimates=estimates,
+            )
+
         if query.seed_idx is not None:
             support = int(query.seed_idx.size)
             avg_entries = entries / max(n, 1)
@@ -563,7 +595,8 @@ class QueryPlanner:
                 localization_threshold=threshold,
             )
             if (
-                support <= self.push_max_seeds
+                method.supports_push
+                and support <= self.push_max_seeds
                 and localization <= threshold
             ):
                 shard = self._local_shard(shard_state, query)
@@ -596,14 +629,15 @@ class QueryPlanner:
                     group_key=query.group_key,
                     estimates=estimates,
                 )
-            reason = (
-                f"seed support {support} exceeds the push window"
-                if support > self.push_max_seeds
-                else (
+            if not method.supports_push:
+                reason = f"method {method.name!r} has no push solver"
+            elif support > self.push_max_seeds:
+                reason = f"seed support {support} exceeds the push window"
+            else:
+                reason = (
                     f"estimated frontier reach {100 * localization:.2g}% "
                     "de-localises push"
                 )
-            )
             return QueryPlan(
                 strategy="batch",
                 reason=f"{reason}: pooled power iteration",
@@ -612,7 +646,7 @@ class QueryPlanner:
                 estimates=estimates,
             )
 
-        if shard_state is not None:
+        if shard_state is not None and method.supports_sharding:
             estimates["n_shards"] = float(shard_state.n_shards)
             return QueryPlan(
                 strategy="sharded",

@@ -267,12 +267,20 @@ class RankingService:
         shard_method: str = "auto",
         shard_size_floor: int | None = None,
         delta_log: DeltaLog | None = None,
+        compact_threshold: float | None = None,
     ) -> None:
         graph.require_nonempty()
         if not 0.0 <= localized_fraction <= 1.0:
             raise ParameterError(
                 f"localized_fraction must be in [0, 1], "
                 f"got {localized_fraction}"
+            )
+        if compact_threshold is not None and not (
+            np.isfinite(compact_threshold) and compact_threshold > 0.0
+        ):
+            raise ParameterError(
+                f"compact_threshold must be positive, "
+                f"got {compact_threshold}"
             )
         if n_shards < 1:
             raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
@@ -313,6 +321,15 @@ class RankingService:
         # the checkpoint has not yet absorbed.  checkpoint() arms one
         # automatically; passing it here re-arms an existing log.
         self._delta_log = delta_log
+        # Log-compaction policy: once a checkpoint exists, apply_delta
+        # auto-checkpoints (truncating the log) whenever the log grows
+        # past compact_threshold × the snapshot's byte size.
+        self._compact_threshold = (
+            float(compact_threshold) if compact_threshold is not None
+            else None
+        )
+        self._checkpoint_path: Path | None = None
+        self._snapshot_bytes: int | None = None
         # Readers/writer barrier: solves share, apply_delta excludes
         # (delta refresh patches cached operator bundles in place).
         self._rw = ReadWriteLock()
@@ -331,7 +348,12 @@ class RankingService:
         }
         self._requests = 0
         self._plan_mix: dict[str, int] = {}
-        self._deltas = {"applied": 0, "localized": 0, "evicting": 0}
+        self._deltas = {
+            "applied": 0,
+            "localized": 0,
+            "evicting": 0,
+            "compactions": 0,
+        }
         self._outstanding: list[ServingTicket] = []
         # digest -> (tol, ticket) of not-yet-resolved batch submissions,
         # so identical queries in one burst share a single column.
@@ -429,6 +451,8 @@ class RankingService:
                 scores = entry.scores
             elif plan.strategy == "incremental":
                 scores = self._correct_entry(query.digest, entry)
+            elif plan.strategy == "spectral":
+                scores = self._serve_spectral(query)
             elif plan.strategy == "shard_push":
                 scores = self._serve_shard_push(query, plan)
             elif plan.strategy == "push":
@@ -476,15 +500,10 @@ class RankingService:
     # strategy execution
     # ------------------------------------------------------------------
     def _bundle(self, group_key: tuple):
-        from repro.core.d2pr import d2pr_operator  # local: avoids cycle
+        from repro.methods import operator_for  # local: avoids cycle
 
-        p, beta, weighted, _dangling = group_key
-        return d2pr_operator(
-            self._graph,
-            p,
-            beta=beta,
-            weighted=weighted,
-            clamp_min=self._clamp_min,
+        return operator_for(
+            self._graph, group_key, clamp_min=self._clamp_min
         )
 
     def _sharded(self, group_key: tuple):
@@ -505,7 +524,7 @@ class RankingService:
         with self._lock:
             if group_key in self._shard_ops:
                 return self._shard_ops[group_key]
-            from repro.core.d2pr import d2pr_sharded_operator
+            from repro.methods import family_method, sharded_operator_for
             from repro.shard.operator import DEFAULT_SIZE_FLOOR
 
             floor = (
@@ -513,15 +532,15 @@ class RankingService:
                 if self._shard_size_floor is None
                 else self._shard_size_floor
             )
-            if self._graph.number_of_nodes < floor:
+            if (
+                self._graph.number_of_nodes < floor
+                or not family_method(group_key).supports_sharding
+            ):
                 sharded = None
             else:
-                p, beta, weighted, _dangling = group_key
-                sharded = d2pr_sharded_operator(
+                sharded = sharded_operator_for(
                     self._graph,
-                    p,
-                    beta=beta,
-                    weighted=weighted,
+                    group_key,
                     clamp_min=self._clamp_min,
                     n_shards=self._n_shards,
                     method=self._shard_method,
@@ -545,6 +564,39 @@ class RankingService:
         if pair is None:
             return None
         return dense_teleport(self._graph.number_of_nodes, pair[0], pair[1])
+
+    def _serve_spectral(self, query: CanonicalQuery) -> NodeScores:
+        """Direct solve for non-batchable (adjacency power-method) methods.
+
+        The answer is cached like any other: the method's recorded
+        residual history is its certificate (eigen-residual for
+        eigenvector/HITS, successive-L1 for Katz), and because spectral
+        methods declare ``supports_incremental=False`` the entry is
+        evicted — never residual-corrected — when a delta lands.
+        """
+        from repro.methods import resolve  # local: avoids cycle
+
+        request = query.request
+        method = resolve(request.method)
+        result = method.solve(
+            self._graph,
+            query.group_key,
+            alpha=request.alpha,
+            teleport=query.dense_teleport(),
+            tol=request.tol,
+            max_iter=self._max_iter,
+            clamp_min=self._clamp_min,
+        )
+        scores = NodeScores(self._graph, result.scores, result)
+        self._cache.store(
+            query.digest,
+            scores=scores,
+            tol=request.tol,
+            mutation=self._graph.mutation_count,
+            request=request,
+            teleport=self._sparse_pair(query),
+        )
+        return scores
 
     def _serve_push(self, query: CanonicalQuery) -> NodeScores:
         request = query.request
@@ -848,9 +900,19 @@ class RankingService:
             prepared: list[tuple[str, _PendingCorrection]] = []
             stale: list[str] = []
             if localized:
+                from repro.methods import resolve  # local: avoids cycle
+
                 mutation = graph.mutation_count
                 for digest, entry in self._cache.live_entries():
                     if entry.mutation != mutation:
+                        stale.append(digest)
+                        continue
+                    # Residual correction assumes the stochastic fixed
+                    # point; methods without it (spectral family) are
+                    # evicted and re-solved on next access instead.
+                    if not resolve(
+                        entry.request.method
+                    ).supports_incremental:
                         stale.append(digest)
                         continue
                     # O(1) per entry: retain the (still-cached,
@@ -896,6 +958,14 @@ class RankingService:
                     )
             else:
                 self._cache.evict_all()
+            # Log-compaction policy: still inside the write hold, so the
+            # snapshot sees exactly the post-delta graph and no request
+            # can slip between the delta and the truncation.
+            due, _why = self._compaction_due()
+            if due:
+                self._checkpoint_locked(self._checkpoint_path)
+                with self._lock:
+                    self._deltas["compactions"] += 1
             return stats
 
     # ------------------------------------------------------------------
@@ -904,7 +974,9 @@ class RankingService:
     _CHECKPOINT_FORMAT = "repro-service-checkpoint"
     _CHECKPOINT_VERSION = 1
 
-    def checkpoint(self, path: str | Path) -> dict:
+    def checkpoint(
+        self, path: str | Path | None = None, *, auto: bool = False
+    ) -> dict:
         """Persist the served graph and warm-start state under ``path``.
 
         Under the exclusive side of the readers/writer barrier (in-flight
@@ -925,63 +997,126 @@ class RankingService:
           service constructed with its own ``delta_log`` keeps (and
           truncates) that log; its path is recorded in the state file.
 
+        ``path`` may be omitted after the first checkpoint — the last
+        checkpoint directory is reused.  With ``auto=True`` the
+        checkpoint is **conditional**: it only runs when the armed
+        delta log has grown past ``compact_threshold`` × the last
+        snapshot's byte size (the log-compaction policy — the same
+        check :meth:`apply_delta` performs automatically after every
+        delta when ``compact_threshold`` is set), and the returned dict
+        says whether it ran (``"compacted"``) and why not otherwise.
+
         Returns a summary dict (nodes, edges, cached entries, log path).
         """
+        if path is None:
+            path = self._checkpoint_path
+            if path is None:
+                raise ParameterError(
+                    "no previous checkpoint to reuse; pass checkpoint(path)"
+                )
         path = Path(path)
         with self._rw.write():
-            self._drain()
-            path.mkdir(parents=True, exist_ok=True)
-            save_snapshot(self._graph, path / "graph")
-            mutation = self._graph.mutation_count
-            entries: list[tuple[str, dict]] = []
-            group_keys: set[tuple] = set()
-            for digest, entry in self._cache.live_entries():
-                if entry.mutation != mutation:
-                    continue
-                group_keys.add(entry.request.group_key)
-                entries.append(
-                    (
-                        digest,
-                        {
-                            "values": np.array(
-                                entry.scores.values, dtype=np.float64
-                            ),
-                            "tol": float(entry.tol),
-                            "request": entry.request,
-                            "teleport": entry.teleport,
-                        },
-                    )
-                )
+            if auto:
+                due, why = self._compaction_due()
+                if not due:
+                    return {"compacted": False, "reason": why}
+            summary = self._checkpoint_locked(path)
+        if auto:
+            summary["compacted"] = True
             with self._lock:
-                group_keys.update(
-                    key
-                    for key, sharded in self._shard_ops.items()
-                    if sharded is not None
+                self._deltas["compactions"] += 1
+        return summary
+
+    def _compaction_due(self) -> tuple[bool, str]:
+        """Whether the armed log has outgrown the compaction threshold.
+
+        Caller holds the write (or is otherwise exclusive); reads the
+        log's on-disk payload size against ``compact_threshold`` × the
+        last snapshot's byte size.
+        """
+        if self._compact_threshold is None:
+            return False, "no compact_threshold configured"
+        if self._delta_log is None:
+            return False, "no delta log armed"
+        if self._snapshot_bytes is None or self._checkpoint_path is None:
+            return False, "no checkpoint written yet"
+        log_bytes = self._delta_log.size
+        budget = self._compact_threshold * self._snapshot_bytes
+        if log_bytes <= budget:
+            return False, (
+                f"log {log_bytes}B within budget {budget:.0f}B "
+                f"({self._compact_threshold:g} of snapshot "
+                f"{self._snapshot_bytes}B)"
+            )
+        return True, (
+            f"log {log_bytes}B exceeds budget {budget:.0f}B"
+        )
+
+    def _checkpoint_locked(self, path: Path) -> dict:
+        """Checkpoint body; caller holds the exclusive (write) side."""
+        self._drain()
+        path.mkdir(parents=True, exist_ok=True)
+        save_snapshot(self._graph, path / "graph")
+        mutation = self._graph.mutation_count
+        entries: list[tuple[str, dict]] = []
+        group_keys: set[tuple] = set()
+        for digest, entry in self._cache.live_entries():
+            if entry.mutation != mutation:
+                continue
+            group_keys.add(entry.request.group_key)
+            entries.append(
+                (
+                    digest,
+                    {
+                        "values": np.array(
+                            entry.scores.values, dtype=np.float64
+                        ),
+                        "tol": float(entry.tol),
+                        "request": entry.request,
+                        "teleport": entry.teleport,
+                    },
                 )
-            if self._delta_log is None:
-                self._delta_log = DeltaLog(path / "deltas.log")
-            self._delta_log.truncate()
-            state = {
-                "format": self._CHECKPOINT_FORMAT,
-                "version": self._CHECKPOINT_VERSION,
-                "nodes": self._graph.number_of_nodes,
-                "edges": self._graph.number_of_edges,
-                "log_path": str(self._delta_log.path),
-                "group_keys": sorted(group_keys),
-                "entries": entries,
-            }
-            tmp = path / "service.pkl.tmp"
-            with open(tmp, "wb") as handle:
-                pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(path / "service.pkl")
-            return {
-                "path": str(path),
-                "nodes": state["nodes"],
-                "edges": state["edges"],
-                "entries": len(entries),
-                "group_keys": len(group_keys),
-                "log": state["log_path"],
-            }
+            )
+        with self._lock:
+            group_keys.update(
+                key
+                for key, sharded in self._shard_ops.items()
+                if sharded is not None
+            )
+        if self._delta_log is None:
+            self._delta_log = DeltaLog(path / "deltas.log")
+        self._delta_log.truncate()
+        state = {
+            "format": self._CHECKPOINT_FORMAT,
+            "version": self._CHECKPOINT_VERSION,
+            "nodes": self._graph.number_of_nodes,
+            "edges": self._graph.number_of_edges,
+            "log_path": str(self._delta_log.path),
+            "group_keys": sorted(group_keys),
+            "entries": entries,
+        }
+        tmp = path / "service.pkl.tmp"
+        with open(tmp, "wb") as handle:
+            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path / "service.pkl")
+        # Remember the directory and snapshot footprint so the
+        # compaction policy (and path-less re-checkpoints) can
+        # compare the armed log against what a fresh snapshot costs.
+        self._checkpoint_path = path
+        self._snapshot_bytes = sum(
+            f.stat().st_size
+            for f in (path / "graph").iterdir()
+            if f.is_file()
+        )
+        return {
+            "path": str(path),
+            "nodes": state["nodes"],
+            "edges": state["edges"],
+            "entries": len(entries),
+            "group_keys": len(group_keys),
+            "log": state["log_path"],
+            "snapshot_bytes": self._snapshot_bytes,
+        }
 
     @classmethod
     def warm_start(
@@ -1040,9 +1175,24 @@ class RankingService:
             log = DeltaLog(log_path)
             replayed = int(log.replay(graph)["records"])
         service = cls(graph, delta_log=log, **options)
+        # Re-arm the compaction baseline: the restored service can keep
+        # auto-compacting against the checkpoint it was started from.
+        service._checkpoint_path = path
+        service._snapshot_bytes = sum(
+            f.stat().st_size
+            for f in (path / "graph").iterdir()
+            if f.is_file()
+        )
+        from repro.methods import adjacency_bundle, family_method
+
         for key in state.get("group_keys", ()):
             key = tuple(key)
-            service._bundle(key)
+            if family_method(key).batchable:
+                service._bundle(key)
+            else:
+                # Spectral families solve on the shared adjacency
+                # bundle; pre-build that instead of a transition.
+                adjacency_bundle(graph, weighted=bool(key[-1]))
             service._sharded(key)
         seeded = 0
         if (
@@ -1090,6 +1240,33 @@ class RankingService:
             },
             "warm_start": self._warm_started,
         }
+
+    def degree_rank(
+        self, request: RankRequest | None = None, *, tail_fraction: float = 0.25
+    ):
+        """Serve ``request`` and profile its degree↔rank coupling.
+
+        Stats-style analytics companion to :meth:`rank`: the request is
+        answered through the normal planned/cached path, then the scores
+        are profiled with
+        :func:`repro.diagnostics.degree_rank_profile` — Spearman
+        degree↔score correlation, log–log Pearson coupling and the
+        power-law tail fit of the score distribution.  Returns a
+        :class:`~repro.diagnostics.DegreeRankProfile` tagged with the
+        request's method name (``profile.summary()`` gives the flat
+        dict view).
+        """
+        from repro.diagnostics import degree_rank_profile
+
+        request = request if request is not None else RankRequest()
+        served = self.rank(request)
+        return degree_rank_profile(
+            self._graph,
+            served.scores,
+            weighted=bool(request.weighted),
+            tail_fraction=tail_fraction,
+            method=request.method,
+        )
 
     def close(self) -> None:
         """Release sharding worker pools and shared-memory segments.

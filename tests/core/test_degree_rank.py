@@ -1,0 +1,97 @@
+"""Degree↔rank diagnostics: profiles, tail fits, farm anomaly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import d2pr, pagerank
+from repro.core.manipulation import farm_rank_anomaly
+from repro.diagnostics import (
+    DegreeRankProfile,
+    degree_rank_profile,
+    power_law_tail,
+)
+from repro.errors import ParameterError
+from repro.graph import Graph, barabasi_albert
+
+
+class TestPowerLawTail:
+    def test_recovers_exact_zipf_exponent(self):
+        ranks = np.arange(1, 201, dtype=np.float64)
+        scores = ranks ** -1.5
+        tail = power_law_tail(scores, fraction=1.0)
+        assert tail.exponent == pytest.approx(1.5, abs=1e-10)
+        assert tail.slope == pytest.approx(-1.5, abs=1e-10)
+        assert tail.r2 == pytest.approx(1.0)
+        assert tail.points == 200
+
+    def test_fraction_limits_the_fit_window(self):
+        scores = np.arange(1, 101, dtype=np.float64) ** -2.0
+        tail = power_law_tail(scores, fraction=0.1)
+        assert tail.points == 10
+
+    def test_constant_tail_has_zero_slope(self):
+        tail = power_law_tail(np.ones(50))
+        assert tail.slope == pytest.approx(0.0)
+        assert tail.r2 == pytest.approx(1.0)
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ParameterError):
+            power_law_tail(np.zeros(10))
+        with pytest.raises(ParameterError):
+            power_law_tail(np.array([1.0]))
+        with pytest.raises(ParameterError):
+            power_law_tail(np.ones(10), fraction=0.0)
+        with pytest.raises(ParameterError):
+            power_law_tail(np.ones(10), fraction=1.5)
+
+
+class TestDegreeRankProfile:
+    def test_pagerank_couples_to_degree_on_hub_graphs(self):
+        g = barabasi_albert(150, 3, seed=3)
+        profile = degree_rank_profile(g, pagerank(g))
+        assert profile.spearman > 0.8
+        assert np.isfinite(profile.log_pearson)
+        assert profile.n == 150
+        assert profile.method is None
+
+    def test_decoupling_weakens_the_correlation(self):
+        g = barabasi_albert(150, 3, seed=3)
+        coupled = degree_rank_profile(g, pagerank(g))
+        decoupled = degree_rank_profile(g, d2pr(g, 2.0))
+        assert decoupled.spearman < coupled.spearman
+
+    def test_accepts_raw_arrays_and_records_method(self):
+        g = barabasi_albert(60, 2, seed=1)
+        values = pagerank(g).values
+        profile = degree_rank_profile(g, values, method="pagerank")
+        assert isinstance(profile, DegreeRankProfile)
+        assert profile.method == "pagerank"
+        assert profile.summary()["method"] == "pagerank"
+
+    def test_shape_mismatch_rejected(self):
+        g = barabasi_albert(30, 2, seed=1)
+        with pytest.raises(ParameterError):
+            degree_rank_profile(g, np.ones(7))
+
+
+class TestFarmRankAnomaly:
+    def test_farm_shifts_the_profile(self):
+        g = barabasi_albert(80, 2, seed=5)
+        target = g.nodes()[40]
+        out = farm_rank_anomaly(g, target, 15, p=0.0)
+        assert set(out) == {
+            "before", "after", "spearman_shift", "tail_exponent_shift"
+        }
+        assert out["after"].n == out["before"].n + 15
+        # The farm's degree-1 spam nodes carry artificially low scores
+        # relative to their structural role: the coupling moves.
+        assert out["spearman_shift"] != 0.0
+
+    def test_profiles_use_requested_tail_fraction(self):
+        g = barabasi_albert(60, 2, seed=2)
+        out = farm_rank_anomaly(
+            g, g.nodes()[10], 5, tail_fraction=1.0
+        )
+        assert out["before"].tail.points == 60

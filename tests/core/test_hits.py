@@ -88,7 +88,7 @@ class TestHitsOperatorBundle:
         )
         first = hits(g, tol=1e-10)
         bundle = g.cached(
-            ("operator", "hits_adjacency", False), lambda: None
+            ("operator", "adjacency", False), lambda: None
         )
         assert bundle is not None  # built by the hits() call above
         hits_before = g._cache_hits
@@ -103,10 +103,10 @@ class TestHitsOperatorBundle:
         hits(g, tol=1e-10)
         hits(g, tol=1e-10, weighted=True)
         unweighted = g.cached(
-            ("operator", "hits_adjacency", False), lambda: None
+            ("operator", "adjacency", False), lambda: None
         )
         weighted = g.cached(
-            ("operator", "hits_adjacency", True), lambda: None
+            ("operator", "adjacency", True), lambda: None
         )
         assert unweighted is not None and weighted is not None
         assert unweighted is not weighted

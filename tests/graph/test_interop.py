@@ -1,0 +1,95 @@
+"""NetworkX interop: conversion, attribute round-trip, backend choice."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import DiGraph, Graph, from_networkx, to_networkx
+from repro.graph.interop import HAS_NETWORKX
+
+nx = pytest.importorskip("networkx")
+
+
+def _repro_sample(cls):
+    g = cls.from_edges(
+        [("a", "b", 2.0), ("b", "c", 1.0), ("c", "a", 3.5), ("a", "c", 1.0)]
+    )
+    g.set_node_attr("a", "kind", "root")
+    g.set_node_attr("b", "score", 0.5)
+    return g
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cls", [Graph, DiGraph])
+    def test_round_trip_preserves_everything(self, cls):
+        g = _repro_sample(cls)
+        back = from_networkx(to_networkx(g))
+        assert type(back) is cls
+        assert back.nodes() == g.nodes()
+        assert sorted(back.edges()) == sorted(g.edges())
+        assert back.node_attr("a", "kind") == "root"
+        assert back.node_attr("b", "score") == 0.5
+        assert back.node_attr("c", "kind") is None
+
+    def test_directedness_is_preserved(self):
+        assert to_networkx(_repro_sample(DiGraph)).is_directed()
+        assert not to_networkx(_repro_sample(Graph)).is_directed()
+        assert from_networkx(nx.DiGraph([(0, 1)])).directed
+        assert not from_networkx(nx.Graph([(0, 1)])).directed
+
+
+class TestFromNetworkx:
+    def test_weight_attribute_is_read(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge("u", "v", weight=4.0)
+        nxg.add_edge("v", "w")  # defaults to 1.0
+        g = from_networkx(nxg)
+        edges = {(u, v): w for u, v, w in g.edges()}
+        assert edges[("u", "v")] == 4.0
+        assert edges[("v", "w")] == 1.0
+
+    def test_custom_weight_key(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 1, capacity=7.0)
+        g = from_networkx(nxg, weight="capacity")
+        assert next(iter(g.edges()))[2] == 7.0
+
+    def test_node_attributes_copied(self):
+        nxg = nx.Graph()
+        nxg.add_node("a", color="red", size=3)
+        nxg.add_edge("a", "b")
+        g = from_networkx(nxg)
+        assert g.node_attr("a", "color") == "red"
+        assert g.node_attr("a", "size") == 3
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(ParameterError, match="multigraph"):
+            from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))
+
+    def test_backend_passthrough(self):
+        g = from_networkx(nx.Graph([(0, 1), (1, 2)]), backend="memory")
+        assert g.backend.name == "memory"
+
+    def test_empty_graph(self):
+        g = from_networkx(nx.Graph())
+        assert g.number_of_nodes == 0
+        assert g.number_of_edges == 0
+
+
+class TestAgainstNetworkxPagerank:
+    def test_converted_graph_ranks_like_the_original(self):
+        from repro import pagerank
+
+        nxg = nx.gnp_random_graph(40, 0.15, seed=4, directed=True)
+        g = from_networkx(nxg)
+        theirs = nx.pagerank(nxg, alpha=0.85, tol=1e-12)
+        ours = pagerank(g, tol=1e-12)
+        reference = np.array([theirs[n] for n in g.nodes()])
+        reference /= reference.sum()
+        assert np.abs(ours.values - reference).max() < 1e-6
+
+
+def test_has_networkx_flag_is_true_here():
+    assert HAS_NETWORKX

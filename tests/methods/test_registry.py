@@ -1,0 +1,132 @@
+"""Registry contract: menu, vocabularies, group keys, digests, flags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.methods import (
+    CERTIFICATES,
+    MethodParams,
+    family_method,
+    method_names,
+    resolve,
+)
+
+
+class TestRegistry:
+    def test_method_menu(self):
+        assert method_names() == (
+            "pagerank", "d2pr", "fatigued", "katz", "eigenvector", "hits"
+        )
+
+    def test_unknown_method_lists_menu(self):
+        with pytest.raises(ParameterError) as err:
+            resolve("nosuch")
+        for name in method_names():
+            assert name in str(err.value)
+
+    def test_family_method_accepts_group_key_tuples(self):
+        key = resolve("d2pr").group_key(MethodParams(p=1.5))
+        assert family_method(key).family == "d2pr"
+        assert family_method("fatigued") is resolve("fatigued")
+        with pytest.raises(ParameterError):
+            family_method("nosuch")
+
+    def test_certificates_are_known(self):
+        for name in method_names():
+            assert resolve(name).certificate in CERTIFICATES
+
+    def test_group_keys_lead_with_family(self):
+        for name in method_names():
+            method = resolve(name)
+            assert method.group_key(MethodParams())[0] == method.family
+
+    def test_batchable_group_keys_end_with_dangling(self):
+        # The engine and coalescer read dangling as group_key[-1].
+        params = MethodParams(dangling="uniform")
+        for name in method_names():
+            method = resolve(name)
+            if method.batchable:
+                assert method.group_key(params)[-1] == "uniform"
+
+    def test_capability_flags_partition_the_family(self):
+        for name in ("pagerank", "d2pr", "fatigued"):
+            method = resolve(name)
+            assert method.batchable
+            assert method.supports_push
+            assert method.supports_incremental
+            assert method.supports_sharding
+        for name in ("katz", "eigenvector", "hits"):
+            method = resolve(name)
+            assert not method.batchable
+            assert not method.supports_push
+            assert not method.supports_incremental
+            assert not method.supports_sharding
+
+
+class TestVocabulary:
+    @pytest.mark.parametrize(
+        "name,field,value",
+        [
+            ("pagerank", "p", 1.0),
+            ("pagerank", "fatigue", 0.5),
+            ("d2pr", "fatigue", 0.5),
+            ("katz", "p", 1.0),
+            ("katz", "fatigue", 0.5),
+            ("katz", "dangling", "self"),
+            ("eigenvector", "alpha", 0.5),
+            ("hits", "dangling", "self"),
+        ],
+    )
+    def test_out_of_vocabulary_fields_rejected(self, name, field, value):
+        with pytest.raises(ParameterError) as err:
+            resolve(name).validate(MethodParams(**{field: value}))
+        assert field in str(err.value)
+        assert name in str(err.value)
+
+    def test_seeds_rejected_on_global_eigen_measures(self):
+        for name in ("eigenvector", "hits"):
+            with pytest.raises(ParameterError, match="does not take seeds"):
+                resolve(name).validate(MethodParams(has_seeds=True))
+        # Katz is spectral but personalisable.
+        resolve("katz").validate(MethodParams(has_seeds=True))
+
+    def test_fatigue_domain_is_half_open(self):
+        resolve("fatigued").validate(MethodParams(fatigue=0.99))
+        for bad in (1.0, -0.1, float("nan")):
+            with pytest.raises(ParameterError):
+                resolve("fatigued").validate(MethodParams(fatigue=bad))
+
+    def test_alpha_validated_only_when_in_vocabulary(self):
+        with pytest.raises(ParameterError):
+            resolve("katz").validate(MethodParams(alpha=1.0))
+        # eigenvector has no alpha: a non-default value is out of vocab.
+        with pytest.raises(ParameterError, match="does not take alpha"):
+            resolve("eigenvector").validate(MethodParams(alpha=0.5))
+
+
+class TestIdentity:
+    def test_pagerank_is_the_p_zero_point_of_d2pr(self):
+        params = MethodParams()
+        pr, d2 = resolve("pagerank"), resolve("d2pr")
+        assert pr.group_key(params) == d2.group_key(params)
+        assert pr.digest_params(params) == d2.digest_params(params)
+
+    def test_fatigue_enters_the_group_key(self):
+        fat = resolve("fatigued")
+        a = fat.group_key(MethodParams(fatigue=0.2))
+        b = fat.group_key(MethodParams(fatigue=0.6))
+        assert a != b
+
+    def test_eigenvector_digest_is_empty(self):
+        assert resolve("eigenvector").digest_params(MethodParams()) == ()
+
+    def test_sort_keys_compare_across_families(self):
+        # solve_many sorts heterogeneous group keys; the leading family
+        # string must make every cross-family comparison well-defined.
+        keys = [
+            resolve(name).group_key(MethodParams())
+            for name in method_names()
+        ]
+        sorted(keys, key=lambda k: family_method(k).sort_key(k))

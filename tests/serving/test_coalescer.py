@@ -19,7 +19,7 @@ def _graph(n=150, m=1500, seed=1):
     return Graph.from_arrays(rows[keep], cols[keep], num_nodes=n)
 
 
-GROUP = (1.0, 0.0, False, "teleport")
+GROUP = ("d2pr", 1.0, 0.0, False, "teleport")
 
 
 def _teleport(graph, idx):
@@ -71,7 +71,7 @@ class TestSubmitFlush:
         graph = _graph()
         co = MicrobatchCoalescer(graph, window=16)
         t_a = co.submit(GROUP, teleport=None, alpha=0.85, tol=1e-10)
-        other = (0.0, 0.0, False, "teleport")
+        other = ("d2pr", 0.0, 0.0, False, "teleport")
         t_b = co.submit(other, teleport=None, alpha=0.85, tol=1e-10)
         co.flush(( *GROUP, 1e-10 ))
         assert t_a.done and not t_b.done
@@ -136,30 +136,30 @@ class TestValidationAndStats:
         co = MicrobatchCoalescer(graph, window=16, max_groups=2)
         for p in (0.0, 0.5, 1.0, 1.5):
             co.submit(
-                (p, 0.0, False, "teleport"),
+                ("d2pr", p, 0.0, False, "teleport"),
                 teleport=None, alpha=0.85, tol=1e-8,
             )
             co.flush()
         # Only the two most recent flushed groups keep warm-start state.
         assert len(co._groups) == 2
         assert set(co._groups) == {
-            (1.0, 0.0, False, "teleport", 1e-8),
-            (1.5, 0.0, False, "teleport", 1e-8),
+            ("d2pr", 1.0, 0.0, False, "teleport", 1e-8),
+            ("d2pr", 1.5, 0.0, False, "teleport", 1e-8),
         }
 
     def test_groups_with_pending_columns_survive_eviction(self):
         graph = _graph()
         co = MicrobatchCoalescer(graph, window=16, max_groups=1)
         pending = co.submit(
-            (0.0, 0.0, False, "teleport"),
+            ("d2pr", 0.0, 0.0, False, "teleport"),
             teleport=None, alpha=0.85, tol=1e-8,
         )
         for p in (0.5, 1.0):
             co.submit(
-                (p, 0.0, False, "teleport"),
+                ("d2pr", p, 0.0, False, "teleport"),
                 teleport=None, alpha=0.85, tol=1e-8,
             )
-            co.flush((p, 0.0, False, "teleport", 1e-8))
+            co.flush(("d2pr", p, 0.0, False, "teleport", 1e-8))
         assert not pending.done
         ref = d2pr(graph, 0.0, tol=1e-8)
         assert np.abs(pending.result().scores - ref.values).max() < 1e-7

@@ -18,7 +18,7 @@ def _graph(n=120, m=900, seed=4):
     return Graph.from_arrays(rows[keep], cols[keep], num_nodes=n)
 
 
-GROUP = (0.0, 0.0, False, "teleport")
+GROUP = ("d2pr", 0.0, 0.0, False, "teleport")
 
 
 class FakeClock:
@@ -81,7 +81,7 @@ def test_poll_noop_without_max_age():
 def test_backlog_trigger_flushes_all_groups():
     graph = _graph()
     co = MicrobatchCoalescer(graph, window=16, backlog=3)
-    other = (0.5, 0.0, False, "teleport")
+    other = ("d2pr", 0.5, 0.0, False, "teleport")
     t1 = co.submit(GROUP, teleport=_teleport(graph, 0), alpha=0.85, tol=1e-8)
     t2 = co.submit(other, teleport=_teleport(graph, 1), alpha=0.85, tol=1e-8)
     assert co.pending == 2

@@ -1,0 +1,113 @@
+"""Delta-log compaction: auto-checkpoint keeps the armed log bounded."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import Graph, GraphDelta
+from repro.graph.persist import DeltaLog
+from repro.serving import RankingService, RankRequest
+
+
+def _graph(n=150, m=1200, seed=9):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, m)
+    cols = rng.integers(0, n, m)
+    keep = rows != cols
+    return Graph.from_arrays(rows[keep], cols[keep], num_nodes=n)
+
+
+def _delta(i):
+    return GraphDelta.insert(
+        np.array([i % 100], dtype=np.int64),
+        np.array([(i + 7) % 100], dtype=np.int64),
+    )
+
+
+class TestDeltaLogSize:
+    def test_size_tracks_payload_and_truncation(self, tmp_path):
+        log = DeltaLog(tmp_path / "d.log")
+        assert log.size == 0
+        log.append(_delta(0))
+        grown = log.size
+        assert grown > 0
+        log.append(_delta(1))
+        assert log.size > grown
+        log.truncate()
+        assert log.size == 0
+
+
+class TestCompactionPolicy:
+    def test_rejects_non_positive_threshold(self):
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ParameterError):
+                RankingService(_graph(), compact_threshold=bad)
+
+    def test_checkpoint_without_path_or_history_rejected(self):
+        with pytest.raises(ParameterError, match="no previous checkpoint"):
+            RankingService(_graph()).checkpoint()
+
+    def test_auto_checkpoint_reports_why_not_due(self, tmp_path):
+        service = RankingService(_graph())
+        out = service.checkpoint(tmp_path / "ckpt", auto=True)
+        assert out == {
+            "compacted": False,
+            "reason": "no compact_threshold configured",
+        }
+        service = RankingService(_graph(), compact_threshold=0.5)
+        out = service.checkpoint(tmp_path / "other", auto=True)
+        assert out["compacted"] is False
+        assert "delta log" in out["reason"] or "checkpoint" in out["reason"]
+
+    def test_auto_checkpoint_compacts_past_threshold(self, tmp_path):
+        # A microscopic threshold makes any logged delta exceed budget.
+        service = RankingService(_graph(), compact_threshold=1e-9)
+        service.rank(RankRequest(p=0.0))
+        first = service.checkpoint(tmp_path / "ckpt")
+        assert first["snapshot_bytes"] > 0
+        log = DeltaLog(tmp_path / "ckpt" / "deltas.log")
+        # apply_delta compacts automatically: the log is truncated right
+        # after the delta is snapshotted into the checkpoint.
+        service.apply_delta(_delta(0))
+        assert log.size == 0
+        assert service.stats()["deltas"]["compactions"] == 1
+        # An explicit auto-checkpoint now finds nothing to do.
+        out = service.checkpoint(auto=True)
+        assert out["compacted"] is False
+        assert "within budget" in out["reason"]
+
+    def test_under_threshold_log_keeps_growing(self, tmp_path):
+        # A huge threshold: deltas accumulate in the log, no compaction.
+        service = RankingService(_graph(), compact_threshold=1e9)
+        service.checkpoint(tmp_path / "ckpt")
+        log = DeltaLog(tmp_path / "ckpt" / "deltas.log")
+        for i in range(3):
+            service.apply_delta(_delta(i))
+        assert len(log.records()) == 3
+        assert service.stats()["deltas"]["compactions"] == 0
+
+    def test_compacted_checkpoint_warm_starts_current(self, tmp_path):
+        service = RankingService(_graph(), compact_threshold=1e-9)
+        service.rank(RankRequest(p=0.0))
+        service.checkpoint(tmp_path / "ckpt")
+        for i in range(2):
+            service.apply_delta(_delta(i))
+        # Every delta was compacted into the snapshot: a warm start
+        # replays nothing and still answers on the live graph state.
+        warm = RankingService.warm_start(tmp_path / "ckpt")
+        assert warm._warm_started["replayed"] == 0
+        live = service.rank(RankRequest(p=0.0))
+        restored = warm.rank(RankRequest(p=0.0))
+        l1 = float(
+            np.abs(live.scores.values - restored.scores.values).sum()
+        )
+        assert l1 <= 2e-10
+
+    def test_stats_count_every_compaction(self, tmp_path):
+        service = RankingService(_graph(), compact_threshold=1e-9)
+        service.checkpoint(tmp_path / "ckpt")
+        for i in range(3):
+            service.apply_delta(_delta(i))
+        assert service.stats()["deltas"]["compactions"] == 3

@@ -31,7 +31,10 @@ class TestRankRequestValidation:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {"method": "hits"},
+            {"method": "nosuch"},
+            {"method": "eigenvector", "alpha": 0.5},  # not in vocabulary
+            {"method": "katz", "p": 1.0},  # not in vocabulary
+            {"method": "fatigued", "fatigue": 1.0},  # γ < 1 strictly
             {"method": "pagerank", "p": 1.0},
             {"method": "pagerank", "beta": 0.5, "weighted": True},
             {"alpha": 1.0},
@@ -173,7 +176,7 @@ class TestCanonicalQuery:
         query = canonical_query(
             graph, RankRequest(p=1.5, dangling="self")
         )
-        assert query.group_key == (1.5, 0.0, False, "self")
+        assert query.group_key == ("d2pr", 1.5, 0.0, False, "self")
 
 
 class TestQueryPlanner:

@@ -55,7 +55,7 @@ def service():
 
 def test_planner_shard_routes(service):
     graph = service.graph
-    shard_state = service._sharded((0.0, 0.0, False, "teleport"))
+    shard_state = service._sharded(("d2pr", 0.0, 0.0, False, "teleport"))
     planner = QueryPlanner()
 
     q_global = canonical_query(graph, RankRequest(method="pagerank"))
@@ -130,10 +130,10 @@ def test_below_floor_serves_unsharded():
 
 def test_delta_closes_and_rebuilds_shard_operators(service):
     service.rank(RankRequest(method="pagerank", tol=1e-10))
-    old = service._sharded((0.0, 0.0, False, "teleport"))
+    old = service._sharded(("d2pr", 0.0, 0.0, False, "teleport"))
     assert old is not None
     service.apply_delta(GraphDelta.insert(np.array([0]), np.array([50])))
-    rebuilt = service._sharded((0.0, 0.0, False, "teleport"))
+    rebuilt = service._sharded(("d2pr", 0.0, 0.0, False, "teleport"))
     assert rebuilt is not None and rebuilt is not old
     # post-delta answers stay correct through the rebuilt operator
     result = service.rank(RankRequest(method="pagerank", tol=1e-10))

@@ -15,12 +15,15 @@
 # asserted zero at provisioned capacity), the block-partitioned
 # solver (sharded_solve: blocked shard plan + aggregation/
 # disaggregation rounds through a 2-worker zero-copy shared-memory
-# pool) and the storage/persistence layer (persistence: snapshot
+# pool), the storage/persistence layer (persistence: snapshot
 # write/load on both backends, delta-log replay, service checkpoint +
-# warm_start answering the replayed query stream certificate-equal) —
-# so a broken batch, operator-cache, push, streaming, serving, front,
-# sharding or persistence path fails CI even before the full-size
-# numbers are regenerated.
+# warm_start answering the replayed query stream certificate-equal)
+# and the method registry (centrality_family: a mixed pagerank /
+# fatigued / katz / eigenvector stream through one RankingService vs
+# per-method cold solves, repeats asserted to be certified cache
+# hits) — so a broken batch, operator-cache, push, streaming, serving,
+# front, sharding, persistence or method-dispatch path fails CI even
+# before the full-size numbers are regenerated.
 # Mirrors what .github/workflows/ci.yml executes on every push; run it
 # locally before sending a PR.
 set -euo pipefail

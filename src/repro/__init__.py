@@ -52,6 +52,7 @@ from repro.errors import (
 from repro.graph import BipartiteGraph, DiGraph, Graph, graph_statistics, project
 from repro.metrics import kendall, pearson, rank_data, spearman
 from repro.serving import RankingService, RankRequest, ServingFront
+from repro.telemetry import MetricsRegistry, Tracer
 
 __all__ = [
     "__version__",
@@ -75,6 +76,9 @@ __all__ = [
     "RankingService",
     "RankRequest",
     "ServingFront",
+    # telemetry
+    "MetricsRegistry",
+    "Tracer",
     # graphs
     "Graph",
     "DiGraph",

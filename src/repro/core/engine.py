@@ -29,6 +29,7 @@ from repro.graph.base import BaseGraph, Node
 from repro.linalg.batch import power_iteration_batch
 from repro.linalg.operator import LinearOperatorBundle
 from repro.linalg.push import forward_push
+from repro.telemetry.trace import annotate
 from repro.linalg.solvers import (
     DANGLING_STRATEGIES,
     PageRankResult,
@@ -399,6 +400,8 @@ def solve_many(
     list[NodeScores]
         One result per query, aligned with the input order.
     """
+    annotate(engine="solve_many", engine_queries=len(queries))
+
     from repro.core.results import NodeScores
     from repro.methods import family_method, operator_for
 
@@ -645,6 +648,8 @@ def update_scores_many(
     list[NodeScores]
         Updated scores aligned with ``previous``.
     """
+    annotate(engine="update_scores_many", engine_blocks=len(previous))
+
     from repro.core.results import NodeScores
     from repro.linalg.incremental import incremental_update, residual_vector
     from repro.linalg.solvers import _validate_common

@@ -50,6 +50,7 @@ from repro.linalg.solvers import (
     DANGLING_STRATEGIES,
     PageRankResult,
 )
+from repro.telemetry.trace import record_solver
 
 __all__ = ["BatchResult", "power_iteration_batch"]
 
@@ -683,6 +684,15 @@ def power_iteration_batch(
         method += "_family"
     elif use_mixed:
         method += "_mixed"
+    finals = [r[-1] for r in residuals if r]
+    record_solver(
+        method,
+        columns=int(k),
+        iterations=int(iterations.max(initial=0)),
+        residual=float(max(finals)) if finals else None,
+        converged=bool(converged.all()),
+        converged_columns=int(converged.sum()),
+    )
     return BatchResult(
         scores=scores,
         iterations=iterations,

@@ -58,6 +58,7 @@ from repro.linalg.solvers import (
     _validate_common,
     power_iteration,
 )
+from repro.telemetry.trace import record_result
 
 __all__ = ["incremental_update", "residual_vector"]
 
@@ -105,12 +106,14 @@ def _finish(
         scores = scores / total
     else:  # pragma: no cover - degenerate correction
         scores = x.copy()
-    return PageRankResult(
-        scores=scores,
-        iterations=epochs,
-        converged=converged,
-        residuals=history,
-        method=method,
+    return record_result(
+        PageRankResult(
+            scores=scores,
+            iterations=epochs,
+            converged=converged,
+            residuals=history,
+            method=method,
+        )
     )
 
 
@@ -128,6 +131,7 @@ def _fallback(
     raise_on_failure: bool,
     epochs: int,
     history: list[float],
+    cause: str,
 ) -> PageRankResult:
     """Finish with power iteration warm-started from the partial update."""
     guess = np.maximum(x + q + res, 0.0)
@@ -142,12 +146,16 @@ def _fallback(
         operator=bundle,
         x0=guess if guess.sum() > 0.0 else None,
     )
-    return PageRankResult(
-        scores=result.scores,
-        iterations=epochs + result.iterations,
-        converged=result.converged,
-        residuals=history + result.residuals,
-        method="incremental_fallback",
+    return record_result(
+        PageRankResult(
+            scores=result.scores,
+            iterations=epochs + result.iterations,
+            converged=result.converged,
+            residuals=history + result.residuals,
+            method="incremental_fallback",
+        ),
+        fallback=cause,
+        push_epochs=epochs,
     )
 
 
@@ -290,6 +298,7 @@ def incremental_update(
             bundle, t, x, q, res + dust,
             alpha=alpha, tol=tol, max_iter=max_iter, dangling=dangling,
             raise_on_failure=raise_on_failure, epochs=0, history=history,
+            cause="uniform_dangling",
         )
 
     mat = bundle.mat
@@ -317,7 +326,7 @@ def incremental_update(
                 bundle, t, x, q, res + dust,
                 alpha=alpha, tol=tol, max_iter=max_iter - epochs,
                 dangling=dangling, raise_on_failure=raise_on_failure,
-                epochs=epochs, history=history,
+                epochs=epochs, history=history, cause="frontier_cap",
             )
         epochs += 1
 

@@ -51,6 +51,7 @@ from scipy import sparse
 from repro.errors import ConvergenceError, ParameterError
 from repro.linalg.operator import DANGLING_STRATEGIES, LinearOperatorBundle
 from repro.linalg.solvers import PageRankResult, power_iteration
+from repro.telemetry.trace import record_result
 
 __all__ = ["forward_push"]
 
@@ -159,6 +160,7 @@ def _fallback(
     raise_on_failure: bool,
     epochs: int,
     history: list[float],
+    cause: str,
 ) -> PageRankResult:
     """Finish with power iteration (same bundle), warm-started from q+res."""
     guess = q + res
@@ -174,11 +176,15 @@ def _fallback(
         operator=bundle,
         x0=x0,
     )
-    return replace(
-        result,
-        iterations=epochs + result.iterations,
-        residuals=history + result.residuals,
-        method="forward_push_fallback",
+    return record_result(
+        replace(
+            result,
+            iterations=epochs + result.iterations,
+            residuals=history + result.residuals,
+            method="forward_push_fallback",
+        ),
+        fallback=cause,
+        push_epochs=epochs,
     )
 
 
@@ -278,10 +284,12 @@ def forward_push(
             bundle, teleport, q, res,
             alpha=alpha, tol=tol, max_iter=max_iter, dangling=dangling,
             raise_on_failure=raise_on_failure, epochs=0, history=history,
+            cause="uniform_dangling",
         )
 
     epochs = 0
     converged = False
+    frontier_peak = 0
     while epochs < max_iter:
         # Adaptive Gauss–Southwell threshold: push everything holding at
         # least _THETA_FRACTION of the mean active residual.  The mean is
@@ -297,8 +305,10 @@ def forward_push(
                 bundle, teleport, q, res,
                 alpha=alpha, tol=tol, max_iter=max_iter - epochs,
                 dangling=dangling, raise_on_failure=raise_on_failure,
-                epochs=epochs, history=history,
+                epochs=epochs, history=history, cause="frontier_cap",
             )
+        if active.size > frontier_peak:
+            frontier_peak = int(active.size)
         epochs += 1
 
         if dangling == "self":
@@ -344,10 +354,13 @@ def forward_push(
         )
     total = q.sum()
     scores = q / total if total > 0.0 else teleport.copy()
-    return PageRankResult(
-        scores=scores,
-        iterations=epochs,
-        converged=converged,
-        residuals=history,
-        method="forward_push",
+    return record_result(
+        PageRankResult(
+            scores=scores,
+            iterations=epochs,
+            converged=converged,
+            residuals=history,
+            method="forward_push",
+        ),
+        frontier_peak=frontier_peak,
     )

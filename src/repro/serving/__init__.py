@@ -8,6 +8,11 @@ injectable components.  :class:`ServingFront` puts a concurrent request
 path — bounded admission queue, worker pool, flush timer — in front of
 the (thread-safe) service.  See ``docs/serving.md`` for the serving and
 concurrency contracts.
+
+Every component records into one shared
+:class:`~repro.telemetry.metrics.MetricsRegistry` (reachable as
+``service.telemetry``); pass ``tracing=True`` to the service to sample
+per-request traces — see ``docs/observability.md``.
 """
 
 from repro.serving.admission import AdmissionController

@@ -33,6 +33,7 @@ import threading
 from collections import deque
 
 from repro.errors import AdmissionError, ParameterError
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["AdmissionController"]
 
@@ -48,6 +49,9 @@ class AdmissionController:
         ``{class_label: max_concurrent}`` — classes absent from the map
         are unlimited.  Limits bound *running* items (between
         :meth:`take` and :meth:`release`), not queued ones.
+    metrics:
+        Telemetry registry for the admit/reject counters and the
+        queue-depth gauge; ``None`` creates a private registry.
     """
 
     def __init__(
@@ -55,6 +59,7 @@ class AdmissionController:
         capacity: int = 64,
         *,
         limits: dict[str, int] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if capacity < 1:
             raise ParameterError(f"capacity must be >= 1, got {capacity}")
@@ -70,8 +75,21 @@ class AdmissionController:
         self._queue: deque[tuple[object, str]] = deque()
         self._running: dict[str, int] = {}
         self._closed = False
-        self._admitted = 0
-        self._rejected: dict[str, int] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_admitted = self.metrics.counter(
+            "admission_admitted_total", "Requests admitted to the queue"
+        )
+        self._m_rejected = self.metrics.counter(
+            "admission_rejected_total",
+            "Requests refused, by reason",
+            labels=("reason",),
+        )
+        # Callback gauge: evaluated at export time, takes the condition
+        # variable — safe because no code updates *gauge* families while
+        # holding it (counters are leaf locks; see docs/serving.md).
+        self.metrics.gauge(
+            "admission_queue_depth", "Admitted but not yet running requests"
+        ).set_function(self.depth)
 
     # ------------------------------------------------------------------
     # producer side
@@ -80,23 +98,19 @@ class AdmissionController:
         """Admit ``item`` or raise :class:`AdmissionError` with a reason."""
         with self._cv:
             if self._closed:
-                self._rejected["shutdown"] = (
-                    self._rejected.get("shutdown", 0) + 1
-                )
+                self._m_rejected.inc(reason="shutdown")
                 raise AdmissionError(
                     "serving front is shut down", reason="shutdown"
                 )
             if len(self._queue) >= self.capacity:
-                self._rejected["queue_full"] = (
-                    self._rejected.get("queue_full", 0) + 1
-                )
+                self._m_rejected.inc(reason="queue_full")
                 raise AdmissionError(
                     f"ingress queue is full ({self.capacity} deep); "
                     "retry later or raise capacity",
                     reason="queue_full",
                 )
             self._queue.append((item, cls))
-            self._admitted += 1
+            self._m_admitted.inc()
             self._cv.notify_all()
 
     # ------------------------------------------------------------------
@@ -165,9 +179,8 @@ class AdmissionController:
             self._closed = True
             leftovers = list(self._queue)
             self._queue.clear()
-            self._rejected["shutdown"] = (
-                self._rejected.get("shutdown", 0) + len(leftovers)
-            )
+            if leftovers:
+                self._m_rejected.inc(len(leftovers), reason="shutdown")
             self._cv.notify_all()
             return leftovers
 
@@ -182,14 +195,25 @@ class AdmissionController:
             return len(self._queue)
 
     def stats(self) -> dict:
-        """Admission health: depth, running per class, rejections by reason."""
+        """Admission health: depth, running per class, rejections by reason.
+
+        A backwards-compatible view over the telemetry registry (the
+        ``admission_*`` export names).
+        """
+        rejected = {
+            dict(labels)["reason"]: int(value)
+            for labels, value in self._m_rejected.values().items()
+        }
         with self._cv:
-            return {
-                "capacity": self.capacity,
-                "depth": len(self._queue),
-                "admitted": self._admitted,
-                "rejected": dict(self._rejected),
-                "running": dict(self._running),
-                "limits": dict(self.limits),
-                "closed": self._closed,
-            }
+            depth = len(self._queue)
+            running = dict(self._running)
+            closed = self._closed
+        return {
+            "capacity": self.capacity,
+            "depth": depth,
+            "admitted": int(self._m_admitted.value()),
+            "rejected": rejected,
+            "running": running,
+            "limits": dict(self.limits),
+            "closed": closed,
+        }

@@ -62,6 +62,7 @@ import numpy as np
 from repro.core.results import NodeScores
 from repro.errors import ParameterError
 from repro.serving.planner import RankRequest
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["CacheEntry", "ResultCache"]
 
@@ -96,18 +97,45 @@ class CacheEntry:
 class ResultCache:
     """Bounded LRU of certified ranking answers, corrected across deltas."""
 
-    def __init__(self, capacity: int = 128) -> None:
+    def __init__(
+        self,
+        capacity: int = 128,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         if capacity < 1:
             raise ParameterError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.RLock()
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
-        self._lookups = 0
-        self._hits = 0
-        self._misses = 0
-        self._corrections = 0
-        self._stale_corrections = 0
-        self._evictions = 0
+        # All counters live in the (possibly shared) telemetry registry;
+        # each increment is atomic under the counter family's own leaf
+        # lock, so readers exporting a snapshot never see torn values.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_lookups = self.metrics.counter(
+            "cache_lookups_total", "Result-cache lookups"
+        )
+        self._m_hits = self.metrics.counter(
+            "cache_hits_total", "Certified answers served from cache"
+        )
+        self._m_misses = self.metrics.counter(
+            "cache_misses_total", "Lookups that required a solve"
+        )
+        self._m_corrections = self.metrics.counter(
+            "cache_corrections_total",
+            "Pending entries re-certified by incremental correction",
+        )
+        self._m_stale = self.metrics.counter(
+            "cache_stale_corrections_total",
+            "Corrections discarded because a newer delta superseded them",
+        )
+        self._m_evictions = self.metrics.counter(
+            "cache_evictions_total", "Entries dropped (LRU or invalidation)"
+        )
+        occupancy = self.metrics.gauge(
+            "cache_entries", "Resident cache entries"
+        )
+        occupancy.set_function(self.__len__)
 
     def __len__(self) -> int:
         with self._lock:
@@ -139,26 +167,26 @@ class ResultCache:
         :meth:`resolve_pending` as the token.
         """
         with self._lock:
-            self._lookups += 1
+            self._m_lookups.inc()
             entry = self._entries.get(digest)
             if entry is None:
-                self._misses += 1
+                self._m_misses.inc()
                 return "miss", None
             if entry.mutation != mutation:
                 # Mutated outside the service's apply_delta path: the
                 # entry has no correction route, so it can never serve
                 # again.
                 self._evict(digest)
-                self._misses += 1
+                self._m_misses.inc()
                 return "miss", None
             if entry.tol > tol * (1.0 + _TOL_SLACK):
-                self._misses += 1
+                self._m_misses.inc()
                 return "miss", None
             self._entries.move_to_end(digest)
             if entry.pending is not None:
                 return "pending", entry
             entry.hits += 1
-            self._hits += 1
+            self._m_hits.inc()
             return "hit", entry
 
     def peek(self, digest: str, *, mutation: int, tol: float) -> str:
@@ -200,7 +228,7 @@ class ResultCache:
             self._entries[digest] = entry
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
-                self._evictions += 1
+                self._m_evictions.inc()
             return entry
 
     # ------------------------------------------------------------------
@@ -290,13 +318,13 @@ class ResultCache:
                 # consumed by that re-mark's capture assumptions — drop
                 # both rather than risk serving either.
                 self._evict(digest)
-                self._stale_corrections += 1
+                self._m_stale.inc()
                 return "stale", None
             entry.scores = scores
             entry.tol = float(tol)
             entry.mutation = int(mutation)
             entry.pending = None
-            self._corrections += 1
+            self._m_corrections.inc()
             self._entries.move_to_end(digest)
             return "resolved", entry
 
@@ -311,34 +339,41 @@ class ResultCache:
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
-            self._evictions += dropped
+            if dropped:
+                self._m_evictions.inc(dropped)
             return dropped
 
     def _evict(self, digest: str) -> None:
         del self._entries[digest]
-        self._evictions += 1
+        self._m_evictions.inc()
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Hit/miss/correction/eviction counters plus occupancy."""
+        """Hit/miss/correction/eviction counters plus occupancy.
+
+        A backwards-compatible view over the telemetry registry — the
+        same numbers the Prometheus/JSON exporters publish.
+        """
+        lookups = int(self._m_lookups.value())
+        hits = int(self._m_hits.value())
         with self._lock:
-            return {
-                "capacity": self.capacity,
-                "entries": len(self._entries),
-                "pending": sum(
-                    1
-                    for entry in self._entries.values()
-                    if entry.pending is not None
-                ),
-                "lookups": self._lookups,
-                "hits": self._hits,
-                "misses": self._misses,
-                "corrections": self._corrections,
-                "stale_corrections": self._stale_corrections,
-                "evictions": self._evictions,
-                "hit_rate": (
-                    self._hits / self._lookups if self._lookups else 0.0
-                ),
-            }
+            entries = len(self._entries)
+            pending = sum(
+                1
+                for entry in self._entries.values()
+                if entry.pending is not None
+            )
+        return {
+            "capacity": self.capacity,
+            "entries": entries,
+            "pending": pending,
+            "lookups": lookups,
+            "hits": hits,
+            "misses": int(self._m_misses.value()),
+            "corrections": int(self._m_corrections.value()),
+            "stale_corrections": int(self._m_stale.value()),
+            "evictions": int(self._m_evictions.value()),
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }

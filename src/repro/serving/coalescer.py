@@ -67,6 +67,7 @@ from repro.errors import ParameterError, ReproError
 from repro.graph.base import BaseGraph
 from repro.linalg.batch import power_iteration_batch
 from repro.linalg.solvers import PageRankResult
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["CoalescerTicket", "MicrobatchCoalescer"]
 
@@ -83,13 +84,14 @@ class _Column:
 class CoalescerTicket:
     """Handle for one submitted column; resolves when its group flushes."""
 
-    __slots__ = ("_coalescer", "_group", "_result", "_mutation")
+    __slots__ = ("_coalescer", "_group", "_result", "_mutation", "_meta")
 
     def __init__(self, coalescer: "MicrobatchCoalescer", group: tuple) -> None:
         self._coalescer = coalescer
         self._group = group
         self._result: PageRankResult | None = None
         self._mutation: int | None = None
+        self._meta: dict | None = None
 
     @property
     def done(self) -> bool:
@@ -109,6 +111,19 @@ class CoalescerTicket:
         if self._mutation is None:
             self.result()
         return self._mutation
+
+    @property
+    def meta(self) -> dict | None:
+        """Flush telemetry for this column, once solved.
+
+        ``flush_cause``, ``batch_occupancy``, ``batch_method``,
+        ``queue_wait`` (seconds pending before the flush took the
+        column), ``iterations`` and final ``residual`` of this column —
+        the facts the serving layer copies into the request's solve
+        span.  ``None`` until the column's batch has been delivered.
+        """
+        with self._coalescer._cv:
+            return self._meta
 
     def result(self) -> PageRankResult:
         """The column's solution, flushing its group first if needed.
@@ -196,6 +211,11 @@ class MicrobatchCoalescer:
     clock:
         Monotonic time source for the age trigger (injectable for
         deterministic tests); defaults to :func:`time.monotonic`.
+    metrics:
+        Telemetry registry for the flush counters (cause-labelled),
+        column totals and occupancy gauges; ``None`` creates a private
+        registry.  The service passes its own so one export covers the
+        whole stack.
     """
 
     def __init__(
@@ -210,6 +230,7 @@ class MicrobatchCoalescer:
         max_age: float | None = None,
         backlog: int | None = None,
         clock=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if window < 1:
             raise ParameterError(f"window must be >= 1, got {window}")
@@ -247,15 +268,25 @@ class MicrobatchCoalescer:
         # flush solves run outside it and notify on delivery.
         self._cv = threading.Condition()
         self._groups: dict[tuple, _GroupState] = {}
-        self._flushes = 0
-        self._columns = 0
-        self._max_occupancy = 0
-        self._flush_causes = {
-            "window": 0,
-            "age": 0,
-            "backlog": 0,
-            "demand": 0,
-        }
+        # Flush counters live in the telemetry registry (atomic under
+        # the counter family's leaf lock) instead of bare ints mutated
+        # under the condition variable — exports never tear them.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_flushes = self.metrics.counter(
+            "coalescer_flushes_total",
+            "Batched flushes by trigger cause",
+            labels=("cause",),
+        )
+        self._m_columns = self.metrics.counter(
+            "coalescer_columns_total", "Columns solved through flushes"
+        )
+        self._g_occupancy = self.metrics.gauge(
+            "coalescer_max_occupancy", "Widest flushed block so far"
+        )
+        self._g_occupancy.set(0)
+        self.metrics.gauge(
+            "coalescer_pending", "Columns filed but not yet solved"
+        ).set_function(lambda: self.pending)
 
     # ------------------------------------------------------------------
     # submission
@@ -391,6 +422,7 @@ class MicrobatchCoalescer:
                 and state.prev_scores is not None
                 else None
             )
+            taken_at = self._clock()
         group_key, tol = tuple(key[:-1]), key[-1]
         dangling = group_key[-1]
         try:
@@ -424,15 +456,28 @@ class MicrobatchCoalescer:
             for j, column in enumerate(columns):
                 column.ticket._result = batch.column(j)
                 column.ticket._mutation = solved_at
+                residuals = batch.residuals[j]
+                column.ticket._meta = {
+                    "flush_cause": cause,
+                    "batch_occupancy": len(columns),
+                    "batch_method": batch.method,
+                    "queue_wait": max(0.0, taken_at - column.filed_at),
+                    "iterations": int(batch.iterations[j]),
+                    "residual": (
+                        float(residuals[-1]) if residuals else None
+                    ),
+                }
             state.prev_signature = signature
             state.prev_scores = batch.scores
             state.solving -= 1
             if key in self._groups:
                 self._touch(key)
-            self._flushes += 1
-            self._columns += len(columns)
-            self._max_occupancy = max(self._max_occupancy, len(columns))
-            self._flush_causes[cause] = self._flush_causes.get(cause, 0) + 1
+            # Counter locks are leaves (see docs/serving.md
+            # § Concurrency): incrementing under the condition variable
+            # keeps delivery and accounting atomic for ticket readers.
+            self._m_flushes.inc(cause=cause)
+            self._m_columns.inc(len(columns))
+            self._g_occupancy.set_max(len(columns))
             self._evict_idle_groups()
             self._cv.notify_all()
         return True
@@ -463,16 +508,25 @@ class MicrobatchCoalescer:
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Flush counters and batch-occupancy summary (O(1) state)."""
+        """Flush counters and batch-occupancy summary (O(1) state).
+
+        A backwards-compatible view over the telemetry registry — the
+        exporters publish the same numbers under the
+        ``coalescer_*`` names.
+        """
+        causes = {"window": 0, "age": 0, "backlog": 0, "demand": 0}
+        for labels, value in self._m_flushes.values().items():
+            causes[dict(labels)["cause"]] = int(value)
+        flushes = sum(causes.values())
+        columns = int(self._m_columns.value())
         with self._cv:
-            return {
-                "window": self.window,
-                "flushes": self._flushes,
-                "columns": self._columns,
-                "pending": self._pending_locked(),
-                "mean_occupancy": (
-                    self._columns / self._flushes if self._flushes else 0.0
-                ),
-                "max_occupancy": self._max_occupancy,
-                "flush_causes": dict(self._flush_causes),
-            }
+            pending = self._pending_locked()
+        return {
+            "window": self.window,
+            "flushes": flushes,
+            "columns": columns,
+            "pending": pending,
+            "mean_occupancy": columns / flushes if flushes else 0.0,
+            "max_occupancy": int(self._g_occupancy.value()),
+            "flush_causes": causes,
+        }

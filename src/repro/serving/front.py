@@ -39,10 +39,13 @@ from __future__ import annotations
 import threading
 from time import perf_counter
 
+from contextlib import nullcontext
+
 from repro.errors import AdmissionError, ParameterError, ReproError
 from repro.serving.admission import AdmissionController
 from repro.serving.planner import RankRequest
 from repro.serving.service import RankingService, ServedResult
+from repro.telemetry.trace import active_span
 
 __all__ = ["FrontTicket", "ServingFront"]
 
@@ -56,7 +59,15 @@ class FrontTicket:
     threads may block in :meth:`result`.
     """
 
-    __slots__ = ("request", "strategy", "_cond", "_result", "_error")
+    __slots__ = (
+        "request",
+        "strategy",
+        "_cond",
+        "_result",
+        "_error",
+        "_trace",
+        "_aspan",
+    )
 
     def __init__(self, request: RankRequest, strategy: str) -> None:
         self.request = request
@@ -67,6 +78,10 @@ class FrontTicket:
         self._cond = threading.Condition()
         self._result: ServedResult | None = None
         self._error: BaseException | None = None
+        # Sampled requests carry their trace (and open admission span,
+        # measuring queue wait) from the client thread to the worker.
+        self._trace = None
+        self._aspan = None
 
     @property
     def done(self) -> bool:
@@ -142,16 +157,33 @@ class ServingFront:
         self.workers = workers
         if limits is None:
             limits = {"sharded": max(1, workers // 2)}
-        self._admission = AdmissionController(capacity, limits=limits)
+        # Duck-typed service wrappers (tests, gating shims) may not
+        # expose a registry/tracer; fall back to a private registry so
+        # the front's own counters always work.
+        telemetry = getattr(service, "telemetry", None)
+        if telemetry is None:
+            from repro.telemetry.metrics import MetricsRegistry
+
+            telemetry = MetricsRegistry()
+        self._telemetry = telemetry
+        self._admission = AdmissionController(
+            capacity, limits=limits, metrics=telemetry
+        )
         max_age = service.coalescer.max_age
         if poll_interval is None and max_age is not None:
             poll_interval = max(max_age / 2.0, 1e-3)
         self.poll_interval = poll_interval
         self._window = service.coalescer.window
-        self._polls = 0
-        self._served = 0
-        self._failed = 0
-        self._stats_lock = threading.Lock()
+        self._m_served = telemetry.counter(
+            "front_served_total", "Requests fulfilled by front workers"
+        )
+        self._m_failed = telemetry.counter(
+            "front_failed_total",
+            "Requests whose ticket was failed with an exception",
+        )
+        self._m_polls = telemetry.counter(
+            "front_polls_total", "Flush-timer service polls"
+        )
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         for i in range(workers):
@@ -191,7 +223,23 @@ class ServingFront:
         if request is None:
             request = RankRequest(**kwargs)
         ticket = FrontTicket(request, plan.strategy)
-        self._admission.offer(ticket, plan.strategy)
+        tracer = getattr(self._service, "tracer", None)
+        if tracer is not None and active_span() is None:
+            trace = tracer.start(
+                "front.rank",
+                method=request.method,
+                admitted_strategy=plan.strategy,
+            )
+            if trace is not None:
+                ticket._trace = trace
+                ticket._aspan = trace.root.child("admission")
+        try:
+            self._admission.offer(ticket, plan.strategy)
+        except AdmissionError as exc:
+            if ticket._trace is not None:
+                ticket._aspan.annotate(rejected=exc.reason)
+                ticket._trace.finish()
+            raise
         return ticket
 
     def rank(
@@ -203,28 +251,50 @@ class ServingFront:
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
+    @staticmethod
+    def _activation(ticket: FrontTicket):
+        """Context manager making the ticket's trace ambient (or a no-op).
+
+        Run service calls under it so the service threads its plan /
+        solve / cache spans into the front's trace instead of starting
+        an owned one.
+        """
+        if ticket._trace is None:
+            return nullcontext()
+        return ticket._trace.activate()
+
     def _execute(self, ticket: FrontTicket) -> None:
         try:
-            ticket._fulfill(self._service.rank(ticket.request))
-            with self._stats_lock:
-                self._served += 1
+            with self._activation(ticket):
+                result = self._service.rank(ticket.request)
+            ticket._fulfill(result)
+            self._m_served.inc()
         except BaseException as exc:  # noqa: BLE001 - fulfil with any error
             ticket._fail(exc)
-            with self._stats_lock:
-                self._failed += 1
+            self._m_failed.inc()
+            if ticket._trace is not None:
+                ticket._trace.root.annotate(error=type(exc).__name__)
+        finally:
+            if ticket._trace is not None:
+                ticket._trace.finish()
 
     def _resolve_parked(
         self, parked: list[tuple[FrontTicket, object]]
     ) -> None:
         for fticket, sticket in parked:
             try:
+                # No activation needed: the service captured the parent
+                # span at submit time and re-enters it in its resolver.
                 fticket._fulfill(sticket.result())
-                with self._stats_lock:
-                    self._served += 1
+                self._m_served.inc()
             except BaseException as exc:  # noqa: BLE001
                 fticket._fail(exc)
-                with self._stats_lock:
-                    self._failed += 1
+                self._m_failed.inc()
+                if fticket._trace is not None:
+                    fticket._trace.root.annotate(error=type(exc).__name__)
+            finally:
+                if fticket._trace is not None:
+                    fticket._trace.finish()
         parked.clear()
 
     def _worker_loop(self) -> None:
@@ -254,16 +324,22 @@ class ServingFront:
                     return
                 continue
             ticket, cls = taken
+            if ticket._aspan is not None:
+                # Close the admission span: its duration is the queue
+                # wait between client offer and worker pickup.
+                ticket._aspan.close()
             try:
                 if cls == "batch":
                     # File the column now (cheap); defer the resolve so
                     # other workers' pooled columns share the window.
                     try:
-                        sticket = self._service.submit(ticket.request)
+                        with self._activation(ticket):
+                            sticket = self._service.submit(ticket.request)
                     except BaseException as exc:  # noqa: BLE001
                         ticket._fail(exc)
-                        with self._stats_lock:
-                            self._failed += 1
+                        self._m_failed.inc()
+                        if ticket._trace is not None:
+                            ticket._trace.finish()
                     else:
                         if not parked:
                             parked_since = perf_counter()
@@ -279,8 +355,7 @@ class ServingFront:
         while not self._stop.wait(self.poll_interval):
             try:
                 self._service.poll()
-                with self._stats_lock:
-                    self._polls += 1
+                self._m_polls.inc()
             except Exception:  # pragma: no cover - poll must never kill
                 pass
 
@@ -304,6 +379,9 @@ class ServingFront:
                     reason="shutdown",
                 )
             )
+            if item._trace is not None:
+                item._aspan.annotate(rejected="shutdown")
+                item._trace.finish()
         self._stop.set()
         for t in self._threads:
             t.join(timeout=timeout)
@@ -317,14 +395,16 @@ class ServingFront:
         self.close()
 
     def stats(self) -> dict:
-        """Front health: admission state, served/failed counts, poll count."""
-        with self._stats_lock:
-            out = {
-                "workers": self.workers,
-                "served": self._served,
-                "failed": self._failed,
-                "polls": self._polls,
-                "poll_interval": self.poll_interval,
-            }
-        out["admission"] = self._admission.stats()
-        return out
+        """Front health: admission state, served/failed counts, poll count.
+
+        A view over the service's telemetry registry (families
+        ``front_*`` and ``admission_*``).
+        """
+        return {
+            "workers": self.workers,
+            "served": int(self._m_served.value()),
+            "failed": int(self._m_failed.value()),
+            "polls": int(self._m_polls.value()),
+            "poll_interval": self.poll_interval,
+            "admission": self._admission.stats(),
+        }

@@ -8,83 +8,84 @@ those observations live, and
 :meth:`~repro.serving.planner.QueryPlanner.observe` is how they flow
 back into planning (see the planner's self-tuning contract).
 
-The recorder keeps one bounded **ring buffer per key** (strategy name):
-O(window) memory per strategy, O(1) amortised per observation, and
-quantiles computed over the *recent* window rather than all of history —
-a strategy whose cost regime shifted (graph grew, cache warmed, worker
-pool saturated) is re-estimated within ``window`` requests.  Total
-counts are kept separately and never truncated.
-
-All methods are thread-safe; the serving front's worker threads record
-into one shared instance.
+Since the telemetry subsystem landed, the recorder is a **thin adapter**
+over one :class:`~repro.telemetry.metrics.Histogram` family
+(``serving_latency_seconds``, labelled by strategy) in a
+:class:`~repro.telemetry.metrics.MetricsRegistry`: latency is recorded
+once, the planner's self-tuning reads it through this per-key API, and
+operators read the very same numbers through ``registry.snapshot()`` or
+the Prometheus/JSON exporters.  The histogram keeps the recorder's
+long-standing contract — one bounded window per key (O(window) memory,
+quantiles over the *recent* regime rather than all of history) plus
+never-truncated totals — and every method stays thread-safe; the
+serving front's worker threads record into one shared instance.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import deque
-
-import numpy as np
-
 from repro.errors import ParameterError
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["LatencyRecorder"]
 
+#: The histogram family name the recorder registers (or joins) in its
+#: registry — shared with exporters and `RankingService.stats()`.
+LATENCY_METRIC = "serving_latency_seconds"
+
 
 class LatencyRecorder:
-    """Bounded per-key latency rings with count/p50/p95 summaries."""
+    """Bounded per-key latency rings with count/p50/p95 summaries.
 
-    def __init__(self, window: int = 256) -> None:
+    ``metrics`` is the registry to record into; ``None`` creates a
+    private one, preserving the standalone behaviour the planner tests
+    pin.  A shared registry must not already hold ``name`` with a
+    different window (the registry rejects the mismatch).
+    """
+
+    def __init__(
+        self,
+        window: int = 256,
+        *,
+        metrics: MetricsRegistry | None = None,
+        name: str = LATENCY_METRIC,
+    ) -> None:
         if window < 1:
             raise ParameterError(f"window must be >= 1, got {window}")
         self.window = window
-        self._lock = threading.Lock()
-        self._rings: dict[str, deque[float]] = {}
-        self._counts: dict[str, int] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hist = self.metrics.histogram(
+            name,
+            "Observed serving latency per plan strategy",
+            labels=("strategy",),
+            window=window,
+        )
 
     def observe(self, key: str, seconds: float) -> None:
         """Record one observed latency for ``key`` (negatives are clamped)."""
-        value = max(0.0, float(seconds))
-        with self._lock:
-            ring = self._rings.get(key)
-            if ring is None:
-                ring = deque(maxlen=self.window)
-                self._rings[key] = ring
-                self._counts[key] = 0
-            ring.append(value)
-            self._counts[key] += 1
+        self._hist.observe(max(0.0, float(seconds)), strategy=key)
 
     def count(self, key: str) -> int:
         """Total observations ever recorded for ``key``."""
-        with self._lock:
-            return self._counts.get(key, 0)
+        return self._hist.count(strategy=key)
 
     def quantile(self, key: str, q: float) -> float | None:
         """The ``q``-quantile of the recent window, or ``None`` if empty."""
-        with self._lock:
-            ring = self._rings.get(key)
-            if not ring:
-                return None
-            values = list(ring)
-        return float(np.percentile(values, 100.0 * q))
+        return self._hist.quantile(q, strategy=key)
 
     def summary(self) -> dict:
         """``{key: {count, window, p50, p95, mean, last}}`` for every key."""
-        with self._lock:
-            snapshot = {
-                key: (self._counts[key], list(ring))
-                for key, ring in self._rings.items()
-                if ring
-            }
         out = {}
-        for key, (count, values) in snapshot.items():
-            arr = np.asarray(values)
+        for labels, summary in self._hist.summaries().items():
+            if summary["window"] == 0:
+                continue
+            key = dict(labels)["strategy"]
             out[key] = {
-                "count": count,
-                "window": len(values),
-                "p50": float(np.percentile(arr, 50)),
-                "p95": float(np.percentile(arr, 95)),
-                "mean": float(arr.mean()),
-                "last": float(arr[-1]),
+                "count": summary["count"],
+                "window": summary["window"],
+                "p50": summary["p50"],
+                "p95": summary["p95"],
+                "p99": summary["p99"],
+                "mean": summary["mean"],
+                "last": summary["last"],
             }
         return out

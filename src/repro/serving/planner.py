@@ -74,6 +74,7 @@ from repro.errors import ParameterError
 from repro.graph.base import BaseGraph, Node
 from repro.methods import MethodParams, method_names, resolve
 from repro.serving.latency import LatencyRecorder
+from repro.telemetry.trace import annotate
 
 __all__ = [
     "METHODS",
@@ -526,7 +527,28 @@ class QueryPlanner:
         ``"sharded"``.  Wide-seed personalised queries stay ``"batch"``
         regardless — pooling cohorts through the coalescer beats solving
         them one sharded system at a time.
+
+        When a trace is active, the decision is annotated onto the
+        ambient span (``planner_strategy`` / ``planner_reason``) — this
+        covers dry-run plans too, which the service's own ``plan`` span
+        does not see.
         """
+        plan = self._plan(
+            graph, query, cache_state=cache_state, shard_state=shard_state
+        )
+        annotate(
+            planner_strategy=plan.strategy, planner_reason=plan.reason
+        )
+        return plan
+
+    def _plan(
+        self,
+        graph: BaseGraph,
+        query: CanonicalQuery,
+        *,
+        cache_state: str | None = None,
+        shard_state=None,
+    ) -> QueryPlan:
         request = query.request
         n = graph.number_of_nodes
         m = graph.number_of_edges

@@ -82,6 +82,14 @@ from repro.serving.planner import (
     dense_teleport,
 )
 from repro.serving.sync import ReadWriteLock
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import (
+    Tracer,
+    activate_span,
+    active_span,
+    annotate,
+    child_span,
+)
 
 __all__ = ["RankingService", "ServedResult", "ServingTicket"]
 
@@ -268,6 +276,11 @@ class RankingService:
         shard_size_floor: int | None = None,
         delta_log: DeltaLog | None = None,
         compact_threshold: float | None = None,
+        telemetry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        tracing: bool = False,
+        trace_sample: int = 1,
+        trace_capacity: int = 256,
     ) -> None:
         graph.require_nonempty()
         if not 0.0 <= localized_fraction <= 1.0:
@@ -292,11 +305,29 @@ class RankingService:
                 "with an injected coalescer, set them on it directly"
             )
         self._graph = graph
+        # One telemetry registry per serving stack: every component
+        # below registers its families here, so a single snapshot /
+        # Prometheus export covers the whole request path.
+        self._telemetry = (
+            telemetry if telemetry is not None else MetricsRegistry()
+        )
+        if tracer is not None:
+            self._tracer: Tracer | None = tracer
+        elif tracing:
+            self._tracer = Tracer(
+                sample_every=trace_sample,
+                capacity=trace_capacity,
+                metrics=self._telemetry,
+            )
+        else:
+            self._tracer = None
         self._planner = planner or QueryPlanner()
         if self._planner.latency is None:
-            self._planner.latency = LatencyRecorder()
+            self._planner.latency = LatencyRecorder(metrics=self._telemetry)
         self._latency = self._planner.latency
-        self._cache = cache or ResultCache(capacity=cache_capacity)
+        self._cache = cache or ResultCache(
+            capacity=cache_capacity, metrics=self._telemetry
+        )
         self._coalescer = coalescer or MicrobatchCoalescer(
             graph,
             window=window,
@@ -306,6 +337,7 @@ class RankingService:
             max_age=max_age,
             backlog=backlog,
             clock=clock,
+            metrics=self._telemetry,
         )
         self._clamp_min = clamp_min
         self._localized_fraction = localized_fraction
@@ -341,19 +373,27 @@ class RankingService:
         # service can close stale operators on delta instead of leaving
         # worker pools to garbage collection.
         self._shard_ops: dict[tuple, object | None] = {}
-        self._shard_stats = {
-            "shard_push_local": 0,
-            "shard_push_fallback": 0,
-            "sharded_solves": 0,
-        }
-        self._requests = 0
-        self._plan_mix: dict[str, int] = {}
-        self._deltas = {
-            "applied": 0,
-            "localized": 0,
-            "evicting": 0,
-            "compactions": 0,
-        }
+        # Service counters live in the telemetry registry; each
+        # increment is atomic under the counter family's own leaf lock
+        # (no bare dict mutations — see docs/serving.md § Concurrency).
+        self._m_requests = self._telemetry.counter(
+            "serving_requests_total", "Requests submitted to the service"
+        )
+        self._m_plans = self._telemetry.counter(
+            "serving_plans_total",
+            "Planned requests by chosen strategy",
+            labels=("strategy",),
+        )
+        self._m_deltas = self._telemetry.counter(
+            "serving_deltas_total",
+            "Graph deltas through apply_delta, by disposition",
+            labels=("kind",),
+        )
+        self._m_shard = self._telemetry.counter(
+            "serving_shard_events_total",
+            "Shard-routing outcomes",
+            labels=("event",),
+        )
         self._outstanding: list[ServingTicket] = []
         # digest -> (tol, ticket) of not-yet-resolved batch submissions,
         # so identical queries in one burst share a single column.
@@ -375,6 +415,16 @@ class RankingService:
     def coalescer(self) -> MicrobatchCoalescer:
         """The microbatch coalescer (the front reads its age bound)."""
         return self._coalescer
+
+    @property
+    def telemetry(self) -> MetricsRegistry:
+        """The metrics registry every serving component records into."""
+        return self._telemetry
+
+    @property
+    def tracer(self) -> Tracer | None:
+        """The request tracer, or ``None`` when tracing is off."""
+        return self._tracer
 
     # ------------------------------------------------------------------
     # request intake
@@ -423,44 +473,80 @@ class RankingService:
         :meth:`ServingTicket.result` read); every other strategy
         resolves immediately.  Observed latencies are recorded per
         strategy and fed back into the planner's cost model.
+
+        With tracing configured (``tracing=True`` / an injected
+        :class:`~repro.telemetry.trace.Tracer`) and this request
+        sampled, the whole submission runs under a ``rank`` trace whose
+        spans cover planning, the solve and the cache commit; a caller
+        that already holds an active span (the serving front) keeps it —
+        the service then adds its spans to the caller's trace instead of
+        starting its own.
         """
         request = self._coerce(request, kwargs)
+        trace = None
+        if self._tracer is not None and active_span() is None:
+            trace = self._tracer.start("rank", method=request.method)
+        if trace is None:
+            return self._submit_inner(request, None)
+        with trace.activate():
+            try:
+                ticket = self._submit_inner(request, trace)
+            except BaseException as exc:
+                trace.root.annotate(error=type(exc).__name__)
+                trace.finish()
+                raise
+        if ticket.done:
+            # Synchronous strategies completed inside the activation;
+            # batch tickets carry the trace and finish at resolution.
+            trace.finish()
+        return ticket
+
+    def _submit_inner(
+        self, request: RankRequest, trace
+    ) -> ServingTicket:
         with self._rw.read():
-            query = canonical_query(self._graph, request)
-            state, entry = self._cache.lookup(
-                query.digest,
-                mutation=self._graph.mutation_count,
-                tol=request.tol,
-            )
-            plan = self._planner.plan(
-                self._graph,
-                query,
-                cache_state=None if state == "miss" else state,
-                shard_state=self._sharded(query.group_key),
-            )
-            with self._lock:
-                self._requests += 1
-                self._plan_mix[plan.strategy] = (
-                    self._plan_mix.get(plan.strategy, 0) + 1
+            with child_span("plan") as span:
+                query = canonical_query(self._graph, request)
+                state, entry = self._cache.lookup(
+                    query.digest,
+                    mutation=self._graph.mutation_count,
+                    tol=request.tol,
                 )
+                plan = self._planner.plan(
+                    self._graph,
+                    query,
+                    cache_state=None if state == "miss" else state,
+                    shard_state=self._sharded(query.group_key),
+                )
+                if span is not None:
+                    span.annotate(
+                        strategy=plan.strategy,
+                        reason=plan.reason,
+                        cache_state=state,
+                    )
+            self._m_requests.inc()
+            self._m_plans.inc(strategy=plan.strategy)
 
             if plan.strategy == "batch":
-                return self._submit_batch(query, plan)
+                return self._submit_batch(query, plan, trace=trace)
             start = perf_counter()
-            if plan.strategy == "cached":
-                scores = entry.scores
-            elif plan.strategy == "incremental":
-                scores = self._correct_entry(query.digest, entry)
-            elif plan.strategy == "spectral":
-                scores = self._serve_spectral(query)
-            elif plan.strategy == "shard_push":
-                scores = self._serve_shard_push(query, plan)
-            elif plan.strategy == "push":
-                scores = self._serve_push(query)
-            elif plan.strategy == "sharded":
-                scores = self._serve_sharded(query)
-            else:  # pragma: no cover - planner strategies are closed
-                raise ReproError(f"unknown strategy {plan.strategy!r}")
+            with child_span("solve", strategy=plan.strategy) as span:
+                if plan.strategy == "cached":
+                    scores = entry.scores
+                    if span is not None:
+                        span.annotate(cache="hit")
+                elif plan.strategy == "incremental":
+                    scores = self._correct_entry(query.digest, entry)
+                elif plan.strategy == "spectral":
+                    scores = self._serve_spectral(query)
+                elif plan.strategy == "shard_push":
+                    scores = self._serve_shard_push(query, plan)
+                elif plan.strategy == "push":
+                    scores = self._serve_push(query)
+                elif plan.strategy == "sharded":
+                    scores = self._serve_sharded(query)
+                else:  # pragma: no cover - planner strategies are closed
+                    raise ReproError(f"unknown strategy {plan.strategy!r}")
             self._planner.observe(plan.strategy, perf_counter() - start)
             return ServingTicket(
                 request, plan, result=ServedResult(scores, plan, request)
@@ -565,6 +651,28 @@ class RankingService:
             return None
         return dense_teleport(self._graph.number_of_nodes, pair[0], pair[1])
 
+    def _commit(
+        self, query: CanonicalQuery, scores: NodeScores, *, mutation=None
+    ):
+        """Store a fresh answer under a ``cache.commit`` span."""
+        request = query.request
+        with child_span("cache.commit") as span:
+            entry = self._cache.store(
+                query.digest,
+                scores=scores,
+                tol=request.tol,
+                mutation=(
+                    self._graph.mutation_count
+                    if mutation is None
+                    else mutation
+                ),
+                request=request,
+                teleport=self._sparse_pair(query),
+            )
+            if span is not None:
+                span.annotate(outcome="stored")
+        return entry
+
     def _serve_spectral(self, query: CanonicalQuery) -> NodeScores:
         """Direct solve for non-batchable (adjacency power-method) methods.
 
@@ -588,14 +696,7 @@ class RankingService:
             clamp_min=self._clamp_min,
         )
         scores = NodeScores(self._graph, result.scores, result)
-        self._cache.store(
-            query.digest,
-            scores=scores,
-            tol=request.tol,
-            mutation=self._graph.mutation_count,
-            request=request,
-            teleport=self._sparse_pair(query),
-        )
+        self._commit(query, scores)
         return scores
 
     def _serve_push(self, query: CanonicalQuery) -> NodeScores:
@@ -611,14 +712,7 @@ class RankingService:
             operator=bundle,
         )
         scores = NodeScores(self._graph, result.scores, result)
-        self._cache.store(
-            query.digest,
-            scores=scores,
-            tol=request.tol,
-            mutation=self._graph.mutation_count,
-            request=request,
-            teleport=self._sparse_pair(query),
-        )
+        self._commit(query, scores)
         return scores
 
     def _serve_shard_push(
@@ -666,25 +760,18 @@ class RankingService:
         ghost_mass = float(result.scores[ghost])
         certified = residual + 3.0 * ghost_mass <= request.tol
         if not certified:
-            with self._lock:
-                self._shard_stats["shard_push_fallback"] += 1
+            self._m_shard.inc(event="shard_push_fallback")
+            annotate(shard_push="fallback", ghost_mass=ghost_mass)
             return self._serve_push(query)
-        with self._lock:
-            self._shard_stats["shard_push_local"] += 1
+        self._m_shard.inc(event="shard_push_local")
+        annotate(shard_push="local", shard=shard, ghost_mass=ghost_mass)
         full = np.zeros(self._graph.number_of_nodes)
         full[splan.order[lo:hi]] = result.scores[:ghost]
         total = full.sum()
         if total > 0.0:
             full /= total
         scores = NodeScores(self._graph, full, result)
-        self._cache.store(
-            query.digest,
-            scores=scores,
-            tol=request.tol,
-            mutation=self._graph.mutation_count,
-            request=request,
-            teleport=self._sparse_pair(query),
-        )
+        self._commit(query, scores)
         return scores
 
     def _serve_sharded(self, query: CanonicalQuery) -> NodeScores:
@@ -704,17 +791,9 @@ class RankingService:
             workers=self._shard_workers,
             precision=self.precision,
         )
-        with self._lock:
-            self._shard_stats["sharded_solves"] += 1
+        self._m_shard.inc(event="sharded_solves")
         scores = NodeScores(self._graph, result.scores, result)
-        self._cache.store(
-            query.digest,
-            scores=scores,
-            tol=request.tol,
-            mutation=self._graph.mutation_count,
-            request=request,
-            teleport=self._sparse_pair(query),
-        )
+        self._commit(query, scores)
         return scores
 
     def _correct_entry(self, digest: str, entry: CacheEntry) -> NodeScores:
@@ -760,20 +839,27 @@ class RankingService:
         # standalone/concurrent cache use safe, and on "stale" the
         # computed answer is still returned (it was solved against the
         # current graph under the read hold) — only caching is skipped.
-        self._cache.resolve_pending(
-            digest,
-            scores=scores,
-            tol=entry.tol,
-            mutation=self._graph.mutation_count,
-            token=pending,
-        )
+        with child_span("cache.commit") as span:
+            outcome, _resolved = self._cache.resolve_pending(
+                digest,
+                scores=scores,
+                tol=entry.tol,
+                mutation=self._graph.mutation_count,
+                token=pending,
+            )
+            if span is not None:
+                span.annotate(outcome=outcome)
         return scores
 
     def _submit_batch(
-        self, query: CanonicalQuery, plan: QueryPlan
+        self, query: CanonicalQuery, plan: QueryPlan, trace=None
     ) -> ServingTicket:
         request = query.request
         ticket = ServingTicket(request, plan, resolver=None)
+        # The batch resolves on another thread (or later on this one);
+        # capture the submitting request's span so the resolver can
+        # re-enter it there, and the owned trace so it can finish it.
+        parent = active_span()
         with self._lock:
             inflight = self._inflight.get(query.digest)
             if inflight is not None and inflight[0] <= request.tol:
@@ -782,11 +868,20 @@ class RankingService:
                 # redundant one.  The wrapper re-labels the shared
                 # answer with this request's own plan/top_k.
                 shared = inflight[1]
-                ticket._set_resolver(
-                    lambda: ServedResult(
-                        shared.result().scores, plan, request
-                    )
-                )
+
+                def resolve_shared() -> ServedResult:
+                    with activate_span(parent):
+                        with child_span(
+                            "solve", strategy="batch"
+                        ) as span:
+                            result = shared.result()
+                            if span is not None:
+                                span.annotate(deduplicated=True)
+                    if trace is not None:
+                        trace.finish()
+                    return ServedResult(result.scores, plan, request)
+
+                ticket._set_resolver(resolve_shared)
                 return ticket
             # Reserve the dedup slot before filing the column (outside
             # this lock), so a concurrent identical submission shares
@@ -803,20 +898,23 @@ class RankingService:
         def resolve() -> ServedResult:
             with self._rw.read():
                 start = perf_counter()
-                result = cticket.result()
-                scores = NodeScores(self._graph, result.scores, result)
-                # Certify at the version the column was *solved* at (the
-                # flush may long precede this read — and a mutation in
-                # between must not let pre-mutation scores masquerade as
-                # post-mutation answers).
-                self._cache.store(
-                    query.digest,
-                    scores=scores,
-                    tol=request.tol,
-                    mutation=cticket.mutation,
-                    request=request,
-                    teleport=self._sparse_pair(query),
-                )
+                with activate_span(parent):
+                    with child_span("solve", strategy="batch") as span:
+                        result = cticket.result()
+                        if span is not None:
+                            meta = cticket.meta
+                            if meta:
+                                span.annotate(**{
+                                    key: value
+                                    for key, value in meta.items()
+                                    if value is not None
+                                })
+                    scores = NodeScores(self._graph, result.scores, result)
+                    # Certify at the version the column was *solved* at
+                    # (the flush may long precede this read — and a
+                    # mutation in between must not let pre-mutation
+                    # scores masquerade as post-mutation answers).
+                    self._commit(query, scores, mutation=cticket.mutation)
                 self._planner.observe("batch", perf_counter() - start)
             with self._lock:
                 # Identity-guarded: a later submission at a stricter tol
@@ -828,6 +926,8 @@ class RankingService:
                     del self._inflight[query.digest]
                 if ticket in self._outstanding:
                     self._outstanding.remove(ticket)
+            if trace is not None:
+                trace.finish()
             return ServedResult(scores, plan, request)
 
         ticket._set_resolver(resolve)
@@ -940,11 +1040,10 @@ class RankingService:
             with self._lock:
                 shard_ops = list(self._shard_ops.values())
                 self._shard_ops.clear()
-                self._deltas["applied"] += 1
-                if localized:
-                    self._deltas["localized"] += 1
-                else:
-                    self._deltas["evicting"] += 1
+            self._m_deltas.inc(kind="applied")
+            self._m_deltas.inc(
+                kind="localized" if localized else "evicting"
+            )
             for sharded in shard_ops:
                 if sharded is not None:
                     sharded.close()
@@ -964,8 +1063,7 @@ class RankingService:
             due, _why = self._compaction_due()
             if due:
                 self._checkpoint_locked(self._checkpoint_path)
-                with self._lock:
-                    self._deltas["compactions"] += 1
+                self._m_deltas.inc(kind="compactions")
             return stats
 
     # ------------------------------------------------------------------
@@ -1023,8 +1121,7 @@ class RankingService:
             summary = self._checkpoint_locked(path)
         if auto:
             summary["compacted"] = True
-            with self._lock:
-                self._deltas["compactions"] += 1
+            self._m_deltas.inc(kind="compactions")
         return summary
 
     def _compaction_due(self) -> tuple[bool, str]:
@@ -1218,15 +1315,36 @@ class RankingService:
     # introspection
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Serving health: plan mix, cache, batching, deltas, latencies."""
+        """Serving health: plan mix, cache, batching, deltas, latencies.
+
+        A backwards-compatible **view over the telemetry registry** —
+        every number here is also published (under its ``serving_*`` /
+        ``cache_*`` / ``coalescer_*`` family name) by
+        ``service.telemetry.snapshot()`` and the Prometheus/JSON
+        exporters.
+        """
         cache = self._cache.stats()
-        with self._lock:
-            plan_mix = dict(self._plan_mix)
-            requests = self._requests
-            deltas = dict(self._deltas)
-            shard_stats = dict(self._shard_stats)
+        plan_mix = {
+            dict(labels)["strategy"]: int(value)
+            for labels, value in self._m_plans.values().items()
+        }
+        deltas = {
+            "applied": 0,
+            "localized": 0,
+            "evicting": 0,
+            "compactions": 0,
+        }
+        for labels, value in self._m_deltas.values().items():
+            deltas[dict(labels)["kind"]] = int(value)
+        shard_stats = {
+            "shard_push_local": 0,
+            "shard_push_fallback": 0,
+            "sharded_solves": 0,
+        }
+        for labels, value in self._m_shard.values().items():
+            shard_stats[dict(labels)["event"]] = int(value)
         return {
-            "requests": requests,
+            "requests": int(self._m_requests.value()),
             "plan_mix": plan_mix,
             "cache": cache,
             "hit_rate": cache["hit_rate"],

@@ -84,6 +84,7 @@ from repro.linalg.solvers import (
 )
 from repro.shard._kernel import relax_block
 from repro.shard.operator import DEFAULT_SIZE_FLOOR, ShardedOperator
+from repro.telemetry.trace import record_result
 
 __all__ = ["sharded_solve"]
 
@@ -312,7 +313,10 @@ def sharded_solve(
                 operator=bundle,
                 x0=x0,
             )
-            return replace(result, method="sharded_fallback_power")
+            return record_result(
+                replace(result, method="sharded_fallback_power"),
+                fallback="size_floor",
+            )
         sharded = ShardedOperator(
             bundle, n_shards=n_shards, method=method, size_floor=size_floor
         )
@@ -455,10 +459,24 @@ def sharded_solve(
             iterations=rounds,
             residual=residuals[-1],
         )
-    return PageRankResult(
-        scores=scores,
-        iterations=rounds,
-        converged=converged,
-        residuals=residuals,
-        method="sharded_block_jacobi" if pooled else "sharded_block_gs",
+    # Per-round geometric contraction rate of the residual — the shard
+    # coupling statistic: ~alpha for well-mixed partitions, drifting
+    # toward 1 when cross-shard mass slows the sweep down.
+    contraction = None
+    if len(residuals) >= 2 and residuals[0] > 0.0 and residuals[-1] > 0.0:
+        contraction = float(
+            (residuals[-1] / residuals[0]) ** (1.0 / (len(residuals) - 1))
+        )
+    return record_result(
+        PageRankResult(
+            scores=scores,
+            iterations=rounds,
+            converged=converged,
+            residuals=residuals,
+            method="sharded_block_jacobi" if pooled else "sharded_block_gs",
+        ),
+        n_shards=int(plan.n_shards),
+        workers=int(workers) if pooled else 1,
+        aggregation=bool(aggregate_on),
+        contraction=contraction,
     )

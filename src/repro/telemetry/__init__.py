@@ -1,0 +1,41 @@
+"""Observability for the serving stack: metrics, tracing, exporters.
+
+Named ``telemetry`` (not ``metrics``) because :mod:`repro.metrics`
+already holds the ranking-*quality* measures; this package is about the
+*system* — who asked what, which plan ran, how the solver converged,
+and where the time went.  See ``docs/observability.md`` for the
+registry contract, the span schema, and the exporter formats.
+"""
+
+from repro.telemetry.export import parse_prometheus, to_json, to_prometheus
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.trace import (
+    Span,
+    Trace,
+    Tracer,
+    activate_span,
+    active_span,
+    annotate,
+    child_span,
+    record_result,
+    record_solver,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "Tracer",
+    "activate_span",
+    "active_span",
+    "annotate",
+    "child_span",
+    "parse_prometheus",
+    "record_result",
+    "record_solver",
+    "to_json",
+    "to_prometheus",
+]

@@ -1,0 +1,140 @@
+"""Registry exporters: Prometheus text exposition and JSON.
+
+``to_prometheus`` renders the classic text format (``# HELP`` /
+``# TYPE`` header lines followed by ``name{labels} value`` samples);
+bounded-window histograms are exported as Prometheus *summaries* —
+``{quantile="0.5"|"0.95"|"0.99"}`` samples over the sliding window plus
+the untruncated ``_count`` / ``_sum`` series — because the registry
+keeps exact recent quantiles, not fixed buckets.  ``to_json`` is the
+structured twin (``json.dumps`` of :meth:`MetricsRegistry.snapshot`
+plus a format tag).
+
+``parse_prometheus`` is the validating reader the CI smoke and tests
+round-trip through: it accepts exactly what ``to_prometheus`` emits
+(and any well-formed exposition text) and raises ``ValueError`` on the
+first malformed line, returning ``{(name, labels…): value}``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+__all__ = ["parse_prometheus", "to_json", "to_prometheus"]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in merged.items()
+    )
+    return "{" + body + "}"
+
+
+def _fmt_value(value) -> str:
+    value = float(value)
+    if value == math.floor(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry) -> str:
+    """Render every family of ``registry`` in text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        snap = family.snapshot()
+        if snap["help"]:
+            lines.append(f"# HELP {family.name} {_escape_help(snap['help'])}")
+        kind = "summary" if snap["kind"] == "histogram" else snap["kind"]
+        lines.append(f"# TYPE {family.name} {kind}")
+        for child in snap["values"]:
+            labels = child["labels"]
+            if snap["kind"] == "histogram":
+                for q_key, q_label in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+                    if child.get(q_key) is not None:
+                        lines.append(
+                            f"{family.name}"
+                            f"{_fmt_labels(labels, {'quantile': q_label})} "
+                            f"{_fmt_value(child[q_key])}"
+                        )
+                lines.append(
+                    f"{family.name}_count{_fmt_labels(labels)} "
+                    f"{_fmt_value(child['count'])}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_fmt_labels(labels)} "
+                    f"{_fmt_value(child['sum'])}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_fmt_labels(labels)} "
+                    f"{_fmt_value(child['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry) -> str:
+    """JSON document of the full registry snapshot."""
+    return json.dumps(
+        {"format": "repro-telemetry/1", "metrics": registry.snapshot()},
+        sort_keys=True,
+    )
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into ``{(name, ((label, value), …)): float}``.
+
+    Raises ``ValueError`` on the first line that is neither a comment,
+    blank, nor a well-formed sample — the CI gate that keeps
+    :func:`to_prometheus` emitting scrapeable output.
+    """
+    samples: dict = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line {lineno}: {line!r}")
+        labels: list[tuple[str, str]] = []
+        body = match.group("labels")
+        if body:
+            for part in body.split(","):
+                pair = _LABEL_RE.match(part.strip())
+                if pair is None:
+                    raise ValueError(
+                        f"malformed label on line {lineno}: {part!r}"
+                    )
+                labels.append((pair.group(1), pair.group(2)))
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"malformed sample value on line {lineno}: "
+                f"{match.group('value')!r}"
+            ) from exc
+        samples[(match.group("name"), tuple(labels))] = value
+    return samples

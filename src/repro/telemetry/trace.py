@@ -1,0 +1,346 @@
+"""Request tracing: spans threaded through the serving stack.
+
+A :class:`Trace` is one request's tree of :class:`Span` timings —
+admission wait, planning, solve, cache commit — plus whatever the
+solvers report through :func:`record_solver`.  The active span rides a
+:mod:`contextvars` context variable, so deeply nested layers (planner,
+engine, solvers) annotate the current request without any plumbing; the
+cross-thread hops of the serving stack (submit thread → coalescer flush
+→ resolver thread) hand the span over explicitly on the ticket and
+re-enter it with :func:`activate_span`.
+
+Everything is **zero-cost when disabled**: with no tracer (or with the
+sampler skipping a request) the context variable stays ``None`` and
+every hook returns after one load — solvers pay a single dictionary-free
+check per call, not per iteration.
+
+Sampling is deterministic (every ``sample_every``-th started request),
+so traced runs are reproducible and tests never flake on randomness.
+Finished traces land in a bounded ring (oldest evicted first);
+:meth:`Tracer.slow_query_log` filters the ring by root duration, which
+is how degree-skewed requests — the expensive push frontiers and shard
+couplings the paper's log-log analysis predicts — are caught in the act.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "activate_span",
+    "active_span",
+    "annotate",
+    "child_span",
+    "record_result",
+    "record_solver",
+]
+
+#: The span new child spans and solver reports attach to.  ``None``
+#: whenever the current request is untraced — the fast path.
+_ACTIVE: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_active_span", default=None
+)
+
+
+class Span:
+    """One timed, annotated region of a request.
+
+    Spans form a tree under the trace's root.  ``annotations`` is a
+    plain dict of request facts (plan reason, flush cause, batch
+    occupancy, cache outcome); solver reports accumulate under the
+    ``"solver"`` key as a list of dicts, one per solver invocation that
+    ran while this span was active.
+
+    A span is written by one logical thread at a time — the serving
+    stack hands spans across threads only through tickets whose
+    condition variables establish the necessary happens-before — so
+    annotation writes are unsynchronised by design.
+    """
+
+    __slots__ = ("name", "start", "end", "annotations", "children", "_clock")
+
+    def __init__(self, name: str, clock: Callable[[], float], **annotations):
+        self.name = name
+        self._clock = clock
+        self.start = clock()
+        self.end: float | None = None
+        self.annotations: dict = dict(annotations)
+        self.children: list[Span] = []
+
+    def child(self, name: str, **annotations) -> "Span":
+        span = Span(name, self._clock, **annotations)
+        self.children.append(span)
+        return span
+
+    def annotate(self, **annotations) -> None:
+        self.annotations.update(annotations)
+
+    def record_solver(self, record: dict) -> None:
+        self.annotations.setdefault("solver", []).append(record)
+
+    def close(self) -> None:
+        if self.end is None:
+            self.end = self._clock()
+
+    @property
+    def duration(self) -> float:
+        end = self.end if self.end is not None else self._clock()
+        return end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree, or ``None``."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "annotations": self.annotations,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else f"{self.duration:.6f}s"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class Trace:
+    """One request's span tree plus its lifecycle.
+
+    ``finish()`` is idempotent and thread-safe: the resolver that
+    completes a coalesced batch and the submitter that filed it may
+    both try to finish, and only the first lands the trace in the
+    tracer's ring.
+    """
+
+    __slots__ = ("trace_id", "root", "_tracer", "_finished", "_lock")
+
+    def __init__(self, trace_id: int, name: str, tracer: "Tracer", **annotations):
+        self.trace_id = trace_id
+        self.root = Span(name, tracer._clock, **annotations)
+        self._tracer = tracer
+        self._finished = False
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def activate(self) -> Iterator[Span]:
+        """Make the root span the ambient span for the ``with`` body."""
+        token = _ACTIVE.set(self.root)
+        try:
+            yield self.root
+        finally:
+            _ACTIVE.reset(token)
+
+    def finish(self) -> None:
+        with self._lock:
+            if self._finished:
+                return
+            self._finished = True
+        for span in self.root.walk():
+            span.close()
+        self._tracer._store(self)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def duration(self) -> float:
+        return self.root.duration
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id, **self.root.to_dict()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace(id={self.trace_id}, root={self.root!r})"
+
+
+class Tracer:
+    """Deterministic sampler plus bounded ring of finished traces.
+
+    ``sample_every=1`` traces every request, ``n`` every n-th,
+    ``0`` disables tracing entirely (``start`` always returns ``None``
+    and the stack stays on its untraced fast path).  The ring holds the
+    most recent ``capacity`` finished traces; memory is bounded no
+    matter how long the service runs.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_every: int = 1,
+        capacity: int = 256,
+        clock: Callable[[], float] | None = None,
+        metrics=None,
+    ):
+        if sample_every < 0:
+            raise ParameterError(
+                f"sample_every must be >= 0, got {sample_every}"
+            )
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.sample_every = int(sample_every)
+        self.capacity = int(capacity)
+        self._clock = clock or time.perf_counter
+        self._lock = threading.Lock()
+        self._ring: deque[Trace] = deque(maxlen=self.capacity)
+        self._ids = itertools.count(1)
+        self._seq = 0
+        self._m_started = None
+        self._m_sampled = None
+        if metrics is not None:
+            self._m_started = metrics.counter(
+                "trace_requests_total", "Requests offered to the tracer"
+            )
+            self._m_sampled = metrics.counter(
+                "trace_sampled_total", "Requests that produced a trace"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_every > 0
+
+    def start(self, name: str, **annotations) -> Trace | None:
+        """Begin a trace for this request, or ``None`` if not sampled."""
+        if self._m_started is not None:
+            self._m_started.inc()
+        if self.sample_every == 0:
+            return None
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            if seq % self.sample_every != 0:
+                return None
+            trace_id = next(self._ids)
+        if self._m_sampled is not None:
+            self._m_sampled.inc()
+        return Trace(trace_id, name, self, **annotations)
+
+    def _store(self, trace: Trace) -> None:
+        with self._lock:
+            self._ring.append(trace)
+
+    def traces(self) -> list[Trace]:
+        """Snapshot of the finished-trace ring, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def slow_query_log(self, threshold: float) -> list[Trace]:
+        """Finished traces whose total duration is ``>= threshold``."""
+        return [t for t in self.traces() if t.duration >= threshold]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+def active_span() -> Span | None:
+    """The ambient span of the current request, or ``None`` if untraced."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate_span(span: Span | None) -> Iterator[Span | None]:
+    """Re-enter a span handed over from another thread (or no-op on None)."""
+    if span is None:
+        yield None
+        return
+    token = _ACTIVE.set(span)
+    try:
+        yield span
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def child_span(name: str, **annotations) -> Iterator[Span | None]:
+    """Open a timed child of the ambient span; no-op when untraced.
+
+    Yields the new span (annotate it freely) or ``None`` when there is
+    no ambient span — callers must guard annotation with
+    ``if span is not None``.
+    """
+    parent = _ACTIVE.get()
+    if parent is None:
+        yield None
+        return
+    span = parent.child(name, **annotations)
+    token = _ACTIVE.set(span)
+    try:
+        yield span
+    finally:
+        _ACTIVE.reset(token)
+        span.close()
+
+
+def annotate(**annotations) -> None:
+    """Attach facts to the ambient span; silently drops when untraced."""
+    span = _ACTIVE.get()
+    if span is not None:
+        span.annotations.update(annotations)
+
+
+def record_solver(method: str, **info) -> None:
+    """Report one solver invocation into the ambient span.
+
+    The zero-cost-when-disabled hook: solvers call this exactly once per
+    invocation (never per sweep), and with no ambient span the cost is a
+    single context-variable load.  ``None`` values are dropped so
+    callers can pass optional facts unconditionally.
+    """
+    span = _ACTIVE.get()
+    if span is None:
+        return
+    record = {"method": method}
+    for key, value in info.items():
+        if value is not None:
+            record[key] = value
+    span.record_solver(record)
+
+
+def record_result(result, **extra):
+    """Report a ``PageRankResult``-shaped solve and return it unchanged.
+
+    The one-line wrapper for solver return sites: pulls ``method``,
+    ``iterations``, ``converged``, and the final residual off the result
+    so every exit path of a solver reports the same schema.  Extra
+    keyword facts (fallback cause, frontier peak, shard counts) ride
+    along; ``None`` values are dropped.
+    """
+    span = _ACTIVE.get()
+    if span is None:
+        return result
+    record = {
+        "method": result.method,
+        "iterations": int(result.iterations),
+        "converged": bool(result.converged),
+    }
+    residuals = getattr(result, "residuals", None)
+    if residuals:
+        record["residual"] = float(residuals[-1])
+    for key, value in extra.items():
+        if value is not None:
+            record[key] = value
+    span.record_solver(record)
+    return result

@@ -338,3 +338,93 @@ class TestCacheUnderConcurrency:
             # After the first resolve every ask is a hit; concurrency
             # may let a handful race past the store, never the bulk.
             assert stats["plan_mix"].get("cached", 0) >= 40
+
+
+class TestTelemetryUnderStorm:
+    """Telemetry invariants under concurrency: exact counters, bounded
+    trace ring, no torn reads while a storm is writing."""
+
+    def test_counters_sum_to_sequential_oracle(self):
+        graph = _graph()
+        rng = np.random.default_rng(21)
+        pool = _query_pool(graph, rng, k=6)
+        n_clients, per_client = 4, 15
+        errors = []
+
+        with RankingService(graph, window=6) as service:
+
+            def client(seed):
+                crng = np.random.default_rng(seed)
+                try:
+                    for _ in range(per_client):
+                        i = int(crng.integers(0, len(pool)))
+                        service.rank(pool[i])
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(300 + k,), name=f"t{k}")
+                for k in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            _join_all(threads)
+            assert not errors, errors[0]
+            stats = service.stats()
+            reg = service.telemetry
+            total = n_clients * per_client
+            # Exactly one serving_requests_total tick per rank(), no
+            # lost updates, and the plan mix partitions the total.
+            assert stats["requests"] == total
+            assert sum(stats["plan_mix"].values()) == total
+            assert reg.get("serving_requests_total").value() == total
+            cache = stats["cache"]
+            assert cache["lookups"] == total
+            assert cache["hits"] + cache["misses"] == cache["lookups"]
+
+    def test_trace_ring_bounded_and_readable_during_storm(self):
+        graph = _graph()
+        rng = np.random.default_rng(22)
+        pool = _query_pool(graph, rng, k=6)
+        errors = []
+        capacity = 16
+
+        with RankingService(
+            graph, window=6, tracing=True, trace_capacity=capacity
+        ) as service:
+            stop = threading.Event()
+
+            def client(seed):
+                crng = np.random.default_rng(seed)
+                try:
+                    for _ in range(20):
+                        i = int(crng.integers(0, len(pool)))
+                        service.rank(pool[i])
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            def reader():
+                # Concurrent snapshot/export reads must never tear.
+                try:
+                    while not stop.is_set():
+                        assert len(service.tracer.traces()) <= capacity
+                        service.telemetry.snapshot()
+                        service.telemetry.to_prometheus()
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(400 + k,), name=f"s{k}")
+                for k in range(4)
+            ] + [threading.Thread(target=reader, name="reader")]
+            for t in threads:
+                t.start()
+            _join_all(threads[:-1])
+            stop.set()
+            _join_all(threads[-1:])
+            assert not errors, errors[0]
+            traces = service.tracer.traces()
+            assert len(traces) == capacity
+            for trace in traces:
+                assert trace.finished
+                assert trace.root.name == "rank"

@@ -1,0 +1,224 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.telemetry import (
+    MetricsRegistry,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "requests")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3.0
+
+    def test_labeled_children_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("plans_total", "plans", labels=("strategy",))
+        c.inc(strategy="push")
+        c.inc(3, strategy="batch")
+        assert c.value(strategy="push") == 1.0
+        assert c.value(strategy="batch") == 3.0
+        assert c.total() == 4.0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total", "n")
+        with pytest.raises(ParameterError):
+            c.inc(-1)
+
+    def test_unknown_label_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total", "n", labels=("a",))
+        with pytest.raises(ParameterError):
+            c.inc(b="x")
+
+    def test_idempotent_registration_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "x")
+        b = reg.counter("x_total", "x")
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x")
+        with pytest.raises(ParameterError):
+            reg.gauge("x_total", "x")
+
+
+class TestGauge:
+    def test_set_inc_set_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", "queue depth")
+        g.set(5)
+        g.inc(-2)
+        assert g.value() == 3.0
+        g.set_max(10)
+        g.set_max(4)
+        assert g.value() == 10.0
+
+    def test_callback_evaluated_at_snapshot(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("entries", "live entries")
+        box = {"n": 0}
+        g.set_function(lambda: box["n"])
+        box["n"] = 7
+        assert g.value() == 7.0
+        snap = reg.snapshot()
+        assert snap["entries"]["values"] == [{"labels": {}, "value": 7.0}]
+
+    def test_callback_exception_swallowed(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("broken", "raises")
+        g.set_function(lambda: 1 / 0)
+        reg.snapshot()  # must not raise
+
+
+class TestHistogram:
+    def test_quantiles_match_numpy(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", window=512)
+        rng = np.random.default_rng(3)
+        xs = rng.exponential(0.01, 300)
+        for x in xs:
+            h.observe(float(x))
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(
+                float(np.percentile(xs, 100 * q))
+            )
+
+    def test_window_bounds_memory_but_not_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", window=8)
+        for i in range(100):
+            h.observe(float(i))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["window"] == 8
+        # Window holds the most recent 8 observations: 92..99.
+        assert s["p50"] == pytest.approx(float(np.percentile(range(92, 100), 50)))
+
+    def test_empty_quantile_is_none(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency")
+        assert h.quantile(0.5) is None
+
+    def test_bad_window_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            reg.histogram("lat", "latency", window=0)
+
+
+class TestExport:
+    def _registry(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "requests", labels=("strategy",))
+        c.inc(2, strategy="push")
+        c.inc(5, strategy="batch")
+        g = reg.gauge("depth", "queue depth")
+        g.set(3)
+        h = reg.histogram("lat_seconds", "latency")
+        for x in (0.01, 0.02, 0.03):
+            h.observe(x)
+        return reg
+
+    def test_prometheus_round_trip(self):
+        reg = self._registry()
+        samples = parse_prometheus(to_prometheus(reg))
+        assert samples[("requests_total", (("strategy", "push"),))] == 2.0
+        assert samples[("requests_total", (("strategy", "batch"),))] == 5.0
+        assert samples[("depth", ())] == 3.0
+        assert samples[("lat_seconds_count", ())] == 3.0
+        assert samples[("lat_seconds_sum", ())] == pytest.approx(0.06)
+        assert samples[("lat_seconds", (("quantile", "0.5"),))] == pytest.approx(
+            0.02
+        )
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not prometheus\n")
+
+    def test_json_export_parses(self):
+        reg = self._registry()
+        doc = json.loads(to_json(reg))
+        assert doc["format"] == "repro-telemetry/1"
+        assert "requests_total" in doc["metrics"]
+
+    def test_registry_convenience_methods(self):
+        reg = self._registry()
+        assert reg.to_prometheus() == to_prometheus(reg)
+        assert reg.to_json() == to_json(reg)
+
+
+class TestThreadSafety:
+    def test_counters_sum_to_sequential_oracle(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n_total", "n", labels=("who",))
+        n_threads, per_thread = 8, 5000
+        barrier = threading.Barrier(n_threads)
+
+        def storm(i):
+            barrier.wait()
+            for _ in range(per_thread):
+                c.inc(who=f"t{i % 2}")
+
+        threads = [
+            threading.Thread(target=storm, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive()
+        assert c.total() == n_threads * per_thread
+
+    def test_no_torn_histogram_reads(self):
+        """Concurrent observe + summary never sees inconsistent state."""
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", window=64)
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                h.observe(float(i % 100))
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                s = h.summary()
+                try:
+                    assert s["window"] <= 64
+                    assert s["count"] >= s["window"]
+                    if s["window"]:
+                        assert 0.0 <= s["p50"] <= 99.0
+                        assert s["p50"] <= s["p99"]
+                except AssertionError as exc:  # pragma: no cover
+                    errors.append(exc)
+                    stop.set()
+
+        threads = [threading.Thread(target=writer) for _ in range(3)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        stop.wait(timeout=0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive()
+        assert not errors

@@ -1,0 +1,172 @@
+"""Unit tests for request tracing: spans, sampling, the ring buffer."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    activate_span,
+    active_span,
+    annotate,
+    child_span,
+    record_result,
+    record_solver,
+)
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestSpans:
+    def test_nested_spans_and_walk(self):
+        tracer = Tracer()
+        trace = tracer.start("rank")
+        with trace.activate():
+            with child_span("plan") as plan:
+                plan.annotate(strategy="push")
+            with child_span("solve") as solve:
+                with child_span("cache.commit"):
+                    pass
+        trace.finish()
+        names = [s.name for s in trace.root.walk()]
+        assert names == ["rank", "plan", "solve", "cache.commit"]
+        assert trace.root.find("plan").annotations["strategy"] == "push"
+        assert solve.end is not None
+
+    def test_child_span_noop_when_untraced(self):
+        assert active_span() is None
+        with child_span("solve") as span:
+            assert span is None
+        annotate(ignored=True)  # must not raise
+        record_solver("push", iterations=3)  # must not raise
+
+    def test_record_solver_lands_in_active_span(self):
+        tracer = Tracer()
+        trace = tracer.start("rank")
+        with trace.activate():
+            with child_span("solve"):
+                record_solver("forward_push", iterations=7, residual=1e-9)
+        trace.finish()
+        solver = trace.root.find("solve").annotations["solver"]
+        assert solver == [
+            {"method": "forward_push", "iterations": 7, "residual": 1e-9}
+        ]
+
+    def test_record_result_returns_result_unchanged(self):
+        class R:
+            method = "forward_push"
+            iterations = 4
+            converged = True
+            residuals = [1.0, 1e-8]
+
+        r = R()
+        assert record_result(r) is r  # untraced: pure pass-through
+
+    def test_cross_thread_handoff(self):
+        tracer = Tracer()
+        trace = tracer.start("rank")
+        parent = trace.root
+
+        def worker():
+            with activate_span(parent):
+                with child_span("solve") as span:
+                    span.annotate(thread="worker")
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join(timeout=30)
+        assert not t.is_alive()
+        trace.finish()
+        assert trace.root.find("solve").annotations["thread"] == "worker"
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer(capacity=8)
+        trace = tracer.start("rank")
+        trace.finish()
+        trace.finish()
+        assert len(tracer.traces()) == 1
+
+
+class TestSampling:
+    def test_sample_every_n(self):
+        tracer = Tracer(sample_every=3)
+        traces = [tracer.start("rank") for _ in range(9)]
+        sampled = [t for t in traces if t is not None]
+        assert len(sampled) == 3
+
+    def test_sample_every_zero_disables(self):
+        tracer = Tracer(sample_every=0)
+        assert tracer.start("rank") is None
+
+    def test_sampling_counters(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(sample_every=2, metrics=reg)
+        for trace in (tracer.start("rank") for _ in range(6)):
+            if trace is not None:
+                trace.finish()
+        assert reg.get("trace_requests_total").value() == 6.0
+        assert reg.get("trace_sampled_total").value() == 3.0
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.start("rank", seq=i).finish()
+        traces = tracer.traces()
+        assert len(traces) == 4
+        assert [t.root.annotations["seq"] for t in traces] == [6, 7, 8, 9]
+
+    def test_slow_query_log(self):
+        clock = _FakeClock()
+        tracer = Tracer(capacity=8, clock=clock)
+        fast = tracer.start("rank", kind="fast")
+        clock.t += 0.001
+        fast.finish()
+        slow = tracer.start("rank", kind="slow")
+        clock.t += 0.5
+        slow.finish()
+        hits = tracer.slow_query_log(0.1)
+        assert [t.root.annotations["kind"] for t in hits] == ["slow"]
+
+    def test_clear(self):
+        tracer = Tracer(capacity=8)
+        tracer.start("rank").finish()
+        tracer.clear()
+        assert tracer.traces() == []
+
+    def test_to_dict_shape(self):
+        tracer = Tracer()
+        trace = tracer.start("rank")
+        with trace.activate():
+            with child_span("plan"):
+                pass
+        trace.finish()
+        doc = trace.to_dict()
+        assert doc["name"] == "rank"
+        assert doc["children"][0]["name"] == "plan"
+        assert "trace_id" in doc
+
+    def test_ring_bounded_under_concurrency(self):
+        tracer = Tracer(capacity=16)
+        barrier = threading.Barrier(6)
+
+        def storm():
+            barrier.wait()
+            for _ in range(200):
+                tracer.start("rank").finish()
+
+        threads = [threading.Thread(target=storm) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+            assert not t.is_alive()
+        assert len(tracer.traces()) == 16

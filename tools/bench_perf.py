@@ -101,6 +101,7 @@ from repro.serving import (  # noqa: E402
     ServingFront,
 )
 from repro.shard import sharded_solve  # noqa: E402
+from repro.telemetry import Tracer  # noqa: E402
 
 SEED = 20160315
 
@@ -342,6 +343,22 @@ def _community_graph(
     return Graph.from_arrays(rows[keep], cols[keep], num_nodes=n)
 
 
+def _solver_records(fn):
+    """Run ``fn`` once under a private trace; return its solver records.
+
+    Solver convergence telemetry (iterations, final residual, fallback
+    cause) is recorded by the solvers themselves through the
+    zero-cost-when-disabled ``record_result`` hook — activating a span
+    around the call is all it takes to capture it.
+    """
+    tracer = Tracer(capacity=2)
+    trace = tracer.start("bench")
+    with trace.activate():
+        out = fn()
+    trace.finish()
+    return out, list(trace.root.annotations.get("solver", []))
+
+
 def _bench_single_query(
     batch_graph: Graph, local_graph: Graph, n_queries: int, tol: float
 ) -> dict:
@@ -429,12 +446,13 @@ def _bench_single_query(
         float(np.abs(a - b).sum())
         for a, b in zip(push_rounds["seq_result"], push_rounds["bat_result"])
     )
-    push_methods = sorted(
-        {
-            forward_push(local_t, int(s), tol=tol, operator=bundle).method
+    _, push_records = _solver_records(
+        lambda: [
+            forward_push(local_t, int(s), tol=tol, operator=bundle)
             for s in local_seeds[:2]
-        }
+        ]
     )
+    push_methods = sorted({rec["method"] for rec in push_records})
 
     return {
         "n_queries": n_queries,
@@ -454,6 +472,7 @@ def _bench_single_query(
             "speedup": push_rounds["speedup"],
             "max_l1_diff": worst_push,
             "methods": push_methods,
+            "solver_telemetry": push_records,
         },
     }
 
@@ -630,10 +649,17 @@ def _bench_sharded_solve(
             workers=workers,
         )
 
+    tracer = Tracer(capacity=2)
+    trace = tracer.start("bench.sharded_solve")
     try:
-        timing = _interleaved_rounds(by_power, by_shard, 1.0, rounds=rounds)
+        with trace.activate():
+            timing = _interleaved_rounds(
+                by_power, by_shard, 1.0, rounds=rounds
+            )
     finally:
+        trace.finish()
         sharded.close()
+    shard_records = list(trace.root.annotations.get("solver", []))
     leaked = set(glob.glob("/dev/shm/repro_shard_*")) - shm_before
     assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
     power_res, shard_res = timing["seq_result"], timing["bat_result"]
@@ -660,6 +686,7 @@ def _bench_sharded_solve(
         "sharded_s": timing["bat_s"],
         "sharded_rounds": shard_res.iterations,
         "sharded_method": shard_res.method,
+        "solver_telemetry": shard_records[-1] if shard_records else None,
         "round_speedups": timing["round_speedups"],
         "speedup": timing["speedup"],
         "max_l1_diff": l1,
@@ -909,6 +936,36 @@ def _bench_serving(
                 for i in naive_kept
             )
         )
+    # Traced mini-replay of the stream head: captures solver
+    # convergence telemetry (iterations, residual, fallback causes) for
+    # the report without perturbing the timed rounds above.
+    solver_telemetry: list[dict] = []
+    with RankingService(
+        rebuild(),
+        sharding=True,
+        n_shards=n_shards,
+        shard_method="blocked",
+        tracing=True,
+        trace_capacity=32,
+    ) as traced:
+        replayed = 0
+        for kind, payload in events:
+            if kind == "delta":
+                continue
+            if kind == "burst":
+                traced.rank_many(payload)
+            else:
+                traced.rank(payload)
+            replayed += 1
+            if replayed >= 3:
+                break
+        traced.poll()
+        for tr in traced.tracer.traces():
+            solve = tr.root.find("solve")
+            if solve is not None:
+                solver_telemetry.extend(
+                    solve.annotations.get("solver", [])
+                )
     leaked = set(glob.glob("/dev/shm/repro_shard_*")) - shm_before
     assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
     occupancy = stats["coalescer"]["mean_occupancy"]
@@ -942,6 +999,7 @@ def _bench_serving(
         "batch_occupancy": occupancy,
         "flush_causes": stats["coalescer"]["flush_causes"],
         "sharding": sharding,
+        "solver_telemetry": solver_telemetry[:8],
     }
 
 

@@ -100,6 +100,66 @@ finally:
     shutil.rmtree(tmp, ignore_errors=True)
 EOF
 
+# Observability smoke: a traced query stream through the front must
+# yield traces covering admission -> plan -> solve -> cache commit
+# (with solver convergence recorded), and both exporters must
+# round-trip through their own parsers.
+python - <<'EOF'
+import json
+import numpy as np
+from repro.graph import Graph
+from repro.serving import RankingService, ServingFront
+from repro.serving.planner import RankRequest
+from repro.telemetry import parse_prometheus
+
+rng = np.random.default_rng(11)
+n = 300
+rows = rng.integers(0, n, 3000); cols = rng.integers(0, n, 3000)
+keep = rows != cols
+g = Graph.from_arrays(rows[keep], cols[keep], num_nodes=n)
+
+svc = RankingService(g, tracing=True, trace_capacity=128)
+with ServingFront(svc, workers=3, capacity=128) as front:
+    nodes = g.nodes()
+    stream = [RankRequest(p=0.0, tol=1e-8)]
+    stream += [
+        RankRequest(p=0.0, seeds=(nodes[int(i)],), tol=1e-6)
+        for i in rng.integers(0, n, 10)
+    ]
+    for req in stream:
+        front.rank(req)
+    svc.poll()
+full = [
+    t for t in svc.tracer.traces()
+    if t.root.find("admission") is not None
+    and t.root.find("plan") is not None
+    and t.root.find("solve") is not None
+    and t.root.find("cache.commit") is not None
+]
+assert full, "no trace covers admission+plan+solve+cache.commit"
+solved = [
+    t for t in full
+    for rec in t.root.find("solve").annotations.get("solver", [])
+    if rec.get("iterations") is not None and rec.get("residual") is not None
+]
+assert solved, "no trace recorded solver iterations + residual"
+
+samples = parse_prometheus(svc.telemetry.to_prometheus())
+names = {name for name, _ in samples}
+for family in (
+    "serving_requests_total", "front_served_total",
+    "admission_admitted_total", "cache_lookups_total",
+    "coalescer_flushes_total", "serving_latency_seconds_count",
+):
+    assert family in names, f"missing {family} in Prometheus export"
+doc = json.loads(svc.telemetry.to_json())
+assert doc["format"] == "repro-telemetry/1"
+assert "serving_requests_total" in doc["metrics"]
+svc.close()
+print(f"observability smoke: OK ({len(full)} full traces, "
+      f"{len(names)} exported series)")
+EOF
+
 python tools/bench_perf.py --quick
 
 fail=0
